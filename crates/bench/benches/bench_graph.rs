@@ -1,0 +1,40 @@
+//! Neighborhood-identification throughput (Theorems 1.3 / 1.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wb_core::rng::TranscriptRng;
+use wb_graph::{ExactNeighborhoods, HashedNeighborhoods, OrEqInstance};
+
+fn bench_graph(c: &mut Criterion) {
+    let mut rng = TranscriptRng::from_seed(19);
+    let inst = OrEqInstance::random(128, 32, &[5], &mut rng);
+    let stream = inst.to_vertex_stream();
+    let nv = inst.graph_vertices();
+    let mut group = c.benchmark_group("neighborhood_oreq_128x32");
+    group.sample_size(15);
+
+    group.bench_function("hashed_thm13", |b| {
+        b.iter(|| {
+            let mut rng2 = TranscriptRng::from_seed(20);
+            let mut alg = HashedNeighborhoods::new(nv, &mut rng2);
+            for a in &stream {
+                alg.insert(black_box(a));
+            }
+            black_box(alg.identical_groups().len())
+        })
+    });
+
+    group.bench_function("exact_baseline", |b| {
+        b.iter(|| {
+            let mut alg = ExactNeighborhoods::new(nv);
+            for a in &stream {
+                alg.insert(black_box(a));
+            }
+            black_box(alg.identical_groups().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Morris counter increment throughput (Lemma 2.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wb_core::rng::TranscriptRng;
+use wb_sketch::{MedianMorris, MorrisCounter};
+
+fn bench_morris(c: &mut Criterion) {
+    let mut group = c.benchmark_group("morris_100k_increments");
+    group.sample_size(20);
+
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            let mut rng = TranscriptRng::from_seed(7);
+            let mut m = MorrisCounter::with_base(0.05);
+            for _ in 0..100_000u64 {
+                m.increment(&mut rng);
+            }
+            black_box(m.estimate())
+        })
+    });
+
+    group.bench_function("median_of_9", |b| {
+        b.iter(|| {
+            let mut rng = TranscriptRng::from_seed(8);
+            let mut m = MedianMorris::new(0.2, 9);
+            for _ in 0..100_000u64 {
+                m.increment(&mut rng);
+            }
+            black_box(m.estimate())
+        })
+    });
+
+    group.bench_function("exact_u64_reference", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            for i in 0..100_000u64 {
+                count += black_box(i) & 1 | 1;
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_morris);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Rank-decision sketch throughput (Theorem 1.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wb_core::rng::TranscriptRng;
+use wb_linalg::{EntryUpdate, ExactRankDecision, RankDecisionSketch};
+
+fn updates(n: usize, seed: u64) -> Vec<EntryUpdate> {
+    let mut rng = TranscriptRng::from_seed(seed);
+    (0..2000)
+        .map(|_| EntryUpdate {
+            row: rng.below(n as u64) as usize,
+            col: rng.below(n as u64) as usize,
+            delta: rng.below(9) as i64 - 4,
+        })
+        .collect()
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let n = 64;
+    let us = updates(n, 16);
+    let mut group = c.benchmark_group("rank_2k_updates_n64");
+    group.sample_size(15);
+
+    group.bench_function("sketch_k4_update", |b| {
+        b.iter(|| {
+            let mut sk = RankDecisionSketch::new(n, 4, b"bench");
+            for u in &us {
+                sk.update(black_box(*u));
+            }
+            black_box(sk.sketch().get(0, 0))
+        })
+    });
+
+    group.bench_function("exact_update", |b| {
+        b.iter(|| {
+            let mut ex = ExactRankDecision::new(n, 4);
+            for u in &us {
+                ex.update(black_box(*u));
+            }
+            black_box(ex.rank_at_least_k())
+        })
+    });
+    group.finish();
+
+    // Query (Gaussian elimination) cost.
+    let mut sk = RankDecisionSketch::new(n, 8, b"benchq");
+    for u in &us {
+        sk.update(*u);
+    }
+    c.bench_function("rank_query_k8_n64", |b| {
+        b.iter(|| black_box(sk.rank_at_least_k()))
+    });
+}
+
+criterion_group!(benches, bench_rank);
+criterion_main!(benches);

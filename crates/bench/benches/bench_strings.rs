@@ -1,0 +1,54 @@
+//! Fingerprint and pattern-matching throughput (§2.6 / Algorithm 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wb_core::rng::TranscriptRng;
+use wb_crypto::crhf::DlExpParams;
+use wb_strings::{naive_find_all, KarpRabin, KarpRabinParams, StreamingPatternMatcher};
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let mut rng = TranscriptRng::from_seed(14);
+    let kr_params = KarpRabinParams::generate(31, &mut rng);
+    let dl_params = DlExpParams::generate(40, 2, &mut rng);
+    let data: Vec<u64> = (0..10_000).map(|_| rng.below(2)).collect();
+    let mut group = c.benchmark_group("fingerprint_10k_symbols");
+    group.sample_size(20);
+
+    group.bench_function("karp_rabin", |b| {
+        b.iter(|| black_box(KarpRabin::fingerprint(kr_params, &data)))
+    });
+
+    group.bench_function("dl_exponent", |b| {
+        b.iter(|| {
+            black_box(wb_crypto::crhf::DlExpHash::hash_symbols(dl_params, &data))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pattern_matching(c: &mut Criterion) {
+    let mut rng = TranscriptRng::from_seed(15);
+    let params = DlExpParams::generate(40, 4, &mut rng);
+    let pattern = vec![0u64, 0, 1, 0, 0, 1]; // period 3
+    let text: Vec<u64> = (0..10_000).map(|_| rng.below(2)).collect();
+    let mut group = c.benchmark_group("pattern_match_10k_text");
+    group.sample_size(15);
+
+    group.bench_function("streaming_alg6", |b| {
+        b.iter(|| {
+            let mut m = StreamingPatternMatcher::new(&pattern, params);
+            for &c in &text {
+                m.push(black_box(c));
+            }
+            black_box(m.matches().len())
+        })
+    });
+
+    group.bench_function("naive_offline", |b| {
+        b.iter(|| black_box(naive_find_all(&pattern, &text).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fingerprints, bench_pattern_matching);
+criterion_main!(benches);

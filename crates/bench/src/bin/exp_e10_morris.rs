@@ -1,0 +1,80 @@
+//! E10 (Lemma 2.1): Morris counters under adaptive white-box adversaries.
+//!
+//! Claim shape: across many seeds, an adversary that watches the exponents
+//! and stops at the "worst" moment cannot push the failure rate above the
+//! oblivious one; space grows ~log log m.
+
+use bench::{header, row};
+use wb_core::game::{run_game, FnAdversary};
+use wb_core::referee::ApproxCountReferee;
+use wb_core::rng::{RandTranscript, TranscriptRng};
+use wb_core::space::SpaceUsage;
+use wb_core::stream::InsertOnly;
+use wb_sketch::{MedianMorris, MorrisCounter};
+
+fn main() {
+    println!("E10a: adaptive-stopping adversary vs MedianMorris(0.2, 9), eps tol 0.5\n");
+    header(&["m", "games", "survived", "peak bits"], 12);
+    for log_m in [12u32, 14, 16] {
+        let m = 1u64 << log_m;
+        let games = 20u64;
+        let mut survived = 0;
+        let mut peak = 0;
+        for seed in 0..games {
+            let mut alg = MedianMorris::new(0.2, 9);
+            let mut referee = ApproxCountReferee::new(0.5);
+            let mut adv = FnAdversary::new(
+                move |t: u64, alg: &MedianMorris, _tr: &RandTranscript, _l: Option<&f64>| {
+                    // White-box: stop when the copies disagree the most.
+                    let exps: Vec<u64> = alg.counters().iter().map(|c| c.exponent()).collect();
+                    let spread = exps.iter().max().unwrap() - exps.iter().min().unwrap();
+                    if t >= m || (t > m / 2 && spread >= 8) {
+                        None
+                    } else {
+                        Some(InsertOnly(0))
+                    }
+                },
+            );
+            let r = run_game(&mut alg, &mut adv, &mut referee, m, 3000 + seed);
+            if r.survived() {
+                survived += 1;
+            }
+            peak = peak.max(r.peak_space_bits);
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("2^{log_m}"),
+                    games.to_string(),
+                    survived.to_string(),
+                    peak.to_string(),
+                ],
+                12
+            )
+        );
+    }
+
+    println!("\nE10b: single-counter space vs stream length (log log m growth)\n");
+    header(&["m", "exponent", "bits"], 12);
+    for log_m in [10u32, 14, 18, 22, 26] {
+        let m = 1u64 << log_m;
+        let mut rng = TranscriptRng::from_seed(log_m as u64);
+        let mut c = MorrisCounter::with_base(0.125);
+        for _ in 0..m {
+            c.increment(&mut rng);
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("2^{log_m}"),
+                    c.exponent().to_string(),
+                    c.space_bits().to_string(),
+                ],
+                12
+            )
+        );
+    }
+    println!("\nbits grow by ~0.5 per doubling of log m — the log log m curve.");
+}

@@ -1,0 +1,66 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised by white-box streaming algorithms and harnesses.
+///
+/// The streaming algorithms themselves are written to be infallible on
+/// well-formed updates (a streaming algorithm cannot "retry" a stream), so
+/// errors surface only at construction time (bad parameters) or in offline
+/// tooling (attacks, solvers, verifiers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WbError {
+    /// A constructor was given a parameter outside its documented domain.
+    InvalidParameter(String),
+    /// An offline search (attack, enumeration, verification) exhausted its
+    /// budget without reaching a conclusion.
+    BudgetExhausted(String),
+    /// An internal invariant that should be unreachable was violated.
+    Internal(String),
+}
+
+impl WbError {
+    /// Convenience constructor for [`WbError::InvalidParameter`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        WbError::InvalidParameter(msg.into())
+    }
+}
+
+impl fmt::Display for WbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WbError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            WbError::BudgetExhausted(m) => write!(f, "budget exhausted: {m}"),
+            WbError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            WbError::invalid("eps must be in (0,1)").to_string(),
+            "invalid parameter: eps must be in (0,1)"
+        );
+        assert_eq!(
+            WbError::BudgetExhausted("2^20 candidates".into()).to_string(),
+            "budget exhausted: 2^20 candidates"
+        );
+        assert_eq!(
+            WbError::Internal("negative count".into()).to_string(),
+            "internal invariant violated: negative count"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(WbError::invalid("x"));
+        assert!(e.to_string().contains("invalid"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Fully transparent randomness for the white-box model.
+//!
+//! In the white-box adversarial game the adversary observes *all previous
+//! randomness used by the algorithm* (step (1) of the round structure in §1
+//! of the paper). We make that literal: algorithms draw randomness only
+//! through a [`TranscriptRng`], which
+//!
+//! * is seeded from a **public** seed (the seed is part of the transcript);
+//! * appends every drawn word to a [`RandTranscript`] the adversary reads;
+//! * draws *fresh* words per round — the game loop hands the same
+//!   `TranscriptRng` to every `process` call, so the stream position of each
+//!   draw is well defined and reproducible.
+//!
+//! The generators themselves (SplitMix64 and xoshiro256\*\*) are implemented
+//! here rather than taken from an external crate so that the exact bit
+//! stream is pinned by this repository and the adversary-side replay in
+//! attacks is byte-for-byte identical.
+
+/// Number of most recent draws retained verbatim in the transcript ring
+/// buffer. Older draws are still *knowable* by the adversary (the seed is
+/// public and the total draw count is recorded) but are not stored, keeping
+/// long-game memory bounded.
+pub const TRANSCRIPT_RING: usize = 1024;
+
+/// SplitMix64: the standard 64-bit seed expander (Steele, Lea, Flood 2014).
+///
+/// Used to initialize xoshiro state and as a tiny standalone PRNG in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* (Blackman & Vigna 2018): fast, high-quality, 256-bit state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the generator by expanding `seed` with SplitMix64, per the
+    /// reference implementation's recommendation.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256StarStar { s }
+    }
+
+    /// Returns the next 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The public record of all randomness drawn by a streaming algorithm.
+///
+/// Adversaries receive a `&RandTranscript` each round. The seed is public,
+/// the total number of draws is exact, and the most recent
+/// [`TRANSCRIPT_RING`] words are available verbatim; together these determine
+/// the entire random tape (an adversary can replay the generator from the
+/// seed), so nothing is hidden — the ring buffer is purely a memory bound on
+/// the harness, not a secrecy mechanism.
+#[derive(Debug, Clone)]
+pub struct RandTranscript {
+    seed: u64,
+    draws: u64,
+    ring: Vec<u64>,
+    ring_next: usize,
+}
+
+impl RandTranscript {
+    fn new(seed: u64) -> Self {
+        RandTranscript {
+            seed,
+            draws: 0,
+            ring: Vec::with_capacity(TRANSCRIPT_RING.min(64)),
+            ring_next: 0,
+        }
+    }
+
+    fn record(&mut self, word: u64) {
+        self.draws += 1;
+        if self.ring.len() < TRANSCRIPT_RING {
+            self.ring.push(word);
+        } else {
+            self.ring[self.ring_next] = word;
+            self.ring_next = (self.ring_next + 1) % TRANSCRIPT_RING;
+        }
+    }
+
+    /// The public seed of the algorithm's random tape.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total number of 64-bit words the algorithm has drawn so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// The most recent draws, oldest first (up to [`TRANSCRIPT_RING`] words).
+    pub fn recent(&self) -> Vec<u64> {
+        if self.ring.len() < TRANSCRIPT_RING {
+            self.ring.clone()
+        } else {
+            let mut v = Vec::with_capacity(TRANSCRIPT_RING);
+            v.extend_from_slice(&self.ring[self.ring_next..]);
+            v.extend_from_slice(&self.ring[..self.ring_next]);
+            v
+        }
+    }
+
+    /// The most recent draw, if any.
+    pub fn last(&self) -> Option<u64> {
+        if self.draws == 0 {
+            return None;
+        }
+        if self.ring.len() < TRANSCRIPT_RING {
+            self.ring.last().copied()
+        } else {
+            let idx = (self.ring_next + TRANSCRIPT_RING - 1) % TRANSCRIPT_RING;
+            Some(self.ring[idx])
+        }
+    }
+
+    /// Replays the full random tape from the public seed, returning the
+    /// first `n` words. This is the adversary's "I saw all previous
+    /// randomness" primitive for draws that have scrolled out of the ring.
+    pub fn replay(&self, n: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::from_seed(self.seed);
+        (0..n.min(self.draws)).map(|_| rng.next_u64()).collect()
+    }
+}
+
+/// The only randomness source handed to streaming algorithms.
+///
+/// Every draw is recorded in the public [`RandTranscript`]. All helpers are
+/// built on [`TranscriptRng::next_u64`] so that the transcript captures the
+/// complete tape.
+#[derive(Debug, Clone)]
+pub struct TranscriptRng {
+    rng: Xoshiro256StarStar,
+    transcript: RandTranscript,
+}
+
+impl TranscriptRng {
+    /// Creates a transparent RNG from a public seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TranscriptRng {
+            rng: Xoshiro256StarStar::from_seed(seed),
+            transcript: RandTranscript::new(seed),
+        }
+    }
+
+    /// Next 64-bit word; recorded in the transcript.
+    pub fn next_u64(&mut self) -> u64 {
+        let w = self.rng.next_u64();
+        self.transcript.record(w);
+        w
+    }
+
+    /// Uniform `f64` in `[0, 1)` using 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses rejection sampling on the top bits for exact uniformity.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        // Rejection zone: multiples of n that fit in 2^64.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// The public transcript (seed, draw count, recent draws).
+    pub fn transcript(&self) -> &RandTranscript {
+        &self.transcript
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // SplitMix64 reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism: same seed, same tape.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_nondegenerate() {
+        let mut r1 = Xoshiro256StarStar::from_seed(42);
+        let mut r2 = Xoshiro256StarStar::from_seed(42);
+        let tape1: Vec<u64> = (0..64).map(|_| r1.next_u64()).collect();
+        let tape2: Vec<u64> = (0..64).map(|_| r2.next_u64()).collect();
+        assert_eq!(tape1, tape2);
+        // Distinct seeds should diverge immediately with overwhelming prob.
+        let mut r3 = Xoshiro256StarStar::from_seed(43);
+        let tape3: Vec<u64> = (0..64).map(|_| r3.next_u64()).collect();
+        assert_ne!(tape1, tape3);
+    }
+
+    #[test]
+    fn transcript_records_all_draws() {
+        let mut rng = TranscriptRng::from_seed(9);
+        let drawn: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        let t = rng.transcript();
+        assert_eq!(t.draws(), 10);
+        assert_eq!(t.recent(), drawn);
+        assert_eq!(t.last(), drawn.last().copied());
+        assert_eq!(t.seed(), 9);
+    }
+
+    #[test]
+    fn transcript_replay_matches_tape() {
+        let mut rng = TranscriptRng::from_seed(77);
+        let drawn: Vec<u64> = (0..500).map(|_| rng.next_u64()).collect();
+        assert_eq!(rng.transcript().replay(500), drawn);
+        // Replay is capped at the number of draws actually made.
+        assert_eq!(rng.transcript().replay(10_000).len(), 500);
+    }
+
+    #[test]
+    fn transcript_ring_wraps_keeping_most_recent() {
+        let mut rng = TranscriptRng::from_seed(5);
+        let n = TRANSCRIPT_RING as u64 + 37;
+        let all: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let recent = rng.transcript().recent();
+        assert_eq!(recent.len(), TRANSCRIPT_RING);
+        assert_eq!(&recent[..], &all[37..]);
+        assert_eq!(rng.transcript().draws(), n);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = TranscriptRng::from_seed(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all residues should appear");
+        // Power-of-two fast path.
+        for _ in 0..100 {
+            assert!(rng.below(8) < 8);
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = TranscriptRng::from_seed(11);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = TranscriptRng::from_seed(13);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 1/2");
+    }
+
+    #[test]
+    fn bernoulli_frequency_close_to_p() {
+        let mut rng = TranscriptRng::from_seed(17);
+        let p = 0.3;
+        let hits = (0..20_000).filter(|_| rng.bernoulli(p)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - p).abs() < 0.02, "freq {freq} far from {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        let mut rng = TranscriptRng::from_seed(1);
+        rng.below(0);
+    }
+}

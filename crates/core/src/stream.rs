@@ -1,0 +1,221 @@
+//! Stream and update types, the streaming-algorithm trait, and the exact
+//! frequency vector used as referee ground truth.
+
+use crate::rng::TranscriptRng;
+use std::collections::HashMap;
+
+/// An insertion-only update: one occurrence of item `0` (an element of the
+/// universe `[n]`, 0-indexed here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InsertOnly(pub u64);
+
+/// A turnstile update: `delta` (possibly negative) added to the frequency of
+/// `item`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Turnstile {
+    /// Universe element, 0-indexed.
+    pub item: u64,
+    /// Signed change to the item's frequency.
+    pub delta: i64,
+}
+
+impl Turnstile {
+    /// An insertion of one unit.
+    pub fn insert(item: u64) -> Self {
+        Turnstile { item, delta: 1 }
+    }
+
+    /// A deletion of one unit.
+    pub fn delete(item: u64) -> Self {
+        Turnstile { item, delta: -1 }
+    }
+}
+
+impl From<InsertOnly> for Turnstile {
+    fn from(u: InsertOnly) -> Self {
+        Turnstile::insert(u.0)
+    }
+}
+
+/// A single-pass streaming algorithm in the white-box model.
+///
+/// `process` receives the only randomness source the algorithm may use; all
+/// draws are publicly transcribed (see [`crate::rng`]). `query` must be
+/// answerable at **every** time step — the white-box game checks the answer
+/// after every update.
+pub trait StreamAlg {
+    /// Stream update type (e.g. [`InsertOnly`], [`Turnstile`], or a
+    /// domain-specific arrival type).
+    type Update;
+    /// Query answer type.
+    type Output;
+
+    /// Ingest one update, drawing any fresh randomness from `rng`.
+    fn process(&mut self, update: &Self::Update, rng: &mut TranscriptRng);
+
+    /// Answer the fixed query for the stream seen so far.
+    fn query(&self) -> Self::Output;
+
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
+}
+
+/// Exact frequency vector over a `u64` universe, maintained incrementally.
+///
+/// This is the referee's ground truth: it is deliberately space-unbounded
+/// (the referee is the experimenter, not a player in the game). Tracks the
+/// L1 norm `‖f‖₁ = Σ|f_k|`, the L0 norm (number of nonzero coordinates) and
+/// the total number of updates exactly.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyVector {
+    freqs: HashMap<u64, i64>,
+    l1: u64,
+    updates: u64,
+}
+
+impl FrequencyVector {
+    /// Empty frequency vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a signed update to `item`.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        self.updates += 1;
+        let entry = self.freqs.entry(item).or_insert(0);
+        let before = entry.unsigned_abs();
+        *entry += delta;
+        let after = entry.unsigned_abs();
+        self.l1 = self.l1 - before + after;
+        if *entry == 0 {
+            self.freqs.remove(&item);
+        }
+    }
+
+    /// Apply an insertion-only update.
+    pub fn insert(&mut self, item: u64) {
+        self.update(item, 1);
+    }
+
+    /// Exact frequency of `item` (0 if never seen or cancelled out).
+    pub fn get(&self, item: u64) -> i64 {
+        self.freqs.get(&item).copied().unwrap_or(0)
+    }
+
+    /// `‖f‖₁ = Σ_k |f_k|`.
+    pub fn l1(&self) -> u64 {
+        self.l1
+    }
+
+    /// `‖f‖₀ = |{k : f_k ≠ 0}|` — the number of distinct live elements.
+    pub fn l0(&self) -> u64 {
+        self.freqs.len() as u64
+    }
+
+    /// `F_p = Σ_k |f_k|^p` for integer `p ≥ 1` (saturating).
+    pub fn fp_moment(&self, p: u32) -> u128 {
+        self.freqs
+            .values()
+            .map(|&v| (v.unsigned_abs() as u128).saturating_pow(p))
+            .fold(0u128, u128::saturating_add)
+    }
+
+    /// Number of updates applied so far (the stream length `m`).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// All items with `f_k > threshold`, ascending by item id.
+    pub fn items_above(&self, threshold: f64) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .freqs
+            .iter()
+            .filter(|&(_, &f)| (f as f64) > threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate over `(item, frequency)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.freqs.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_only_tracks_l1_and_l0() {
+        let mut f = FrequencyVector::new();
+        for _ in 0..5 {
+            f.insert(3);
+        }
+        f.insert(7);
+        assert_eq!(f.get(3), 5);
+        assert_eq!(f.get(7), 1);
+        assert_eq!(f.get(0), 0);
+        assert_eq!(f.l1(), 6);
+        assert_eq!(f.l0(), 2);
+        assert_eq!(f.updates(), 6);
+    }
+
+    #[test]
+    fn turnstile_cancellation_updates_l0() {
+        let mut f = FrequencyVector::new();
+        f.update(1, 4);
+        f.update(1, -4);
+        assert_eq!(f.l0(), 0);
+        assert_eq!(f.l1(), 0);
+        assert_eq!(f.get(1), 0);
+        f.update(2, -3);
+        assert_eq!(f.l1(), 3, "L1 counts |f_k| for negative coordinates");
+        assert_eq!(f.l0(), 1);
+    }
+
+    #[test]
+    fn l1_with_sign_crossing() {
+        let mut f = FrequencyVector::new();
+        f.update(5, 2);
+        assert_eq!(f.l1(), 2);
+        f.update(5, -5); // 2 -> -3
+        assert_eq!(f.get(5), -3);
+        assert_eq!(f.l1(), 3);
+    }
+
+    #[test]
+    fn fp_moments() {
+        let mut f = FrequencyVector::new();
+        f.update(1, 3);
+        f.update(2, -2);
+        // F1 = 5, F2 = 13, F0 via l0 = 2.
+        assert_eq!(f.fp_moment(1), 5);
+        assert_eq!(f.fp_moment(2), 13);
+        assert_eq!(f.l0(), 2);
+    }
+
+    #[test]
+    fn items_above_sorted() {
+        let mut f = FrequencyVector::new();
+        for (item, times) in [(9u64, 10), (2, 5), (4, 10), (8, 1)] {
+            for _ in 0..times {
+                f.insert(item);
+            }
+        }
+        assert_eq!(f.items_above(5.0), vec![4, 9]);
+        assert_eq!(f.items_above(0.5), vec![2, 4, 8, 9]);
+        assert_eq!(f.items_above(100.0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn turnstile_constructors() {
+        assert_eq!(Turnstile::insert(4), Turnstile { item: 4, delta: 1 });
+        assert_eq!(Turnstile::delete(4), Turnstile { item: 4, delta: -1 });
+        let t: Turnstile = InsertOnly(6).into();
+        assert_eq!(t, Turnstile::insert(6));
+    }
+}

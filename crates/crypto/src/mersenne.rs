@@ -1,0 +1,122 @@
+//! Arithmetic in the Mersenne-prime field `Z_p` with `p = 2⁶¹ − 1`.
+//!
+//! Several structures in the workspace (AMS sign hashes, CountMin row
+//! hashes, the rank-decision modulus) work modulo `M61 = 2⁶¹ − 1`, where
+//! reduction is two shifts and an add instead of a division. This module
+//! centralizes the fast path with the standard identity
+//! `x mod (2⁶¹ − 1) = (x & M61) + (x >> 61)` (applied twice).
+
+/// The Mersenne prime `2⁶¹ − 1`.
+pub const M61: u64 = (1 << 61) - 1;
+
+/// Reduce a 64-bit value mod `M61`.
+#[inline]
+pub fn reduce64(x: u64) -> u64 {
+    let r = (x & M61) + (x >> 61);
+    if r >= M61 {
+        r - M61
+    } else {
+        r
+    }
+}
+
+/// Reduce a 128-bit value mod `M61`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    // Split into 61-bit limbs: x = a + b·2^61 + c·2^122 with c < 2^6.
+    let a = (x & M61 as u128) as u64;
+    let b = ((x >> 61) & M61 as u128) as u64;
+    let c = (x >> 122) as u64;
+    reduce64(reduce64(a.wrapping_add(b)).wrapping_add(c))
+}
+
+/// `(a + b) mod M61` for `a, b < M61`.
+#[inline]
+pub fn add61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < M61 && b < M61);
+    let s = a + b; // < 2^62: no overflow
+    if s >= M61 {
+        s - M61
+    } else {
+        s
+    }
+}
+
+/// `(a · b) mod M61` via one 128-bit product and shift-reduction.
+#[inline]
+pub fn mul61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < M61 && b < M61);
+    reduce128(a as u128 * b as u128)
+}
+
+/// `a^e mod M61` on the fast path.
+pub fn pow61(mut a: u64, mut e: u64) -> u64 {
+    a = reduce64(a);
+    let mut acc = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul61(acc, a);
+        }
+        a = mul61(a, a);
+        e >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::{mul_mod, pow_mod};
+    use wb_core::rng::TranscriptRng;
+
+    #[test]
+    fn m61_is_prime() {
+        assert!(crate::prime::is_prime(M61));
+    }
+
+    #[test]
+    fn reduce64_matches_modulo() {
+        for x in [0u64, 1, M61 - 1, M61, M61 + 1, u64::MAX] {
+            assert_eq!(reduce64(x), x % M61, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn reduce128_matches_modulo() {
+        let cases = [
+            0u128,
+            1,
+            M61 as u128,
+            u64::MAX as u128,
+            u128::MAX,
+            (M61 as u128) * (M61 as u128),
+            (M61 as u128 - 1) * (M61 as u128 - 1),
+        ];
+        for x in cases {
+            assert_eq!(reduce128(x) as u128, x % M61 as u128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn fast_ops_agree_with_generic_modular_on_random_inputs() {
+        let mut rng = TranscriptRng::from_seed(61);
+        for _ in 0..2000 {
+            let a = rng.below(M61);
+            let b = rng.below(M61);
+            assert_eq!(mul61(a, b), mul_mod(a, b, M61));
+            assert_eq!(add61(a, b), (a + b) % M61);
+        }
+    }
+
+    #[test]
+    fn pow_agrees_with_generic() {
+        let mut rng = TranscriptRng::from_seed(62);
+        for _ in 0..50 {
+            let a = rng.below(M61);
+            let e = rng.below(1 << 20);
+            assert_eq!(pow61(a, e), pow_mod(a, e, M61));
+        }
+        // Fermat on the fast path.
+        assert_eq!(pow61(123456789, M61 - 1), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Modular arithmetic over `u64` moduli with exact `u128` intermediates.
+//!
+//! These are the word-level primitives under every cryptographic object in
+//! the workspace: Pedersen hashing, DL-exponent fingerprints, SIS sketches
+//! over `Z_q`, and the Gaussian elimination in `wb-linalg`. All functions
+//! are branch-light and allocation-free.
+
+/// `(a + b) mod m`. Requires `a, b < m`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    let (s, overflow) = a.overflowing_add(b);
+    if overflow || s >= m {
+        s.wrapping_sub(m)
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod m`. Requires `a, b < m`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_sub(b).wrapping_add(m)
+    }
+}
+
+/// `(a · b) mod m` via a 128-bit product. Requires `m > 0`.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply. Defines `0^0 = 1`. Requires `m > 0`.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    a %= m;
+    let mut acc: u64 = 1;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Greatest common divisor.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Modular inverse of `a` mod `m` if `gcd(a, m) = 1`, else `None`.
+///
+/// Extended Euclid over signed 128-bit to avoid overflow.
+pub fn inv_mod(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    let (mut old_r, mut r) = (a as i128 % m as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut inv = old_s % m as i128;
+    if inv < 0 {
+        inv += m as i128;
+    }
+    Some(inv as u64)
+}
+
+/// Reduce a signed value into `[0, m)`.
+#[inline]
+pub fn reduce_signed(x: i64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    let r = x.rem_euclid(m as i64);
+    // For m > i64::MAX this path is unused in the workspace (q is always a
+    // prime well below 2^62); keep the cast checked in debug builds.
+    debug_assert!(m <= i64::MAX as u64);
+    r as u64
+}
+
+/// Lift `x ∈ [0, m)` to its balanced representative in `(-m/2, m/2]`.
+#[inline]
+pub fn balanced(x: u64, m: u64) -> i64 {
+    debug_assert!(x < m && m <= i64::MAX as u64);
+    if x > m / 2 {
+        x as i64 - m as i64
+    } else {
+        x as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: u64 = (1 << 61) - 1; // Mersenne prime 2^61 - 1
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = M - 5;
+        let b = 17;
+        assert_eq!(add_mod(a, b, M), 12);
+        assert_eq!(sub_mod(12, b, M), a);
+        assert_eq!(sub_mod(0, 1, M), M - 1);
+        assert_eq!(add_mod(M - 1, 1, M), 0);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let pairs = [(3u64, 5u64), (M - 1, M - 1), (1 << 60, 12345)];
+        for (a, b) in pairs {
+            assert_eq!(mul_mod(a, b, M), ((a as u128 * b as u128) % M as u128) as u64);
+        }
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1_000_003), 1024);
+        assert_eq!(pow_mod(0, 0, 97), 1, "0^0 = 1 by convention");
+        assert_eq!(pow_mod(5, 0, 97), 1);
+        assert_eq!(pow_mod(7, 1, 97), 7);
+        assert_eq!(pow_mod(123, 456, 1), 0, "mod 1 is always 0");
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p and gcd(a, p) = 1.
+        for a in [2u64, 3, 12345, M - 2] {
+            assert_eq!(pow_mod(a, M - 1, M), 1);
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(M, M), M);
+    }
+
+    #[test]
+    fn inverse_correctness() {
+        for a in [1u64, 2, 3, 65537, M - 1] {
+            let inv = inv_mod(a, M).expect("prime modulus: inverse exists");
+            assert_eq!(mul_mod(a, inv, M), 1);
+        }
+        assert_eq!(inv_mod(6, 9), None, "gcd(6,9)=3: no inverse");
+        assert_eq!(inv_mod(0, 7), None);
+        assert_eq!(inv_mod(3, 0), None);
+    }
+
+    #[test]
+    fn signed_reduction_and_balance() {
+        assert_eq!(reduce_signed(-1, 7), 6);
+        assert_eq!(reduce_signed(-7, 7), 0);
+        assert_eq!(reduce_signed(13, 7), 6);
+        assert_eq!(balanced(6, 7), -1);
+        assert_eq!(balanced(3, 7), 3);
+        assert_eq!(balanced(4, 8), 4);
+        assert_eq!(balanced(5, 8), -3);
+    }
+}

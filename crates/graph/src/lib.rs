@@ -1,0 +1,15 @@
+//! # wb-graph — graph streams in the white-box model (§2.4)
+//!
+//! | module | paper anchor | contents |
+//! |---|---|---|
+//! | [`stream`] | §2.4 | the vertex-arrival model |
+//! | [`neighborhood`] | Theorems 1.3 / 1.4 | CRHF-hashed identification (`O(n log n)` bits) and the deterministic `Θ(n²)`-bit baseline |
+//! | [`or_equality`] | Definition 2.20 / Theorem 2.21 | OR-Equality instances and the reduction proving Theorem 1.4 |
+
+pub mod neighborhood;
+pub mod or_equality;
+pub mod stream;
+
+pub use neighborhood::{ExactNeighborhoods, HashedNeighborhoods, NeighborhoodGroups};
+pub use or_equality::OrEqInstance;
+pub use stream::VertexArrival;

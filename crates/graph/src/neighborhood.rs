@@ -1,0 +1,263 @@
+//! Vertex-neighborhood identification (Theorems 1.3 and 1.4).
+//!
+//! The task: report all vertices with identical neighborhoods, in the
+//! vertex-arrival model.
+//!
+//! * [`HashedNeighborhoods`] (Theorem 1.3): store only a CRHF digest of
+//!   each arriving neighborhood — `O(n log n)` bits. A poly-time white-box
+//!   adversary that fools it has found a CRHF collision. Tight by the
+//!   `Ω(n log n)` randomized bound (Corollary 2.19).
+//! * [`ExactNeighborhoods`] (the Theorem 1.4 side): any *deterministic*
+//!   algorithm needs `Ω(n²/log n)` bits — this baseline stores the full
+//!   characteristic bitsets (`Θ(n²)` bits) and is used by experiment E5 to
+//!   exhibit the separation against the OR-Equality instances of
+//!   [`crate::or_equality`].
+
+use crate::stream::VertexArrival;
+use std::collections::HashMap;
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_universe, SpaceUsage};
+use wb_core::stream::StreamAlg;
+use wb_crypto::crhf::PedersenMd;
+
+/// Groups of ≥2 vertices with identical neighborhoods, each group and the
+/// list of groups sorted ascending.
+pub type NeighborhoodGroups = Vec<Vec<u64>>;
+
+fn groups_from_keys<K: std::hash::Hash + Eq>(per_vertex: &HashMap<u64, K>) -> NeighborhoodGroups {
+    let mut by_key: HashMap<&K, Vec<u64>> = HashMap::new();
+    for (&v, k) in per_vertex {
+        by_key.entry(k).or_default().push(v);
+    }
+    let mut groups: NeighborhoodGroups = by_key
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .map(|mut g| {
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    groups.sort();
+    groups
+}
+
+/// Theorem 1.3: CRHF-hashed neighborhood identification in `O(n log n)`
+/// bits.
+#[derive(Debug, Clone)]
+pub struct HashedNeighborhoods {
+    n: u64,
+    crhf: PedersenMd,
+    digests: HashMap<u64, u64>,
+}
+
+impl HashedNeighborhoods {
+    /// New instance over an `n`-vertex graph with a fresh public CRHF.
+    pub fn new(n: u64, rng: &mut TranscriptRng) -> Self {
+        HashedNeighborhoods {
+            n,
+            crhf: PedersenMd::generate(40, rng),
+            digests: HashMap::new(),
+        }
+    }
+
+    /// Digest of a canonical neighbor list (the characteristic vector is
+    /// hashed via its sorted support plus length).
+    fn digest(&self, canonical: &[u64]) -> u64 {
+        self.crhf.hash_words(canonical)
+    }
+
+    /// Process a vertex arrival.
+    pub fn insert(&mut self, arrival: &VertexArrival) {
+        let canonical = arrival.canonical_neighbors();
+        let d = self.digest(&canonical);
+        self.digests.insert(arrival.vertex, d);
+    }
+
+    /// All groups of vertices with identical neighborhood digests.
+    pub fn identical_groups(&self) -> NeighborhoodGroups {
+        groups_from_keys(&self.digests)
+    }
+
+    /// The public CRHF (white-box view).
+    pub fn crhf(&self) -> &PedersenMd {
+        &self.crhf
+    }
+}
+
+impl SpaceUsage for HashedNeighborhoods {
+    /// One digest (`output_bits`) plus one vertex id per seen vertex.
+    fn space_bits(&self) -> u64 {
+        self.digests.len() as u64 * (self.crhf.output_bits() + bits_for_universe(self.n))
+            + self.crhf.space_bits()
+    }
+}
+
+impl StreamAlg for HashedNeighborhoods {
+    type Update = VertexArrival;
+    type Output = NeighborhoodGroups;
+
+    fn process(&mut self, update: &VertexArrival, _rng: &mut TranscriptRng) {
+        self.insert(update);
+    }
+
+    fn query(&self) -> NeighborhoodGroups {
+        self.identical_groups()
+    }
+
+    fn name(&self) -> &'static str {
+        "HashedNeighborhoods"
+    }
+}
+
+/// Deterministic exact baseline: full characteristic bitsets, `Θ(n²)` bits.
+#[derive(Debug, Clone)]
+pub struct ExactNeighborhoods {
+    n: u64,
+    /// Canonical neighbor lists per vertex.
+    neighborhoods: HashMap<u64, Vec<u64>>,
+}
+
+impl ExactNeighborhoods {
+    /// New instance over an `n`-vertex graph.
+    pub fn new(n: u64) -> Self {
+        ExactNeighborhoods {
+            n,
+            neighborhoods: HashMap::new(),
+        }
+    }
+
+    /// Process a vertex arrival.
+    pub fn insert(&mut self, arrival: &VertexArrival) {
+        self.neighborhoods
+            .insert(arrival.vertex, arrival.canonical_neighbors());
+    }
+
+    /// All groups of vertices with identical neighborhoods (exact).
+    pub fn identical_groups(&self) -> NeighborhoodGroups {
+        groups_from_keys(&self.neighborhoods)
+    }
+}
+
+impl SpaceUsage for ExactNeighborhoods {
+    /// The model stores each vertex's characteristic vector: `n` bits per
+    /// seen vertex (ids implicit in the bitset representation).
+    fn space_bits(&self) -> u64 {
+        self.neighborhoods.len() as u64 * self.n
+    }
+}
+
+impl StreamAlg for ExactNeighborhoods {
+    type Update = VertexArrival;
+    type Output = NeighborhoodGroups;
+
+    fn process(&mut self, update: &VertexArrival, _rng: &mut TranscriptRng) {
+        self.insert(update);
+    }
+
+    fn query(&self) -> NeighborhoodGroups {
+        self.identical_groups()
+    }
+
+    fn name(&self) -> &'static str {
+        "ExactNeighborhoods"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals() -> Vec<VertexArrival> {
+        vec![
+            VertexArrival::new(0, vec![2, 3]),
+            VertexArrival::new(1, vec![3, 2]),   // same as 0
+            VertexArrival::new(2, vec![0, 1]),
+            VertexArrival::new(3, vec![0, 1]),   // same as 2
+            VertexArrival::new(4, vec![0]),      // unique
+        ]
+    }
+
+    #[test]
+    fn exact_finds_identical_pairs() {
+        let mut alg = ExactNeighborhoods::new(8);
+        for a in arrivals() {
+            alg.insert(&a);
+        }
+        assert_eq!(alg.identical_groups(), vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn hashed_agrees_with_exact() {
+        let mut rng = TranscriptRng::from_seed(400);
+        let mut hashed = HashedNeighborhoods::new(8, &mut rng);
+        let mut exact = ExactNeighborhoods::new(8);
+        for a in arrivals() {
+            hashed.insert(&a);
+            exact.insert(&a);
+        }
+        assert_eq!(hashed.identical_groups(), exact.identical_groups());
+    }
+
+    #[test]
+    fn hashed_agrees_with_exact_on_random_graphs() {
+        let mut rng = TranscriptRng::from_seed(401);
+        for trial in 0..10u64 {
+            let n = 32u64;
+            let mut hashed = HashedNeighborhoods::new(n, &mut rng);
+            let mut exact = ExactNeighborhoods::new(n);
+            for v in 0..n {
+                // Draw neighborhoods from a small pool so duplicates occur.
+                let pool = rng.below(6);
+                let neighbors: Vec<u64> = (0..n).filter(|&u| (u * 7 + pool).is_multiple_of(5)).collect();
+                let a = VertexArrival::new(v, neighbors);
+                hashed.insert(&a);
+                exact.insert(&a);
+            }
+            assert_eq!(
+                hashed.identical_groups(),
+                exact.identical_groups(),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_order_and_duplicates_do_not_matter() {
+        let mut rng = TranscriptRng::from_seed(402);
+        let mut hashed = HashedNeighborhoods::new(8, &mut rng);
+        hashed.insert(&VertexArrival::new(0, vec![1, 2, 2, 3]));
+        hashed.insert(&VertexArrival::new(5, vec![3, 1, 2]));
+        assert_eq!(hashed.identical_groups(), vec![vec![0, 5]]);
+    }
+
+    #[test]
+    fn empty_neighborhoods_group_together() {
+        let mut rng = TranscriptRng::from_seed(403);
+        let mut hashed = HashedNeighborhoods::new(8, &mut rng);
+        hashed.insert(&VertexArrival::new(0, vec![]));
+        hashed.insert(&VertexArrival::new(1, vec![]));
+        hashed.insert(&VertexArrival::new(2, vec![0]));
+        assert_eq!(hashed.identical_groups(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn space_separation_hashed_vs_exact() {
+        // Theorem 1.3 vs 1.4 at n = 1024: hashed = n·O(log n) bits,
+        // exact = n² bits.
+        let mut rng = TranscriptRng::from_seed(404);
+        let n = 1024u64;
+        let mut hashed = HashedNeighborhoods::new(n, &mut rng);
+        let mut exact = ExactNeighborhoods::new(n);
+        for v in 0..n {
+            let a = VertexArrival::new(v, vec![(v + 1) % n, (v + 2) % n]);
+            hashed.insert(&a);
+            exact.insert(&a);
+        }
+        assert!(
+            hashed.space_bits() * 8 < exact.space_bits(),
+            "hashed {} vs exact {}",
+            hashed.space_bits(),
+            exact.space_bits()
+        );
+    }
+}

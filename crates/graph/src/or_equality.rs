@@ -1,0 +1,182 @@
+//! The OR-Equality reduction behind Theorem 1.4.
+//!
+//! `OrEq_{n,k}` (Definition 2.20): Alice holds `x₁…x_k ∈ {0,1}ⁿ`, Bob holds
+//! `y₁…y_k ∈ {0,1}ⁿ`; they must compute all the equality bits `z_i = [x_i =
+//! y_i]`. Deterministically this costs `Ω(nk)` (Theorem 2.21, `[KW09]`), even
+//! when at most one pair is equal.
+//!
+//! The reduction (proof of Theorem 1.4): a graph on `2k + n` vertices —
+//! `u_i ~ r_j ⟺ x_i[j] = 1` and `v_i ~ r_j ⟺ y_i[j] = 1` — has
+//! `N(u_i) = N(v_i)` exactly when `x_i = y_i`. Any deterministic
+//! neighborhood-identification algorithm therefore solves `OrEq_{n, n/log n}`,
+//! inheriting the `Ω(n²/log n)` space bound. This module generates the hard
+//! instances and runs the reduction against both algorithms of
+//! [`crate::neighborhood`], so experiment E5 can chart both sides of the
+//! separation.
+
+use crate::neighborhood::NeighborhoodGroups;
+use crate::stream::VertexArrival;
+use wb_core::rng::TranscriptRng;
+
+/// An `OrEq_{n,k}` instance.
+#[derive(Debug, Clone)]
+pub struct OrEqInstance {
+    /// Alice's strings, `k` rows of `n` bits.
+    pub xs: Vec<Vec<bool>>,
+    /// Bob's strings.
+    pub ys: Vec<Vec<bool>>,
+}
+
+impl OrEqInstance {
+    /// Random instance where exactly the pairs in `equal_pairs` are equal
+    /// (Theorem 2.21's hard regime uses at most one).
+    pub fn random(n: usize, k: usize, equal_pairs: &[usize], rng: &mut TranscriptRng) -> Self {
+        assert!(n >= 1 && k >= 1);
+        let mut xs = Vec::with_capacity(k);
+        let mut ys = Vec::with_capacity(k);
+        for i in 0..k {
+            let x: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+            let y = if equal_pairs.contains(&i) {
+                x.clone()
+            } else {
+                // Resample until different (w.h.p. immediate).
+                loop {
+                    let cand: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+                    if cand != x {
+                        break cand;
+                    }
+                }
+            };
+            xs.push(x);
+            ys.push(y);
+        }
+        OrEqInstance { xs, ys }
+    }
+
+    /// Number of string pairs `k`.
+    pub fn k(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// String length `n`.
+    pub fn n(&self) -> usize {
+        self.xs[0].len()
+    }
+
+    /// The ground-truth answer `z ∈ {0,1}^k`.
+    pub fn truth(&self) -> Vec<bool> {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(x, y)| x == y)
+            .collect()
+    }
+
+    /// The reduction graph as a vertex-arrival stream.
+    ///
+    /// Vertex ids: `u_i = i`, `v_i = k + i`, `r_j = 2k + j`.
+    pub fn to_vertex_stream(&self) -> Vec<VertexArrival> {
+        let k = self.k() as u64;
+        let mut stream = Vec::with_capacity(2 * self.k());
+        for (i, x) in self.xs.iter().enumerate() {
+            let neighbors: Vec<u64> = x
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(j, _)| 2 * k + j as u64)
+                .collect();
+            stream.push(VertexArrival::new(i as u64, neighbors));
+        }
+        for (i, y) in self.ys.iter().enumerate() {
+            let neighbors: Vec<u64> = y
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(j, _)| 2 * k + j as u64)
+                .collect();
+            stream.push(VertexArrival::new(k + i as u64, neighbors));
+        }
+        stream
+    }
+
+    /// Total number of vertices in the reduction graph.
+    pub fn graph_vertices(&self) -> u64 {
+        2 * self.k() as u64 + self.n() as u64
+    }
+
+    /// Decode the OR-Equality answer from neighborhood groups: `z_i = 1`
+    /// iff `u_i` and `v_i` share a group.
+    pub fn decode(&self, groups: &NeighborhoodGroups) -> Vec<bool> {
+        let k = self.k() as u64;
+        (0..self.k())
+            .map(|i| {
+                let (u, v) = (i as u64, k + i as u64);
+                groups
+                    .iter()
+                    .any(|g| g.contains(&u) && g.contains(&v))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighborhood::{ExactNeighborhoods, HashedNeighborhoods};
+
+    #[test]
+    fn truth_reflects_equal_pairs() {
+        let mut rng = TranscriptRng::from_seed(410);
+        let inst = OrEqInstance::random(16, 5, &[2], &mut rng);
+        let z = inst.truth();
+        assert_eq!(z, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn reduction_solves_or_equality_exactly() {
+        let mut rng = TranscriptRng::from_seed(411);
+        let inst = OrEqInstance::random(24, 6, &[0, 4], &mut rng);
+        let mut exact = ExactNeighborhoods::new(inst.graph_vertices());
+        for a in inst.to_vertex_stream() {
+            exact.insert(&a);
+        }
+        let decoded = inst.decode(&exact.identical_groups());
+        assert_eq!(decoded, inst.truth());
+    }
+
+    #[test]
+    fn reduction_solves_or_equality_via_hashing() {
+        let mut rng = TranscriptRng::from_seed(412);
+        let inst = OrEqInstance::random(32, 8, &[3], &mut rng);
+        let mut hashed = HashedNeighborhoods::new(inst.graph_vertices(), &mut rng);
+        for a in inst.to_vertex_stream() {
+            hashed.insert(&a);
+        }
+        let decoded = inst.decode(&hashed.identical_groups());
+        assert_eq!(decoded, inst.truth());
+    }
+
+    #[test]
+    fn all_unequal_instance_decodes_to_zeros() {
+        let mut rng = TranscriptRng::from_seed(413);
+        let inst = OrEqInstance::random(16, 4, &[], &mut rng);
+        let mut exact = ExactNeighborhoods::new(inst.graph_vertices());
+        for a in inst.to_vertex_stream() {
+            exact.insert(&a);
+        }
+        assert_eq!(inst.decode(&exact.identical_groups()), vec![false; 4]);
+    }
+
+    #[test]
+    fn graph_structure_is_bipartite_by_construction() {
+        let mut rng = TranscriptRng::from_seed(414);
+        let inst = OrEqInstance::random(8, 3, &[1], &mut rng);
+        let k = inst.k() as u64;
+        for a in inst.to_vertex_stream() {
+            assert!(a.vertex < 2 * k, "only u/v vertices arrive");
+            for &nb in &a.neighbors {
+                assert!(nb >= 2 * k, "neighbors are r-vertices only");
+            }
+        }
+    }
+}

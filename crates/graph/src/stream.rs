@@ -1,0 +1,48 @@
+//! The vertex arrival model (§2.4): each stream update is a vertex together
+//! with its full neighbor list.
+
+/// One vertex arrival: `vertex` and all vertices incident to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexArrival {
+    /// The arriving vertex (`< n`).
+    pub vertex: u64,
+    /// Its neighbors (order-insensitive; duplicates ignored).
+    pub neighbors: Vec<u64>,
+}
+
+impl VertexArrival {
+    /// Convenience constructor.
+    pub fn new(vertex: u64, neighbors: impl Into<Vec<u64>>) -> Self {
+        VertexArrival {
+            vertex,
+            neighbors: neighbors.into(),
+        }
+    }
+
+    /// The canonical (sorted, deduplicated) neighbor list.
+    pub fn canonical_neighbors(&self) -> Vec<u64> {
+        let mut v = self.neighbors.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization() {
+        let a = VertexArrival::new(3, vec![5, 1, 5, 2]);
+        assert_eq!(a.canonical_neighbors(), vec![1, 2, 5]);
+        let b = VertexArrival::new(3, vec![2, 1, 5]);
+        assert_eq!(a.canonical_neighbors(), b.canonical_neighbors());
+    }
+
+    #[test]
+    fn empty_neighborhood() {
+        let a = VertexArrival::new(0, vec![]);
+        assert!(a.canonical_neighbors().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Streaming linearly-independent basis extraction — the corollary of
+//! Theorem 1.6 mentioned in §1.1.1.
+//!
+//! Each row `a_i` of the streamed matrix is sketched as `s_i = H'·a_i ∈
+//! Z_q^k` with a shared oracle-derived `H' ∈ Z_q^{k×n}`. For a
+//! computationally bounded adversary, a set of rows whose sketches are
+//! independent is independent, and (as long as the row space's rank is at
+//! most `k`) dependent rows have dependent sketches w.h.p. — so running
+//! Gaussian elimination on the `n × k` sketch matrix yields the indices of
+//! a maximal linearly independent row set in `O(nk log q)` bits.
+
+use crate::gauss::rref;
+use crate::matrix::ZqMatrix;
+use crate::rank_decision::{EntryUpdate, Q61};
+use wb_core::rng::TranscriptRng;
+use wb_core::space::SpaceUsage;
+use wb_core::stream::StreamAlg;
+use wb_crypto::modular::{add_mod, mul_mod, reduce_signed};
+use wb_crypto::oracle::RandomOracle;
+
+/// Streaming row-basis tracker.
+#[derive(Debug, Clone)]
+pub struct RowBasisTracker {
+    n: usize,
+    k: usize,
+    q: u64,
+    oracle: RandomOracle,
+    /// `n × k`: row `i` holds the sketch `H'·a_i`.
+    sketches: ZqMatrix,
+}
+
+impl RowBasisTracker {
+    /// Tracker for an `n`-row matrix with sketch width `k` (an upper bound
+    /// on the rank of interest).
+    pub fn new(n: usize, k: usize, tag: &[u8]) -> Self {
+        assert!(n >= 1 && k >= 1);
+        RowBasisTracker {
+            n,
+            k,
+            q: Q61,
+            oracle: RandomOracle::new(tag),
+            sketches: ZqMatrix::zero(n, k, Q61),
+        }
+    }
+
+    /// Entry `H'[r][j]`, regenerated on demand.
+    fn h_entry(&self, r: usize, j: usize) -> u64 {
+        self.oracle.zq_at((j * self.k + r) as u64, self.q)
+    }
+
+    /// Turnstile update `A[i][j] += δ`: `s_i[r] += δ·H'[r][j]`.
+    pub fn update(&mut self, u: EntryUpdate) {
+        assert!(u.row < self.n && u.col < self.n);
+        let c = reduce_signed(u.delta, self.q);
+        if c == 0 {
+            return;
+        }
+        for r in 0..self.k {
+            let h = self.h_entry(r, u.col);
+            let cur = self.sketches.get(u.row, r);
+            self.sketches
+                .set(u.row, r, add_mod(cur, mul_mod(c, h, self.q), self.q));
+        }
+    }
+
+    /// Indices of a maximal linearly independent set of rows (w.h.p., for
+    /// row spaces of rank ≤ `k`), ascending.
+    pub fn basis_rows(&self) -> Vec<usize> {
+        let mut rows = rref(&self.sketches).pivot_rows;
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Rank estimate (= number of basis rows).
+    pub fn rank_estimate(&self) -> usize {
+        rref(&self.sketches).rank()
+    }
+}
+
+impl SpaceUsage for RowBasisTracker {
+    fn space_bits(&self) -> u64 {
+        self.sketches.space_bits() + self.oracle.space_bits()
+    }
+}
+
+impl StreamAlg for RowBasisTracker {
+    type Update = EntryUpdate;
+    type Output = Vec<usize>;
+
+    fn process(&mut self, update: &EntryUpdate, _rng: &mut TranscriptRng) {
+        self.update(*update);
+    }
+
+    fn query(&self) -> Vec<usize> {
+        self.basis_rows()
+    }
+
+    fn name(&self) -> &'static str {
+        "RowBasisTracker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_rows(rows: &[Vec<i64>], k: usize, tag: &[u8]) -> RowBasisTracker {
+        let n = rows.len();
+        let mut t = RowBasisTracker::new(n, k, tag);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    t.update(EntryUpdate { row: i, col: j, delta: v });
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn independent_rows_all_selected() {
+        let rows = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        let t = stream_rows(&rows, 3, b"indep");
+        assert_eq!(t.basis_rows(), vec![0, 1, 2]);
+        assert_eq!(t.rank_estimate(), 3);
+    }
+
+    #[test]
+    fn dependent_rows_pruned() {
+        let rows = vec![
+            vec![1, 2, 0, 0],
+            vec![2, 4, 0, 0],  // 2·r0
+            vec![0, 0, 1, 1],
+            vec![1, 2, 1, 1],  // r0 + r2
+        ];
+        let t = stream_rows(&rows, 4, b"dep");
+        let basis = t.basis_rows();
+        assert_eq!(basis.len(), 2, "rank 2: {basis:?}");
+        // The selected rows must genuinely span: indices {0 or 1} and {2 or 3}.
+        assert!(basis.iter().any(|&i| i == 0 || i == 1));
+        assert!(basis.iter().any(|&i| i == 2 || i == 3));
+    }
+
+    #[test]
+    fn zero_rows_never_selected() {
+        let rows = vec![vec![0, 0], vec![1, 1]];
+        let t = stream_rows(&rows, 2, b"zero");
+        assert_eq!(t.basis_rows(), vec![1]);
+    }
+
+    #[test]
+    fn turnstile_dependency_creation() {
+        // Start independent, then edit row 1 to equal row 0.
+        let mut t = stream_rows(&[vec![1, 0], vec![0, 1]], 2, b"turn");
+        assert_eq!(t.rank_estimate(), 2);
+        t.update(EntryUpdate { row: 1, col: 0, delta: 1 });
+        t.update(EntryUpdate { row: 1, col: 1, delta: -1 });
+        assert_eq!(t.rank_estimate(), 1);
+    }
+
+    #[test]
+    fn space_is_nk_words() {
+        let t = RowBasisTracker::new(32, 4, b"space");
+        assert_eq!(t.space_bits(), 32 * 4 * 61 + 5 * 8);
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's literal rank-decision procedure: enumerate short integer
+//! vectors `x` and test `H A x ≡ 0 (mod q)` (Theorem 1.6's proof).
+//!
+//! This is exponential in the number of columns — the paper's streaming
+//! algorithm is allowed unbounded computation — so it runs only at tiny
+//! sizes, where it cross-validates the Gaussian-elimination decision rule
+//! used by [`crate::rank_decision::RankDecisionSketch`] (see the
+//! substitution note there).
+
+use crate::matrix::ZqMatrix;
+
+/// Enumerate nonzero integer vectors with `‖x‖_∞ ≤ bound` in odometer
+/// order and return the first with `M x ≡ 0 (mod q)`, or `None` after
+/// exhausting the box or `budget` candidates.
+pub fn enumerate_short_kernel(m: &ZqMatrix, bound: i64, budget: u64) -> Option<Vec<i64>> {
+    assert!(bound >= 1);
+    let w = m.cols();
+    let mut x = vec![-bound; w];
+    let mut tried = 0u64;
+    loop {
+        if tried >= budget {
+            return None;
+        }
+        tried += 1;
+        if x.iter().any(|&v| v != 0) && m.mul_vec_signed(&x).iter().all(|&v| v == 0) {
+            return Some(x);
+        }
+        let mut i = 0;
+        loop {
+            if i == w {
+                return None;
+            }
+            x[i] += 1;
+            if x[i] > bound {
+                x[i] = -bound;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The paper's decision rule at tiny scale: `rank(A) < k` iff a short
+/// kernel vector of `HA` exists within the enumeration box.
+pub fn paper_rank_below_k(sketch: &ZqMatrix, bound: i64, budget: u64) -> bool {
+    enumerate_short_kernel(sketch, bound, budget).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss::rank;
+    use crate::rank_decision::{EntryUpdate, RankDecisionSketch};
+
+    #[test]
+    fn finds_planted_short_kernel() {
+        // Columns 0 and 1 are equal: x = (1, −1, 0) is a kernel vector.
+        let m = ZqMatrix::from_rows(97, &[vec![3, 3, 5], vec![7, 7, 1]]);
+        let z = enumerate_short_kernel(&m, 1, 1 << 12).expect("planted kernel");
+        assert!(m.mul_vec_signed(&z).iter().all(|&v| v == 0));
+        assert!(z.iter().any(|&v| v != 0));
+        assert!(z.iter().all(|&v| v.abs() <= 1));
+    }
+
+    #[test]
+    fn full_rank_square_has_no_short_kernel() {
+        let m = ZqMatrix::from_rows(1_000_003, &[vec![1, 0], vec![0, 1]]);
+        assert_eq!(enumerate_short_kernel(&m, 3, 1 << 12), None);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let m = ZqMatrix::from_rows(1_000_003, &[vec![1, 2, 3, 4, 5, 6]]);
+        // Kernel exists but the budget of 1 candidate (the all -bound
+        // vector) is too small to find it.
+        assert_eq!(enumerate_short_kernel(&m, 2, 1), None);
+    }
+
+    #[test]
+    fn enumeration_agrees_with_gaussian_decision_at_tiny_scale() {
+        // Stream tiny matrices into the sketch and compare the paper's
+        // enumeration rule against rank_q(HA) = k.
+        let cases: Vec<(Vec<Vec<i64>>, usize)> = vec![
+            (vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]], 3), // rank 3
+            (vec![vec![1, 1, 0], vec![2, 2, 0], vec![0, 0, 1]], 3), // rank 2
+            (vec![vec![1, 2, 3], vec![2, 4, 6], vec![3, 6, 9]], 2), // rank 1
+        ];
+        for (rows, k) in cases {
+            let n = rows.len();
+            let mut sk = RankDecisionSketch::new(n, k, b"enum-check");
+            for (i, row) in rows.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    if v != 0 {
+                        sk.update(EntryUpdate { row: i, col: j, delta: v });
+                    }
+                }
+            }
+            let gaussian_says_below = rank(sk.sketch()) < k;
+            // Kernel entries for these 3×3 integer matrices are tiny;
+            // bound 4 and a generous budget suffice.
+            let paper_says_below = paper_rank_below_k(sk.sketch(), 4, 1 << 16);
+            assert_eq!(
+                gaussian_says_below, paper_says_below,
+                "decision mismatch on {rows:?} (k={k})"
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Gaussian elimination over `Z_q` (prime `q`): rank, kernel vectors,
+//! reduced row-echelon form, and independent-row selection.
+
+use crate::matrix::ZqMatrix;
+use wb_crypto::modular::{inv_mod, mul_mod, sub_mod};
+
+/// Result of reduced row-echelon elimination.
+#[derive(Debug, Clone)]
+pub struct Echelon {
+    /// The reduced matrix.
+    pub rref: ZqMatrix,
+    /// Pivot column of each nonzero row, in order.
+    pub pivot_cols: Vec<usize>,
+    /// Indices of the original rows that carried pivots (a maximal
+    /// linearly independent row set).
+    pub pivot_rows: Vec<usize>,
+}
+
+impl Echelon {
+    /// The rank.
+    pub fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+}
+
+/// Reduced row-echelon form with row tracking. Requires prime `q`.
+pub fn rref(m: &ZqMatrix) -> Echelon {
+    let q = m.q();
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut a = m.clone();
+    // Track which original row each working row came from.
+    let mut origin: Vec<usize> = (0..rows).collect();
+    let mut pivot_cols = Vec::new();
+    let mut pivot_rows = Vec::new();
+    let mut r = 0usize;
+    for c in 0..cols {
+        if r == rows {
+            break;
+        }
+        let Some(pr) = (r..rows).find(|&i| a.get(i, c) != 0) else {
+            continue;
+        };
+        if pr != r {
+            for j in 0..cols {
+                let (x, y) = (a.get(r, j), a.get(pr, j));
+                a.set(r, j, y);
+                a.set(pr, j, x);
+            }
+            origin.swap(r, pr);
+        }
+        let inv = inv_mod(a.get(r, c), q).expect("prime modulus, nonzero pivot");
+        for j in 0..cols {
+            let v = mul_mod(a.get(r, j), inv, q);
+            a.set(r, j, v);
+        }
+        for i in 0..rows {
+            if i != r && a.get(i, c) != 0 {
+                let f = a.get(i, c);
+                for j in 0..cols {
+                    let t = mul_mod(f, a.get(r, j), q);
+                    let v = sub_mod(a.get(i, j), t, q);
+                    a.set(i, j, v);
+                }
+            }
+        }
+        pivot_cols.push(c);
+        pivot_rows.push(origin[r]);
+        r += 1;
+    }
+    Echelon {
+        rref: a,
+        pivot_cols,
+        pivot_rows,
+    }
+}
+
+/// Rank of `m` over `Z_q`.
+pub fn rank(m: &ZqMatrix) -> usize {
+    rref(m).rank()
+}
+
+/// A nonzero kernel vector of `m` over `Z_q` (entries in `[0, q)`), or
+/// `None` if the kernel is trivial.
+pub fn kernel_vector(m: &ZqMatrix) -> Option<Vec<u64>> {
+    let q = m.q();
+    let e = rref(m);
+    let free = (0..m.cols()).find(|c| !e.pivot_cols.contains(c))?;
+    let mut z = vec![0u64; m.cols()];
+    z[free] = 1;
+    for (row, &pc) in e.pivot_cols.iter().enumerate() {
+        z[pc] = sub_mod(0, e.rref.get(row, free), q);
+    }
+    debug_assert!(m.mul_vec_signed(&z.iter().map(|&v| v as i64).collect::<Vec<_>>())
+        .iter()
+        .all(|&v| v == 0));
+    Some(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_core::rng::TranscriptRng;
+
+    #[test]
+    fn rank_of_identity_and_zero() {
+        assert_eq!(rank(&ZqMatrix::identity(5, 97)), 5);
+        assert_eq!(rank(&ZqMatrix::zero(4, 6, 97)), 0);
+    }
+
+    #[test]
+    fn rank_of_planted_low_rank() {
+        // rows 2 and 3 are multiples of row 1.
+        let m = ZqMatrix::from_rows(
+            101,
+            &[vec![1, 2, 3], vec![2, 4, 6], vec![50, 100, 150], vec![0, 1, 0]],
+        );
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn random_square_matrices_are_usually_full_rank() {
+        let mut rng = TranscriptRng::from_seed(310);
+        let mut full = 0;
+        for _ in 0..20 {
+            let m = ZqMatrix::random(6, 6, 1_000_003, &mut rng);
+            if rank(&m) == 6 {
+                full += 1;
+            }
+        }
+        assert!(full >= 19, "only {full}/20 full rank");
+    }
+
+    #[test]
+    fn kernel_vector_is_in_kernel() {
+        let m = ZqMatrix::from_rows(97, &[vec![1, 2, 3], vec![4, 5, 6]]);
+        let z = kernel_vector(&m).expect("wide matrix has kernel");
+        assert!(z.iter().any(|&v| v != 0));
+        let zi: Vec<i64> = z.iter().map(|&v| v as i64).collect();
+        assert!(m.mul_vec_signed(&zi).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn full_column_rank_has_no_kernel() {
+        let m = ZqMatrix::from_rows(97, &[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        assert_eq!(kernel_vector(&m), None);
+    }
+
+    #[test]
+    fn pivot_rows_are_independent_generators() {
+        let m = ZqMatrix::from_rows(
+            101,
+            &[vec![1, 1, 0], vec![2, 2, 0], vec![0, 0, 1], vec![1, 1, 1]],
+        );
+        let e = rref(&m);
+        assert_eq!(e.rank(), 2);
+        // Pivot rows must themselves form a rank-2 submatrix.
+        let sub_rows: Vec<Vec<i64>> = e
+            .pivot_rows
+            .iter()
+            .map(|&i| m.row(i).iter().map(|&v| v as i64).collect())
+            .collect();
+        let sub = ZqMatrix::from_rows(101, &sub_rows);
+        assert_eq!(rank(&sub), 2);
+    }
+
+    #[test]
+    fn rref_is_idempotent_in_rank() {
+        let mut rng = TranscriptRng::from_seed(311);
+        let m = ZqMatrix::random(5, 8, 97, &mut rng);
+        let e = rref(&m);
+        assert_eq!(rank(&e.rref), e.rank());
+    }
+}

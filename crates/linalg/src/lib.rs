@@ -1,0 +1,20 @@
+//! # wb-linalg — linear algebra in the white-box model (§2.5)
+//!
+//! | module | paper anchor | contents |
+//! |---|---|---|
+//! | [`matrix`] | substrate | dense matrices over `Z_q` |
+//! | [`gauss`] | substrate | rank / kernel / RREF over `Z_q` |
+//! | [`rank_decision`] | Theorem 1.6 | the streaming `H·A` rank-decision sketch + exact baseline |
+//! | [`enumeration`] | Theorem 1.6 proof | the paper's literal short-vector enumeration rule |
+//! | [`basis`] | §1.1.1 corollary | streaming linearly-independent row basis |
+
+pub mod basis;
+pub mod enumeration;
+pub mod gauss;
+pub mod matrix;
+pub mod rank_decision;
+
+pub use basis::RowBasisTracker;
+pub use gauss::{kernel_vector, rank, rref, Echelon};
+pub use matrix::ZqMatrix;
+pub use rank_decision::{EntryUpdate, ExactRankDecision, RankDecisionSketch};

@@ -1,0 +1,173 @@
+//! The communication-matrix model for white-box adversaries (§3.3 of the
+//! paper), built concretely for small games.
+//!
+//! A one-way protocol induced by a streaming algorithm `A` defines a matrix
+//! `M` whose rows are indexed by `(x, r_x)` (Alice's input and randomness)
+//! and columns by `(y, r_y)`. Because `A` uses `s` bits of state, the rows
+//! partition into at most `2^s` classes (`state(x, r_x)`), and for each
+//! state the paper defines
+//!
+//! ```text
+//! p_state = min_y  Pr_{r_y}[ M_{(x,r_x),(y,r_y)} = f(x, y) ]        (1)
+//! ```
+//!
+//! Robustness against an unbounded white-box adversary means
+//! `E_{r_x}[p_state(x, r_x)] ≥ p` for every `x`; a *computationally
+//! bounded* adversary only forces the weaker average-over-its-chosen-`y`
+//! guarantee. [`CommMatrix::analyze`] materializes all of this for small
+//! input spaces so the experiments can watch `p_state` collapse as the
+//! state gets smaller than the deterministic bound.
+
+use std::collections::HashMap;
+
+/// A materialized §3.3 communication matrix for one protocol.
+#[derive(Debug, Clone)]
+pub struct CommMatrix {
+    /// Number of distinct states observed (≤ 2^s).
+    pub distinct_states: usize,
+    /// For each Alice input index: `E_{r_x}[p_state(x, r_x)]`.
+    pub expected_p_state: Vec<f64>,
+}
+
+impl CommMatrix {
+    /// Build the matrix for a protocol given by two closures:
+    ///
+    /// * `alice(x_idx, r_x) -> state` — run the streaming algorithm on the
+    ///   stream encoding `x` with randomness `r_x`, return its state
+    ///   (any hashable encoding);
+    /// * `bob(state, x_idx, y_idx, r_y) -> bool` — continue from `state`
+    ///   on the stream encoding `y` with randomness `r_y` and report
+    ///   whether the final answer equals `f(x, y)`.
+    ///
+    /// `num_x`/`num_y` index the input spaces; `num_rx`/`num_ry` the
+    /// randomness spaces (enumerated exhaustively — small scale only).
+    pub fn analyze<S, FA, FB>(
+        num_x: usize,
+        num_y: usize,
+        num_rx: u64,
+        num_ry: u64,
+        mut alice: FA,
+        mut bob: FB,
+    ) -> CommMatrix
+    where
+        S: std::hash::Hash + Eq + Clone,
+        FA: FnMut(usize, u64) -> S,
+        FB: FnMut(&S, usize, usize, u64) -> bool,
+    {
+        let mut states: HashMap<S, usize> = HashMap::new();
+        let mut expected_p_state = Vec::with_capacity(num_x);
+        for x in 0..num_x {
+            let mut sum_p = 0.0;
+            for rx in 0..num_rx {
+                let state = alice(x, rx);
+                let next_id = states.len();
+                states.entry(state.clone()).or_insert(next_id);
+                // p_state: worst case over y of the r_y success rate.
+                let mut p_state = 1.0f64;
+                for y in 0..num_y {
+                    let correct = (0..num_ry)
+                        .filter(|&ry| bob(&state, x, y, ry))
+                        .count();
+                    p_state = p_state.min(correct as f64 / num_ry as f64);
+                }
+                sum_p += p_state;
+            }
+            expected_p_state.push(sum_p / num_rx as f64);
+        }
+        CommMatrix {
+            distinct_states: states.len(),
+            expected_p_state,
+        }
+    }
+
+    /// The worst `E_{r_x}[p_state]` over Alice inputs — the robustness
+    /// level `p` this protocol actually achieves against an unbounded
+    /// white-box adversary.
+    pub fn robustness(&self) -> f64 {
+        self.expected_p_state
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::games::balanced_strings;
+    use crate::comm::reduction::ParityEqualitySketch;
+
+    /// Instantiate §3.3 for the parity-sketch equality protocol: Alice's
+    /// state is the k parity bits of x under seed r_x; Bob toggles y into
+    /// the state and answers "equal" iff it reads zero. (`r_y` is unused —
+    /// Bob is deterministic given the public seed — so `num_ry = 1`.)
+    fn parity_matrix(n: usize, k: usize, seeds: u64) -> CommMatrix {
+        let inputs = balanced_strings(n);
+        let inputs2 = inputs.clone();
+        let inputs3 = inputs.clone();
+        CommMatrix::analyze(
+            inputs.len(),
+            inputs2.len(),
+            seeds,
+            1,
+            move |x_idx, rx| {
+                let mut sk = ParityEqualitySketch::new(n, k, rx);
+                sk.insert_string(&inputs2[x_idx]);
+                // The state Alice sends: seed + parity bits.
+                (rx, sk.state_bits().to_vec())
+            },
+            move |(rx, state_bits), x_idx, y_idx, _ry| {
+                let mut sk = ParityEqualitySketch::new(n, k, *rx);
+                // Rebuild Alice's state, then continue with y.
+                sk.insert_string(&inputs3[x_idx]);
+                assert_eq!(sk.state_bits(), &state_bits[..]);
+                sk.insert_string(&inputs3[y_idx]);
+                let says_equal = sk.is_zero();
+                says_equal == (x_idx == y_idx)
+            },
+        )
+    }
+
+    #[test]
+    fn wide_parity_sketch_achieves_high_robustness() {
+        // k = 10 > log2(C(6,3) = 20) ≈ 4.3: most seeds separate x from all
+        // y ≠ x, so the worst-case-over-y success is high on average.
+        let m = parity_matrix(6, 10, 16);
+        assert!(
+            m.robustness() > 0.8,
+            "robustness {} too low for a wide sketch",
+            m.robustness()
+        );
+    }
+
+    #[test]
+    fn narrow_parity_sketch_has_low_robustness() {
+        // k = 2: a 4-value state cannot distinguish 20 rows; for every
+        // (x, r_x) there exists a fooling y, so p_state is far from 1. The
+        // unbounded adversary of §3.3 picks exactly that y.
+        let m = parity_matrix(6, 2, 16);
+        assert!(
+            m.robustness() < 0.5,
+            "robustness {} too high for a narrow sketch",
+            m.robustness()
+        );
+    }
+
+    #[test]
+    fn state_count_respects_the_2_to_s_bound() {
+        let (n, k, seeds) = (6usize, 3usize, 8u64);
+        let m = parity_matrix(n, k, seeds);
+        // States are (seed, k bits): at most seeds · 2^k distinct.
+        assert!(m.distinct_states <= (seeds as usize) << k);
+        assert!(m.distinct_states > 1);
+    }
+
+    #[test]
+    fn robustness_is_monotone_in_state_size() {
+        let narrow = parity_matrix(6, 2, 8).robustness();
+        let mid = parity_matrix(6, 5, 8).robustness();
+        let wide = parity_matrix(6, 9, 8).robustness();
+        assert!(narrow <= mid + 0.05, "{narrow} vs {mid}");
+        assert!(mid <= wide + 0.05, "{mid} vs {wide}");
+    }
+}

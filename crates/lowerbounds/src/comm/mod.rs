@@ -1,0 +1,20 @@
+//! Communication-complexity machinery (§3.1, §3.3).
+//!
+//! * [`games`] — one-way games (Equality, DetGapEQ per Definition 3.1,
+//!   Index) with exact deterministic bounds at small scale;
+//! * [`reduction`] — Theorem 1.8 executed: derandomizing a streaming
+//!   sketch into a deterministic one-way protocol, and the width/bound
+//!   crossover that realizes the Ω(n) lower bounds of Theorems 1.9/1.10;
+//! * [`matrix`] — the §3.3 communication-matrix model: states, `p_state`,
+//!   and the robustness level a protocol actually achieves.
+
+pub mod games;
+pub mod matrix;
+pub mod reduction;
+
+pub use games::{
+    balanced_strings, hamming, one_way_deterministic_bound, DetGapEquality, Equality, Index,
+    OneWayGame,
+};
+pub use matrix::CommMatrix;
+pub use reduction::{reduction_experiment, ParityEqualitySketch, ReductionReport};

@@ -1,0 +1,194 @@
+//! Candidate deterministic counters-with-timer, checked against the
+//! Theorem 1.11 machinery.
+//!
+//! Theorem 1.11 says: *no* deterministic `(1+ε)`-approximate counter with
+//! timer beats `Ω(log n)` bits — i.e. `poly(n)` states. The natural
+//! "deterministic Morris" attempts all die against the exhaustive verifier:
+//!
+//! * [`SaturatingCounter`] — caps the count; dies once the cap is passed;
+//! * [`BucketCounter`] — stores `⌊log_{1+δ}⌋`-style buckets; deterministic
+//!   rounding drifts and the verifier exhibits a stream where the bucket's
+//!   achievable-count interval outgrows the guarantee (the Lemma 3.10
+//!   stretch made concrete);
+//! * [`ExactCounter`] — correct, with exactly the `t+1` states the theorem
+//!   predicts are necessary (up to `poly`).
+
+use crate::obdd::TimedCounter;
+
+/// Exact counter: state = count.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactCounter;
+
+impl TimedCounter for ExactCounter {
+    fn width(&self, t: u64) -> usize {
+        t as usize + 1
+    }
+    fn step(&self, _t: u64, state: usize, symbol: u8) -> usize {
+        state + symbol as usize
+    }
+    fn estimate(&self, _t: u64, state: usize) -> f64 {
+        state as f64
+    }
+}
+
+/// Saturating counter with `width` states: exact until `width − 1`, stuck
+/// afterwards.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturatingCounter {
+    /// Number of states.
+    pub width: usize,
+}
+
+impl TimedCounter for SaturatingCounter {
+    fn width(&self, _t: u64) -> usize {
+        self.width
+    }
+    fn step(&self, _t: u64, state: usize, symbol: u8) -> usize {
+        (state + symbol as usize).min(self.width - 1)
+    }
+    fn estimate(&self, _t: u64, state: usize) -> f64 {
+        state as f64
+    }
+}
+
+/// "Deterministic Morris": geometric buckets. State `s` represents the
+/// canonical count `v(s) = ⌊(1+δ)^s⌋`; an increment moves to the bucket of
+/// `v(s) + 1`. Deterministic rounding makes distinct true counts collapse,
+/// and the achievable-count interval of a bucket stretches until the
+/// `(1+ε)` guarantee fails — exactly why derandomizing Morris is
+/// impossible (Theorem 1.11 vs Lemma 2.1).
+#[derive(Debug, Clone, Copy)]
+pub struct BucketCounter {
+    /// Bucket growth factor minus one.
+    pub delta: f64,
+    /// Number of buckets.
+    pub width: usize,
+}
+
+impl BucketCounter {
+    /// Canonical value of bucket `s`.
+    pub fn canonical(&self, s: usize) -> u64 {
+        if s == 0 {
+            0
+        } else {
+            (1.0 + self.delta).powi(s as i32).floor() as u64
+        }
+    }
+
+    /// Bucket of value `v` (smallest `s` with `canonical(s) ≥ v`).
+    fn bucket_of(&self, v: u64) -> usize {
+        let mut s = 0;
+        while self.canonical(s) < v && s < self.width - 1 {
+            s += 1;
+        }
+        s
+    }
+}
+
+impl TimedCounter for BucketCounter {
+    fn width(&self, _t: u64) -> usize {
+        self.width
+    }
+    fn step(&self, _t: u64, state: usize, symbol: u8) -> usize {
+        if symbol == 0 {
+            state
+        } else {
+            self.bucket_of(self.canonical(state) + 1)
+        }
+    }
+    fn estimate(&self, _t: u64, state: usize) -> f64 {
+        self.canonical(state) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::{interval_family, width_lower_bound, ErrorBudget};
+    use crate::obdd::verify_counter;
+
+    #[test]
+    fn exact_counter_passes_and_uses_predicted_width() {
+        let n = 64;
+        let widths = verify_counter(&ExactCounter, n, 0.5).expect("exact is correct");
+        let (_, bound) = width_lower_bound(n, ErrorBudget::Multiplicative(0.5));
+        let max_width = *widths.iter().max().unwrap() as u64;
+        assert!(
+            max_width >= bound,
+            "Theorem 1.11: correct counter width {max_width} ≥ certified bound {bound}"
+        );
+    }
+
+    #[test]
+    fn saturating_counter_dies_with_explicit_stream() {
+        let err = verify_counter(&SaturatingCounter { width: 10 }, 100, 0.5)
+            .expect_err("cap must break");
+        // The violating stream is the all-ones stream past the cap.
+        assert!(err.true_count >= 14, "count {}", err.true_count);
+        assert!(err.estimate <= 9.0);
+    }
+
+    #[test]
+    fn bucket_counter_fails_the_guarantee() {
+        // δ = 0.5, 16 buckets, horizon 64: deterministic Morris dies. The
+        // increments-by-one drift means a bucket absorbs wildly different
+        // true counts.
+        let c = BucketCounter {
+            delta: 0.5,
+            width: 16,
+        };
+        let err = verify_counter(&c, 64, 0.5).expect_err("deterministic Morris must fail");
+        // The witness is a genuine violation: replay and check by hand.
+        let mut state = 0;
+        for (t, &b) in err.stream.iter().enumerate() {
+            state = c.step(t as u64, state, b);
+        }
+        let est = c.estimate(err.stream.len() as u64, state);
+        let k = err.true_count as f64;
+        assert!(
+            est > 1.5 * k + 1.0 || est < k / 1.5 - 1.0,
+            "est {est}, true {k}"
+        );
+    }
+
+    #[test]
+    fn bucket_counter_interval_stretch_matches_lemma_3_10() {
+        // Watch the interval family: the top buckets accumulate stretched
+        // intervals [lo, hi] with hi/lo exceeding the guarantee.
+        let c = BucketCounter {
+            delta: 0.5,
+            width: 12,
+        };
+        let fam = interval_family(&c, 48);
+        let worst = fam[48]
+            .iter()
+            .map(|iv| iv.hi as f64 / iv.lo.max(1) as f64)
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst > 2.25,
+            "some interval must stretch past (1+ε)² = 2.25, got {worst}"
+        );
+    }
+
+    #[test]
+    fn any_correct_counter_beats_the_certificate_width() {
+        // Sweep horizons: the certified bound grows ~ n^{1/3} and the
+        // exact counter (the only correct one here) always exceeds it.
+        for n in [16u64, 64, 256] {
+            let widths = verify_counter(&ExactCounter, n, 0.25).unwrap();
+            let (_, bound) = width_lower_bound(n, ErrorBudget::Multiplicative(0.25));
+            assert!(*widths.iter().max().unwrap() as u64 >= bound, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bucket_canonical_values_are_monotone() {
+        let c = BucketCounter {
+            delta: 0.3,
+            width: 20,
+        };
+        for s in 1..20 {
+            assert!(c.canonical(s) >= c.canonical(s - 1));
+        }
+    }
+}

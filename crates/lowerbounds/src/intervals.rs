@@ -1,0 +1,238 @@
+//! The interval-family dynamics of Theorem 1.11 (Lemmas 3.5–3.10).
+//!
+//! For any correct deterministic counter-with-timer, associate to each
+//! state `u` at time `t` the interval `J_u = [min C_u, max C_u]` of counter
+//! values it can represent, and let `I(t)` be the maximal intervals. The
+//! lemmas force:
+//!
+//! * `I(1) = {[1,1]}` (Lemma 3.5);
+//! * every interval of `I(t)` is contained in one of `I(t′)`, `t′ ≥ t`
+//!   (Lemma 3.6);
+//! * `[k, ℓ] ∈ I(t)` forces `[k+1, ℓ+1]` inside some interval of `I(t+1)`
+//!   (Lemma 3.7);
+//! * a count `k` exceptional more than `ε(k)` times stretches an interval
+//!   past the approximation guarantee (Lemma 3.10), so the number of
+//!   exceptional events is bounded and Lemma 3.9 yields a time `t₀ ≤ n+1`
+//!   with `|I(t₀)| ≥ h + 1` for the largest `h` satisfying
+//!   `(1 + Σ_{k≤h} ε(k))·h ≤ n`.
+//!
+//! [`width_lower_bound`] computes that certified `h + 1`;
+//! [`interval_family`] extracts `I(t)` from a concrete [`TimedCounter`] so
+//! experiments can watch the forced growth.
+
+use crate::obdd::TimedCounter;
+
+/// The error-budget function `ε(k)` of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBudget {
+    /// `ε(k) = δ·k` — a `(1+δ)`-multiplicative approximation.
+    Multiplicative(f64),
+    /// `ε(k) = (f−1)·k` — an `f`-multiplicative approximation (`f > 1`).
+    FactorMultiplicative(f64),
+    /// `ε(k) = c` — an additive-`c` approximation.
+    Additive(f64),
+}
+
+impl ErrorBudget {
+    /// Evaluate `ε(k)`.
+    pub fn eval(&self, k: u64) -> f64 {
+        match *self {
+            ErrorBudget::Multiplicative(d) => d * k as f64,
+            ErrorBudget::FactorMultiplicative(f) => (f - 1.0) * k as f64,
+            ErrorBudget::Additive(c) => c,
+        }
+    }
+}
+
+/// Certified width lower bound for horizon `n`: returns `(h, h + 1)` where
+/// `h` is the largest value with `(1 + Σ_{k=1}^h ε(k)) · h ≤ n` (Lemma
+/// 3.9 + Lemma 3.10). Any correct deterministic counter-with-timer must
+/// have at least `h + 1` states at some time `t₀ ≤ n + 1`, hence
+/// `Ω(log h) = Ω(log n)` bits for constant-factor approximations.
+pub fn width_lower_bound(n: u64, budget: ErrorBudget) -> (u64, u64) {
+    let mut h = 0u64;
+    let mut phi = 0.0f64; // Σ_{k ≤ h} ε(k)
+    loop {
+        let next = h + 1;
+        let phi_next = phi + budget.eval(next);
+        if (1.0 + phi_next) * next as f64 <= n as f64 {
+            h = next;
+            phi = phi_next;
+        } else {
+            return (h, h + 1);
+        }
+    }
+}
+
+/// A closed interval `[lo, hi]` of achievable counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountInterval {
+    /// Smallest achievable count (the paper counts from 1; we report the
+    /// ones-count directly, starting at 0).
+    pub lo: u64,
+    /// Largest achievable count.
+    pub hi: u64,
+}
+
+/// Extract the family `I(t)` of **maximal** state intervals of a concrete
+/// counter at every level `0..=n`: `result[t]` lists the maximal
+/// `[min C_u, max C_u]` over reachable states `u` at time `t`, sorted by
+/// `lo`.
+pub fn interval_family<C: TimedCounter>(counter: &C, n: u64) -> Vec<Vec<CountInterval>> {
+    // Reachable (min, max) count per state per level — same DP as the
+    // verifier, without witness paths.
+    let mut frontier: Vec<Option<(u64, u64)>> = vec![None; counter.width(0)];
+    frontier[counter.start_state()] = Some((0, 0));
+    let mut families = Vec::with_capacity(n as usize + 1);
+    for t in 0..=n {
+        let mut intervals: Vec<CountInterval> = frontier
+            .iter()
+            .flatten()
+            .map(|&(lo, hi)| CountInterval { lo, hi })
+            .collect();
+        intervals.sort_by_key(|iv| (iv.lo, std::cmp::Reverse(iv.hi)));
+        // Keep only maximal intervals (not contained in another).
+        let mut maximal: Vec<CountInterval> = Vec::new();
+        let mut best_hi: Option<u64> = None;
+        for iv in intervals {
+            if best_hi.is_none_or(|h| iv.hi > h) {
+                // Not contained in any earlier (smaller-lo) interval.
+                maximal.retain(|m| !(m.lo >= iv.lo && m.hi <= iv.hi));
+                maximal.push(iv);
+                best_hi = Some(best_hi.map_or(iv.hi, |h| h.max(iv.hi)));
+            }
+        }
+        maximal.dedup();
+        families.push(maximal);
+        if t == n {
+            break;
+        }
+        let mut next: Vec<Option<(u64, u64)>> = vec![None; counter.width(t + 1)];
+        for (state, reach) in frontier.iter().enumerate() {
+            let Some((lo, hi)) = *reach else { continue };
+            for symbol in [0u64, 1u64] {
+                let s2 = counter.step(t, state, symbol as u8);
+                let (nlo, nhi) = (lo + symbol, hi + symbol);
+                let entry = &mut next[s2];
+                *entry = Some(match *entry {
+                    None => (nlo, nhi),
+                    Some((a, b)) => (a.min(nlo), b.max(nhi)),
+                });
+            }
+        }
+        frontier = next;
+    }
+    families
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_grows_as_cube_root_for_multiplicative() {
+        // ε(k) = δk ⇒ h = Θ((n/δ)^{1/3}).
+        let (h1, _) = width_lower_bound(1 << 10, ErrorBudget::Multiplicative(0.5));
+        let (h2, _) = width_lower_bound(1 << 16, ErrorBudget::Multiplicative(0.5));
+        let (h3, _) = width_lower_bound(1 << 22, ErrorBudget::Multiplicative(0.5));
+        // Each 64× in n should grow h by ~4× (cube root).
+        let r1 = h2 as f64 / h1 as f64;
+        let r2 = h3 as f64 / h2 as f64;
+        assert!((3.0..6.0).contains(&r1), "ratio {r1}");
+        assert!((3.0..6.0).contains(&r2), "ratio {r2}");
+    }
+
+    #[test]
+    fn lower_bound_certificate_is_tight_to_its_inequality() {
+        let n = 10_000u64;
+        let budget = ErrorBudget::Multiplicative(0.25);
+        let (h, bound) = width_lower_bound(n, budget);
+        assert_eq!(bound, h + 1);
+        // h satisfies the inequality, h+1 does not.
+        let phi = |hh: u64| (1..=hh).map(|k| budget.eval(k)).sum::<f64>();
+        assert!((1.0 + phi(h)) * h as f64 <= n as f64);
+        assert!((1.0 + phi(h + 1)) * (h + 1) as f64 > n as f64);
+    }
+
+    #[test]
+    fn additive_budget_gives_sqrt_growth() {
+        // ε(k) = c ⇒ (1 + ch)h ≤ n ⇒ h = Θ(√(n/c)).
+        let (h1, _) = width_lower_bound(1 << 10, ErrorBudget::Additive(4.0));
+        let (h2, _) = width_lower_bound(1 << 14, ErrorBudget::Additive(4.0));
+        let r = h2 as f64 / h1 as f64;
+        assert!((3.0..5.0).contains(&r), "ratio {r} (expect ~4 for 16× n)");
+    }
+
+    #[test]
+    fn factor_budget_matches_delta_form() {
+        let (a, _) = width_lower_bound(4096, ErrorBudget::Multiplicative(0.5));
+        let (b, _) = width_lower_bound(4096, ErrorBudget::FactorMultiplicative(1.5));
+        assert_eq!(a, b);
+    }
+
+    /// The exact counter: every reachable count is its own state.
+    struct Exact;
+    impl TimedCounter for Exact {
+        fn width(&self, t: u64) -> usize {
+            t as usize + 1
+        }
+        fn step(&self, _t: u64, state: usize, symbol: u8) -> usize {
+            state + symbol as usize
+        }
+        fn estimate(&self, _t: u64, state: usize) -> f64 {
+            state as f64
+        }
+    }
+
+    #[test]
+    fn exact_counter_family_is_singletons() {
+        let fam = interval_family(&Exact, 6);
+        // I(1) = {[0,0], [1,1]} in our 0-based count convention; the
+        // paper's I(1) = {[1,1]} corresponds to our level-0 {[0,0]}.
+        assert_eq!(fam[0], vec![CountInterval { lo: 0, hi: 0 }]);
+        assert_eq!(fam[6].len(), 7, "all 7 counts distinct states");
+        assert!(fam[6].iter().all(|iv| iv.lo == iv.hi));
+    }
+
+    /// Saturating counter: merges all counts ≥ w−1 into one state.
+    struct Saturating(usize);
+    impl TimedCounter for Saturating {
+        fn width(&self, _t: u64) -> usize {
+            self.0
+        }
+        fn step(&self, _t: u64, state: usize, symbol: u8) -> usize {
+            (state + symbol as usize).min(self.0 - 1)
+        }
+        fn estimate(&self, _t: u64, state: usize) -> f64 {
+            state as f64
+        }
+    }
+
+    #[test]
+    fn saturating_counter_grows_one_fat_interval() {
+        // Lemma 3.10 in action: the top state's interval stretches with t.
+        let fam = interval_family(&Saturating(4), 16);
+        let top = fam[16].last().unwrap();
+        assert_eq!(top.hi, 16, "max count reaches t");
+        assert!(top.hi - top.lo >= 13, "top interval stretched: {top:?}");
+        // Its width certifies the approximation failure: no estimate can
+        // cover counts 3..16 within a small factor.
+    }
+
+    #[test]
+    fn interval_family_respects_lemma_3_6_containment() {
+        // Every interval at t is contained in some interval at t+1 for the
+        // saturating counter (checked explicitly).
+        let fam = interval_family(&Saturating(5), 12);
+        for t in 0..12 {
+            for iv in &fam[t] {
+                assert!(
+                    fam[t + 1]
+                        .iter()
+                        .any(|jv| jv.lo <= iv.lo && iv.hi <= jv.hi),
+                    "interval {iv:?} at t={t} not contained at t+1"
+                );
+            }
+        }
+    }
+}

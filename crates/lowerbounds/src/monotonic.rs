@@ -1,0 +1,81 @@
+//! Monotonic counters (Definition 3.4).
+//!
+//! A monotonic counter `χ : Σ* → ℕ∖{0}` starts at 1 and, for every prefix,
+//! the set of one-symbol increments is exactly `{0, 1}` — some symbol
+//! leaves the count, some symbol raises it by one. Theorem 1.11's interval
+//! argument (Lemmas 3.5–3.10) is stated for this whole class; the
+//! ones-counter is the canonical instance.
+
+/// A monotonic counter over a finite alphabet.
+pub trait MonotonicCounter {
+    /// Alphabet size.
+    fn alphabet(&self) -> usize;
+
+    /// The increment caused by `symbol` at the current prefix
+    /// (must be 0 or 1; both must occur over the alphabet).
+    fn increment(&self, symbol: usize) -> u64;
+
+    /// The counter value of a string (starts at 1 per Definition 3.4).
+    fn value(&self, s: &[usize]) -> u64 {
+        1 + s.iter().map(|&c| self.increment(c)).sum::<u64>()
+    }
+}
+
+/// The ones-counter: `χ(σ) = 1 + #{i : σᵢ = 1}` over `Σ = {0, 1}`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnesCounter;
+
+impl MonotonicCounter for OnesCounter {
+    fn alphabet(&self) -> usize {
+        2
+    }
+
+    fn increment(&self, symbol: usize) -> u64 {
+        debug_assert!(symbol < 2);
+        symbol as u64
+    }
+}
+
+/// Check Definition 3.4 on a counter: increments are in `{0, 1}` and both
+/// values are realized.
+pub fn is_monotonic<C: MonotonicCounter>(c: &C) -> bool {
+    let incs: Vec<u64> = (0..c.alphabet()).map(|s| c.increment(s)).collect();
+    incs.iter().all(|&i| i <= 1) && incs.contains(&0) && incs.contains(&1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_counter_satisfies_definition() {
+        assert!(is_monotonic(&OnesCounter));
+        assert_eq!(OnesCounter.value(&[]), 1);
+        assert_eq!(OnesCounter.value(&[1, 0, 1, 1]), 4);
+    }
+
+    #[test]
+    fn counter_can_reach_any_value_up_to_t_plus_one() {
+        // After t symbols the value can be anything in {1, …, t+1}.
+        let t = 5;
+        for target in 1..=(t + 1) {
+            let s: Vec<usize> = (0..t).map(|i| usize::from(i < target - 1)).collect();
+            assert_eq!(OnesCounter.value(&s), target as u64);
+        }
+    }
+
+    struct Bad;
+    impl MonotonicCounter for Bad {
+        fn alphabet(&self) -> usize {
+            2
+        }
+        fn increment(&self, _symbol: usize) -> u64 {
+            1 // never stays: not monotonic per Definition 3.4
+        }
+    }
+
+    #[test]
+    fn rejects_always_incrementing_counter() {
+        assert!(!is_monotonic(&Bad));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the OBDD verifier and the Theorem 1.11
+//! certificate machinery.
+
+use proptest::prelude::*;
+use wb_lowerbounds::{
+    interval_family, verify_counter, width_lower_bound, BucketCounter, ErrorBudget, ExactCounter,
+    SaturatingCounter, TimedCounter,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn saturating_counter_is_exact_below_its_cap(width in 2usize..24) {
+        // Horizon strictly below the cap: no stream can overflow, so the
+        // counter is exact and must verify even at eps = 0.
+        let n = (width - 1) as u64;
+        let c = SaturatingCounter { width };
+        let ok = verify_counter(&c, n, 0.0).is_ok();
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn saturating_counter_fails_past_cap_with_valid_witness(
+        width in 2usize..16,
+        slack in 2u64..6,
+    ) {
+        // Horizon comfortably past the cap at eps = 0.25: must fail, and
+        // the counterexample must replay to the claimed estimate.
+        let c = SaturatingCounter { width };
+        let n = (width as u64) * slack + 8;
+        let err = verify_counter(&c, n, 0.25).expect_err("cap must break");
+        let mut state = c.start_state();
+        for (t, &b) in err.stream.iter().enumerate() {
+            state = c.step(t as u64, state, b);
+        }
+        let est = c.estimate(err.stream.len() as u64, state);
+        prop_assert!((est - err.estimate).abs() < 1e-9);
+        let ones = err.stream.iter().filter(|&&b| b == 1).count() as u64;
+        prop_assert_eq!(ones, err.true_count);
+        // The witness is a genuine violation of the (1+eps) guarantee.
+        let k = err.true_count as f64;
+        prop_assert!(
+            err.estimate > 1.25 * k + 1.0 || err.estimate < k / 1.25 - 1.0,
+            "estimate {} vs count {k} is not a violation",
+            err.estimate
+        );
+    }
+
+    #[test]
+    fn exact_counter_always_verifies(n in 1u64..64, eps_hundredths in 0u64..100) {
+        let eps = eps_hundredths as f64 / 100.0;
+        let ok = verify_counter(&ExactCounter, n, eps).is_ok();
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn certificate_is_monotone_in_horizon(
+        n1 in 16u64..10_000,
+        factor in 2u64..16,
+        delta_tenths in 1u64..10,
+    ) {
+        let delta = delta_tenths as f64 / 10.0;
+        let (_, b1) = width_lower_bound(n1, ErrorBudget::Multiplicative(delta));
+        let (_, b2) = width_lower_bound(n1 * factor, ErrorBudget::Multiplicative(delta));
+        prop_assert!(b2 >= b1, "bound must not shrink with horizon");
+    }
+
+    #[test]
+    fn certificate_shrinks_with_looser_error(n in 64u64..100_000) {
+        let (_, tight) = width_lower_bound(n, ErrorBudget::Multiplicative(0.1));
+        let (_, loose) = width_lower_bound(n, ErrorBudget::Multiplicative(2.0));
+        prop_assert!(loose <= tight);
+    }
+
+    #[test]
+    fn interval_families_obey_lemma_3_6(
+        width in 2usize..10,
+        delta_tenths in 2u64..10,
+    ) {
+        // Containment across time holds for arbitrary bucket counters —
+        // Lemma 3.6 is structural, not correctness-dependent.
+        let c = BucketCounter { delta: delta_tenths as f64 / 10.0, width };
+        let fam = interval_family(&c, 24);
+        for t in 0..24 {
+            for iv in &fam[t] {
+                prop_assert!(
+                    fam[t + 1].iter().any(|j| j.lo <= iv.lo && iv.hi <= j.hi),
+                    "interval {iv:?} at t={t} escapes containment"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_families_obey_lemma_3_7(width in 2usize..10) {
+        // The shifted interval [lo+1, hi+1] is contained at t+1.
+        let c = BucketCounter { delta: 0.5, width };
+        let fam = interval_family(&c, 20);
+        for t in 0..20 {
+            for iv in &fam[t] {
+                prop_assert!(
+                    fam[t + 1]
+                        .iter()
+                        .any(|j| j.lo <= iv.lo + 1 && iv.hi + 1 <= j.hi),
+                    "shifted interval from {iv:?} at t={t} escapes"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The AMS F2 sketch and its white-box attack.
+//!
+//! The paper's introduction singles out AMS `[AMS99]` as the canonical
+//! randomness-dependent sketch: it maintains `⟨Z, f⟩` for a random sign
+//! vector `Z` and outputs `⟨Z, f⟩²`, whose analysis **requires `Z` to be
+//! independent of `f`**. A white-box adversary reads the sign seeds the
+//! moment the sketch is initialized, can evaluate `Z(i)` for any item, and
+//! feeds the stream `f` maximally correlated with `Z` — inflating the
+//! estimate by an unbounded factor. This is the operational content of the
+//! Ω(n) lower bound for Fp estimation (Theorems 1.9/3.3): *no* o(n)-space
+//! sketch of this family survives.
+//!
+//! [`find_aligned_items`] is the attack; experiment E8 charts the forced
+//! error against the number of median copies.
+
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_signed, SpaceUsage};
+use wb_core::stream::{StreamAlg, Turnstile};
+
+/// Mersenne prime `2^61 − 1` for the 4-wise independent sign hash.
+const P: u64 = (1 << 61) - 1;
+
+/// One AMS atom: a public 4-wise-independent sign function and the running
+/// inner product `⟨Z, f⟩`.
+#[derive(Debug, Clone)]
+pub struct AmsCopy {
+    /// Public cubic hash coefficients (4-wise independence).
+    coeffs: [u64; 4],
+    /// Running `⟨Z, f⟩`.
+    counter: i64,
+}
+
+impl AmsCopy {
+    fn new(rng: &mut TranscriptRng) -> Self {
+        AmsCopy {
+            coeffs: [
+                rng.below(P),
+                rng.below(P),
+                rng.below(P),
+                rng.below(P),
+            ],
+            counter: 0,
+        }
+    }
+
+    /// The public sign `Z(item) ∈ {−1, +1}`.
+    pub fn sign(&self, item: u64) -> i64 {
+        let x = item as u128 % P as u128;
+        let [a, b, c, d] = self.coeffs;
+        let mut acc = a as u128;
+        for coef in [b, c, d] {
+            acc = (acc * x + coef as u128) % P as u128;
+        }
+        if acc & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Current inner product (white-box view).
+    pub fn counter(&self) -> i64 {
+        self.counter
+    }
+}
+
+/// AMS F2 estimator: median over `copies` independent atoms of `⟨Z, f⟩²`.
+#[derive(Debug, Clone)]
+pub struct AmsF2 {
+    copies: Vec<AmsCopy>,
+}
+
+impl AmsF2 {
+    /// Sketch with `copies ≥ 1` independent sign vectors (made odd).
+    pub fn new(copies: usize, rng: &mut TranscriptRng) -> Self {
+        let copies = if copies.is_multiple_of(2) { copies + 1 } else { copies.max(1) };
+        AmsF2 {
+            copies: (0..copies).map(|_| AmsCopy::new(rng)).collect(),
+        }
+    }
+
+    /// Apply a turnstile update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        for c in &mut self.copies {
+            c.counter += delta * c.sign(item);
+        }
+    }
+
+    /// Median of the copies' squared counters — the F2 estimate.
+    pub fn estimate(&self) -> f64 {
+        let mut sq: Vec<f64> = self
+            .copies
+            .iter()
+            .map(|c| (c.counter as f64) * (c.counter as f64))
+            .collect();
+        sq.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sq[sq.len() / 2]
+    }
+
+    /// The copies (white-box view — the attack reads the sign seeds here).
+    pub fn copies(&self) -> &[AmsCopy] {
+        &self.copies
+    }
+}
+
+impl SpaceUsage for AmsF2 {
+    fn space_bits(&self) -> u64 {
+        self.copies
+            .iter()
+            .map(|c| bits_for_signed(c.counter) + 4 * 61)
+            .sum()
+    }
+}
+
+impl StreamAlg for AmsF2 {
+    type Update = Turnstile;
+    type Output = f64;
+
+    fn process(&mut self, update: &Turnstile, _rng: &mut TranscriptRng) {
+        self.update(update.item, update.delta);
+    }
+
+    fn query(&self) -> f64 {
+        self.estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "AmsF2"
+    }
+}
+
+/// White-box attack: scan item ids for items whose sign is `+1` in **every
+/// copy**. A `2^{-copies}` fraction of the universe qualifies, so the scan
+/// is polynomial for `copies = O(log n)`. Inserting `k` returned items once
+/// each drives every counter to `k`, so the median estimate is `k²` while
+/// the true `F2` is `k` — a `k`-factor inflation.
+pub fn find_aligned_items(ams: &AmsF2, want: usize, budget: u64) -> Vec<u64> {
+    let mut found = Vec::with_capacity(want.min(1024));
+    for item in 0..budget {
+        if ams.copies().iter().all(|c| c.sign(item) == 1) {
+            found.push(item);
+            if found.len() == want {
+                break;
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_is_deterministic_pm_one() {
+        let mut rng = TranscriptRng::from_seed(40);
+        let ams = AmsF2::new(3, &mut rng);
+        for item in 0..100u64 {
+            for c in ams.copies() {
+                let s = c.sign(item);
+                assert!(s == 1 || s == -1);
+                assert_eq!(s, c.sign(item));
+            }
+        }
+    }
+
+    #[test]
+    fn signs_are_roughly_balanced() {
+        let mut rng = TranscriptRng::from_seed(41);
+        let ams = AmsF2::new(1, &mut rng);
+        let plus = (0..10_000u64)
+            .filter(|&i| ams.copies()[0].sign(i) == 1)
+            .count();
+        let frac = plus as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "sign bias {frac}");
+    }
+
+    #[test]
+    fn oblivious_estimate_is_constant_factor() {
+        // Uniform stream: 512 items × 8 occurrences → F2 = 512·64 = 32768.
+        let mut rng = TranscriptRng::from_seed(42);
+        let mut ams = AmsF2::new(15, &mut rng);
+        for t in 0..4096u64 {
+            ams.update(t % 512, 1);
+        }
+        let f2 = 512.0 * 64.0;
+        let est = ams.estimate();
+        assert!(
+            est > f2 / 8.0 && est < f2 * 8.0,
+            "estimate {est} vs F2 {f2}"
+        );
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut rng = TranscriptRng::from_seed(43);
+        let mut ams = AmsF2::new(5, &mut rng);
+        for i in 0..100u64 {
+            ams.update(i, 2);
+        }
+        for i in 0..100u64 {
+            ams.update(i, -2);
+        }
+        assert_eq!(ams.estimate(), 0.0);
+    }
+
+    #[test]
+    fn white_box_attack_forces_unbounded_error() {
+        let mut rng = TranscriptRng::from_seed(44);
+        let mut ams = AmsF2::new(7, &mut rng);
+        // ~2^-7 of ids align: a 64k budget yields hundreds.
+        let aligned = find_aligned_items(&ams, 200, 1 << 16);
+        assert!(
+            aligned.len() >= 100,
+            "found only {} aligned items",
+            aligned.len()
+        );
+        let k = aligned.len() as f64;
+        for &item in &aligned {
+            ams.update(item, 1);
+        }
+        // True F2 = k (distinct items, each once); estimate = k².
+        let est = ams.estimate();
+        assert_eq!(est, k * k);
+        assert!(
+            est / k >= 100.0,
+            "attack must force ≥100× inflation, got {}×",
+            est / k
+        );
+    }
+
+    #[test]
+    fn aligned_fraction_shrinks_with_copies() {
+        let mut rng = TranscriptRng::from_seed(45);
+        let few = AmsF2::new(3, &mut rng);
+        let many = AmsF2::new(11, &mut rng);
+        let budget = 1 << 15;
+        let n_few = find_aligned_items(&few, usize::MAX, budget).len();
+        let n_many = find_aligned_items(&many, usize::MAX, budget).len();
+        // Expected ratio 2^8; allow slack.
+        assert!(
+            n_few > 16 * n_many.max(1),
+            "few {n_few} vs many {n_many}"
+        );
+    }
+
+    #[test]
+    fn space_counts_counters_and_seeds() {
+        let mut rng = TranscriptRng::from_seed(46);
+        let ams = AmsF2::new(5, &mut rng);
+        assert!(ams.space_bits() >= 5 * 4 * 61);
+    }
+}

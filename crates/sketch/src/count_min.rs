@@ -1,0 +1,229 @@
+//! CountMin sketch and its white-box attack.
+//!
+//! CountMin is the canonical example of a sketch whose guarantee survives a
+//! *black-box* adversary with output-change arguments but collapses in the
+//! white-box model: the row hash functions are part of the internal state,
+//! so an adversary that sees them can search for items that collide with a
+//! victim item in **every** row and inflate the victim's estimate without
+//! ever inserting it. [`forge_all_row_collisions`] implements that search;
+//! the experiments (E8) chart its success against the sketch dimensions.
+
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_count, SpaceUsage};
+use wb_core::stream::{InsertOnly, StreamAlg};
+
+/// A CountMin sketch with `depth` rows and `width` buckets per row.
+///
+/// Row hashes are universal hashes `((a·x + b) mod p) mod width` with
+/// `(a, b)` drawn from public randomness — fully visible to the white-box
+/// adversary.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    depth: usize,
+    width: usize,
+    /// Public per-row hash coefficients `(a, b)`.
+    seeds: Vec<(u64, u64)>,
+    table: Vec<u64>, // depth × width, row-major
+    processed: u64,
+}
+
+/// The Mersenne prime `2^61 − 1` used by the row hashes.
+const P: u64 = (1 << 61) - 1;
+
+impl CountMin {
+    /// Sketch with the given dimensions; hash coefficients drawn from `rng`
+    /// (and thereby published in the transcript).
+    pub fn new(depth: usize, width: usize, rng: &mut TranscriptRng) -> Self {
+        assert!(depth >= 1 && width >= 2);
+        let seeds = (0..depth)
+            .map(|_| (rng.range(1, P), rng.below(P)))
+            .collect();
+        CountMin {
+            depth,
+            width,
+            seeds,
+            table: vec![0; depth * width],
+            processed: 0,
+        }
+    }
+
+    /// Bucket of `item` in `row`.
+    pub fn bucket(&self, row: usize, item: u64) -> usize {
+        let (a, b) = self.seeds[row];
+        let h = ((a as u128 * item as u128 + b as u128) % P as u128) as u64;
+        (h % self.width as u64) as usize
+    }
+
+    /// Add one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        for row in 0..self.depth {
+            let b = self.bucket(row, item);
+            self.table[row * self.width + b] += 1;
+        }
+    }
+
+    /// Over-estimate of `item`'s frequency (min over rows).
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.table[row * self.width + self.bucket(row, item)])
+            .min()
+            .expect("depth ≥ 1")
+    }
+
+    /// Public hash coefficients (the white-box view).
+    pub fn seeds(&self) -> &[(u64, u64)] {
+        &self.seeds
+    }
+
+    /// Updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Oblivious-stream guarantee: estimate ≤ f + `2m/width` w.h.p. per
+    /// item (expected collision mass per row is `m/width`).
+    pub fn error_bound(&self) -> f64 {
+        2.0 * self.processed as f64 / self.width as f64
+    }
+}
+
+impl SpaceUsage for CountMin {
+    fn space_bits(&self) -> u64 {
+        self.table.iter().map(|&c| bits_for_count(c)).sum::<u64>() + self.seeds.len() as u64 * 128
+    }
+}
+
+impl StreamAlg for CountMin {
+    type Update = InsertOnly;
+    type Output = u64;
+
+    fn process(&mut self, update: &InsertOnly, _rng: &mut TranscriptRng) {
+        self.insert(update.0);
+    }
+
+    /// The fixed query in attack experiments: the victim item `0`'s
+    /// estimate.
+    fn query(&self) -> u64 {
+        self.estimate(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "CountMin"
+    }
+}
+
+/// White-box attack: scan item ids `1..=budget` for items that collide with
+/// `victim` in **every** row. Inserting the returned items inflates the
+/// victim's estimate by one each without the victim ever appearing.
+///
+/// Expected cost per found item is `width^depth` candidates — polynomial
+/// for the constant-depth sketches used in practice, which is why CountMin
+/// offers no white-box guarantee.
+pub fn forge_all_row_collisions(cm: &CountMin, victim: u64, want: usize, budget: u64) -> Vec<u64> {
+    let victim_buckets: Vec<usize> = (0..cm.depth).map(|r| cm.bucket(r, victim)).collect();
+    let mut found = Vec::with_capacity(want.min(1024));
+    for candidate in 1..=budget {
+        if candidate == victim {
+            continue;
+        }
+        if (0..cm.depth).all(|r| cm.bucket(r, candidate) == victim_buckets[r]) {
+            found.push(candidate);
+            if found.len() == want {
+                break;
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_sparse_streams() {
+        let mut rng = TranscriptRng::from_seed(30);
+        let mut cm = CountMin::new(4, 256, &mut rng);
+        for _ in 0..10 {
+            cm.insert(5);
+        }
+        for _ in 0..3 {
+            cm.insert(9);
+        }
+        assert!(cm.estimate(5) >= 10);
+        assert!(cm.estimate(9) >= 3);
+        assert_eq!(cm.processed(), 13);
+    }
+
+    #[test]
+    fn oblivious_error_within_bound() {
+        let mut rng = TranscriptRng::from_seed(31);
+        let mut cm = CountMin::new(4, 128, &mut rng);
+        let m = 10_000u64;
+        for t in 0..m {
+            cm.insert(t % 1000);
+        }
+        // Every item has f = 10; estimates must be ≤ f + 2m/width = 166.
+        for item in 0..1000 {
+            let e = cm.estimate(item);
+            assert!(e >= 10);
+            assert!(
+                (e as f64) <= 10.0 + cm.error_bound(),
+                "item {item}: {e} > bound"
+            );
+        }
+    }
+
+    #[test]
+    fn white_box_attack_inflates_victim() {
+        // Small sketch so the collision search is fast in a unit test.
+        let mut rng = TranscriptRng::from_seed(32);
+        let mut cm = CountMin::new(2, 16, &mut rng);
+        let victim = 0u64;
+        let forged = forge_all_row_collisions(&cm, victim, 50, 200_000);
+        assert!(
+            forged.len() >= 20,
+            "expected ≥20 forged items in budget, got {}",
+            forged.len()
+        );
+        for &item in &forged {
+            cm.insert(item);
+        }
+        let est = cm.estimate(victim);
+        assert_eq!(
+            est,
+            forged.len() as u64,
+            "victim estimate inflated by every forged insertion"
+        );
+        // The oblivious bound is violated wildly: f_victim = 0 but the
+        // estimate is maximal — the whole stream lands on the victim.
+        assert!(est as f64 > cm.error_bound());
+    }
+
+    #[test]
+    fn attack_cost_grows_with_depth() {
+        // With one more row, the same budget finds ~width× fewer collisions.
+        let mut rng = TranscriptRng::from_seed(33);
+        let shallow = CountMin::new(1, 64, &mut rng);
+        let deep = CountMin::new(3, 64, &mut rng);
+        let budget = 300_000;
+        let f_shallow = forge_all_row_collisions(&shallow, 0, usize::MAX, budget).len();
+        let f_deep = forge_all_row_collisions(&deep, 0, usize::MAX, budget).len();
+        assert!(
+            f_shallow > 50 * f_deep.max(1),
+            "shallow {f_shallow} vs deep {f_deep}"
+        );
+    }
+
+    #[test]
+    fn space_accounting() {
+        let mut rng = TranscriptRng::from_seed(34);
+        let mut cm = CountMin::new(2, 8, &mut rng);
+        let empty = cm.space_bits();
+        for i in 0..100 {
+            cm.insert(i);
+        }
+        assert!(cm.space_bits() > empty);
+    }
+}

@@ -1,0 +1,146 @@
+//! Hierarchical domains (Definition 2.9): leaf items live at level 0 and
+//! roll up through `h` levels of prefixes to a single root.
+
+/// A prefix of the hierarchy: `id` at `level` (level 0 = leaf item).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Hierarchy level (0 = leaf, `height` = root).
+    pub level: u32,
+    /// Prefix identifier within its level.
+    pub id: u64,
+}
+
+/// A hierarchical domain of height `h` over the leaf universe.
+pub trait Hierarchy: Clone {
+    /// Height `h`: prefixes live at levels `0..=h`.
+    fn height(&self) -> u32;
+
+    /// Size of the leaf universe.
+    fn leaf_universe(&self) -> u64;
+
+    /// Size of the universe at `level`.
+    fn level_universe(&self, level: u32) -> u64;
+
+    /// The level-`level` ancestor of leaf `item`.
+    fn ancestor(&self, item: u64, level: u32) -> u64;
+
+    /// Lift a prefix id from `from` to a coarser level `to ≥ from`.
+    fn lift(&self, id: u64, from: u32, to: u32) -> u64;
+}
+
+/// A fixed-radix hierarchy: each level strips `bits_per_level` low bits.
+///
+/// `RadixHierarchy::ipv4()` models the classic networking domain: 32-bit
+/// addresses rolled up byte-by-byte (height 4), as in the DDoS-detection
+/// applications cited in §2.2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixHierarchy {
+    bits_per_level: u32,
+    levels: u32,
+}
+
+impl RadixHierarchy {
+    /// Hierarchy over `levels·bits_per_level`-bit items.
+    pub fn new(bits_per_level: u32, levels: u32) -> Self {
+        assert!(bits_per_level >= 1 && levels >= 1);
+        assert!(
+            bits_per_level * levels <= 63,
+            "item width must fit in 63 bits"
+        );
+        RadixHierarchy {
+            bits_per_level,
+            levels,
+        }
+    }
+
+    /// 32-bit IPv4 addresses rolled up per byte (height 4).
+    pub fn ipv4() -> Self {
+        RadixHierarchy::new(8, 4)
+    }
+
+    /// Bits stripped per level.
+    pub fn bits_per_level(&self) -> u32 {
+        self.bits_per_level
+    }
+}
+
+impl Hierarchy for RadixHierarchy {
+    fn height(&self) -> u32 {
+        self.levels
+    }
+
+    fn leaf_universe(&self) -> u64 {
+        1u64 << (self.bits_per_level * self.levels)
+    }
+
+    fn level_universe(&self, level: u32) -> u64 {
+        debug_assert!(level <= self.levels);
+        1u64 << (self.bits_per_level * (self.levels - level))
+    }
+
+    fn ancestor(&self, item: u64, level: u32) -> u64 {
+        debug_assert!(level <= self.levels);
+        item >> (self.bits_per_level * level)
+    }
+
+    fn lift(&self, id: u64, from: u32, to: u32) -> u64 {
+        debug_assert!(from <= to && to <= self.levels);
+        id >> (self.bits_per_level * (to - from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_shape() {
+        let h = RadixHierarchy::ipv4();
+        assert_eq!(h.height(), 4);
+        assert_eq!(h.leaf_universe(), 1 << 32);
+        assert_eq!(h.level_universe(0), 1 << 32);
+        assert_eq!(h.level_universe(4), 1);
+    }
+
+    #[test]
+    fn ancestors_strip_bytes() {
+        let h = RadixHierarchy::ipv4();
+        let ip = 0xC0A8_0105u64; // 192.168.1.5
+        assert_eq!(h.ancestor(ip, 0), ip);
+        assert_eq!(h.ancestor(ip, 1), 0xC0A801);
+        assert_eq!(h.ancestor(ip, 2), 0xC0A8);
+        assert_eq!(h.ancestor(ip, 3), 0xC0);
+        assert_eq!(h.ancestor(ip, 4), 0);
+    }
+
+    #[test]
+    fn lift_is_consistent_with_ancestor() {
+        let h = RadixHierarchy::new(4, 5);
+        let item = 0xABCDEu64;
+        for a in 0..=5u32 {
+            for b in a..=5u32 {
+                assert_eq!(
+                    h.lift(h.ancestor(item, a), a, b),
+                    h.ancestor(item, b),
+                    "lift({a}→{b})"
+                );
+            }
+        }
+        // lift to the same level is the identity.
+        assert_eq!(h.lift(0xAB, 2, 2), 0xAB);
+    }
+
+    #[test]
+    fn root_is_unique() {
+        let h = RadixHierarchy::new(8, 3);
+        for item in [0u64, 1, 0xFFFFFF, 12345] {
+            assert_eq!(h.ancestor(item, 3), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "item width must fit in 63 bits")]
+    fn rejects_oversized() {
+        RadixHierarchy::new(8, 8);
+    }
+}

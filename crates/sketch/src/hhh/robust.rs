@@ -1,0 +1,281 @@
+//! Algorithms 3 and 4: white-box-robust hierarchical heavy hitters
+//! (Theorem 2.14).
+//!
+//! * [`BernHHH`] (Algorithm 3): Bernoulli-sample the stream into a `[TMS12]`
+//!   instance; counters count samples, so their magnitude is independent of
+//!   `m` (the `log m → log log log m` improvement inside each instance).
+//! * [`RobustHHH`] (Algorithm 4): the same Morris-counter + two-guess
+//!   epoch ladder as Algorithm 2, instantiated with `BernHHH`.
+//!
+//! Total space `O((h/ε)(log n + log 1/ε + log log log m) + log log m)`
+//! versus the deterministic `O((h/ε)(log m + log n))` of Theorem 2.11.
+
+use super::domain::Hierarchy;
+use super::tms12::{HhhReport, HierarchicalSpaceSaving};
+use crate::epochs::GuessLadder;
+use crate::morris::MedianMorris;
+use crate::sampling::bernoulli_rate;
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_count, SpaceUsage};
+use wb_core::stream::{InsertOnly, StreamAlg};
+
+/// Algorithm 3: `BernHHH(n, m, ε, δ)`.
+#[derive(Debug, Clone)]
+pub struct BernHHH<H: Hierarchy> {
+    inner: HierarchicalSpaceSaving<H>,
+    p: f64,
+    sampled: u64,
+}
+
+impl<H: Hierarchy> BernHHH<H> {
+    /// New instance provisioned for stream-length upper bound `m_guess`.
+    pub fn new(hierarchy: H, m_guess: u64, eps: f64, gamma: f64, delta: f64) -> Self {
+        assert!(m_guess > 0);
+        let n = hierarchy.leaf_universe();
+        let p = bernoulli_rate(n, m_guess, eps / 4.0, delta, 8.0);
+        BernHHH {
+            inner: HierarchicalSpaceSaving::new(hierarchy, eps / 2.0, gamma / 2.0),
+            p,
+            sampled: 0,
+        }
+    }
+
+    /// Process one update (sampled with probability `p`).
+    pub fn insert(&mut self, item: u64, rng: &mut TranscriptRng) {
+        if rng.bernoulli(self.p) {
+            self.inner.insert(item);
+            self.sampled += 1;
+        }
+    }
+
+    /// Solve the HHH problem, rescaling estimates to the full-stream scale.
+    ///
+    /// Selection happens on the sampled substream (thresholds relative to
+    /// the sampled count); reported estimates are rescaled by `1/p`.
+    pub fn solve(&self, gamma: f64) -> HhhReport {
+        self.inner
+            .solve(gamma)
+            .into_iter()
+            .map(|(prefix, est)| (prefix, est / self.p))
+            .collect()
+    }
+
+    /// Public sampling probability.
+    pub fn rate(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples taken.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// The inner deterministic HHH structure (white-box view).
+    pub fn inner(&self) -> &HierarchicalSpaceSaving<H> {
+        &self.inner
+    }
+}
+
+impl<H: Hierarchy> SpaceUsage for BernHHH<H> {
+    fn space_bits(&self) -> u64 {
+        self.inner.space_bits() + bits_for_count(self.sampled)
+    }
+}
+
+type Factory<H> = Box<dyn Fn(u64) -> BernHHH<H> + Send + Sync>;
+
+/// Algorithm 4: robust HHH for unknown stream length (Theorem 2.14).
+pub struct RobustHHH<H: Hierarchy> {
+    gamma: f64,
+    morris: MedianMorris,
+    ladder: GuessLadder<BernHHH<H>, Factory<H>>,
+}
+
+impl<H: Hierarchy> std::fmt::Debug for RobustHHH<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RobustHHH")
+            .field("gamma", &self.gamma)
+            .field("epoch", &self.ladder.epoch())
+            .field("t_hat", &self.morris.estimate())
+            .finish()
+    }
+}
+
+impl<H: Hierarchy + Send + Sync + 'static> RobustHHH<H> {
+    /// New instance with accuracy `ε` and report threshold `γ ≥ ε`.
+    pub fn new(hierarchy: H, eps: f64, gamma: f64) -> Self {
+        assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 1/2)");
+        assert!(gamma >= eps && gamma < 1.0, "need ε ≤ γ < 1");
+        let delta = eps / 64.0;
+        let ratio = 16.0 / eps;
+        let factory: Factory<H> = Box::new(move |guess| {
+            BernHHH::new(hierarchy.clone(), guess, eps, gamma, delta)
+        });
+        RobustHHH {
+            gamma,
+            morris: MedianMorris::new(eps / 16.0, 7),
+            ladder: GuessLadder::new(ratio, factory),
+        }
+    }
+
+    /// Process one leaf-item occurrence.
+    pub fn insert(&mut self, item: u64, rng: &mut TranscriptRng) {
+        self.morris.increment(rng);
+        for inst in self.ladder.live_mut() {
+            inst.insert(item, rng);
+        }
+        self.ladder.advance(self.morris.estimate());
+    }
+
+    /// Solve the HHH problem at the configured threshold.
+    pub fn solve(&self) -> HhhReport {
+        self.ladder.answering().solve(self.gamma)
+    }
+
+    /// Morris estimate of the stream length (white-box view).
+    pub fn t_hat(&self) -> f64 {
+        self.morris.estimate()
+    }
+
+    /// Current epoch (white-box view).
+    pub fn epoch(&self) -> u32 {
+        self.ladder.epoch()
+    }
+}
+
+impl<H: Hierarchy> SpaceUsage for RobustHHH<H> {
+    fn space_bits(&self) -> u64 {
+        self.morris.space_bits() + self.ladder.space_bits()
+    }
+}
+
+impl<H: Hierarchy + Send + Sync + 'static> StreamAlg for RobustHHH<H> {
+    type Update = InsertOnly;
+    type Output = HhhReport;
+
+    fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
+        self.insert(update.0, rng);
+    }
+
+    fn query(&self) -> HhhReport {
+        self.solve()
+    }
+
+    fn name(&self) -> &'static str {
+        "RobustHHH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhh::domain::{Prefix, RadixHierarchy};
+
+    fn ddos_stream(m: u64) -> Vec<u64> {
+        (0..m)
+            .map(|t| match t % 10 {
+                0..=3 => 0x0A0B_0C01,                    // hot leaf 40%
+                4..=6 => 0x0A0B_0D00 | (t % 256),        // hot /24 30%
+                _ => (t.wrapping_mul(2654435761)) & 0xFFFF_FFFF,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bern_hhh_finds_hot_prefixes() {
+        let mut rng = TranscriptRng::from_seed(60);
+        let m = 60_000u64;
+        let mut alg = BernHHH::new(RadixHierarchy::ipv4(), m, 0.05, 0.2, 0.01);
+        for item in ddos_stream(m) {
+            alg.insert(item, &mut rng);
+        }
+        let report = alg.solve(0.2);
+        assert!(
+            report
+                .iter()
+                .any(|&(p, _)| p == Prefix { level: 0, id: 0x0A0B_0C01 }),
+            "hot leaf missing: {report:?}"
+        );
+        assert!(
+            report
+                .iter()
+                .any(|&(p, _)| p == Prefix { level: 1, id: 0x0A_0B_0D }),
+            "hot /24 missing: {report:?}"
+        );
+        // Rescaled estimate for the hot leaf ≈ 0.4·m.
+        let (_, est) = report
+            .iter()
+            .find(|&&(p, _)| p.level == 0)
+            .copied()
+            .unwrap();
+        assert!(
+            (est - 0.4 * m as f64).abs() < 0.1 * m as f64,
+            "estimate {est}"
+        );
+    }
+
+    #[test]
+    fn robust_hhh_end_to_end() {
+        let mut rng = TranscriptRng::from_seed(61);
+        let m = 50_000u64;
+        let mut alg = RobustHHH::new(RadixHierarchy::ipv4(), 0.05, 0.2);
+        for item in ddos_stream(m) {
+            alg.insert(item, &mut rng);
+        }
+        let report = alg.solve();
+        assert!(
+            report
+                .iter()
+                .any(|&(p, _)| p == Prefix { level: 0, id: 0x0A0B_0C01 }),
+            "hot leaf missing: {report:?}"
+        );
+        assert!(
+            report
+                .iter()
+                .any(|&(p, _)| p == Prefix { level: 1, id: 0x0A_0B_0D }),
+            "hot /24 missing: {report:?}"
+        );
+        assert!(alg.epoch() >= 1, "ladder should have advanced");
+    }
+
+    #[test]
+    fn sampled_counters_stay_small() {
+        // The Theorem 2.14 separation: counters count samples, bounded by
+        // ~p·m_guess, regardless of the true stream length.
+        let mut rng = TranscriptRng::from_seed(62);
+        let m = 1 << 17;
+        let mut alg = RobustHHH::new(RadixHierarchy::new(8, 2), 0.1, 0.2);
+        for t in 0..m {
+            alg.insert(t % 4, &mut rng);
+        }
+        let answering = alg.ladder.answering();
+        assert!(
+            answering.sampled() < m / 2,
+            "answering instance sampled {} of {m}",
+            answering.sampled()
+        );
+    }
+
+    #[test]
+    fn quiet_stream_reports_nothing_heavy() {
+        let mut rng = TranscriptRng::from_seed(63);
+        let mut alg = RobustHHH::new(RadixHierarchy::new(4, 3), 0.1, 0.45);
+        // Uniform over 4096 leaves: no prefix below the root is γ-heavy;
+        // the root itself may be reported (its conditioned count is m).
+        for t in 0..20_000u64 {
+            alg.insert(t % 4096, &mut rng);
+        }
+        for (p, _) in alg.solve() {
+            assert!(
+                p.level >= 2,
+                "only coarse prefixes may be heavy on uniform traffic: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0, 1/2)")]
+    fn rejects_bad_eps() {
+        RobustHHH::new(RadixHierarchy::ipv4(), 0.9, 0.95);
+    }
+}

@@ -1,0 +1,260 @@
+//! The deterministic hierarchical-heavy-hitters algorithm of `[TMS12]`
+//! (Theorem 2.11): one SpaceSaving summary per hierarchy level,
+//! `O(h/ε)` counters total, answering the HHH Problem of Definition 2.10.
+//!
+//! Selection walks levels bottom-up and computes, for each monitored
+//! prefix, a *conditioned* over-estimate: its own SpaceSaving count minus
+//! the under-estimates of its already-selected maximal descendants. A
+//! prefix is selected when the conditioned estimate reaches
+//! `(γ − ε/2)·m`, which guarantees the coverage condition (any prefix with
+//! true conditioned count `> γ·m` is selected) while accuracy follows from
+//! the per-level SpaceSaving sandwich. Deterministic ⇒ white-box robust;
+//! its space carries the `log m` counter cost that Algorithm 4 removes.
+
+use super::domain::{Hierarchy, Prefix};
+use crate::space_saving::SpaceSaving;
+use wb_core::rng::TranscriptRng;
+use wb_core::space::SpaceUsage;
+use wb_core::stream::{InsertOnly, StreamAlg};
+
+/// Report type for HHH queries: selected prefixes with frequency estimates
+/// (estimates are for the prefix's full subtree count, per Definition
+/// 2.10's accuracy clause).
+pub type HhhReport = Vec<(Prefix, f64)>;
+
+/// `[TMS12]` hierarchical SpaceSaving.
+#[derive(Debug, Clone)]
+pub struct HierarchicalSpaceSaving<H: Hierarchy> {
+    hierarchy: H,
+    /// One summary per level `0..=h`.
+    levels: Vec<SpaceSaving>,
+    eps: f64,
+    /// Report threshold `γ` used by [`StreamAlg::query`].
+    gamma: f64,
+}
+
+impl<H: Hierarchy> HierarchicalSpaceSaving<H> {
+    /// New instance with accuracy `ε` and report threshold `γ ≥ ε`.
+    pub fn new(hierarchy: H, eps: f64, gamma: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(gamma >= eps && gamma < 1.0, "need ε ≤ γ < 1");
+        let levels = (0..=hierarchy.height())
+            .map(|l| SpaceSaving::new(eps, hierarchy.level_universe(l)))
+            .collect();
+        HierarchicalSpaceSaving {
+            hierarchy,
+            levels,
+            eps,
+            gamma,
+        }
+    }
+
+    /// Process one leaf-item occurrence (updates every level).
+    pub fn insert(&mut self, item: u64) {
+        for level in 0..=self.hierarchy.height() {
+            let prefix = self.hierarchy.ancestor(item, level);
+            self.levels[level as usize].insert(prefix);
+        }
+    }
+
+    /// Weighted insert (used by the sampling wrapper).
+    pub fn insert_weighted(&mut self, item: u64, w: u64) {
+        for level in 0..=self.hierarchy.height() {
+            let prefix = self.hierarchy.ancestor(item, level);
+            self.levels[level as usize].insert_weighted(prefix, w);
+        }
+    }
+
+    /// Stream length processed so far.
+    pub fn processed(&self) -> u64 {
+        self.levels[0].processed()
+    }
+
+    /// The hierarchy.
+    pub fn hierarchy(&self) -> &H {
+        &self.hierarchy
+    }
+
+    /// Solve the HHH Problem (Definition 2.10) at threshold `gamma`.
+    pub fn solve(&self, gamma: f64) -> HhhReport {
+        let m = self.processed() as f64;
+        if m == 0.0 {
+            return Vec::new();
+        }
+        let threshold = (gamma - self.eps / 2.0) * m;
+        let mut selected: Vec<(Prefix, f64)> = Vec::new();
+        for level in 0..=self.hierarchy.height() {
+            let summary = &self.levels[level as usize];
+            for (id, entry) in summary.entries() {
+                // Conditioned over-estimate: own count minus the
+                // under-estimates of maximal selected descendants.
+                let mut cond = entry.count as f64;
+                for &(q, _) in &selected {
+                    if q.level >= level {
+                        continue;
+                    }
+                    if self.hierarchy.lift(q.id, q.level, level) != id {
+                        continue;
+                    }
+                    // Maximality: no *other* selected prefix strictly
+                    // between q and this prefix.
+                    let dominated = selected.iter().any(|&(r, _)| {
+                        r.level > q.level
+                            && r.level < level
+                            && self.hierarchy.lift(q.id, q.level, r.level) == r.id
+                            && self.hierarchy.lift(r.id, r.level, level) == id
+                    });
+                    if !dominated {
+                        cond -= self.levels[q.level as usize].under_estimate(q.id) as f64;
+                    }
+                }
+                if cond >= threshold {
+                    let fp = summary.under_estimate(id) as f64;
+                    selected.push((Prefix { level, id }, fp));
+                }
+            }
+        }
+        selected.sort_unstable_by_key(|&(p, _)| p);
+        selected
+    }
+}
+
+impl<H: Hierarchy> SpaceUsage for HierarchicalSpaceSaving<H> {
+    fn space_bits(&self) -> u64 {
+        self.levels.iter().map(SpaceUsage::space_bits).sum()
+    }
+}
+
+impl<H: Hierarchy> StreamAlg for HierarchicalSpaceSaving<H> {
+    type Update = InsertOnly;
+    type Output = HhhReport;
+
+    fn process(&mut self, update: &InsertOnly, _rng: &mut TranscriptRng) {
+        self.insert(update.0);
+    }
+
+    fn query(&self) -> HhhReport {
+        self.solve(self.gamma)
+    }
+
+    fn name(&self) -> &'static str {
+        "HierarchicalSpaceSaving(TMS12)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhh::domain::RadixHierarchy;
+
+    /// Two hot /24-style prefixes and background noise.
+    fn attack_stream(m: u64) -> Vec<u64> {
+        (0..m)
+            .map(|t| match t % 10 {
+                // hot leaf: exact item 0x0A0B0C01 (35%)
+                0..=3 => 0x0A0B_0C01,
+                // hot prefix 0x0A0B0D__ spread over 256 leaves (30%)
+                4..=6 => 0x0A0B_0D00 | (t % 256),
+                // noise spread widely
+                _ => (t.wrapping_mul(2654435761)) & 0xFFFF_FFFF,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_leaf_and_prefix_heavy_hitters() {
+        let h = RadixHierarchy::ipv4();
+        let mut alg = HierarchicalSpaceSaving::new(h, 0.05, 0.2);
+        let m = 40_000;
+        for item in attack_stream(m) {
+            alg.insert(item);
+        }
+        let report = alg.solve(0.2);
+        // The hot leaf is an HHH at level 0.
+        assert!(
+            report
+                .iter()
+                .any(|&(p, _)| p.level == 0 && p.id == 0x0A0B_0C01),
+            "hot leaf missing: {report:?}"
+        );
+        // The spread prefix is heavy only at level ≥ 1 (0x0A0B0D at level 1).
+        assert!(
+            report
+                .iter()
+                .any(|&(p, _)| p.level == 1 && p.id == 0x0A_0B_0D),
+            "hot /24 prefix missing: {report:?}"
+        );
+    }
+
+    #[test]
+    fn conditioned_counts_suppress_double_reporting() {
+        // All traffic on ONE leaf: its ancestors' conditioned counts are ~0
+        // after subtracting the selected leaf, so only the leaf (and no
+        // ancestor) is reported.
+        let h = RadixHierarchy::ipv4();
+        let mut alg = HierarchicalSpaceSaving::new(h, 0.05, 0.3);
+        for _ in 0..10_000 {
+            alg.insert(0x0102_0304);
+        }
+        let report = alg.solve(0.3);
+        assert_eq!(report.len(), 1, "only the leaf: {report:?}");
+        assert_eq!(report[0].0, Prefix { level: 0, id: 0x0102_0304 });
+    }
+
+    #[test]
+    fn estimates_satisfy_accuracy_clause() {
+        let h = RadixHierarchy::ipv4();
+        let eps = 0.05;
+        let mut alg = HierarchicalSpaceSaving::new(h, eps, 0.2);
+        let m = 40_000u64;
+        for item in attack_stream(m) {
+            alg.insert(item);
+        }
+        // True subtree counts for the two known-heavy prefixes.
+        let stream = attack_stream(m);
+        let f_leaf = stream.iter().filter(|&&x| x == 0x0A0B_0C01).count() as f64;
+        let f_pref = stream
+            .iter()
+            .filter(|&&x| x >> 8 == 0x0A_0B_0D)
+            .count() as f64;
+        for (p, fp) in alg.solve(0.2) {
+            let truth = match (p.level, p.id) {
+                (0, 0x0A0B_0C01) => f_leaf,
+                (1, 0x0A_0B_0D) => f_pref,
+                _ => continue,
+            };
+            assert!(fp <= truth + 1e-9, "{p:?}: fp {fp} > f* {truth}");
+            assert!(
+                fp >= truth - eps * m as f64,
+                "{p:?}: fp {fp} < f* − εm = {}",
+                truth - eps * m as f64
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_h_over_eps_counters() {
+        let h = RadixHierarchy::new(4, 4);
+        let alg = HierarchicalSpaceSaving::new(h, 0.1, 0.2);
+        let mut alg = alg;
+        for t in 0..10_000u64 {
+            alg.insert(t % (1 << 16));
+        }
+        // 5 levels × ⌈2/0.1⌉ = 100 counters max.
+        let total_entries: usize = alg.levels.iter().map(|l| l.entries().len()).sum();
+        assert!(total_entries <= 100, "entries {total_entries}");
+        assert!(alg.space_bits() > 0);
+    }
+
+    #[test]
+    fn empty_stream_reports_nothing() {
+        let alg = HierarchicalSpaceSaving::new(RadixHierarchy::ipv4(), 0.1, 0.2);
+        assert!(alg.solve(0.2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "need ε ≤ γ < 1")]
+    fn rejects_gamma_below_eps() {
+        HierarchicalSpaceSaving::new(RadixHierarchy::ipv4(), 0.2, 0.1);
+    }
+}

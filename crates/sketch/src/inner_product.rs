@@ -1,0 +1,213 @@
+//! Corollary 2.8: inner-product estimation from sampled vectors.
+//!
+//! Lemma 2.6 (`[JW18]`): unscaled uniform samples `f′, g′` of `f` and `g`
+//! taken with rates `p_f ≥ s/m_f`, `p_g ≥ s/m_g` for `s = 1/ε²` satisfy
+//! `⟨p_f⁻¹ f′, p_g⁻¹ g′⟩ = ⟨f, g⟩ ± ε‖f‖₁‖g‖₁` with probability ≥ 0.99.
+//! Combined with the heavy-hitter vectors of Algorithm 2 via Lemma 2.7
+//! (`[NNW12]`) this yields the white-box-robust inner-product estimator of
+//! Corollary 2.8. Robustness is again the no-surviving-randomness
+//! argument: each sample coin is used once and published.
+//!
+//! This module implements the sampling estimator with known stream-length
+//! bounds; the unknown-length lift is exactly the epoch ladder of
+//! Algorithm 2 (see [`crate::epochs`]) and is exercised in E11 through the
+//! fixed-budget interface.
+
+use std::collections::HashMap;
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
+use wb_core::stream::StreamAlg;
+
+/// Which of the two interleaved streams an update belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The `f` stream.
+    Left,
+    /// The `g` stream.
+    Right,
+}
+
+/// One update of the interleaved two-vector stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SideUpdate {
+    /// Stream selector.
+    pub side: Side,
+    /// Universe element.
+    pub item: u64,
+}
+
+/// Sampled inner-product estimator (Lemma 2.6 / Corollary 2.8).
+#[derive(Debug, Clone)]
+pub struct SampledInnerProduct {
+    n: u64,
+    p_left: f64,
+    p_right: f64,
+    left: HashMap<u64, u64>,
+    right: HashMap<u64, u64>,
+}
+
+impl SampledInnerProduct {
+    /// Estimator for accuracy `ε`, with per-stream length upper bounds.
+    /// Sampling rates are `s/m` with `s = 1/ε²` (clamped to 1).
+    pub fn new(n: u64, eps: f64, m_left: u64, m_right: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(m_left > 0 && m_right > 0);
+        let s = 1.0 / (eps * eps);
+        SampledInnerProduct {
+            n,
+            p_left: (s / m_left as f64).min(1.0),
+            p_right: (s / m_right as f64).min(1.0),
+            left: HashMap::new(),
+            right: HashMap::new(),
+        }
+    }
+
+    /// Process one interleaved update.
+    pub fn update(&mut self, u: SideUpdate, rng: &mut TranscriptRng) {
+        let (p, map) = match u.side {
+            Side::Left => (self.p_left, &mut self.left),
+            Side::Right => (self.p_right, &mut self.right),
+        };
+        if rng.bernoulli(p) {
+            *map.entry(u.item).or_insert(0) += 1;
+        }
+    }
+
+    /// `⟨p_f⁻¹ f′, p_g⁻¹ g′⟩` — the rescaled sampled inner product.
+    pub fn estimate(&self) -> f64 {
+        let (small, large, scale) = if self.left.len() <= self.right.len() {
+            (&self.left, &self.right, self.p_left * self.p_right)
+        } else {
+            (&self.right, &self.left, self.p_left * self.p_right)
+        };
+        small
+            .iter()
+            .filter_map(|(k, &a)| large.get(k).map(|&b| a as f64 * b as f64))
+            .sum::<f64>()
+            / scale
+    }
+
+    /// Public sampling rates `(p_f, p_g)`.
+    pub fn rates(&self) -> (f64, f64) {
+        (self.p_left, self.p_right)
+    }
+
+    /// Number of retained samples on each side.
+    pub fn sample_sizes(&self) -> (usize, usize) {
+        (self.left.len(), self.right.len())
+    }
+}
+
+impl SpaceUsage for SampledInnerProduct {
+    fn space_bits(&self) -> u64 {
+        let id_bits = bits_for_universe(self.n);
+        self.left
+            .values()
+            .chain(self.right.values())
+            .map(|&c| id_bits + bits_for_count(c))
+            .sum()
+    }
+}
+
+impl StreamAlg for SampledInnerProduct {
+    type Update = SideUpdate;
+    type Output = f64;
+
+    fn process(&mut self, update: &SideUpdate, rng: &mut TranscriptRng) {
+        self.update(*update, rng);
+    }
+
+    fn query(&self) -> f64 {
+        self.estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "SampledInnerProduct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact inner product of two streams given as item lists.
+    fn exact_ip(f: &[u64], g: &[u64]) -> f64 {
+        let mut cf: HashMap<u64, u64> = HashMap::new();
+        let mut cg: HashMap<u64, u64> = HashMap::new();
+        for &i in f {
+            *cf.entry(i).or_insert(0) += 1;
+        }
+        for &i in g {
+            *cg.entry(i).or_insert(0) += 1;
+        }
+        cf.iter()
+            .filter_map(|(k, &a)| cg.get(k).map(|&b| (a * b) as f64))
+            .sum()
+    }
+
+    #[test]
+    fn exact_at_rate_one() {
+        let mut rng = TranscriptRng::from_seed(90);
+        let f: Vec<u64> = (0..100).map(|i| i % 10).collect();
+        let g: Vec<u64> = (0..50).map(|i| i % 5).collect();
+        let mut est = SampledInnerProduct::new(100, 0.5, 4, 4); // rates clamp to 1
+        assert_eq!(est.rates(), (1.0, 1.0));
+        for &i in &f {
+            est.update(SideUpdate { side: Side::Left, item: i }, &mut rng);
+        }
+        for &i in &g {
+            est.update(SideUpdate { side: Side::Right, item: i }, &mut rng);
+        }
+        assert_eq!(est.estimate(), exact_ip(&f, &g));
+    }
+
+    #[test]
+    fn error_within_eps_l1_l1() {
+        let mut rng = TranscriptRng::from_seed(91);
+        let eps = 0.1;
+        let m = 20_000u64;
+        // Correlated streams: both concentrated on items 0..20.
+        let f: Vec<u64> = (0..m).map(|t| t % 20).collect();
+        let g: Vec<u64> = (0..m).map(|t| (t * 3) % 20).collect();
+        let mut est = SampledInnerProduct::new(1000, eps, m, m);
+        for t in 0..m as usize {
+            est.update(SideUpdate { side: Side::Left, item: f[t] }, &mut rng);
+            est.update(SideUpdate { side: Side::Right, item: g[t] }, &mut rng);
+        }
+        let truth = exact_ip(&f, &g);
+        let bound = eps * (m as f64) * (m as f64);
+        let err = (est.estimate() - truth).abs();
+        assert!(err <= bound, "error {err} exceeds ε‖f‖₁‖g‖₁ = {bound}");
+    }
+
+    #[test]
+    fn disjoint_supports_give_zero() {
+        let mut rng = TranscriptRng::from_seed(92);
+        let mut est = SampledInnerProduct::new(1000, 0.2, 1000, 1000);
+        for t in 0..1000u64 {
+            est.update(SideUpdate { side: Side::Left, item: t % 10 }, &mut rng);
+            est.update(SideUpdate { side: Side::Right, item: 500 + t % 10 }, &mut rng);
+        }
+        assert_eq!(est.estimate(), 0.0);
+    }
+
+    #[test]
+    fn space_tracks_samples() {
+        let mut rng = TranscriptRng::from_seed(93);
+        let m = 100_000u64;
+        let mut est = SampledInnerProduct::new(1 << 20, 0.1, m, m);
+        for t in 0..m {
+            est.update(SideUpdate { side: Side::Left, item: t }, &mut rng);
+        }
+        // s = 100 expected samples; allow wide slack.
+        let (left, _) = est.sample_sizes();
+        assert!(left < 400, "sampled {left}, expected ~100");
+        assert!(est.space_bits() < 400 * (20 + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn rejects_bad_eps() {
+        SampledInnerProduct::new(10, 0.0, 10, 10);
+    }
+}

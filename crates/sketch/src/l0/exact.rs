@@ -1,0 +1,97 @@
+//! Exact L0 (distinct elements) baseline for turnstile streams.
+//!
+//! Stores the full support of the frequency vector — `Θ(L0·log n)` bits.
+//! Deterministic exact counting is what Theorem 1.9 (with `p = 0`) proves
+//! unavoidable for white-box adversaries with unbounded computation; the
+//! SIS estimator (Algorithm 5) beats it only under Assumption 2.17.
+
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_signed, bits_for_universe, SpaceUsage};
+use wb_core::stream::{FrequencyVector, StreamAlg, Turnstile};
+
+/// Exact distinct-element counter over turnstile streams.
+#[derive(Debug, Clone, Default)]
+pub struct ExactL0 {
+    freqs: FrequencyVector,
+    n: u64,
+}
+
+impl ExactL0 {
+    /// Exact counter over universe `[n]`.
+    pub fn new(n: u64) -> Self {
+        ExactL0 {
+            freqs: FrequencyVector::new(),
+            n,
+        }
+    }
+
+    /// Apply a turnstile update.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        self.freqs.update(item, delta);
+    }
+
+    /// Exact `L0 = |{i : f_i ≠ 0}|`.
+    pub fn l0(&self) -> u64 {
+        self.freqs.l0()
+    }
+
+    /// The underlying frequency vector.
+    pub fn freqs(&self) -> &FrequencyVector {
+        &self.freqs
+    }
+}
+
+impl SpaceUsage for ExactL0 {
+    fn space_bits(&self) -> u64 {
+        let id_bits = bits_for_universe(self.n);
+        self.freqs
+            .iter()
+            .map(|(_, f)| id_bits + bits_for_signed(f))
+            .sum()
+    }
+}
+
+impl StreamAlg for ExactL0 {
+    type Update = Turnstile;
+    type Output = u64;
+
+    fn process(&mut self, update: &Turnstile, _rng: &mut TranscriptRng) {
+        self.update(update.item, update.delta);
+    }
+
+    fn query(&self) -> u64 {
+        self.l0()
+    }
+
+    fn name(&self) -> &'static str {
+        "ExactL0"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_with_deletions() {
+        let mut e = ExactL0::new(1000);
+        e.update(1, 3);
+        e.update(2, 1);
+        e.update(3, 5);
+        assert_eq!(e.l0(), 3);
+        e.update(2, -1);
+        assert_eq!(e.l0(), 2, "cancelled item leaves the support");
+        e.update(4, -7);
+        assert_eq!(e.l0(), 3, "negative coordinates count");
+    }
+
+    #[test]
+    fn space_scales_with_support() {
+        let mut e = ExactL0::new(1 << 20);
+        let empty = e.space_bits();
+        for i in 0..100 {
+            e.update(i, 1);
+        }
+        assert!(e.space_bits() >= empty + 100 * 20);
+    }
+}

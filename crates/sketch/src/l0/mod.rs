@@ -1,0 +1,14 @@
+//! L0 (distinct elements) estimation on turnstile streams (§2.3).
+//!
+//! * [`exact`] — the deterministic exact baseline;
+//! * [`sis_estimator`] — Algorithm 5 / Theorem 1.5;
+//! * [`attack`] — the naive-sketch break and the bounded SIS attacks that
+//!   map out the computational assumption.
+
+pub mod attack;
+pub mod exact;
+pub mod sis_estimator;
+
+pub use attack::{attack_sis_estimator, break_naive_sketch, NaiveModSketchL0, SisAttackOutcome};
+pub use exact::ExactL0;
+pub use sis_estimator::{MatrixMode, SisL0Estimator};

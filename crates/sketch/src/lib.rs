@@ -1,0 +1,42 @@
+//! # wb-sketch — robust streaming statistics (§2 of the paper)
+//!
+//! Implements the paper's statistical algorithms and the baselines they are
+//! measured against:
+//!
+//! | module | paper anchor | contents |
+//! |---|---|---|
+//! | [`morris`] | Lemma 2.1 | Morris counters, median amplification |
+//! | [`misra_gries`] | Theorem 2.2 | deterministic heavy hitters (baseline) |
+//! | [`space_saving`] | Theorem 2.11 substrate | SpaceSaving with error tracking |
+//! | [`sampling`] | Theorem 2.3 | Bernoulli sampling, reservoir sampling |
+//! | [`bern_mg`] | Algorithm 1 | Bernoulli-sampled Misra–Gries |
+//! | [`epochs`] | Algorithm 2 skeleton | the two-active-guesses ladder |
+//! | [`robust_hh`] | Theorem 1.1 / Algorithm 2 | robust `ε`-L1-heavy hitters |
+//! | [`phi_eps_hh`] | Theorem 1.2 | CRHF-compressed `(φ,ε)`-heavy hitters |
+//! | [`hhh`] | §2.2 / Algorithms 3–4 | hierarchical heavy hitters |
+//! | [`l0`] | Theorem 1.5 / Algorithm 5 | SIS-based L0 estimation + attacks |
+//! | [`inner_product`] | Corollary 2.8 | sampled inner-product estimation |
+//! | [`count_min`] | §1 motivation | CountMin + its white-box attack |
+//! | [`ams`] | §1 motivation / Thm 1.9 | AMS F2 + its white-box attack |
+
+pub mod ams;
+pub mod bern_mg;
+pub mod count_min;
+pub mod epochs;
+pub mod hhh;
+pub mod inner_product;
+pub mod l0;
+pub mod misra_gries;
+pub mod morris;
+pub mod phi_eps_hh;
+pub mod robust_hh;
+pub mod sampling;
+pub mod space_saving;
+
+pub use bern_mg::BernMG;
+pub use misra_gries::MisraGries;
+pub use morris::{MedianMorris, MorrisCounter};
+pub use phi_eps_hh::PhiEpsHeavyHitters;
+pub use robust_hh::RobustL1HeavyHitters;
+pub use sampling::BernoulliHeavyHitters;
+pub use space_saving::SpaceSaving;

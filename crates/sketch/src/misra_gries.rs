@@ -1,0 +1,242 @@
+//! The Misra–Gries deterministic heavy-hitters summary (Theorem 2.2,
+//! `[MG82]`).
+//!
+//! `k = ⌈2/ε⌉` counters guarantee that every estimate satisfies
+//! `f_i − (1/k)·m ≤ f̂_i ≤ f_i` and that every item with `f_i > ε·m` is
+//! retained. Being deterministic, Misra–Gries is trivially robust to
+//! white-box adversaries — it is the baseline the paper's Theorem 1.1
+//! improves on for long streams: its space is
+//! `O(ε⁻¹ (log m + log n))` bits (counters grow with `m`), versus the
+//! robust randomized algorithm's `O(ε⁻¹ (log n + log ε⁻¹) + log log m)`.
+
+use std::collections::HashMap;
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
+use wb_core::stream::{InsertOnly, StreamAlg};
+
+/// Misra–Gries summary with `k` counters over a universe of size `n`.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: HashMap<u64, u64>,
+    k: usize,
+    n: u64,
+    processed: u64,
+}
+
+impl MisraGries {
+    /// Summary with `k ≥ 1` counters (guarantee: additive error `m/k`).
+    pub fn with_counters(k: usize, n: u64) -> Self {
+        assert!(k >= 1, "need at least one counter");
+        MisraGries {
+            counters: HashMap::with_capacity(k + 1),
+            k,
+            n,
+            processed: 0,
+        }
+    }
+
+    /// Summary sized for the `ε`-heavy-hitters guarantee with additive
+    /// error `(ε/2)·m`, i.e. `k = ⌈2/ε⌉`.
+    pub fn new(eps: f64, n: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        Self::with_counters((2.0 / eps).ceil() as usize, n)
+    }
+
+    /// Process one item occurrence.
+    pub fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(item, 1);
+            return;
+        }
+        // Decrement-all step; drop zeros.
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Lower-bound estimate `f̂_i ∈ [f_i − m/k, f_i]` of item `i`.
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    /// All retained `(item, estimate)` pairs, item-ascending.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&i, &c)| (i, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of counters configured.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Updates processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Worst-case additive estimation error at this point, `m/k`.
+    pub fn error_bound(&self) -> f64 {
+        self.processed as f64 / self.k as f64
+    }
+}
+
+impl SpaceUsage for MisraGries {
+    /// Each live counter stores an id (`⌈log₂ n⌉` bits) and a count
+    /// (`O(log m)` bits — this is the `log m` term of Theorem 2.2 that the
+    /// paper's randomized algorithm removes).
+    fn space_bits(&self) -> u64 {
+        let id_bits = bits_for_universe(self.n);
+        self.counters
+            .values()
+            .map(|&c| id_bits + bits_for_count(c))
+            .sum()
+    }
+}
+
+impl StreamAlg for MisraGries {
+    type Update = InsertOnly;
+    type Output = Vec<(u64, f64)>;
+
+    fn process(&mut self, update: &InsertOnly, _rng: &mut TranscriptRng) {
+        self.insert(update.0);
+    }
+
+    fn query(&self) -> Vec<(u64, f64)> {
+        self.entries()
+            .into_iter()
+            .map(|(i, c)| (i, c as f64))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "MisraGries"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_core::game::{run_game, ScriptAdversary};
+    use wb_core::referee::HeavyHitterReferee;
+
+    #[test]
+    fn exact_when_few_distinct_items() {
+        let mut mg = MisraGries::with_counters(10, 1000);
+        for _ in 0..50 {
+            mg.insert(1);
+        }
+        for _ in 0..30 {
+            mg.insert(2);
+        }
+        assert_eq!(mg.estimate(1), 50);
+        assert_eq!(mg.estimate(2), 30);
+        assert_eq!(mg.estimate(3), 0);
+    }
+
+    #[test]
+    fn estimates_never_exceed_truth_and_error_bounded() {
+        // Adversarial-ish interleaving: 1 heavy item among uniform noise.
+        let mut mg = MisraGries::with_counters(20, 1000);
+        let mut true_freq = std::collections::HashMap::new();
+        let mut m = 0u64;
+        for round in 0..2000u64 {
+            let item = if round % 3 == 0 { 7 } else { 100 + (round % 50) };
+            mg.insert(item);
+            *true_freq.entry(item).or_insert(0u64) += 1;
+            m += 1;
+        }
+        for (&item, &f) in &true_freq {
+            let est = mg.estimate(item);
+            assert!(est <= f, "overestimate for {item}: {est} > {f}");
+            assert!(
+                f - est <= m / 20,
+                "error for {item}: {f}-{est} > {}",
+                m / 20
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_item_always_retained() {
+        // f_7 = 667 > m/k for k=4 ⇒ item 7 must survive.
+        let mut mg = MisraGries::with_counters(4, 1000);
+        for i in 0..2000u64 {
+            mg.insert(if i % 3 != 2 { 7 } else { i });
+        }
+        assert!(mg.estimate(7) > 0, "heavy item evicted");
+    }
+
+    #[test]
+    fn never_more_than_k_counters() {
+        let mut mg = MisraGries::with_counters(5, 10_000);
+        for i in 0..5000u64 {
+            mg.insert(i);
+        }
+        assert!(mg.entries().len() <= 5);
+    }
+
+    #[test]
+    fn space_grows_with_log_m() {
+        // Feed one item m times: its counter has log m bits. This is the
+        // term the paper's Theorem 1.1 gets rid of.
+        let mut small = MisraGries::with_counters(1, 2);
+        let mut large = MisraGries::with_counters(1, 2);
+        for _ in 0..100u64 {
+            small.insert(0);
+        }
+        for _ in 0..1_000_000u64 {
+            large.insert(0);
+        }
+        assert!(large.space_bits() > small.space_bits());
+        assert_eq!(
+            large.space_bits() - small.space_bits(),
+            bits_for_count(1_000_000) - bits_for_count(100)
+        );
+    }
+
+    #[test]
+    fn passes_heavy_hitter_referee_in_game() {
+        // ε = 0.1, additive tolerance m/k = εm/2: referee at ε tolerance.
+        let mut mg = MisraGries::new(0.1, 1 << 16);
+        let mut referee = HeavyHitterReferee::new(0.1, 0.1);
+        // Zipf-ish script: item i appears ~ 1/(i+1) of the time.
+        let mut script = Vec::new();
+        for t in 0..5000u64 {
+            let item = match t % 10 {
+                0..=4 => 1,
+                5..=7 => 2,
+                8 => 3,
+                _ => 50 + t % 97,
+            };
+            script.push(InsertOnly(item));
+        }
+        let mut adv = ScriptAdversary::new(script);
+        let result = run_game(&mut mg, &mut adv, &mut referee, 5000, 13);
+        assert!(result.survived(), "failed: {:?}", result.failure);
+    }
+
+    #[test]
+    fn error_bound_reporting() {
+        let mut mg = MisraGries::with_counters(10, 100);
+        for i in 0..100u64 {
+            mg.insert(i % 7);
+        }
+        assert_eq!(mg.processed(), 100);
+        assert!((mg.error_bound() - 10.0).abs() < 1e-9);
+        assert_eq!(mg.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn rejects_bad_eps() {
+        MisraGries::new(0.0, 10);
+    }
+}

@@ -1,0 +1,282 @@
+//! Morris approximate counters (Lemma 2.1 of the paper).
+//!
+//! A Morris counter stores only `X ≈ log_{1+a}(count)`: it increments `X`
+//! with probability `(1+a)^{-X}` and estimates the count as
+//! `((1+a)^X − 1)/a`. The estimator is exactly unbiased and, with
+//! `a = 2ε²δ`, Chebyshev gives a `(1+ε)`-approximation with probability
+//! `1 − δ` — using `O(log log m + log 1/ε + log 1/δ)` bits.
+//!
+//! **White-box robustness** (Lemma 2.1): the counter's behaviour depends
+//! only on *how many* increments it has received, never on update values or
+//! any adversary-controllable quantity; each increment's coin is fresh.
+//! Seeing `X` tells the adversary nothing actionable — the only "attack" is
+//! choosing when to stop, and the estimate is within tolerance at every
+//! prefix w.h.p. The experiment E10 runs adaptive adversaries that try to
+//! stop at unlucky moments and measures the failure rate.
+
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_count, SpaceUsage};
+use wb_core::stream::{InsertOnly, StreamAlg};
+
+/// A single Morris counter with base `1 + a`.
+#[derive(Debug, Clone)]
+pub struct MorrisCounter {
+    /// The stored exponent `X`.
+    x: u64,
+    /// Base offset `a > 0` (smaller `a` → better accuracy, more bits).
+    a: f64,
+}
+
+impl MorrisCounter {
+    /// Counter achieving a `(1±ε)`-approximation with probability `1−δ`
+    /// at any fixed time (standard Chebyshev analysis: `a = 2ε²δ`).
+    pub fn new(eps: f64, delta: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        Self::with_base(2.0 * eps * eps * delta)
+    }
+
+    /// Counter with an explicit base offset `a`.
+    pub fn with_base(a: f64) -> Self {
+        assert!(a > 0.0, "base offset must be positive");
+        MorrisCounter { x: 0, a }
+    }
+
+    /// Register one event.
+    pub fn increment(&mut self, rng: &mut TranscriptRng) {
+        let p = (1.0 + self.a).powi(-(self.x as i32));
+        if rng.bernoulli(p) {
+            self.x += 1;
+        }
+    }
+
+    /// Unbiased estimate `((1+a)^X − 1)/a` of the event count.
+    pub fn estimate(&self) -> f64 {
+        ((1.0 + self.a).powi(self.x as i32) - 1.0) / self.a
+    }
+
+    /// The stored exponent `X` — the entire mutable state, visible to the
+    /// white-box adversary.
+    pub fn exponent(&self) -> u64 {
+        self.x
+    }
+
+    /// The base offset `a` (public parameter).
+    pub fn base_offset(&self) -> f64 {
+        self.a
+    }
+}
+
+impl SpaceUsage for MorrisCounter {
+    /// Only the exponent is state: `O(log X) = O(log log m + log 1/a)` bits.
+    fn space_bits(&self) -> u64 {
+        bits_for_count(self.x)
+    }
+}
+
+impl StreamAlg for MorrisCounter {
+    type Update = InsertOnly;
+    type Output = f64;
+
+    fn process(&mut self, _update: &InsertOnly, rng: &mut TranscriptRng) {
+        self.increment(rng);
+    }
+
+    fn query(&self) -> f64 {
+        self.estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "MorrisCounter"
+    }
+}
+
+/// Median of `k` independent Morris counters: amplifies the per-time
+/// success probability from `1 − δ'` to `1 − exp(−Ω(k))`, which is how the
+/// `log(1/δ)` term in Lemma 2.1 is realized while keeping each counter's
+/// base moderate.
+#[derive(Debug, Clone)]
+pub struct MedianMorris {
+    counters: Vec<MorrisCounter>,
+}
+
+impl MedianMorris {
+    /// `k` counters (made odd internally), each a `(1±ε)`-estimator with
+    /// constant failure probability.
+    pub fn new(eps: f64, k: usize) -> Self {
+        let k = if k.is_multiple_of(2) { k + 1 } else { k.max(1) };
+        // Each copy: failure probability 1/8 at fixed time.
+        let counters = (0..k).map(|_| MorrisCounter::new(eps, 1.0 / 8.0)).collect();
+        MedianMorris { counters }
+    }
+
+    /// Register one event (all copies flip independent coins).
+    pub fn increment(&mut self, rng: &mut TranscriptRng) {
+        for c in &mut self.counters {
+            c.increment(rng);
+        }
+    }
+
+    /// Median of the copies' estimates.
+    pub fn estimate(&self) -> f64 {
+        let mut ests: Vec<f64> = self.counters.iter().map(MorrisCounter::estimate).collect();
+        ests.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        ests[ests.len() / 2]
+    }
+
+    /// The individual counters (white-box view).
+    pub fn counters(&self) -> &[MorrisCounter] {
+        &self.counters
+    }
+}
+
+impl SpaceUsage for MedianMorris {
+    fn space_bits(&self) -> u64 {
+        self.counters.iter().map(SpaceUsage::space_bits).sum()
+    }
+}
+
+impl StreamAlg for MedianMorris {
+    type Update = InsertOnly;
+    type Output = f64;
+
+    fn process(&mut self, _update: &InsertOnly, rng: &mut TranscriptRng) {
+        self.increment(rng);
+    }
+
+    fn query(&self) -> f64 {
+        self.estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "MedianMorris"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_core::game::{run_game, FnAdversary, ScriptAdversary};
+    use wb_core::referee::ApproxCountReferee;
+    use wb_core::rng::RandTranscript;
+
+    #[test]
+    fn estimate_zero_initially() {
+        let c = MorrisCounter::new(0.5, 0.25);
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.exponent(), 0);
+    }
+
+    #[test]
+    fn estimate_tracks_count_within_tolerance() {
+        let mut rng = TranscriptRng::from_seed(1);
+        let n = 100_000u64;
+        let mut c = MorrisCounter::with_base(0.01);
+        for _ in 0..n {
+            c.increment(&mut rng);
+        }
+        let est = c.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.25, "relative error {rel} too large (est {est})");
+    }
+
+    #[test]
+    fn estimator_is_unbiased_across_seeds() {
+        let n = 2_000u64;
+        let trials = 300;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut rng = TranscriptRng::from_seed(seed);
+            let mut c = MorrisCounter::with_base(0.5);
+            for _ in 0..n {
+                c.increment(&mut rng);
+            }
+            sum += c.estimate();
+        }
+        let mean = sum / trials as f64;
+        let rel = (mean - n as f64).abs() / n as f64;
+        assert!(rel < 0.1, "mean {mean} deviates from {n} by {rel}");
+    }
+
+    #[test]
+    fn space_is_loglog() {
+        let mut rng = TranscriptRng::from_seed(2);
+        let mut c = MorrisCounter::with_base(0.5);
+        for _ in 0..1_000_000u64 {
+            c.increment(&mut rng);
+        }
+        // X ≈ log_{1.5}(5e5) ≈ 34 → ~6 bits, far below log2(1e6) = 20.
+        assert!(
+            c.space_bits() <= 8,
+            "space {} bits should be ~log log m",
+            c.space_bits()
+        );
+    }
+
+    #[test]
+    fn median_morris_concentrates() {
+        let mut rng = TranscriptRng::from_seed(3);
+        let n = 50_000u64;
+        let mut m = MedianMorris::new(0.3, 9);
+        for _ in 0..n {
+            m.increment(&mut rng);
+        }
+        let rel = (m.estimate() - n as f64).abs() / n as f64;
+        assert!(rel < 0.3, "median relative error {rel}");
+        assert_eq!(m.counters().len(), 9);
+    }
+
+    #[test]
+    fn median_morris_evens_out_k() {
+        assert_eq!(MedianMorris::new(0.3, 4).counters().len(), 5);
+        assert_eq!(MedianMorris::new(0.3, 0).counters().len(), 1);
+    }
+
+    #[test]
+    fn survives_white_box_game_against_adaptive_stopper() {
+        // Adversary stops the stream the moment the estimate drifts high —
+        // the classic "stop at an unlucky time" adaptive strategy. With a
+        // generous tolerance and a fine base, the counter must survive.
+        let mut alg = MedianMorris::new(0.2, 9);
+        let mut referee = ApproxCountReferee::new(0.5);
+        let mut adv = FnAdversary::new(
+            |_t: u64, alg: &MedianMorris, _tr: &RandTranscript, _last: Option<&f64>| {
+                // White-box: inspect the exponents; stop if estimate looks
+                // inflated (tries to lock in an error — it cannot, because
+                // the referee checked every prefix anyway).
+                if alg.estimate() > 2.0e6 {
+                    None
+                } else {
+                    Some(InsertOnly(0))
+                }
+            },
+        );
+        let result = run_game(&mut alg, &mut adv, &mut referee, 200_000, 7);
+        assert!(
+            result.survived(),
+            "failed at {:?}",
+            result.failure
+        );
+    }
+
+    #[test]
+    fn survives_long_scripted_stream_and_reports_small_space() {
+        let mut alg = MedianMorris::new(0.2, 9);
+        let mut referee = ApproxCountReferee::new(0.5);
+        let mut adv = ScriptAdversary::new(vec![InsertOnly(0); 100_000]);
+        let result = run_game(&mut alg, &mut adv, &mut referee, 100_000, 11);
+        assert!(result.survived(), "failed at {:?}", result.failure);
+        // 9 counters, each ~7 bits of exponent at m = 1e5 with a = 2·ε²δ.
+        assert!(
+            result.peak_space_bits < 9 * 16,
+            "peak space {} bits",
+            result.peak_space_bits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn rejects_bad_eps() {
+        MorrisCounter::new(1.5, 0.1);
+    }
+}

@@ -1,0 +1,221 @@
+//! The SpaceSaving summary (Metwally–Agrawal–El Abbadi), the building block
+//! of the TMS12 hierarchical heavy hitters algorithm (Theorem 2.11).
+//!
+//! SpaceSaving with `k` counters maintains, for each monitored item, a
+//! count `c_i` and an *adoption error* `e_i` such that
+//! `f_i ≤ c_i ≤ f_i + e_i` and `e_i ≤ m/k`. The pair lets callers derive
+//! both over-estimates (`c_i`) and under-estimates (`c_i − e_i`), which the
+//! HHH accuracy condition of Definition 2.10 needs. Deterministic, hence
+//! white-box robust.
+
+use std::collections::HashMap;
+use wb_core::rng::TranscriptRng;
+use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
+use wb_core::stream::{InsertOnly, StreamAlg};
+
+/// One monitored entry: over-estimate `count` and adoption error `err`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsEntry {
+    /// Over-estimate of the item's frequency (`f ≤ count`).
+    pub count: u64,
+    /// Upper bound on the over-estimation (`count − f ≤ err`).
+    pub err: u64,
+}
+
+/// SpaceSaving summary with `k` counters over universe `[n]`.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    entries: HashMap<u64, SsEntry>,
+    k: usize,
+    n: u64,
+    processed: u64,
+}
+
+impl SpaceSaving {
+    /// Summary with `k ≥ 1` counters.
+    pub fn with_counters(k: usize, n: u64) -> Self {
+        assert!(k >= 1, "need at least one counter");
+        SpaceSaving {
+            entries: HashMap::with_capacity(k + 1),
+            k,
+            n,
+            processed: 0,
+        }
+    }
+
+    /// Summary with additive error `(ε/2)·m`, i.e. `k = ⌈2/ε⌉`.
+    pub fn new(eps: f64, n: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        Self::with_counters((2.0 / eps).ceil() as usize, n)
+    }
+
+    /// Process one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Process `w ≥ 1` occurrences of `item` at once.
+    pub fn insert_weighted(&mut self, item: u64, w: u64) {
+        self.processed += w;
+        if let Some(e) = self.entries.get_mut(&item) {
+            e.count += w;
+            return;
+        }
+        if self.entries.len() < self.k {
+            self.entries.insert(item, SsEntry { count: w, err: 0 });
+            return;
+        }
+        // Replace the minimum-count entry.
+        let (&min_item, &min_entry) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.count)
+            .expect("k ≥ 1 entries");
+        self.entries.remove(&min_item);
+        self.entries.insert(
+            item,
+            SsEntry {
+                count: min_entry.count + w,
+                err: min_entry.count,
+            },
+        );
+    }
+
+    /// Over-estimate of `item`'s frequency (`0` if not monitored).
+    pub fn over_estimate(&self, item: u64) -> u64 {
+        self.entries.get(&item).map_or(0, |e| e.count)
+    }
+
+    /// Under-estimate `count − err` of `item`'s frequency.
+    pub fn under_estimate(&self, item: u64) -> u64 {
+        self.entries.get(&item).map_or(0, |e| e.count - e.err)
+    }
+
+    /// The monitored entries, item-ascending.
+    pub fn entries(&self) -> Vec<(u64, SsEntry)> {
+        let mut v: Vec<(u64, SsEntry)> = self.entries.iter().map(|(&i, &e)| (i, e)).collect();
+        v.sort_unstable_by_key(|&(i, _)| i);
+        v
+    }
+
+    /// Updates processed (total weight).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of counters configured.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+}
+
+impl SpaceUsage for SpaceSaving {
+    fn space_bits(&self) -> u64 {
+        let id_bits = bits_for_universe(self.n);
+        self.entries
+            .values()
+            .map(|e| id_bits + bits_for_count(e.count) + bits_for_count(e.err))
+            .sum()
+    }
+}
+
+impl StreamAlg for SpaceSaving {
+    type Update = InsertOnly;
+    type Output = Vec<(u64, f64)>;
+
+    fn process(&mut self, update: &InsertOnly, _rng: &mut TranscriptRng) {
+        self.insert(update.0);
+    }
+
+    fn query(&self) -> Vec<(u64, f64)> {
+        self.entries()
+            .into_iter()
+            .map(|(i, e)| (i, e.count as f64))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "SpaceSaving"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_with_spare_capacity() {
+        let mut ss = SpaceSaving::with_counters(8, 100);
+        for _ in 0..5 {
+            ss.insert(1);
+        }
+        for _ in 0..3 {
+            ss.insert(2);
+        }
+        assert_eq!(ss.over_estimate(1), 5);
+        assert_eq!(ss.under_estimate(1), 5);
+        assert_eq!(ss.over_estimate(2), 3);
+        assert_eq!(ss.over_estimate(9), 0);
+    }
+
+    #[test]
+    fn sandwich_invariant_holds() {
+        let mut ss = SpaceSaving::with_counters(10, 10_000);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for t in 0..5000u64 {
+            let item = if t % 4 == 0 { 3 } else { 10 + (t * 7) % 200 };
+            ss.insert(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let m = ss.processed();
+        for (item, e) in ss.entries() {
+            let f = truth.get(&item).copied().unwrap_or(0);
+            assert!(e.count >= f, "count {} < f {f} for {item}", e.count);
+            assert!(
+                e.count - e.err <= f,
+                "under-estimate {} > f {f} for {item}",
+                e.count - e.err
+            );
+            assert!(e.err <= m / 10 + 1, "err {} exceeds m/k", e.err);
+        }
+    }
+
+    #[test]
+    fn heavy_item_retained() {
+        let mut ss = SpaceSaving::with_counters(4, 10_000);
+        for t in 0..4000u64 {
+            ss.insert(if t % 3 != 2 { 42 } else { 100 + t });
+        }
+        // f_42 ≈ 2667 > m/4: must be monitored with a large count.
+        assert!(ss.over_estimate(42) >= 2000);
+    }
+
+    #[test]
+    fn weighted_inserts_match_repeated() {
+        let mut a = SpaceSaving::with_counters(3, 100);
+        let mut b = SpaceSaving::with_counters(3, 100);
+        for _ in 0..7 {
+            a.insert(5);
+        }
+        b.insert_weighted(5, 7);
+        assert_eq!(a.over_estimate(5), b.over_estimate(5));
+        assert_eq!(a.processed(), b.processed());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut ss = SpaceSaving::with_counters(6, 1 << 20);
+        for i in 0..10_000u64 {
+            ss.insert(i);
+        }
+        assert!(ss.entries().len() <= 6);
+        assert_eq!(ss.capacity(), 6);
+    }
+
+    #[test]
+    fn space_accounting_nonzero() {
+        let mut ss = SpaceSaving::new(0.25, 1 << 10);
+        ss.insert(1);
+        assert!(ss.space_bits() >= 10);
+    }
+}

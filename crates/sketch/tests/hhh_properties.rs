@@ -1,0 +1,111 @@
+//! Property-based tests for the hierarchical-heavy-hitters stack.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wb_core::rng::TranscriptRng;
+use wb_sketch::hhh::{Hierarchy, HierarchicalSpaceSaving, RadixHierarchy, RobustHHH};
+
+/// Exact subtree count of a prefix from leaf counts.
+fn subtree_count(
+    h: &RadixHierarchy,
+    leaf_counts: &HashMap<u64, u64>,
+    level: u32,
+    id: u64,
+) -> u64 {
+    leaf_counts
+        .iter()
+        .filter(|(&leaf, _)| h.ancestor(leaf, level) == id)
+        .map(|(_, &c)| c)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tms12_accuracy_clause_on_arbitrary_streams(
+        stream in proptest::collection::vec(0u64..256, 50..400),
+    ) {
+        let h = RadixHierarchy::new(4, 2); // 8-bit leaves, height 2
+        let eps = 0.1;
+        let mut alg = HierarchicalSpaceSaving::new(h, eps, 0.3);
+        let mut leaf_counts: HashMap<u64, u64> = HashMap::new();
+        for &item in &stream {
+            alg.insert(item);
+            *leaf_counts.entry(item).or_insert(0) += 1;
+        }
+        let m = stream.len() as u64;
+        for (p, fp) in alg.solve(0.3) {
+            let truth = subtree_count(&h, &leaf_counts, p.level, p.id) as f64;
+            prop_assert!(fp <= truth + 1e-9, "{p:?}: over-reported {fp} > {truth}");
+            prop_assert!(
+                fp >= truth - eps * m as f64 - 1e-9,
+                "{p:?}: {fp} under-reports {truth} beyond εm"
+            );
+        }
+    }
+
+    #[test]
+    fn tms12_reports_cover_every_gamma_heavy_leaf(
+        hot in 0u64..256,
+        noise in proptest::collection::vec(0u64..256, 0..150),
+    ) {
+        // Make `hot` hold ≥ 50% of the stream; it (or an ancestor with it
+        // inside) must appear in the report at γ = 0.3.
+        let h = RadixHierarchy::new(4, 2);
+        let mut alg = HierarchicalSpaceSaving::new(h, 0.05, 0.3);
+        for &item in &noise {
+            alg.insert(item);
+        }
+        for _ in 0..noise.len().max(20) {
+            alg.insert(hot);
+        }
+        let report = alg.solve(0.3);
+        let covered = report.iter().any(|&(p, _)| h.ancestor(hot, p.level) == p.id);
+        prop_assert!(covered, "hot leaf {hot} not covered by {report:?}");
+    }
+
+    #[test]
+    fn robust_hhh_estimates_scale_to_stream_size(
+        seed in 0u64..200,
+        reps in 40u64..120,
+    ) {
+        // A single dominant leaf repeated `reps·16` times among 16·reps
+        // total updates: its reported estimate must land near its share.
+        let h = RadixHierarchy::new(4, 2);
+        let mut rng = TranscriptRng::from_seed(seed);
+        let mut alg = RobustHHH::new(h, 0.1, 0.4);
+        let m = 16 * reps;
+        for t in 0..m {
+            let item = if t % 2 == 0 { 7 } else { (t * 37) % 256 };
+            alg.insert(item, &mut rng);
+        }
+        let report = alg.solve();
+        if let Some(&(_, est)) = report.iter().find(|&&(p, _)| p.level == 0 && p.id == 7) {
+            let truth = (m / 2) as f64;
+            prop_assert!(
+                (est - truth).abs() < 0.35 * m as f64,
+                "estimate {est} far from {truth} (m = {m})"
+            );
+        }
+        // The dominant leaf must be covered by *something* in the report.
+        prop_assert!(
+            report.iter().any(|&(p, _)| h.ancestor(7, p.level) == p.id),
+            "dominant leaf uncovered: {report:?}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_ancestors_are_consistent_under_lift(
+        item in 0u64..(1 << 12),
+        a in 0u32..4,
+        b in 0u32..4,
+    ) {
+        let h = RadixHierarchy::new(3, 4);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(
+            h.lift(h.ancestor(item, lo), lo, hi),
+            h.ancestor(item, hi)
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! White-box attacks on string fingerprints (§2.6 of the paper).
+//!
+//! The paper's observation: *"an adversary can use the information about
+//! the internal parameters of the Karp–Rabin fingerprint to easily generate
+//! a collision"* — by Fermat's little theorem, `x^{p−1} ≡ 1 (mod p)`, so
+//! shifting a set character by one multiplicative order of `x` preserves
+//! the fingerprint. [`kr_order_collision`] implements exactly that: it
+//! factors `p − 1` (poly-time for word-sized `p` via Pollard rho), computes
+//! `ord_p(x)`, and emits two distinct equal-fingerprint strings.
+//!
+//! Against the DL-exponent fingerprint the same adversary budget fails:
+//! producing a collision requires the order of `g`, whose computation is
+//! the very problem the construction assumes hard — at workspace scale this
+//! is a *cost measurement* (experiment E7), demonstrated here by
+//! [`dlexp_random_collision_search`] failing within budgets that break
+//! Karp–Rabin instantly.
+
+use crate::karp_rabin::KarpRabinParams;
+use wb_core::rng::TranscriptRng;
+use wb_crypto::crhf::{DlExpHash, DlExpParams};
+use wb_crypto::prime::multiplicative_order;
+
+/// A crafted Karp–Rabin collision: two distinct 0/1 strings of length
+/// `ord + 1` with identical fingerprints under the published parameters.
+///
+/// `U` has a 1 at position 0; `V` has the 1 moved to position
+/// `ord = ord_p(x)`; since `x^0 ≡ x^{ord}`, the polynomial values agree.
+pub fn kr_order_collision(params: &KarpRabinParams) -> (Vec<u64>, Vec<u64>) {
+    let ord = multiplicative_order(params.x, params.p);
+    let len = ord as usize + 1;
+    let mut u = vec![0u64; len];
+    let mut v = vec![0u64; len];
+    u[0] = 1;
+    v[ord as usize] = 1;
+    (u, v)
+}
+
+/// Generic bounded adversary against any fingerprint: random search for a
+/// colliding pair among `budget` random strings of length `len`. Returns
+/// the pair if found. (This is what a `T`-time adversary without structural
+/// insight can do; against a `b`-bit fingerprint it needs `~2^{b/2}`
+/// samples.)
+pub fn dlexp_random_collision_search(
+    params: DlExpParams,
+    len: usize,
+    budget: u64,
+    rng: &mut TranscriptRng,
+) -> Option<(Vec<u64>, Vec<u64>)> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<u64, Vec<u64>> = HashMap::new();
+    for _ in 0..budget {
+        let s: Vec<u64> = (0..len).map(|_| rng.below(params.base)).collect();
+        let h = DlExpHash::hash_symbols(params, &s);
+        if let Some(prev) = seen.get(&h) {
+            if prev != &s {
+                return Some((prev.clone(), s));
+            }
+        } else {
+            seen.insert(h, s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::karp_rabin::KarpRabin;
+
+    #[test]
+    fn order_attack_breaks_karp_rabin() {
+        // Small prime so the crafted strings stay test-sized; the attack
+        // itself scales to any word-sized p (factoring p−1 is easy there).
+        let params = KarpRabinParams { p: 257, x: 3 };
+        let (u, v) = kr_order_collision(&params);
+        assert_ne!(u, v, "attack must produce distinct strings");
+        assert_eq!(
+            KarpRabin::fingerprint(params, &u),
+            KarpRabin::fingerprint(params, &v),
+            "fingerprints must collide"
+        );
+        assert_eq!(u.len(), v.len());
+    }
+
+    #[test]
+    fn order_attack_works_for_generated_params() {
+        let mut rng = TranscriptRng::from_seed(230);
+        // 18-bit prime: order can be up to 2^18; strings are that long.
+        let params = KarpRabinParams::generate(18, &mut rng);
+        let (u, v) = kr_order_collision(&params);
+        assert_eq!(
+            KarpRabin::fingerprint(params, &u),
+            KarpRabin::fingerprint(params, &v)
+        );
+        assert_ne!(u, v);
+    }
+
+    #[test]
+    fn attack_length_matches_order() {
+        // x = p−1 has order 2: the collision is as short as it gets.
+        let params = KarpRabinParams { p: 101, x: 100 };
+        let (u, v) = kr_order_collision(&params);
+        assert_eq!(u.len(), 3);
+        assert_eq!(
+            KarpRabin::fingerprint(params, &u),
+            KarpRabin::fingerprint(params, &v)
+        );
+    }
+
+    #[test]
+    fn dlexp_resists_the_equivalent_budget() {
+        // The KR attack above costs ~√p order-finding work. Give the random
+        // collision search a comparable budget against the DL-exponent hash
+        // over a 40-bit prime — it must fail (birthday needs ~2^20 samples;
+        // we grant 2^12).
+        let mut rng = TranscriptRng::from_seed(231);
+        let params = DlExpParams::generate(40, 2, &mut rng);
+        let found = dlexp_random_collision_search(params, 64, 1 << 12, &mut rng);
+        assert!(found.is_none(), "collision found within a tiny budget");
+    }
+
+    #[test]
+    fn dlexp_collision_search_succeeds_at_toy_scale() {
+        // Sanity-check the attack machinery itself: over a 14-bit prime the
+        // birthday bound is ~2^7, so the search must succeed — confirming
+        // that resistance above is parameter-driven, not a broken search.
+        let mut rng = TranscriptRng::from_seed(232);
+        let params = DlExpParams::generate(14, 2, &mut rng);
+        let found = dlexp_random_collision_search(params, 64, 1 << 10, &mut rng)
+            .expect("birthday collision at toy scale");
+        let (a, b) = found;
+        assert_ne!(a, b);
+        assert_eq!(
+            DlExpHash::hash_symbols(params, &a),
+            DlExpHash::hash_symbols(params, &b)
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Robust string fingerprints (Lemma 2.24) built on the DL-exponent hash.
+//!
+//! The paper replaces Karp–Rabin with `h(U) = g^{int(U)} mod p`
+//! (Theorem 2.5's CRHF family): computable online as characters arrive,
+//! concatenation-composable, and collision-finding requires computing the
+//! order of `g` — hard for a `T`-time-bounded adversary when `p` is sized
+//! to the budget. [`StreamingEquality`] is Lemma 2.24's equality tester for
+//! two adaptively-chosen strings in `O(log min(T, n))` bits.
+
+use wb_core::rng::TranscriptRng;
+use wb_core::space::SpaceUsage;
+use wb_core::stream::StreamAlg;
+pub use wb_crypto::crhf::{DlExpHash, DlExpParams};
+
+/// Which of the two compared strings a character extends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// Extend `U`.
+    U,
+    /// Extend `V`.
+    V,
+}
+
+/// A character appended to one of the two tracked strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharUpdate {
+    /// Target string.
+    pub track: Track,
+    /// Symbol value (`< base`).
+    pub symbol: u64,
+}
+
+/// Lemma 2.24: streaming equality of two adaptively-built strings.
+///
+/// Maintains one [`DlExpHash`] per string; answers "equal so far?" at every
+/// step. A white-box adversary that forces `U ≠ V` with equal answers must
+/// have produced a DL-exponent collision.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingEquality {
+    hu: DlExpHash,
+    hv: DlExpHash,
+}
+
+impl StreamingEquality {
+    /// Tester over symbols in `[0, base)` with a fresh public prime.
+    pub fn generate(bits: u32, base: u64, rng: &mut TranscriptRng) -> Self {
+        let params = DlExpParams::generate(bits, base, rng);
+        Self::new(params)
+    }
+
+    /// Tester with explicit public parameters.
+    pub fn new(params: DlExpParams) -> Self {
+        StreamingEquality {
+            hu: DlExpHash::new(params),
+            hv: DlExpHash::new(params),
+        }
+    }
+
+    /// Append a symbol to one of the strings.
+    pub fn push(&mut self, u: CharUpdate) {
+        match u.track {
+            Track::U => self.hu.absorb(u.symbol),
+            Track::V => self.hv.absorb(u.symbol),
+        }
+    }
+
+    /// `true` iff the fingerprints (lengths and hash values) agree.
+    pub fn equal(&self) -> bool {
+        self.hu.len() == self.hv.len() && self.hu.value() == self.hv.value()
+    }
+
+    /// The two fingerprints (white-box view).
+    pub fn fingerprints(&self) -> (&DlExpHash, &DlExpHash) {
+        (&self.hu, &self.hv)
+    }
+}
+
+impl SpaceUsage for StreamingEquality {
+    fn space_bits(&self) -> u64 {
+        self.hu.space_bits() + self.hv.space_bits()
+    }
+}
+
+impl StreamAlg for StreamingEquality {
+    type Update = CharUpdate;
+    type Output = bool;
+
+    fn process(&mut self, update: &CharUpdate, _rng: &mut TranscriptRng) {
+        self.push(*update);
+    }
+
+    fn query(&self) -> bool {
+        self.equal()
+    }
+
+    fn name(&self) -> &'static str {
+        "StreamingEquality"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_prefixes_test_equal() {
+        let mut rng = TranscriptRng::from_seed(210);
+        let mut eq = StreamingEquality::generate(40, 2, &mut rng);
+        for c in [1u64, 0, 1, 1] {
+            eq.push(CharUpdate { track: Track::U, symbol: c });
+            eq.push(CharUpdate { track: Track::V, symbol: c });
+            assert!(eq.equal());
+        }
+    }
+
+    #[test]
+    fn divergence_is_detected_immediately_and_persistently() {
+        let mut rng = TranscriptRng::from_seed(211);
+        let mut eq = StreamingEquality::generate(40, 2, &mut rng);
+        eq.push(CharUpdate { track: Track::U, symbol: 1 });
+        eq.push(CharUpdate { track: Track::V, symbol: 0 });
+        assert!(!eq.equal());
+        // Extending both identically cannot repair the divergence.
+        for c in [1u64, 1, 0, 1] {
+            eq.push(CharUpdate { track: Track::U, symbol: c });
+            eq.push(CharUpdate { track: Track::V, symbol: c });
+            assert!(!eq.equal(), "diverged strings must stay unequal");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_unequal_even_with_zero_padding() {
+        // int(U) treats "01" and "1" identically; the length check must
+        // separate them (this is why the fingerprint carries the length).
+        let mut rng = TranscriptRng::from_seed(212);
+        let mut eq = StreamingEquality::generate(40, 2, &mut rng);
+        eq.push(CharUpdate { track: Track::U, symbol: 0 });
+        eq.push(CharUpdate { track: Track::U, symbol: 1 });
+        eq.push(CharUpdate { track: Track::V, symbol: 1 });
+        assert!(!eq.equal());
+    }
+
+    #[test]
+    fn space_is_constant_in_string_length() {
+        let mut rng = TranscriptRng::from_seed(213);
+        let mut eq = StreamingEquality::generate(40, 2, &mut rng);
+        for i in 0..10_000u64 {
+            let c = i & 1;
+            eq.push(CharUpdate { track: Track::U, symbol: c });
+            eq.push(CharUpdate { track: Track::V, symbol: c });
+        }
+        // Two fingerprints: value (≤40 bits) + length counter (log of the
+        // length) + three public parameters each — constant in the string
+        // length, unlike storing the strings (20000 bits here).
+        assert!(eq.space_bits() <= 400, "space {} bits", eq.space_bits());
+    }
+}

@@ -1,0 +1,157 @@
+//! Karp–Rabin fingerprints — the classic randomized string hash that is
+//! **not** robust to white-box adversaries (§2.6 of the paper).
+//!
+//! The fingerprint of `U ∈ Σ*` is `Σᵢ U[i]·xⁱ mod p` for a random prime `p`
+//! and evaluation point `x`. Against oblivious inputs, Schwartz–Zippel makes
+//! collisions vanishingly rare. Against a white-box adversary the scheme
+//! collapses: `p` and `x` are visible, so the adversary computes the
+//! multiplicative order of `x` mod `p` (Fermat's little theorem gives
+//! `x^{p−1} ≡ 1`, and factoring `p−1` gives the exact order) and moves a
+//! set character by one order-length — producing a different string with an
+//! identical fingerprint. See [`crate::attacks::kr_order_collision`].
+
+use wb_core::space::{bits_for_count, SpaceUsage};
+use wb_crypto::modular::{add_mod, mul_mod};
+use wb_crypto::prime::random_prime;
+use wb_core::rng::TranscriptRng;
+
+/// Public Karp–Rabin parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KarpRabinParams {
+    /// Prime modulus.
+    pub p: u64,
+    /// Evaluation point `x ∈ [2, p−1)`.
+    pub x: u64,
+}
+
+impl KarpRabinParams {
+    /// Generate from public randomness with a `bits`-bit prime.
+    pub fn generate(bits: u32, rng: &mut TranscriptRng) -> Self {
+        let p = random_prime(bits, rng);
+        let x = rng.range(2, p - 1);
+        KarpRabinParams { p, x }
+    }
+}
+
+/// Streaming Karp–Rabin fingerprint `Σᵢ U[i]·xⁱ mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KarpRabin {
+    params: KarpRabinParams,
+    acc: u64,
+    /// `x^len mod p` — the multiplier for the next character.
+    x_pow: u64,
+    len: u64,
+}
+
+impl KarpRabin {
+    /// Empty-string fingerprint.
+    pub fn new(params: KarpRabinParams) -> Self {
+        KarpRabin {
+            params,
+            acc: 0,
+            x_pow: 1,
+            len: 0,
+        }
+    }
+
+    /// Absorb one character value `c < p`.
+    pub fn absorb(&mut self, c: u64) {
+        debug_assert!(c < self.params.p);
+        let p = self.params.p;
+        self.acc = add_mod(self.acc, mul_mod(c % p, self.x_pow, p), p);
+        self.x_pow = mul_mod(self.x_pow, self.params.x, p);
+        self.len += 1;
+    }
+
+    /// Current fingerprint value.
+    pub fn value(&self) -> u64 {
+        self.acc
+    }
+
+    /// Characters absorbed.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` iff nothing absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Public parameters (the white-box leak).
+    pub fn params(&self) -> &KarpRabinParams {
+        &self.params
+    }
+
+    /// One-shot fingerprint of a symbol slice.
+    pub fn fingerprint(params: KarpRabinParams, symbols: &[u64]) -> u64 {
+        let mut kr = KarpRabin::new(params);
+        for &c in symbols {
+            kr.absorb(c);
+        }
+        kr.value()
+    }
+}
+
+impl SpaceUsage for KarpRabin {
+    fn space_bits(&self) -> u64 {
+        // Accumulator, power, length counter, two public parameters.
+        2 * bits_for_count(self.params.p) + bits_for_count(self.len) + 2 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_crypto::modular::pow_mod;
+
+    fn params() -> KarpRabinParams {
+        let mut rng = TranscriptRng::from_seed(200);
+        KarpRabinParams::generate(31, &mut rng)
+    }
+
+    #[test]
+    fn matches_direct_polynomial_evaluation() {
+        let ps = params();
+        let s = [3u64, 1, 4, 1, 5];
+        let direct: u64 = s
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &c)| {
+                add_mod(acc, mul_mod(c, pow_mod(ps.x, i as u64, ps.p), ps.p), ps.p)
+            });
+        assert_eq!(KarpRabin::fingerprint(ps, &s), direct);
+    }
+
+    #[test]
+    fn distinguishes_random_strings() {
+        let ps = params();
+        let a = [1u64, 0, 1, 1, 0, 1, 0, 0];
+        let b = [1u64, 0, 1, 1, 0, 1, 0, 1];
+        assert_ne!(KarpRabin::fingerprint(ps, &a), KarpRabin::fingerprint(ps, &b));
+    }
+
+    #[test]
+    fn empty_and_zero_prefix() {
+        let ps = params();
+        let kr = KarpRabin::new(ps);
+        assert!(kr.is_empty());
+        assert_eq!(kr.value(), 0);
+        // A zero character changes length but not the accumulator.
+        let mut kr2 = KarpRabin::new(ps);
+        kr2.absorb(0);
+        assert_eq!(kr2.value(), 0);
+        assert_eq!(kr2.len(), 1);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let ps = params();
+        let s: Vec<u64> = (0..50).map(|i| (i * 7) % 2).collect();
+        let mut kr = KarpRabin::new(ps);
+        for &c in &s {
+            kr.absorb(c);
+        }
+        assert_eq!(kr.value(), KarpRabin::fingerprint(ps, &s));
+    }
+}

@@ -1,0 +1,20 @@
+//! # wb-strings — string algorithms in the white-box model (§2.6)
+//!
+//! | module | paper anchor | contents |
+//! |---|---|---|
+//! | [`karp_rabin`] | §2.6 motivation | classic Karp–Rabin fingerprint (non-robust baseline) |
+//! | [`attacks`] | §2.6 | the order/Fermat collision attack on Karp–Rabin; budget-bounded searches against the robust hash |
+//! | [`fingerprint`] | Lemma 2.24 / Theorem 2.5 | DL-exponent fingerprints, streaming equality of adaptive strings |
+//! | [`mod@period`] | Lemma 2.25 substrate | string periods via KMP |
+//! | [`pattern`] | Algorithm 6 / Theorem 1.7 | streaming pattern matching |
+
+pub mod attacks;
+pub mod fingerprint;
+pub mod karp_rabin;
+pub mod pattern;
+pub mod period;
+
+pub use fingerprint::{CharUpdate, StreamingEquality, Track};
+pub use karp_rabin::{KarpRabin, KarpRabinParams};
+pub use pattern::{naive_find_all, StreamingPatternMatcher};
+pub use period::period;

@@ -1,0 +1,88 @@
+//! String periods.
+//!
+//! The period of `S` (length `n`) is the smallest `π` such that
+//! `S[0 .. n−π] = S[π .. n]` — equivalently `n − fail(n)` for the KMP
+//! failure function. Algorithm 6 takes the pattern's period as part of the
+//! input (as in `[PP09]`); this module computes it for the harnesses.
+
+/// Smallest period of `s` (`s.len()` for an aperiodic string; 0 for empty).
+pub fn period(s: &[u64]) -> usize {
+    if s.is_empty() {
+        return 0;
+    }
+    let fail = failure_function(s);
+    s.len() - fail[s.len()]
+}
+
+/// KMP failure function: `fail[i]` = length of the longest proper border of
+/// `s[0..i]` (`fail[0] = 0` by convention; array has `len+1` entries).
+pub fn failure_function(s: &[u64]) -> Vec<usize> {
+    let n = s.len();
+    let mut fail = vec![0usize; n + 1];
+    let mut k = 0usize;
+    for i in 1..n {
+        while k > 0 && s[i] != s[k] {
+            k = fail[k];
+        }
+        if s[i] == s[k] {
+            k += 1;
+        }
+        fail[i + 1] = k;
+    }
+    fail
+}
+
+/// `true` iff `pi` is *a* period of `s` (not necessarily the smallest):
+/// `s[i] == s[i + pi]` for all valid `i`.
+pub fn is_period(s: &[u64], pi: usize) -> bool {
+    if pi == 0 {
+        return s.is_empty();
+    }
+    (0..s.len().saturating_sub(pi)).all(|i| s[i] == s[i + pi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Vec<u64> {
+        s.bytes().map(u64::from).collect()
+    }
+
+    #[test]
+    fn known_periods() {
+        assert_eq!(period(&sym("abcabcab")), 3);
+        assert_eq!(period(&sym("aaaa")), 1);
+        assert_eq!(period(&sym("abcd")), 4);
+        assert_eq!(period(&sym("abab")), 2);
+        assert_eq!(period(&sym("a")), 1);
+        assert_eq!(period(&[]), 0);
+    }
+
+    #[test]
+    fn period_is_valid_and_minimal() {
+        for s in ["abaaba", "xyxyxyx", "aabaabaab", "zzzzz", "qwe"] {
+            let v = sym(s);
+            let p = period(&v);
+            assert!(is_period(&v, p), "{s}: {p} not a period");
+            for smaller in 1..p {
+                assert!(!is_period(&v, smaller), "{s}: {smaller} < {p} is a period");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_function_known_values() {
+        // "ababaca": classic KMP example.
+        let f = failure_function(&sym("ababaca"));
+        assert_eq!(f, vec![0, 0, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn is_period_edge_cases() {
+        assert!(is_period(&[], 0));
+        assert!(!is_period(&sym("ab"), 0));
+        assert!(is_period(&sym("ab"), 2), "full length is always a period");
+        assert!(is_period(&sym("ab"), 5), "over-length trivially holds");
+    }
+}

@@ -1,0 +1,21 @@
+//! # wbstream — facade crate
+//!
+//! Re-exports the entire workspace under one roof. See the individual
+//! crates for details:
+//!
+//! * [`core`](mod@core) — the white-box adversarial model (game, transcripted
+//!   randomness, bit-level space accounting);
+//! * [`crypto`](mod@crypto) — SHA-256, CRHFs, SIS sketches;
+//! * [`sketch`](mod@sketch) — Morris counters, heavy hitters, HHH, L0;
+//! * [`strings`](mod@strings) — fingerprints and streaming pattern matching;
+//! * [`linalg`](mod@linalg) — rank decision over Z_q;
+//! * [`graph`](mod@graph) — vertex-neighborhood identification;
+//! * [`lowerbounds`](mod@lowerbounds) — executable lower bounds.
+
+pub use wb_core as core;
+pub use wb_crypto as crypto;
+pub use wb_graph as graph;
+pub use wb_linalg as linalg;
+pub use wb_lowerbounds as lowerbounds;
+pub use wb_sketch as sketch;
+pub use wb_strings as strings;

@@ -1,0 +1,118 @@
+//! The model separation, run head-to-head: the same algorithms under a
+//! black-box adversary (outputs only) and a white-box adversary (full
+//! state). The paper's §1 motivation made executable.
+
+use wbstream::core::game::{run_game, BlackBoxAdversary, FnAdversary, FnReferee, Verdict};
+use wbstream::core::rng::{RandTranscript, TranscriptRng};
+use wbstream::core::stream::Turnstile;
+use wbstream::sketch::ams::{find_aligned_items, AmsF2};
+use wbstream::sketch::count_min::{forge_all_row_collisions, CountMin};
+
+/// Referee for the CountMin attack experiments: the victim item 0 is never
+/// inserted, so its estimate must stay within the oblivious error bound.
+fn count_min_referee(
+    width: usize,
+) -> impl FnMut(u64, &u64) -> Verdict {
+    move |t: u64, est: &u64| {
+        let bound = 2.0 * t as f64 / width as f64 + 1.0;
+        if (*est as f64) <= bound {
+            Verdict::Correct
+        } else {
+            Verdict::violation(format!("round {t}: victim estimate {est} > bound {bound:.1}"))
+        }
+    }
+}
+
+#[test]
+fn count_min_survives_black_box_but_falls_white_box() {
+    let width = 64;
+    let rounds = 2000;
+
+    // Black-box: the adversary sees only the victim's running estimate.
+    // Blind guessing hits an all-row collision with probability 1/width²
+    // per item — at width 64 and 2000 rounds the victim stays near zero.
+    let mut rng = TranscriptRng::from_seed(7001);
+    let mut cm = CountMin::new(2, width, &mut rng);
+    let mut adv = BlackBoxAdversary::new(|t: u64, _last: Option<&u64>| {
+        (t <= rounds).then(|| wbstream::core::stream::InsertOnly(1 + t % 1000))
+    });
+    let mut referee = FnReferee::new(count_min_referee(width));
+    let result = run_game(&mut cm, &mut adv, &mut referee, rounds, 7002);
+    assert!(
+        result.survived(),
+        "black-box random traffic must not inflate the victim: {:?}",
+        result.failure
+    );
+
+    // White-box: the adversary reads the hash seeds and sends only items
+    // colliding with the victim in every row.
+    let mut rng = TranscriptRng::from_seed(7003);
+    let mut cm = CountMin::new(2, width, &mut rng);
+    let mut forged: Vec<u64> = Vec::new();
+    let mut adv = FnAdversary::new(
+        move |t: u64, alg: &CountMin, _tr: &RandTranscript, _last: Option<&u64>| {
+            if forged.is_empty() {
+                forged = forge_all_row_collisions(alg, 0, 512, 3_000_000);
+                assert!(!forged.is_empty(), "white-box forging must find colliders");
+            }
+            (t <= rounds).then(|| {
+                wbstream::core::stream::InsertOnly(forged[(t as usize - 1) % forged.len()])
+            })
+        },
+    );
+    let mut referee = FnReferee::new(count_min_referee(width));
+    let result = run_game(&mut cm, &mut adv, &mut referee, rounds, 7004);
+    assert!(
+        !result.survived(),
+        "white-box forging must defeat CountMin"
+    );
+    // The break happens quickly: every forged insert lands on the victim.
+    assert!(result.failure.unwrap().round < 400);
+}
+
+#[test]
+fn ams_survives_black_box_but_falls_white_box() {
+    let copies = 15;
+    let m = 3000u64;
+    // Referee: estimate within 32x of the true F2 (every inserted item is
+    // distinct, so F2 = t), after a grace period — the median-of-15
+    // estimator's per-prefix variance needs the slack, and the white-box
+    // attack overshoots it by orders of magnitude anyway.
+    let referee_fn = |t: u64, est: &f64| {
+        let f2 = t as f64;
+        if t < 256 || (*est <= 32.0 * f2 && *est >= f2 / 32.0) {
+            Verdict::Correct
+        } else {
+            Verdict::violation(format!("round {t}: estimate {est} vs F2 {f2}"))
+        }
+    };
+
+    // Black-box: distinct random-ish items; the median estimator holds.
+    let mut rng = TranscriptRng::from_seed(7010);
+    let mut ams = AmsF2::new(copies, &mut rng);
+    let mut adv = BlackBoxAdversary::new(|t: u64, _last: Option<&f64>| {
+        (t <= m).then(|| Turnstile::insert(t.wrapping_mul(2654435761)))
+    });
+    let mut referee = FnReferee::new(referee_fn);
+    let result = run_game(&mut ams, &mut adv, &mut referee, m, 7011);
+    assert!(result.survived(), "black-box: {:?}", result.failure);
+
+    // White-box: sign-aligned items drive every copy in lockstep.
+    let mut rng = TranscriptRng::from_seed(7012);
+    let mut ams = AmsF2::new(copies, &mut rng);
+    let mut aligned: Vec<u64> = Vec::new();
+    let mut adv = FnAdversary::new(
+        move |t: u64, alg: &AmsF2, _tr: &RandTranscript, _last: Option<&f64>| {
+            if aligned.is_empty() {
+                // 2^-15 of ids align; a 2^20 scan yields ~32 of them, and
+                // cycling a handful is enough to drive every counter to t.
+                aligned = find_aligned_items(alg, 64, 1 << 20);
+                assert!(aligned.len() >= 8, "alignment scan must succeed");
+            }
+            (t <= m).then(|| Turnstile::insert(aligned[(t as usize - 1) % aligned.len()]))
+        },
+    );
+    let mut referee = FnReferee::new(referee_fn);
+    let result = run_game(&mut ams, &mut adv, &mut referee, m, 7013);
+    assert!(!result.survived(), "white-box alignment must defeat AMS");
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the sketching layer: the deterministic
+//! invariants hold on *arbitrary* streams, not just the unit-test ones.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wbstream::core::rng::TranscriptRng;
+use wbstream::core::space::SpaceUsage;
+use wbstream::sketch::l0::{MatrixMode, SisL0Estimator};
+use wbstream::sketch::{MisraGries, MorrisCounter, SpaceSaving};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn misra_gries_sandwich_on_arbitrary_streams(
+        stream in proptest::collection::vec(0u64..32, 1..600),
+        k in 2usize..12,
+    ) {
+        let mut mg = MisraGries::with_counters(k, 32);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &item in &stream {
+            mg.insert(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let m = stream.len() as u64;
+        for item in 0..32u64 {
+            let f = truth.get(&item).copied().unwrap_or(0);
+            let est = mg.estimate(item);
+            prop_assert!(est <= f, "item {item}: est {est} > f {f}");
+            prop_assert!(f - est <= m / k as u64, "item {item}: error too large");
+        }
+        prop_assert!(mg.entries().len() <= k);
+    }
+
+    #[test]
+    fn space_saving_sandwich_on_arbitrary_streams(
+        stream in proptest::collection::vec(0u64..32, 1..600),
+        k in 2usize..12,
+    ) {
+        let mut ss = SpaceSaving::with_counters(k, 32);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &item in &stream {
+            ss.insert(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let m = stream.len() as u64;
+        for (item, e) in ss.entries() {
+            let f = truth.get(&item).copied().unwrap_or(0);
+            prop_assert!(e.count >= f);
+            prop_assert!(e.count - e.err <= f);
+            prop_assert!(e.err <= m / k as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn morris_estimate_is_monotone_in_exponent(seed in 0u64..500, n in 1u64..5000) {
+        let mut rng = TranscriptRng::from_seed(seed);
+        let mut c = MorrisCounter::with_base(0.5);
+        let mut last_exp = 0;
+        for _ in 0..n {
+            c.increment(&mut rng);
+            prop_assert!(c.exponent() >= last_exp, "exponent never decreases");
+            last_exp = c.exponent();
+        }
+        // The estimate is a strictly increasing function of the exponent.
+        prop_assert!(c.estimate() >= 0.0);
+        prop_assert!(c.space_bits() <= 64);
+    }
+
+    #[test]
+    fn sis_l0_sandwich_on_arbitrary_turnstile_streams(
+        ops in proptest::collection::vec((0u64..256, -3i64..=3), 1..200),
+    ) {
+        let mut rng = TranscriptRng::from_seed(9);
+        let mut est = SisL0Estimator::new(256, 0.5, 0.25, MatrixMode::RandomOracle, &mut rng);
+        let mut freqs: HashMap<u64, i64> = HashMap::new();
+        for &(item, delta) in &ops {
+            est.update(item, delta);
+            let e = freqs.entry(item).or_insert(0);
+            *e += delta;
+            if *e == 0 {
+                freqs.remove(&item);
+            }
+        }
+        let l0 = freqs.len() as u64;
+        let (lo, hi) = est.answer_range();
+        prop_assert!(lo <= l0, "answer {lo} exceeds true L0 {l0}");
+        prop_assert!(l0 <= hi, "true L0 {l0} exceeds upper bound {hi}");
+    }
+
+    #[test]
+    fn sis_l0_full_cancellation_always_reads_zero(
+        items in proptest::collection::vec(0u64..256, 1..60),
+        delta in 1i64..4,
+    ) {
+        let mut rng = TranscriptRng::from_seed(10);
+        let mut est = SisL0Estimator::new(256, 0.5, 0.25, MatrixMode::Explicit, &mut rng);
+        for &item in &items {
+            est.update(item, delta);
+        }
+        for &item in &items {
+            est.update(item, -delta);
+        }
+        prop_assert_eq!(est.answer(), 0);
+    }
+}

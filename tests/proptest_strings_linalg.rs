@@ -1,0 +1,125 @@
+//! Property-based tests for strings and linear algebra.
+
+use proptest::prelude::*;
+use wbstream::core::rng::TranscriptRng;
+use wbstream::crypto::crhf::{DlExpHash, DlExpParams};
+use wbstream::linalg::{rank, EntryUpdate, ExactRankDecision, RankDecisionSketch, ZqMatrix};
+use wbstream::strings::period::{is_period, period};
+use wbstream::strings::{naive_find_all, StreamingPatternMatcher};
+
+fn dl_params(seed: u64, base: u64) -> DlExpParams {
+    let mut rng = TranscriptRng::from_seed(seed);
+    DlExpParams::generate(40, base, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dlexp_concat_law_holds(u in proptest::collection::vec(0u64..4, 0..40),
+                              v in proptest::collection::vec(0u64..4, 0..40)) {
+        let params = dl_params(50, 4);
+        let mut hu = DlExpHash::new(params);
+        u.iter().for_each(|&c| hu.absorb(c));
+        let mut hv = DlExpHash::new(params);
+        v.iter().for_each(|&c| hv.absorb(c));
+        let mut huv = DlExpHash::new(params);
+        u.iter().chain(v.iter()).for_each(|&c| huv.absorb(c));
+        let composed = hu.concat(&hv);
+        prop_assert_eq!(composed.value(), huv.value());
+        prop_assert_eq!(composed.len(), (u.len() + v.len()) as u64);
+    }
+
+    #[test]
+    fn period_is_minimal_valid_period(s in proptest::collection::vec(0u64..3, 1..50)) {
+        let p = period(&s);
+        prop_assert!(p >= 1 && p <= s.len());
+        prop_assert!(is_period(&s, p));
+        for smaller in 1..p {
+            prop_assert!(!is_period(&s, smaller));
+        }
+    }
+
+    #[test]
+    fn matcher_never_reports_false_positives(
+        pattern in proptest::collection::vec(0u64..3, 1..8),
+        text in proptest::collection::vec(0u64..3, 0..150),
+    ) {
+        let params = dl_params(51, 3);
+        let mut m = StreamingPatternMatcher::new(&pattern, params);
+        for &c in &text {
+            m.push(c);
+        }
+        let naive = naive_find_all(&pattern, &text);
+        for &pos in m.matches() {
+            prop_assert!(naive.contains(&pos), "false positive at {pos}");
+        }
+    }
+
+    #[test]
+    fn matcher_is_exact_for_aperiodic_patterns(
+        // Patterns ending in a symbol not occurring earlier are unbordered,
+        // so the single-chain pseudocode is lossless.
+        prefix in proptest::collection::vec(0u64..2, 1..6),
+        text in proptest::collection::vec(0u64..3, 0..150),
+    ) {
+        let mut pattern = prefix;
+        pattern.push(2); // unique terminal symbol ⇒ unbordered
+        let params = dl_params(52, 3);
+        let mut m = StreamingPatternMatcher::new(&pattern, params);
+        for &c in &text {
+            m.push(c);
+        }
+        let naive = naive_find_all(&pattern, &text);
+        prop_assert_eq!(m.matches(), &naive[..]);
+    }
+
+    #[test]
+    fn rank_is_invariant_under_row_swaps(rows in proptest::collection::vec(
+        proptest::collection::vec(-4i64..=4, 5), 2..6), i in 0usize..6, j in 0usize..6) {
+        let m = ZqMatrix::from_rows(1_000_003, &rows);
+        let r1 = rank(&m);
+        let mut swapped = rows.clone();
+        let (a, b) = (i % rows.len(), j % rows.len());
+        swapped.swap(a, b);
+        let m2 = ZqMatrix::from_rows(1_000_003, &swapped);
+        prop_assert_eq!(r1, rank(&m2));
+    }
+
+    #[test]
+    fn rank_of_outer_product_sum_is_at_most_terms(
+        terms in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let n = 5;
+        let mut rng = TranscriptRng::from_seed(seed);
+        let mut rows = vec![vec![0i64; n]; n];
+        for _ in 0..terms {
+            let u: Vec<i64> = (0..n).map(|_| rng.below(7) as i64 - 3).collect();
+            let v: Vec<i64> = (0..n).map(|_| rng.below(7) as i64 - 3).collect();
+            for i in 0..n {
+                for j in 0..n {
+                    rows[i][j] += u[i] * v[j];
+                }
+            }
+        }
+        let m = ZqMatrix::from_rows(1_000_003, &rows);
+        prop_assert!(rank(&m) <= terms);
+    }
+
+    #[test]
+    fn rank_sketch_agrees_with_exact_on_random_updates(
+        updates in proptest::collection::vec((0usize..5, 0usize..5, -3i64..=3), 1..40),
+        k in 1usize..5,
+    ) {
+        let n = 5;
+        let mut sk = RankDecisionSketch::new(n, k, b"prop-rank");
+        let mut ex = ExactRankDecision::new(n, k);
+        for &(row, col, delta) in &updates {
+            let u = EntryUpdate { row, col, delta };
+            sk.update(u);
+            ex.update(u);
+        }
+        prop_assert_eq!(sk.rank_at_least_k(), ex.rank_at_least_k());
+    }
+}
