@@ -19,9 +19,7 @@ fn bench_fingerprints(c: &mut Criterion) {
     });
 
     group.bench_function("dl_exponent", |b| {
-        b.iter(|| {
-            black_box(wb_crypto::crhf::DlExpHash::hash_symbols(dl_params, &data))
-        })
+        b.iter(|| black_box(wb_crypto::crhf::DlExpHash::hash_symbols(dl_params, &data)))
     });
     group.finish();
 }

@@ -5,10 +5,10 @@
 //! `O(1/ε²)` samples.
 
 use bench::{header, row};
+use std::collections::HashMap;
 use wb_core::rng::TranscriptRng;
 use wb_core::space::SpaceUsage;
 use wb_sketch::inner_product::{SampledInnerProduct, Side, SideUpdate};
-use std::collections::HashMap;
 
 fn exact_ip(f: &[u64], g: &[u64]) -> f64 {
     let mut cf: HashMap<u64, u64> = HashMap::new();
@@ -28,7 +28,14 @@ fn main() {
     let m = 30_000u64;
     println!("E11: m = {m} per stream, error bound = eps * L1(f) * L1(g)\n");
     header(
-        &["workload", "eps", "truth", "estimate", "err/bound", "space bits"],
+        &[
+            "workload",
+            "eps",
+            "truth",
+            "estimate",
+            "err/bound",
+            "space bits",
+        ],
         12,
     );
     for eps in [0.05f64, 0.1, 0.2] {
@@ -46,8 +53,20 @@ fn main() {
             let mut rng = TranscriptRng::from_seed(1100 + (eps * 100.0) as u64);
             let mut est = SampledInnerProduct::new(1 << 20, eps, m, m);
             for t in 0..m as usize {
-                est.update(SideUpdate { side: Side::Left, item: f[t] }, &mut rng);
-                est.update(SideUpdate { side: Side::Right, item: g[t] }, &mut rng);
+                est.update(
+                    SideUpdate {
+                        side: Side::Left,
+                        item: f[t],
+                    },
+                    &mut rng,
+                );
+                est.update(
+                    SideUpdate {
+                        side: Side::Right,
+                        item: g[t],
+                    },
+                    &mut rng,
+                );
             }
             let truth = exact_ip(&f, &g);
             let bound = eps * (m as f64) * (m as f64);

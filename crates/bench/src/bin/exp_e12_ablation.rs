@@ -22,7 +22,13 @@ fn main() {
 
     println!("E12a: single fixed guess vs the two-guess ladder (eps = {eps})\n");
     header(
-        &["m", "single bits", "ladder bits", "single samples", "ladder lead"],
+        &[
+            "m",
+            "single bits",
+            "ladder bits",
+            "single samples",
+            "ladder lead",
+        ],
         14,
     );
     let guess = 1u64 << 12;
@@ -55,21 +61,16 @@ fn main() {
     );
 
     println!("E12b: epoch trigger — Morris vs exact counter\n");
-    header(
-        &["m", "morris bits", "exact bits", "epochs agree"],
-        14,
-    );
+    header(&["m", "morris bits", "exact bits", "epochs agree"], 14);
     for log_m in [12u32, 16, 20] {
         let m = 1u64 << log_m;
         let mut rng = TranscriptRng::from_seed(1250 + log_m as u64);
         // Morris-triggered ladder (the paper's choice).
         let mut morris = MedianMorris::new(eps / 16.0, 7);
-        let mut ladder_m =
-            GuessLadder::new(16.0 / eps, |g| BernMG::new(n, g, eps / 2.0, 0.01));
+        let mut ladder_m = GuessLadder::new(16.0 / eps, |g| BernMG::new(n, g, eps / 2.0, 0.01));
         // Exact-counter-triggered ladder (the ablation).
         let mut exact_t = 0u64;
-        let mut ladder_e =
-            GuessLadder::new(16.0 / eps, |g| BernMG::new(n, g, eps / 2.0, 0.01));
+        let mut ladder_e = GuessLadder::new(16.0 / eps, |g| BernMG::new(n, g, eps / 2.0, 0.01));
         for t in 0..m {
             morris.increment(&mut rng);
             exact_t += 1;

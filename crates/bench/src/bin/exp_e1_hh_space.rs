@@ -18,10 +18,7 @@ fn main() {
     // Worst case for the Misra-Gries space bound: few distinct items, so
     // every retained counter grows linearly with m (log m bits each).
     println!("E1: eps = {eps}, n = 2^16, uniform stream over 8 items\n");
-    header(
-        &["m", "MG bits", "robust bits", "MG ok", "robust ok"],
-        12,
-    );
+    header(&["m", "MG bits", "robust bits", "MG ok", "robust ok"], 12);
     for log_m in [12u32, 14, 16, 18, 20, 22] {
         let m = 1u64 << log_m;
         let stream: Vec<u64> = (0..m).map(|t| t % 8).collect();

@@ -17,7 +17,13 @@ fn main() {
     let (phi, eps) = (0.20, 0.125);
     println!("E2: n = 2^62, m = 2^15, phi = {phi}, eps = {eps}\n");
     header(
-        &["T budget", "hash bits", "space bits", "false pos", "covered"],
+        &[
+            "T budget",
+            "hash bits",
+            "space bits",
+            "false pos",
+            "covered",
+        ],
         12,
     );
     for log_t in [8u32, 12, 16, 19] {

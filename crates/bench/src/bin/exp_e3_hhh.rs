@@ -16,7 +16,13 @@ fn main() {
     let host_id = (203u64 << 24) | (113 << 8) | 5;
     println!("E3: IPv4 hierarchy (h=4), eps = {eps}, gamma = {gamma}\n");
     header(
-        &["m", "TMS12 bits", "robust bits", "TMS12 hits", "robust hits"],
+        &[
+            "m",
+            "TMS12 bits",
+            "robust bits",
+            "TMS12 hits",
+            "robust hits",
+        ],
         12,
     );
     for log_m in [14u32, 16, 18, 20] {
@@ -30,7 +36,9 @@ fn main() {
             robust.insert(ip, &mut rng);
         }
         let hits = |report: &[(wb_sketch::hhh::Prefix, f64)]| {
-            let subnet = report.iter().any(|&(p, _)| p.level == 1 && p.id == subnet_id);
+            let subnet = report
+                .iter()
+                .any(|&(p, _)| p.level == 1 && p.id == subnet_id);
             let host = report.iter().any(|&(p, _)| p.level == 0 && p.id == host_id);
             format!("{}/{}", subnet as u8, host as u8)
         };

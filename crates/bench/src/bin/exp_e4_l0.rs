@@ -18,7 +18,15 @@ use wb_sketch::l0::{
 fn main() {
     println!("E4: eps = 1/2, c = 1/4, turnstile churn streams\n");
     header(
-        &["n", "true L0", "answer", "n^eps", "RO bits", "expl bits", "ok"],
+        &[
+            "n",
+            "true L0",
+            "answer",
+            "n^eps",
+            "RO bits",
+            "expl bits",
+            "ok",
+        ],
         10,
     );
     for log_n in [8u32, 10, 12, 14] {

@@ -13,10 +13,24 @@ use wb_graph::{ExactNeighborhoods, HashedNeighborhoods, OrEqInstance};
 fn main() {
     println!("E5: OR-Equality reduction graphs (one planted equal pair)\n");
     header(
-        &["n(bits)", "k", "vertices", "hashed bits", "exact bits", "ratio", "ok"],
+        &[
+            "n(bits)",
+            "k",
+            "vertices",
+            "hashed bits",
+            "exact bits",
+            "ratio",
+            "ok",
+        ],
         11,
     );
-    for &(n, k) in &[(32usize, 8usize), (64, 16), (128, 32), (256, 64), (512, 128)] {
+    for &(n, k) in &[
+        (32usize, 8usize),
+        (64, 16),
+        (128, 32),
+        (256, 64),
+        (512, 128),
+    ] {
         let mut rng = TranscriptRng::from_seed((n * 31 + k) as u64);
         let inst = OrEqInstance::random(n, k, &[k / 2], &mut rng);
         let nv = inst.graph_vertices();

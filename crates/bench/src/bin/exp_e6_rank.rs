@@ -27,7 +27,11 @@ fn run_instance(n: usize, r: usize, k: usize, seed: u64) -> (bool, bool, u64, u6
     for (i, row) in rows.iter().enumerate() {
         for (j, &v) in row.iter().enumerate() {
             if v != 0 {
-                let u = EntryUpdate { row: i, col: j, delta: v };
+                let u = EntryUpdate {
+                    row: i,
+                    col: j,
+                    delta: v,
+                };
                 sk.update(u);
                 ex.update(u);
             }
@@ -43,10 +47,7 @@ fn run_instance(n: usize, r: usize, k: usize, seed: u64) -> (bool, bool, u64, u6
 
 fn main() {
     println!("E6: planted-rank instances, 10 trials per cell\n");
-    header(
-        &["n", "k", "agree", "sketch bits", "exact bits"],
-        12,
-    );
+    header(&["n", "k", "agree", "sketch bits", "exact bits"], 12);
     for &n in &[16usize, 32, 64] {
         for &k in &[2usize, 4, 8] {
             let mut agree = 0;

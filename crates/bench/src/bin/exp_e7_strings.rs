@@ -16,13 +16,20 @@ use wb_strings::{naive_find_all, KarpRabin, KarpRabinParams, StreamingPatternMat
 
 fn main() {
     println!("E7a: Karp–Rabin order attack vs DL-exponent random search\n");
-    header(&["p bits", "KR broken", "collision len", "DlExp broken (2^13 tries)"], 16);
+    header(
+        &[
+            "p bits",
+            "KR broken",
+            "collision len",
+            "DlExp broken (2^13 tries)",
+        ],
+        16,
+    );
     for bits in [14u32, 16, 18, 20] {
         let mut rng = TranscriptRng::from_seed(700 + bits as u64);
         let kr = KarpRabinParams::generate(bits, &mut rng);
         let (u, v) = kr_order_collision(&kr);
-        let broken =
-            u != v && KarpRabin::fingerprint(kr, &u) == KarpRabin::fingerprint(kr, &v);
+        let broken = u != v && KarpRabin::fingerprint(kr, &u) == KarpRabin::fingerprint(kr, &v);
         let dl = DlExpParams::generate(40, 2, &mut rng);
         let dl_broken = dlexp_random_collision_search(dl, 64, 1 << 13, &mut rng).is_some();
         println!(
@@ -40,7 +47,10 @@ fn main() {
     }
 
     println!("\nE7b: streaming pattern matching vs naive reference\n");
-    header(&["pattern", "text len", "matches", "agree", "peak bits"], 12);
+    header(
+        &["pattern", "text len", "matches", "agree", "peak bits"],
+        12,
+    );
     let mut rng = TranscriptRng::from_seed(777);
     let params = DlExpParams::generate(40, 4, &mut rng);
     for (name, pattern) in [

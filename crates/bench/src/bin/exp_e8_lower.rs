@@ -43,7 +43,10 @@ fn main() {
         let forged = forge_all_row_collisions(&cm, 0, usize::MAX, 300_000);
         println!(
             "{}",
-            row(&[depth.to_string(), "64".into(), forged.len().to_string()], 14)
+            row(
+                &[depth.to_string(), "64".into(), forged.len().to_string()],
+                14
+            )
         );
     }
 

@@ -55,13 +55,22 @@ fn main() {
     }
 
     println!("\nE9c: Lemma 3.10 interval stretch (det-Morris, 12 buckets, n = 48)");
-    let fam = interval_family(&BucketCounter { delta: 0.5, width: 12 }, 48);
+    let fam = interval_family(
+        &BucketCounter {
+            delta: 0.5,
+            width: 12,
+        },
+        48,
+    );
     let worst = fam[48]
         .iter()
         .map(|iv| (iv.lo, iv.hi))
         .max_by_key(|&(lo, hi)| hi - lo)
         .unwrap();
-    println!("  widest achievable-count interval at t = 48: [{}, {}]", worst.0, worst.1);
+    println!(
+        "  widest achievable-count interval at t = 48: [{}, {}]",
+        worst.0, worst.1
+    );
 
     println!("\nE9d: randomized Morris at the same horizons (Lemma 2.1)\n");
     header(&["n", "estimate", "bits"], 12);

@@ -74,9 +74,19 @@ pub fn row(cells: &[String], width: usize) -> String {
 pub fn header(cells: &[&str], width: usize) {
     println!(
         "{}",
-        row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), width)
+        row(
+            &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            width
+        )
     );
-    println!("{}", cells.iter().map(|_| "-".repeat(width)).collect::<Vec<_>>().join("-|-"));
+    println!(
+        "{}",
+        cells
+            .iter()
+            .map(|_| "-".repeat(width))
+            .collect::<Vec<_>>()
+            .join("-|-")
+    );
 }
 
 #[cfg(test)]
@@ -95,7 +105,10 @@ mod tests {
     #[test]
     fn ddos_stream_shares() {
         let s = ddos_stream(20_000, 2);
-        let subnet = s.iter().filter(|&&ip| ip >> 8 == (10 << 16) | (1 << 8) | 7).count();
+        let subnet = s
+            .iter()
+            .filter(|&&ip| ip >> 8 == (10 << 16) | (1 << 8) | 7)
+            .count();
         assert!((4000..6000).contains(&subnet), "subnet share {subnet}");
     }
 

@@ -357,11 +357,17 @@ mod tests {
             }
         });
         let result = run_game(&mut alg, &mut adv, &mut referee, 1_000, 2);
-        assert!(!result.survived(), "adversary should exploit the state leak");
+        assert!(
+            !result.survived(),
+            "adversary should exploit the state leak"
+        );
         // First adaptive exploitation is possible from round 2 onward (pad is
         // drawn during round 1).
         let failure = result.failure.unwrap();
-        assert!(failure.round <= 10, "exploit should land almost immediately");
+        assert!(
+            failure.round <= 10,
+            "exploit should land almost immediately"
+        );
     }
 
     #[test]

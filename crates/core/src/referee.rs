@@ -296,8 +296,14 @@ mod tests {
         // L0 = 8; any answer in [2, 8] passes for factor 4.
         assert!(Referee::<DummyT>::check(&mut r, 8, &8).is_correct());
         assert!(Referee::<DummyT>::check(&mut r, 8, &2).is_correct());
-        assert!(!Referee::<DummyT>::check(&mut r, 8, &9).is_correct(), "overcount");
-        assert!(!Referee::<DummyT>::check(&mut r, 8, &1).is_correct(), "undercount");
+        assert!(
+            !Referee::<DummyT>::check(&mut r, 8, &9).is_correct(),
+            "overcount"
+        );
+        assert!(
+            !Referee::<DummyT>::check(&mut r, 8, &1).is_correct(),
+            "undercount"
+        );
     }
 
     // Dummy algorithms purely to instantiate the Referee trait in tests.

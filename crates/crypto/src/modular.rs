@@ -129,7 +129,10 @@ mod tests {
     fn mul_matches_u128() {
         let pairs = [(3u64, 5u64), (M - 1, M - 1), (1 << 60, 12345)];
         for (a, b) in pairs {
-            assert_eq!(mul_mod(a, b, M), ((a as u128 * b as u128) % M as u128) as u64);
+            assert_eq!(
+                mul_mod(a, b, M),
+                ((a as u128 * b as u128) % M as u128) as u64
+            );
         }
     }
 

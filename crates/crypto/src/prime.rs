@@ -275,10 +275,7 @@ mod tests {
     #[test]
     fn factorize_reassembles() {
         for n in [720u64, 123456789, 9_999_999_967, (1 << 61) - 2] {
-            let product: u64 = factorize(n)
-                .iter()
-                .map(|&(p, e)| p.pow(e))
-                .product();
+            let product: u64 = factorize(n).iter().map(|&(p, e)| p.pow(e)).product();
             assert_eq!(product, n);
         }
     }

@@ -108,9 +108,7 @@ impl SisMatrix {
             .map(|_| (0..params.d).map(|_| rng.below(params.q)).collect())
             .collect();
         // Short trapdoor with ±1/0 entries and a fixed 1 in the last slot.
-        let mut z: Vec<i64> = (0..params.w - 1)
-            .map(|_| rng.below(3) as i64 - 1)
-            .collect();
+        let mut z: Vec<i64> = (0..params.w - 1).map(|_| rng.below(3) as i64 - 1).collect();
         z.push(1);
         // last column = −Σ_j z_j · col_j (mod q)
         let mut last = vec![0u64; params.d];
@@ -197,9 +195,7 @@ impl SpaceUsage for SisMatrix {
     fn space_bits(&self) -> u64 {
         let p = self.params();
         match self {
-            SisMatrix::Explicit { .. } => {
-                p.d as u64 * p.w as u64 * bits_for_universe(p.q)
-            }
+            SisMatrix::Explicit { .. } => p.d as u64 * p.w as u64 * bits_for_universe(p.q),
             SisMatrix::Oracle { oracle, .. } => oracle.space_bits(),
         }
     }
@@ -360,10 +356,30 @@ mod tests {
     #[test]
     fn params_validation() {
         assert!(toy_params().validate().is_ok());
-        assert!(SisParams { d: 0, ..toy_params() }.validate().is_err());
-        assert!(SisParams { q: 1, ..toy_params() }.validate().is_err());
-        assert!(SisParams { beta_inf: 0, ..toy_params() }.validate().is_err());
-        assert!(SisParams { beta_inf: 97, ..toy_params() }.validate().is_err());
+        assert!(SisParams {
+            d: 0,
+            ..toy_params()
+        }
+        .validate()
+        .is_err());
+        assert!(SisParams {
+            q: 1,
+            ..toy_params()
+        }
+        .validate()
+        .is_err());
+        assert!(SisParams {
+            beta_inf: 0,
+            ..toy_params()
+        }
+        .validate()
+        .is_err());
+        assert!(SisParams {
+            beta_inf: 97,
+            ..toy_params()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

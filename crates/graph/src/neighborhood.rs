@@ -170,10 +170,10 @@ mod tests {
     fn arrivals() -> Vec<VertexArrival> {
         vec![
             VertexArrival::new(0, vec![2, 3]),
-            VertexArrival::new(1, vec![3, 2]),   // same as 0
+            VertexArrival::new(1, vec![3, 2]), // same as 0
             VertexArrival::new(2, vec![0, 1]),
-            VertexArrival::new(3, vec![0, 1]),   // same as 2
-            VertexArrival::new(4, vec![0]),      // unique
+            VertexArrival::new(3, vec![0, 1]), // same as 2
+            VertexArrival::new(4, vec![0]),    // unique
         ]
     }
 
@@ -208,7 +208,9 @@ mod tests {
             for v in 0..n {
                 // Draw neighborhoods from a small pool so duplicates occur.
                 let pool = rng.below(6);
-                let neighbors: Vec<u64> = (0..n).filter(|&u| (u * 7 + pool).is_multiple_of(5)).collect();
+                let neighbors: Vec<u64> = (0..n)
+                    .filter(|&u| (u * 7 + pool).is_multiple_of(5))
+                    .collect();
                 let a = VertexArrival::new(v, neighbors);
                 hashed.insert(&a);
                 exact.insert(&a);

@@ -65,11 +65,7 @@ impl OrEqInstance {
 
     /// The ground-truth answer `z ∈ {0,1}^k`.
     pub fn truth(&self) -> Vec<bool> {
-        self.xs
-            .iter()
-            .zip(&self.ys)
-            .map(|(x, y)| x == y)
-            .collect()
+        self.xs.iter().zip(&self.ys).map(|(x, y)| x == y).collect()
     }
 
     /// The reduction graph as a vertex-arrival stream.
@@ -111,9 +107,7 @@ impl OrEqInstance {
         (0..self.k())
             .map(|i| {
                 let (u, v) = (i as u64, k + i as u64);
-                groups
-                    .iter()
-                    .any(|g| g.contains(&u) && g.contains(&v))
+                groups.iter().any(|g| g.contains(&u) && g.contains(&v))
             })
             .collect()
     }

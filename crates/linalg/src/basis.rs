@@ -110,7 +110,11 @@ mod tests {
         for (i, row) in rows.iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
                 if v != 0 {
-                    t.update(EntryUpdate { row: i, col: j, delta: v });
+                    t.update(EntryUpdate {
+                        row: i,
+                        col: j,
+                        delta: v,
+                    });
                 }
             }
         }
@@ -129,9 +133,9 @@ mod tests {
     fn dependent_rows_pruned() {
         let rows = vec![
             vec![1, 2, 0, 0],
-            vec![2, 4, 0, 0],  // 2·r0
+            vec![2, 4, 0, 0], // 2·r0
             vec![0, 0, 1, 1],
-            vec![1, 2, 1, 1],  // r0 + r2
+            vec![1, 2, 1, 1], // r0 + r2
         ];
         let t = stream_rows(&rows, 4, b"dep");
         let basis = t.basis_rows();
@@ -153,8 +157,16 @@ mod tests {
         // Start independent, then edit row 1 to equal row 0.
         let mut t = stream_rows(&[vec![1, 0], vec![0, 1]], 2, b"turn");
         assert_eq!(t.rank_estimate(), 2);
-        t.update(EntryUpdate { row: 1, col: 0, delta: 1 });
-        t.update(EntryUpdate { row: 1, col: 1, delta: -1 });
+        t.update(EntryUpdate {
+            row: 1,
+            col: 0,
+            delta: 1,
+        });
+        t.update(EntryUpdate {
+            row: 1,
+            col: 1,
+            delta: -1,
+        });
         assert_eq!(t.rank_estimate(), 1);
     }
 

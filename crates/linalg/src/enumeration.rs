@@ -92,7 +92,11 @@ mod tests {
             for (i, row) in rows.iter().enumerate() {
                 for (j, &v) in row.iter().enumerate() {
                     if v != 0 {
-                        sk.update(EntryUpdate { row: i, col: j, delta: v });
+                        sk.update(EntryUpdate {
+                            row: i,
+                            col: j,
+                            delta: v,
+                        });
                     }
                 }
             }

@@ -90,7 +90,8 @@ pub fn kernel_vector(m: &ZqMatrix) -> Option<Vec<u64>> {
     for (row, &pc) in e.pivot_cols.iter().enumerate() {
         z[pc] = sub_mod(0, e.rref.get(row, free), q);
     }
-    debug_assert!(m.mul_vec_signed(&z.iter().map(|&v| v as i64).collect::<Vec<_>>())
+    debug_assert!(m
+        .mul_vec_signed(&z.iter().map(|&v| v as i64).collect::<Vec<_>>())
         .iter()
         .all(|&v| v == 0));
     Some(z)
@@ -112,7 +113,12 @@ mod tests {
         // rows 2 and 3 are multiples of row 1.
         let m = ZqMatrix::from_rows(
             101,
-            &[vec![1, 2, 3], vec![2, 4, 6], vec![50, 100, 150], vec![0, 1, 0]],
+            &[
+                vec![1, 2, 3],
+                vec![2, 4, 6],
+                vec![50, 100, 150],
+                vec![0, 1, 0],
+            ],
         );
         assert_eq!(rank(&m), 2);
     }

@@ -87,7 +87,8 @@ impl RankDecisionSketch {
         for r in 0..self.k {
             let h = self.h_entry(r, u.row);
             let cur = self.sketch.get(r, u.col);
-            self.sketch.set(r, u.col, add_mod(cur, mul_mod(c, h, self.q), self.q));
+            self.sketch
+                .set(r, u.col, add_mod(cur, mul_mod(c, h, self.q), self.q));
         }
     }
 
@@ -97,7 +98,11 @@ impl RankDecisionSketch {
         assert_eq!(v.len(), self.n);
         for (j, &delta) in v.iter().enumerate() {
             if delta != 0 {
-                self.update(EntryUpdate { row: i, col: j, delta });
+                self.update(EntryUpdate {
+                    row: i,
+                    col: j,
+                    delta,
+                });
             }
         }
     }
@@ -227,7 +232,11 @@ mod tests {
         for (i, row) in rows.iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
                 if v != 0 {
-                    let u = EntryUpdate { row: i, col: j, delta: v };
+                    let u = EntryUpdate {
+                        row: i,
+                        col: j,
+                        delta: v,
+                    };
                     sk.update(u);
                     ex.update(u);
                 }
@@ -257,8 +266,8 @@ mod tests {
         let rows = vec![
             vec![1, 2, 3, 4],
             vec![5, 6, 7, 8],
-            vec![6, 8, 10, 12],   // r0 + r1
-            vec![2, 4, 6, 8],     // 2·r0
+            vec![6, 8, 10, 12], // r0 + r1
+            vec![2, 4, 6, 8],   // 2·r0
         ];
         for (k, expect) in [(1, true), (2, true), (3, false), (4, false)] {
             let (sk, ex) = stream_matrix(&rows, k, b"low");
@@ -273,11 +282,19 @@ mod tests {
         let mut sk = RankDecisionSketch::new(n, 2, b"cancel");
         // Insert identity, then delete one diagonal entry.
         for i in 0..n {
-            sk.update(EntryUpdate { row: i, col: i, delta: 1 });
+            sk.update(EntryUpdate {
+                row: i,
+                col: i,
+                delta: 1,
+            });
         }
         assert!(sk.rank_at_least_k());
         for i in 1..n {
-            sk.update(EntryUpdate { row: i, col: i, delta: -1 });
+            sk.update(EntryUpdate {
+                row: i,
+                col: i,
+                delta: -1,
+            });
         }
         // A now has a single 1: rank 1 < 2.
         assert!(!sk.rank_at_least_k());

@@ -65,9 +65,7 @@ impl CommMatrix {
                 // p_state: worst case over y of the r_y success rate.
                 let mut p_state = 1.0f64;
                 for y in 0..num_y {
-                    let correct = (0..num_ry)
-                        .filter(|&ry| bob(&state, x, y, ry))
-                        .count();
+                    let correct = (0..num_ry).filter(|&ry| bob(&state, x, y, ry)).count();
                     p_state = p_state.min(correct as f64 / num_ry as f64);
                 }
                 sum_p += p_state;

@@ -107,7 +107,14 @@ impl StreamAlg for ParityEqualitySketch {
 
 /// Does `seed` make the `k`-parity sketch correct for input `x` against
 /// every valid `y` (promise: `y = x` or `HAM ≥ gap`)?
-pub fn seed_works_for(n: usize, k: usize, gap: usize, seed: u64, x: &[bool], ys: &[Vec<bool>]) -> bool {
+pub fn seed_works_for(
+    n: usize,
+    k: usize,
+    gap: usize,
+    seed: u64,
+    x: &[bool],
+    ys: &[Vec<bool>],
+) -> bool {
     for y in ys {
         let d = hamming(x, y);
         if d != 0 && d < gap {

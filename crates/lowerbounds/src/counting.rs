@@ -121,8 +121,8 @@ mod tests {
 
     #[test]
     fn saturating_counter_dies_with_explicit_stream() {
-        let err = verify_counter(&SaturatingCounter { width: 10 }, 100, 0.5)
-            .expect_err("cap must break");
+        let err =
+            verify_counter(&SaturatingCounter { width: 10 }, 100, 0.5).expect_err("cap must break");
         // The violating stream is the all-ones stream past the cap.
         assert!(err.true_count >= 14, "count {}", err.true_count);
         assert!(err.estimate <= 9.0);

@@ -182,9 +182,7 @@ mod tests {
         // Rows realize the claimed rank structure.
         let rows = rank_gadget_rows(&x, &y_neq);
         assert_eq!(rows.len(), 8);
-        let live_cols: Vec<usize> = (0..4)
-            .filter(|&j| rows.iter().any(|r| r[j] != 0))
-            .collect();
+        let live_cols: Vec<usize> = (0..4).filter(|&j| rows.iter().any(|r| r[j] != 0)).collect();
         assert_eq!(live_cols.len(), 3);
     }
 

@@ -227,9 +227,7 @@ mod tests {
         for t in 0..12 {
             for iv in &fam[t] {
                 assert!(
-                    fam[t + 1]
-                        .iter()
-                        .any(|jv| jv.lo <= iv.lo && iv.hi <= jv.hi),
+                    fam[t + 1].iter().any(|jv| jv.lo <= iv.lo && iv.hi <= jv.hi),
                     "interval {iv:?} at t={t} not contained at t+1"
                 );
             }

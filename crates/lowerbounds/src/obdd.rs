@@ -105,10 +105,7 @@ pub fn verify_counter<C: TimedCounter>(
             let Some(reach) = reach else { continue };
             for symbol in [0u8, 1u8] {
                 let s2 = counter.step(t, state, symbol);
-                assert!(
-                    s2 < next.len(),
-                    "transition out of declared width at t={t}"
-                );
+                assert!(s2 < next.len(), "transition out of declared width at t={t}");
                 let min_count = reach.min_count + symbol as u64;
                 let max_count = reach.max_count + symbol as u64;
                 let entry = &mut next[s2];

@@ -102,7 +102,7 @@ proptest! {
                 prop_assert!(
                     fam[t + 1]
                         .iter()
-                        .any(|j| j.lo <= iv.lo + 1 && iv.hi + 1 <= j.hi),
+                        .any(|j| j.lo <= iv.lo + 1 && iv.hi < j.hi),
                     "shifted interval from {iv:?} at t={t} escapes"
                 );
             }

@@ -33,12 +33,7 @@ pub struct AmsCopy {
 impl AmsCopy {
     fn new(rng: &mut TranscriptRng) -> Self {
         AmsCopy {
-            coeffs: [
-                rng.below(P),
-                rng.below(P),
-                rng.below(P),
-                rng.below(P),
-            ],
+            coeffs: [rng.below(P), rng.below(P), rng.below(P), rng.below(P)],
             counter: 0,
         }
     }
@@ -73,7 +68,11 @@ pub struct AmsF2 {
 impl AmsF2 {
     /// Sketch with `copies ≥ 1` independent sign vectors (made odd).
     pub fn new(copies: usize, rng: &mut TranscriptRng) -> Self {
-        let copies = if copies.is_multiple_of(2) { copies + 1 } else { copies.max(1) };
+        let copies = if copies.is_multiple_of(2) {
+            copies + 1
+        } else {
+            copies.max(1)
+        };
         AmsF2 {
             copies: (0..copies).map(|_| AmsCopy::new(rng)).collect(),
         }
@@ -238,10 +237,7 @@ mod tests {
         let n_few = find_aligned_items(&few, usize::MAX, budget).len();
         let n_many = find_aligned_items(&many, usize::MAX, budget).len();
         // Expected ratio 2^8; allow slack.
-        assert!(
-            n_few > 16 * n_many.max(1),
-            "few {n_few} vs many {n_many}"
-        );
+        assert!(n_few > 16 * n_many.max(1), "few {n_few} vs many {n_many}");
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
         // (sample counts differ by the rate × length factor only).
         let s1 = short.space_bits();
         let s2 = long.space_bits();
-        assert!(s2 <= s1 + 24, "space should grow ~log(samples): {s1} → {s2}");
+        assert!(
+            s2 <= s1 + 24,
+            "space should grow ~log(samples): {s1} → {s2}"
+        );
     }
 
     #[test]

@@ -103,9 +103,7 @@ impl<H: Hierarchy> HhhReferee<H> {
                 *conditioned.entry(q).or_insert(0) += c;
             }
             for (q, cond) in conditioned {
-                let reported = report
-                    .iter()
-                    .any(|&(p, _)| p.level == level && p.id == q);
+                let reported = report.iter().any(|&(p, _)| p.level == level && p.id == q);
                 if !reported && cond as f64 > (self.gamma + self.tol) * m {
                     return Verdict::violation(format!(
                         "round {t}: unreported prefix (level {level}, id {q:#x}) has \
@@ -150,8 +148,8 @@ mod tests {
         let script: Vec<InsertOnly> = (0..m)
             .map(|t| {
                 InsertOnly(match t % 10 {
-                    0..=3 => 0xAB01,                   // hot leaf 40%
-                    4..=6 => 0xCD00 | (t % 256),       // hot prefix 30%
+                    0..=3 => 0xAB01,             // hot leaf 40%
+                    4..=6 => 0xCD00 | (t % 256), // hot prefix 30%
                     _ => (t * 2654435761) & 0xFFFF,
                 })
             })
@@ -172,7 +170,13 @@ mod tests {
             Referee::<RobustHHH<RadixHierarchy>>::observe(&mut r, &InsertOnly(0xAB01));
         }
         // Claiming a prefix that has zero traffic with a big estimate.
-        let bogus: HhhReport = vec![(Prefix { level: 0, id: 0x9999 }, 80.0)];
+        let bogus: HhhReport = vec![(
+            Prefix {
+                level: 0,
+                id: 0x9999,
+            },
+            80.0,
+        )];
         assert!(!r.check_report(100, &bogus).is_correct());
     }
 
@@ -197,7 +201,13 @@ mod tests {
         }
         // Reporting the heavy leaf exactly: ancestors' conditioned counts
         // drop to zero, so coverage is satisfied.
-        let good: HhhReport = vec![(Prefix { level: 0, id: 0xAB01 }, 100.0)];
+        let good: HhhReport = vec![(
+            Prefix {
+                level: 0,
+                id: 0xAB01,
+            },
+            100.0,
+        )];
         assert!(r.check_report(100, &good).is_correct());
     }
 }

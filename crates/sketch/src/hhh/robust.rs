@@ -108,9 +108,8 @@ impl<H: Hierarchy + Send + Sync + 'static> RobustHHH<H> {
         assert!(gamma >= eps && gamma < 1.0, "need ε ≤ γ < 1");
         let delta = eps / 64.0;
         let ratio = 16.0 / eps;
-        let factory: Factory<H> = Box::new(move |guess| {
-            BernHHH::new(hierarchy.clone(), guess, eps, gamma, delta)
-        });
+        let factory: Factory<H> =
+            Box::new(move |guess| BernHHH::new(hierarchy.clone(), guess, eps, gamma, delta));
         RobustHHH {
             gamma,
             morris: MedianMorris::new(eps / 16.0, 7),
@@ -174,8 +173,8 @@ mod tests {
     fn ddos_stream(m: u64) -> Vec<u64> {
         (0..m)
             .map(|t| match t % 10 {
-                0..=3 => 0x0A0B_0C01,                    // hot leaf 40%
-                4..=6 => 0x0A0B_0D00 | (t % 256),        // hot /24 30%
+                0..=3 => 0x0A0B_0C01,             // hot leaf 40%
+                4..=6 => 0x0A0B_0D00 | (t % 256), // hot /24 30%
                 _ => (t.wrapping_mul(2654435761)) & 0xFFFF_FFFF,
             })
             .collect()
@@ -191,15 +190,19 @@ mod tests {
         }
         let report = alg.solve(0.2);
         assert!(
-            report
-                .iter()
-                .any(|&(p, _)| p == Prefix { level: 0, id: 0x0A0B_0C01 }),
+            report.iter().any(|&(p, _)| p
+                == Prefix {
+                    level: 0,
+                    id: 0x0A0B_0C01
+                }),
             "hot leaf missing: {report:?}"
         );
         assert!(
-            report
-                .iter()
-                .any(|&(p, _)| p == Prefix { level: 1, id: 0x0A_0B_0D }),
+            report.iter().any(|&(p, _)| p
+                == Prefix {
+                    level: 1,
+                    id: 0x0A_0B_0D
+                }),
             "hot /24 missing: {report:?}"
         );
         // Rescaled estimate for the hot leaf ≈ 0.4·m.
@@ -224,15 +227,19 @@ mod tests {
         }
         let report = alg.solve();
         assert!(
-            report
-                .iter()
-                .any(|&(p, _)| p == Prefix { level: 0, id: 0x0A0B_0C01 }),
+            report.iter().any(|&(p, _)| p
+                == Prefix {
+                    level: 0,
+                    id: 0x0A0B_0C01
+                }),
             "hot leaf missing: {report:?}"
         );
         assert!(
-            report
-                .iter()
-                .any(|&(p, _)| p == Prefix { level: 1, id: 0x0A_0B_0D }),
+            report.iter().any(|&(p, _)| p
+                == Prefix {
+                    level: 1,
+                    id: 0x0A_0B_0D
+                }),
             "hot /24 missing: {report:?}"
         );
         assert!(alg.epoch() >= 1, "ladder should have advanced");

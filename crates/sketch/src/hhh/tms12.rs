@@ -198,7 +198,13 @@ mod tests {
         }
         let report = alg.solve(0.3);
         assert_eq!(report.len(), 1, "only the leaf: {report:?}");
-        assert_eq!(report[0].0, Prefix { level: 0, id: 0x0102_0304 });
+        assert_eq!(
+            report[0].0,
+            Prefix {
+                level: 0,
+                id: 0x0102_0304
+            }
+        );
     }
 
     #[test]
@@ -213,10 +219,7 @@ mod tests {
         // True subtree counts for the two known-heavy prefixes.
         let stream = attack_stream(m);
         let f_leaf = stream.iter().filter(|&&x| x == 0x0A0B_0C01).count() as f64;
-        let f_pref = stream
-            .iter()
-            .filter(|&&x| x >> 8 == 0x0A_0B_0D)
-            .count() as f64;
+        let f_pref = stream.iter().filter(|&&x| x >> 8 == 0x0A_0B_0D).count() as f64;
         for (p, fp) in alg.solve(0.2) {
             let truth = match (p.level, p.id) {
                 (0, 0x0A0B_0C01) => f_leaf,

@@ -153,10 +153,22 @@ mod tests {
         let mut est = SampledInnerProduct::new(100, 0.5, 4, 4); // rates clamp to 1
         assert_eq!(est.rates(), (1.0, 1.0));
         for &i in &f {
-            est.update(SideUpdate { side: Side::Left, item: i }, &mut rng);
+            est.update(
+                SideUpdate {
+                    side: Side::Left,
+                    item: i,
+                },
+                &mut rng,
+            );
         }
         for &i in &g {
-            est.update(SideUpdate { side: Side::Right, item: i }, &mut rng);
+            est.update(
+                SideUpdate {
+                    side: Side::Right,
+                    item: i,
+                },
+                &mut rng,
+            );
         }
         assert_eq!(est.estimate(), exact_ip(&f, &g));
     }
@@ -171,8 +183,20 @@ mod tests {
         let g: Vec<u64> = (0..m).map(|t| (t * 3) % 20).collect();
         let mut est = SampledInnerProduct::new(1000, eps, m, m);
         for t in 0..m as usize {
-            est.update(SideUpdate { side: Side::Left, item: f[t] }, &mut rng);
-            est.update(SideUpdate { side: Side::Right, item: g[t] }, &mut rng);
+            est.update(
+                SideUpdate {
+                    side: Side::Left,
+                    item: f[t],
+                },
+                &mut rng,
+            );
+            est.update(
+                SideUpdate {
+                    side: Side::Right,
+                    item: g[t],
+                },
+                &mut rng,
+            );
         }
         let truth = exact_ip(&f, &g);
         let bound = eps * (m as f64) * (m as f64);
@@ -185,8 +209,20 @@ mod tests {
         let mut rng = TranscriptRng::from_seed(92);
         let mut est = SampledInnerProduct::new(1000, 0.2, 1000, 1000);
         for t in 0..1000u64 {
-            est.update(SideUpdate { side: Side::Left, item: t % 10 }, &mut rng);
-            est.update(SideUpdate { side: Side::Right, item: 500 + t % 10 }, &mut rng);
+            est.update(
+                SideUpdate {
+                    side: Side::Left,
+                    item: t % 10,
+                },
+                &mut rng,
+            );
+            est.update(
+                SideUpdate {
+                    side: Side::Right,
+                    item: 500 + t % 10,
+                },
+                &mut rng,
+            );
         }
         assert_eq!(est.estimate(), 0.0);
     }
@@ -197,7 +233,13 @@ mod tests {
         let m = 100_000u64;
         let mut est = SampledInnerProduct::new(1 << 20, 0.1, m, m);
         for t in 0..m {
-            est.update(SideUpdate { side: Side::Left, item: t }, &mut rng);
+            est.update(
+                SideUpdate {
+                    side: Side::Left,
+                    item: t,
+                },
+                &mut rng,
+            );
         }
         // s = 100 expected samples; allow wide slack.
         let (left, _) = est.sample_sizes();

@@ -326,6 +326,8 @@ mod tests {
             "sketch reads zero: the sandwich N ≤ L0 is violated"
         );
         // And the stream was legal: entries within the promise bound.
-        assert!(trapdoor.iter().all(|&v| v.unsigned_abs() <= params.beta_inf));
+        assert!(trapdoor
+            .iter()
+            .all(|&v| v.unsigned_abs() <= params.beta_inf));
     }
 }

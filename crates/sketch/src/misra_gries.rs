@@ -148,7 +148,11 @@ mod tests {
         let mut true_freq = std::collections::HashMap::new();
         let mut m = 0u64;
         for round in 0..2000u64 {
-            let item = if round % 3 == 0 { 7 } else { 100 + (round % 50) };
+            let item = if round % 3 == 0 {
+                7
+            } else {
+                100 + (round % 50)
+            };
             mg.insert(item);
             *true_freq.entry(item).or_insert(0u64) += 1;
             m += 1;

@@ -252,11 +252,7 @@ mod tests {
             },
         );
         let result = run_game(&mut alg, &mut adv, &mut referee, 200_000, 7);
-        assert!(
-            result.survived(),
-            "failed at {:?}",
-            result.failure
-        );
+        assert!(result.survived(), "failed at {:?}", result.failure);
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl HashedBernMG {
         let p = bernoulli_rate(n, m_guess, eps / 4.0, delta, 8.0);
         HashedBernMG {
             crhf,
-            hash_mask: if hash_bits >= 64 { u64::MAX } else { (1 << hash_bits) - 1 },
+            hash_mask: if hash_bits >= 64 {
+                u64::MAX
+            } else {
+                (1 << hash_bits) - 1
+            },
             hash_bits,
             p,
             mg: MisraGries::new(eps / 2.0, 1u64 << hash_bits.min(62)),
@@ -278,7 +282,11 @@ mod tests {
         assert_eq!(items.len(), 2, "no false positives: {items:?}");
         // Estimates within ε·m of truth.
         for (item, est) in report {
-            let truth = if item == 7 { 0.45 * m as f64 } else { 0.25 * m as f64 };
+            let truth = if item == 7 {
+                0.45 * m as f64
+            } else {
+                0.25 * m as f64
+            };
             assert!(
                 (est - truth).abs() < 0.08 * m as f64,
                 "item {item}: est {est} vs {truth}"

@@ -57,8 +57,7 @@ impl RobustL1HeavyHitters {
         assert!(n > 0);
         let delta = eps / 64.0;
         let ratio = 16.0 / eps;
-        let factory: Factory =
-            Box::new(move |guess| BernMG::new(n, guess, eps / 2.0, delta));
+        let factory: Factory = Box::new(move |guess| BernMG::new(n, guess, eps / 2.0, delta));
         RobustL1HeavyHitters {
             eps,
             n,
@@ -190,8 +189,13 @@ mod tests {
                     Some(InsertOnly(1)) // keep one genuinely heavy item
                 } else {
                     // Scan for an item id the summary is not tracking.
-                    let tracked: Vec<u64> =
-                        alg.answering().inner().entries().iter().map(|&(i, _)| i).collect();
+                    let tracked: Vec<u64> = alg
+                        .answering()
+                        .inner()
+                        .entries()
+                        .iter()
+                        .map(|&(i, _)| i)
+                        .collect();
                     while tracked.contains(&next_evader) {
                         next_evader = 500 + (next_evader + 1) % (n - 500);
                     }
@@ -226,10 +230,7 @@ mod tests {
         assert!(alg.epoch() >= 2, "epoch {}", alg.epoch());
         // Morris estimate should be in the right ballpark.
         let t_hat = alg.t_hat();
-        assert!(
-            (t_hat - 32768.0).abs() < 0.5 * 32768.0,
-            "t_hat {t_hat}"
-        );
+        assert!((t_hat - 32768.0).abs() < 0.5 * 32768.0, "t_hat {t_hat}");
     }
 
     #[test]

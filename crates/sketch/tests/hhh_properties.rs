@@ -3,15 +3,10 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 use wb_core::rng::TranscriptRng;
-use wb_sketch::hhh::{Hierarchy, HierarchicalSpaceSaving, RadixHierarchy, RobustHHH};
+use wb_sketch::hhh::{HierarchicalSpaceSaving, Hierarchy, RadixHierarchy, RobustHHH};
 
 /// Exact subtree count of a prefix from leaf counts.
-fn subtree_count(
-    h: &RadixHierarchy,
-    leaf_counts: &HashMap<u64, u64>,
-    level: u32,
-    id: u64,
-) -> u64 {
+fn subtree_count(h: &RadixHierarchy, leaf_counts: &HashMap<u64, u64>, level: u32, id: u64) -> u64 {
     leaf_counts
         .iter()
         .filter(|(&leaf, _)| h.ancestor(leaf, level) == id)

@@ -107,8 +107,14 @@ mod tests {
         let mut rng = TranscriptRng::from_seed(210);
         let mut eq = StreamingEquality::generate(40, 2, &mut rng);
         for c in [1u64, 0, 1, 1] {
-            eq.push(CharUpdate { track: Track::U, symbol: c });
-            eq.push(CharUpdate { track: Track::V, symbol: c });
+            eq.push(CharUpdate {
+                track: Track::U,
+                symbol: c,
+            });
+            eq.push(CharUpdate {
+                track: Track::V,
+                symbol: c,
+            });
             assert!(eq.equal());
         }
     }
@@ -117,13 +123,25 @@ mod tests {
     fn divergence_is_detected_immediately_and_persistently() {
         let mut rng = TranscriptRng::from_seed(211);
         let mut eq = StreamingEquality::generate(40, 2, &mut rng);
-        eq.push(CharUpdate { track: Track::U, symbol: 1 });
-        eq.push(CharUpdate { track: Track::V, symbol: 0 });
+        eq.push(CharUpdate {
+            track: Track::U,
+            symbol: 1,
+        });
+        eq.push(CharUpdate {
+            track: Track::V,
+            symbol: 0,
+        });
         assert!(!eq.equal());
         // Extending both identically cannot repair the divergence.
         for c in [1u64, 1, 0, 1] {
-            eq.push(CharUpdate { track: Track::U, symbol: c });
-            eq.push(CharUpdate { track: Track::V, symbol: c });
+            eq.push(CharUpdate {
+                track: Track::U,
+                symbol: c,
+            });
+            eq.push(CharUpdate {
+                track: Track::V,
+                symbol: c,
+            });
             assert!(!eq.equal(), "diverged strings must stay unequal");
         }
     }
@@ -134,9 +152,18 @@ mod tests {
         // separate them (this is why the fingerprint carries the length).
         let mut rng = TranscriptRng::from_seed(212);
         let mut eq = StreamingEquality::generate(40, 2, &mut rng);
-        eq.push(CharUpdate { track: Track::U, symbol: 0 });
-        eq.push(CharUpdate { track: Track::U, symbol: 1 });
-        eq.push(CharUpdate { track: Track::V, symbol: 1 });
+        eq.push(CharUpdate {
+            track: Track::U,
+            symbol: 0,
+        });
+        eq.push(CharUpdate {
+            track: Track::U,
+            symbol: 1,
+        });
+        eq.push(CharUpdate {
+            track: Track::V,
+            symbol: 1,
+        });
         assert!(!eq.equal());
     }
 
@@ -146,8 +173,14 @@ mod tests {
         let mut eq = StreamingEquality::generate(40, 2, &mut rng);
         for i in 0..10_000u64 {
             let c = i & 1;
-            eq.push(CharUpdate { track: Track::U, symbol: c });
-            eq.push(CharUpdate { track: Track::V, symbol: c });
+            eq.push(CharUpdate {
+                track: Track::U,
+                symbol: c,
+            });
+            eq.push(CharUpdate {
+                track: Track::V,
+                symbol: c,
+            });
         }
         // Two fingerprints: value (≤40 bits) + length counter (log of the
         // length) + three public parameters each — constant in the string

@@ -10,10 +10,10 @@
 //! set character by one order-length — producing a different string with an
 //! identical fingerprint. See [`crate::attacks::kr_order_collision`].
 
+use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_crypto::modular::{add_mod, mul_mod};
 use wb_crypto::prime::random_prime;
-use wb_core::rng::TranscriptRng;
 
 /// Public Karp–Rabin parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,12 +114,9 @@ mod tests {
     fn matches_direct_polynomial_evaluation() {
         let ps = params();
         let s = [3u64, 1, 4, 1, 5];
-        let direct: u64 = s
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &c)| {
-                add_mod(acc, mul_mod(c, pow_mod(ps.x, i as u64, ps.p), ps.p), ps.p)
-            });
+        let direct: u64 = s.iter().enumerate().fold(0u64, |acc, (i, &c)| {
+            add_mod(acc, mul_mod(c, pow_mod(ps.x, i as u64, ps.p), ps.p), ps.p)
+        });
         assert_eq!(KarpRabin::fingerprint(ps, &s), direct);
     }
 
@@ -128,7 +125,10 @@ mod tests {
         let ps = params();
         let a = [1u64, 0, 1, 1, 0, 1, 0, 0];
         let b = [1u64, 0, 1, 1, 0, 1, 0, 1];
-        assert_ne!(KarpRabin::fingerprint(ps, &a), KarpRabin::fingerprint(ps, &b));
+        assert_ne!(
+            KarpRabin::fingerprint(ps, &a),
+            KarpRabin::fingerprint(ps, &b)
+        );
     }
 
     #[test]

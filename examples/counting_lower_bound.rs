@@ -22,7 +22,10 @@ fn main() {
     println!("certified minimum state count (h+1) for (1+{eps})-approx counting:");
     for n in [1u64 << 8, 1 << 12, 1 << 16, 1 << 20] {
         let (_, bound) = width_lower_bound(n, ErrorBudget::Multiplicative(eps));
-        println!("  n = {n:>8}: ≥ {bound:>4} states (≥ {} bits)", (bound as f64).log2().ceil());
+        println!(
+            "  n = {n:>8}: ≥ {bound:>4} states (≥ {} bits)",
+            (bound as f64).log2().ceil()
+        );
     }
 
     // Candidate deterministic counters vs the exhaustive verifier.
@@ -41,7 +44,14 @@ fn main() {
         ),
         Ok(_) => unreachable!(),
     }
-    match verify_counter(&BucketCounter { delta: 0.5, width: 16 }, 96, eps) {
+    match verify_counter(
+        &BucketCounter {
+            delta: 0.5,
+            width: 16,
+        },
+        96,
+        eps,
+    ) {
         Err(cex) => println!(
             "  deterministic Morris (16 buckets): FAILS — count {} estimated {:.0}",
             cex.true_count, cex.estimate

@@ -42,9 +42,9 @@ fn main() {
     println!("streaming {m} packets: botnet=10.1.7.0/24 (25%), hot host=203.0.113.5 (15%)");
     for t in 0..m {
         let src = match t % 20 {
-            0..=4 => ip(10, 1, 7, rng.below(256)),      // botnet subnet, 25%
-            5..=7 => ip(203, 0, 113, 5),                // hot host, 15%
-            _ => rng.below(1 << 32),                    // background noise
+            0..=4 => ip(10, 1, 7, rng.below(256)), // botnet subnet, 25%
+            5..=7 => ip(203, 0, 113, 5),           // hot host, 15%
+            _ => rng.below(1 << 32),               // background noise
         };
         robust.insert(src, &mut rng);
         tms12.insert(src);

@@ -69,12 +69,19 @@ fn main() {
     println!("peak space:         {} bits", result.peak_space_bits);
     println!("final space:        {} bits", result.final_space_bits);
     println!("epoch reached:      {}", alg.epoch());
-    println!("Morris t̂:           {:.0} (true {})", alg.t_hat(), result.rounds);
+    println!(
+        "Morris t̂:           {:.0} (true {})",
+        alg.t_hat(),
+        result.rounds
+    );
 
     println!("\nreported heavy hitters (item, estimate):");
     for (item, est) in alg.heavy_hitters() {
         if est > 0.05 * m as f64 {
-            println!("  item {item:>6}: {est:>10.0}  (truth for 7: {:.0})", m as f64 / 3.0);
+            println!(
+                "  item {item:>6}: {est:>10.0}  (truth for 7: {:.0})",
+                m as f64 / 3.0
+            );
         }
     }
 

@@ -34,7 +34,11 @@ fn main() {
     for (i, row) in a.iter().enumerate() {
         for (j, &v) in row.iter().enumerate() {
             if v != 0 {
-                let u = EntryUpdate { row: i, col: j, delta: v };
+                let u = EntryUpdate {
+                    row: i,
+                    col: j,
+                    delta: v,
+                };
                 sketch.update(u);
                 exact.update(u);
                 basis.update(u);
@@ -56,7 +60,11 @@ fn main() {
         let r = rng.below(n as u64) as usize;
         let c = rng.below(n as u64) as usize;
         // A random entry bump almost surely raises the rank by 1.
-        let u = EntryUpdate { row: r, col: c, delta: 1 };
+        let u = EntryUpdate {
+            row: r,
+            col: c,
+            delta: 1,
+        };
         sketch.update(u);
         exact.update(u);
         basis.update(u);
@@ -105,5 +113,8 @@ fn main() {
             .collect::<Vec<_>>()
     );
     assert_eq!(decoded, inst.truth());
-    println!("hashed-neighborhood space: {} bits (O(n log n)) ✓", hashed.space_bits());
+    println!(
+        "hashed-neighborhood space: {} bits (O(n log n)) ✓",
+        hashed.space_bits()
+    );
 }

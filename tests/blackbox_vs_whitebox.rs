@@ -10,15 +10,15 @@ use wbstream::sketch::count_min::{forge_all_row_collisions, CountMin};
 
 /// Referee for the CountMin attack experiments: the victim item 0 is never
 /// inserted, so its estimate must stay within the oblivious error bound.
-fn count_min_referee(
-    width: usize,
-) -> impl FnMut(u64, &u64) -> Verdict {
+fn count_min_referee(width: usize) -> impl FnMut(u64, &u64) -> Verdict {
     move |t: u64, est: &u64| {
         let bound = 2.0 * t as f64 / width as f64 + 1.0;
         if (*est as f64) <= bound {
             Verdict::Correct
         } else {
-            Verdict::violation(format!("round {t}: victim estimate {est} > bound {bound:.1}"))
+            Verdict::violation(format!(
+                "round {t}: victim estimate {est} > bound {bound:.1}"
+            ))
         }
     }
 }
@@ -62,10 +62,7 @@ fn count_min_survives_black_box_but_falls_white_box() {
     );
     let mut referee = FnReferee::new(count_min_referee(width));
     let result = run_game(&mut cm, &mut adv, &mut referee, rounds, 7004);
-    assert!(
-        !result.survived(),
-        "white-box forging must defeat CountMin"
-    );
+    assert!(!result.survived(), "white-box forging must defeat CountMin");
     // The break happens quickly: every forged insert lands on the victim.
     assert!(result.failure.unwrap().round < 400);
 }

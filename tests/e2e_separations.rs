@@ -94,7 +94,10 @@ fn counting_separation_random_vs_deterministic() {
     assert!(rel < 0.5, "Morris error {rel}");
 
     // And the concrete "deterministic Morris" with that few states fails.
-    let det_attempt = BucketCounter { delta: 0.5, width: 16 };
+    let det_attempt = BucketCounter {
+        delta: 0.5,
+        width: 16,
+    };
     assert!(verify_counter(&det_attempt, 128, 0.5).is_err());
     assert!(verify_counter(&ExactCounter, 128, 0.5).is_ok());
 }

@@ -12,14 +12,18 @@ fn decide_equality_via_rank_sketch(x: &[bool], y: &[bool], tag: &[u8]) -> bool {
     let n = x.len();
     let rows = rank_gadget_rows(x, y);
     let k = n / 2 + 1; // threshold separating equal from unequal
-    // The gadget matrix is 2n × n; the sketch is built for square input, so
-    // fold the two diagonal blocks into a 2n-dimension square matrix view.
+                       // The gadget matrix is 2n × n; the sketch is built for square input, so
+                       // fold the two diagonal blocks into a 2n-dimension square matrix view.
     let dim = 2 * n;
     let mut sketch = RankDecisionSketch::new(dim, k, tag);
     for (i, row) in rows.iter().enumerate() {
         for (j, &v) in row.iter().enumerate() {
             if v != 0 {
-                sketch.update(EntryUpdate { row: i, col: j, delta: v });
+                sketch.update(EntryUpdate {
+                    row: i,
+                    col: j,
+                    delta: v,
+                });
             }
         }
     }
@@ -86,7 +90,11 @@ fn sketch_space_is_linear_while_decision_is_global() {
     for (i, row) in rows.iter().enumerate() {
         for (j, &v) in row.iter().enumerate() {
             if v != 0 {
-                sketch.update(EntryUpdate { row: i, col: j, delta: v });
+                sketch.update(EntryUpdate {
+                    row: i,
+                    col: j,
+                    delta: v,
+                });
             }
         }
     }

@@ -27,7 +27,12 @@ fn morris_survives_transcript_aware_adversary() {
                 .map(|c| c.exponent())
                 .max()
                 .unwrap_or(0)
-                - alg.counters().iter().map(|c| c.exponent()).min().unwrap_or(0);
+                - alg
+                    .counters()
+                    .iter()
+                    .map(|c| c.exponent())
+                    .min()
+                    .unwrap_or(0);
             // Stop when copies disagree maximally (an "unlucky" state).
             if t > 10_000 && spread >= 6 {
                 None

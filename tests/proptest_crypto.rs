@@ -1,11 +1,11 @@
 //! Property-based tests for the cryptographic substrate.
 
 use proptest::prelude::*;
+use wbstream::core::rng::TranscriptRng;
 use wbstream::crypto::modular::{add_mod, balanced, inv_mod, mul_mod, pow_mod, sub_mod};
 use wbstream::crypto::prime::{factorize, is_prime};
 use wbstream::crypto::sha256::{sha256, Sha256};
 use wbstream::crypto::sis::{SisMatrix, SisParams};
-use wbstream::core::rng::TranscriptRng;
 
 const P61: u64 = (1 << 61) - 1;
 

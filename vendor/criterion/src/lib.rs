@@ -1,0 +1,196 @@
+//! Offline, API-compatible subset of the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! slice of criterion's API that the workspace benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], `criterion_group!` and
+//! `criterion_main!`. It is a real measuring harness — each benchmark is
+//! warmed up, then timed over a fixed number of samples and reported as
+//! min/mean/max nanoseconds per iteration — just without criterion's
+//! statistical machinery (outlier analysis, HTML reports, comparisons).
+//!
+//! Swap this for the registry crate by pointing the workspace dependency at
+//! `criterion = "0.5"` once network access is available; no bench source
+//! changes are needed.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+/// Warm-up iterations executed before sampling begins.
+const WARMUP_ITERS: u64 = 3;
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Timing loop handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Iterations executed per sample.
+    iters_per_sample: u64,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Time `routine`, recording `sample_size` samples after a short warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std_black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / self.iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{name:<40} [{:>12} {:>12} {:>12}] ns/iter",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(DEFAULT_SAMPLE_SIZE);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group sharing configuration (sample size) across benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion rejects n < 10; this subset just clamps to 1.
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Finish the group. (Reports are printed eagerly; this is a no-op kept
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(2).bench_function("f", |b| {
+            ran = true;
+            b.iter(|| 0u64)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
