@@ -1,13 +1,16 @@
 //! E11 (Corollary 2.8): sampled inner-product estimation.
 //!
 //! Claim shape: the absolute error stays below `ε·‖f‖₁·‖g‖₁` across
-//! correlated, anti-correlated and disjoint stream pairs, with space
-//! `O(1/ε²)` samples.
+//! correlated, identical and disjoint stream pairs, with space `O(1/ε²)`
+//! samples. The interleaved two-sided stream runs through the engine; a
+//! final-round referee enforces the error bound, so "ok" is a game
+//! verdict.
 
-use bench::{header, row};
 use std::collections::HashMap;
-use wb_core::rng::TranscriptRng;
+use wb_core::game::{FnReferee, Verdict};
 use wb_core::space::SpaceUsage;
+use wb_engine::experiment::{run_cli, ExperimentSpec, Row, RunCtx, Section};
+use wb_engine::Game;
 use wb_sketch::inner_product::{SampledInnerProduct, Side, SideUpdate};
 
 fn exact_ip(f: &[u64], g: &[u64]) -> f64 {
@@ -24,68 +27,76 @@ fn exact_ip(f: &[u64], g: &[u64]) -> f64 {
         .sum()
 }
 
-fn main() {
-    let m = 30_000u64;
-    println!("E11: m = {m} per stream, error bound = eps * L1(f) * L1(g)\n");
-    header(
-        &[
-            "workload",
-            "eps",
-            "truth",
-            "estimate",
-            "err/bound",
-            "space bits",
-        ],
-        12,
-    );
-    for eps in [0.05f64, 0.1, 0.2] {
-        for (name, fgen, ggen) in [
-            (
-                "correlated",
-                (|t: u64| t % 20) as fn(u64) -> u64,
-                (|t: u64| (t * 3) % 20) as fn(u64) -> u64,
-            ),
-            ("identical", |t: u64| t % 50, |t: u64| t % 50),
-            ("disjoint", |t: u64| t % 100, |t: u64| 1000 + t % 100),
-        ] {
-            let f: Vec<u64> = (0..m).map(fgen).collect();
-            let g: Vec<u64> = (0..m).map(ggen).collect();
-            let mut rng = TranscriptRng::from_seed(1100 + (eps * 100.0) as u64);
-            let mut est = SampledInnerProduct::new(1 << 20, eps, m, m);
-            for t in 0..m as usize {
-                est.update(
+fn ip_row(name: &'static str, eps: f64, fgen: fn(u64) -> u64, ggen: fn(u64) -> u64) -> Row {
+    Row::custom(format!("{name} {eps}"), move |ctx: &RunCtx| {
+        let m = ctx.cap(30_000, 2_000);
+        let f: Vec<u64> = (0..m).map(fgen).collect();
+        let g: Vec<u64> = (0..m).map(ggen).collect();
+        let truth = exact_ip(&f, &g);
+        let bound = eps * (m as f64) * (m as f64);
+        // Interleave the two sides into one update script.
+        let script: Vec<SideUpdate> = (0..m as usize)
+            .flat_map(|t| {
+                [
                     SideUpdate {
                         side: Side::Left,
                         item: f[t],
                     },
-                    &mut rng,
-                );
-                est.update(
                     SideUpdate {
                         side: Side::Right,
                         item: g[t],
                     },
-                    &mut rng,
-                );
+                ]
+            })
+            .collect();
+        let total = script.len() as u64;
+        let referee = FnReferee::new(move |t: u64, est: &f64| {
+            if t >= total && (est - truth).abs() > bound {
+                Verdict::violation(format!(
+                    "round {t}: |{est:.2e} - {truth:.2e}| exceeds eps bound {bound:.2e}"
+                ))
+            } else {
+                Verdict::Correct
             }
-            let truth = exact_ip(&f, &g);
-            let bound = eps * (m as f64) * (m as f64);
-            let err = (est.estimate() - truth).abs();
-            println!(
-                "{}",
-                row(
-                    &[
-                        name.to_string(),
-                        format!("{eps}"),
-                        format!("{truth:.2e}"),
-                        format!("{:.2e}", est.estimate()),
-                        format!("{:.3}", err / bound),
-                        est.space_bits().to_string(),
-                    ],
-                    12
-                )
-            );
-        }
+        });
+        let (report, alg) = Game::new(SampledInnerProduct::new(1 << 20, eps, m, m))
+            .script(script)
+            .referee(referee)
+            .batch(256)
+            .seed(1100 + (eps * 100.0) as u64)
+            .play();
+        let err = (alg.estimate() - truth).abs();
+        vec![
+            format!("{truth:.2e}"),
+            format!("{:.2e}", alg.estimate()),
+            format!("{:.3}", err / bound),
+            alg.space_bits().to_string(),
+            report.survived().to_string(),
+        ]
+    })
+}
+
+fn main() {
+    let mut section = Section::new(
+        "m = 30000 per stream, error bound = eps * L1(f) * L1(g); ok = final-round referee",
+        &[
+            "workload eps",
+            "truth",
+            "estimate",
+            "err/bound",
+            "space bits",
+            "ok",
+        ],
+        13,
+    );
+    for eps in [0.05f64, 0.1, 0.2] {
+        section = section.row(ip_row("correlated", eps, |t| t % 20, |t| (t * 3) % 20));
+        section = section.row(ip_row("identical", eps, |t| t % 50, |t| t % 50));
+        section = section.row(ip_row("disjoint", eps, |t| t % 100, |t| 1000 + t % 100));
     }
-    println!("\nerr/bound must stay below 1.0 (Lemma 2.6's guarantee holds with prob ≥ 0.99).");
+    run_cli(
+        ExperimentSpec::new("e11", "sampled inner-product estimation")
+            .section(section)
+            .note("err/bound must stay below 1.0 (Lemma 2.6's guarantee holds with prob ≥ 0.99)."),
+    );
 }

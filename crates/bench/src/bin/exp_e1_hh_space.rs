@@ -4,58 +4,54 @@
 //! Claim shape: MG bits grow with `log m` (counters carry the count); the
 //! robust algorithm's counters count samples and saturate, leaving only
 //! the `O(log log m)` Morris term — so its curve flattens while MG's keeps
-//! climbing. Both must remain correct.
+//! climbing. Both must stay correct, and "ok" now means the real
+//! [`HeavyHitterReferee`](wb_core::referee::HeavyHitterReferee) accepted
+//! every checked answer — the same verdict logic as the game harness.
 
-use bench::{header, row};
-use wb_core::rng::TranscriptRng;
-use wb_core::space::SpaceUsage;
-use wb_core::stream::FrequencyVector;
-use wb_sketch::{MisraGries, RobustL1HeavyHitters};
+use wb_engine::experiment::{run_cli, ExperimentSpec, GameRow, Metric, Row, Section};
+use wb_engine::registry::Params;
+use wb_engine::{RefereeSpec, WorkloadSpec};
 
 fn main() {
-    let n = 1u64 << 16;
     let eps = 0.125;
     // Worst case for the Misra-Gries space bound: few distinct items, so
     // every retained counter grows linearly with m (log m bits each).
-    println!("E1: eps = {eps}, n = 2^16, uniform stream over 8 items\n");
-    header(&["m", "MG bits", "robust bits", "MG ok", "robust ok"], 12);
+    let mut section = Section::new(
+        "uniform stream over 8 items; ok = HeavyHitterReferee(eps, eps) verdict",
+        &["m / alg", "space bits", "peak bits", "ok"],
+        14,
+    );
     for log_m in [12u32, 14, 16, 18, 20, 22] {
         let m = 1u64 << log_m;
-        let stream: Vec<u64> = (0..m).map(|t| t % 8).collect();
-        let mut rng = TranscriptRng::from_seed(1000 + log_m as u64);
-        let mut mg = MisraGries::new(eps, n);
-        let mut robust = RobustL1HeavyHitters::new(n, eps);
-        let mut truth = FrequencyVector::new();
-        for &item in &stream {
-            mg.insert(item);
-            robust.insert(item, &mut rng);
-            truth.insert(item);
+        for alg in ["misra_gries", "robust_hh"] {
+            section = section.row(Row::game(
+                GameRow::new(
+                    format!("2^{log_m} {alg}"),
+                    alg,
+                    Params::default().with_n(1 << 16).with_eps(eps),
+                    WorkloadSpec::Cycle { items: 8, m },
+                    RefereeSpec::HeavyHitters {
+                        eps,
+                        tol: eps,
+                        phi: None,
+                        grace: 64,
+                    },
+                )
+                .seed(1000 + log_m as u64)
+                .batch(1024)
+                .metrics(&[Metric::SpaceBits, Metric::PeakSpaceBits, Metric::Ok]),
+            ));
         }
-        let l1 = truth.l1() as f64;
-        let heavy = truth.items_above(eps * l1);
-        let mg_ok = heavy.iter().all(|&i| mg.estimate(i) > 0);
-        let robust_ok = heavy.iter().all(|&i| {
-            robust
-                .heavy_hitters()
-                .iter()
-                .any(|&(j, est)| j == i && (est - truth.get(i) as f64).abs() < eps * l1)
-        });
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("2^{log_m}"),
-                    mg.space_bits().to_string(),
-                    robust.space_bits().to_string(),
-                    mg_ok.to_string(),
-                    robust_ok.to_string(),
-                ],
-                12
-            )
-        );
     }
-    println!(
-        "\nshape check: MG grows ~2 bits per 4x m (log m per counter); the robust\n\
-         curve flattens once sampling kicks in (counters count samples, Thm 1.1)."
+    run_cli(
+        ExperimentSpec::new(
+            "e1",
+            format!("robust vs deterministic heavy-hitter space, eps = {eps}, n = 2^16"),
+        )
+        .section(section)
+        .note(
+            "shape check: MG grows ~2 bits per 4x m (log m per counter); the robust\n\
+             curve flattens once sampling kicks in (counters count samples, Thm 1.1).",
+        ),
     );
 }

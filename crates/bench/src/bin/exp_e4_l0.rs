@@ -2,97 +2,123 @@
 //! streams.
 //!
 //! Claim shape: the answer sandwiches the true L0 within factor `n^ε` at
-//! every point; random-oracle mode drops the `n^{(1+c)ε}` matrix-storage
-//! term; the naive small-modulus variant is broken by a poly-time
-//! adversary while the SIS instance resists the same budget.
+//! every point (enforced by the real
+//! [`L0SandwichReferee`](wb_core::referee::L0SandwichReferee) at every
+//! batch boundary); random-oracle mode drops the `n^{(1+c)ε}`
+//! matrix-storage term; the naive small-modulus variant is broken by a
+//! poly-time adversary while the SIS instance resists the same budget.
 
-use bench::{churn_stream, header, row};
 use wb_core::rng::TranscriptRng;
-use wb_core::space::SpaceUsage;
 use wb_core::stream::FrequencyVector;
+use wb_engine::experiment::{run_cli, ExperimentSpec, GameRow, Metric, Row, RunCtx, Section};
+use wb_engine::registry::Params;
+use wb_engine::{RefereeSpec, WorkloadSpec};
 use wb_sketch::l0::{
     attack_sis_estimator, break_naive_sketch, MatrixMode, NaiveModSketchL0, SisAttackOutcome,
     SisL0Estimator,
 };
 
+const L0_EPS: f64 = 0.5;
+const L0_C: f64 = 0.25;
+
+fn sandwich_row(log_n: u32, random_oracle: bool) -> Row {
+    let n = 1u64 << log_n;
+    let mode = if random_oracle { "RO" } else { "expl" };
+    Row::game(
+        GameRow::new(
+            format!("2^{log_n} {mode}"),
+            "sis_l0",
+            Params {
+                n,
+                l0_eps: L0_EPS,
+                l0_c: L0_C,
+                random_oracle,
+                seed: 40 + log_n as u64,
+                ..Params::default()
+            },
+            WorkloadSpec::Churn {
+                n,
+                waves: 8,
+                wave: n / 8,
+                seed: 41 + log_n as u64,
+            },
+            RefereeSpec::L0Sandwich {
+                // The estimator's actual guarantee factor is its chunk width
+                // ⌈n^ε⌉ — ceil to match, or non-integral n^ε would flag
+                // sound answers at the boundary.
+                factor: (n as f64).powf(L0_EPS).ceil(),
+            },
+        )
+        .seed(42 + log_n as u64)
+        .batch(64)
+        .metrics(&[
+            Metric::Rounds,
+            Metric::Answer,
+            Metric::SpaceBits,
+            Metric::Ok,
+        ]),
+    )
+}
+
 fn main() {
-    println!("E4: eps = 1/2, c = 1/4, turnstile churn streams\n");
-    header(
-        &[
-            "n",
-            "true L0",
-            "answer",
-            "n^eps",
-            "RO bits",
-            "expl bits",
-            "ok",
-        ],
-        10,
+    let mut section = Section::new(
+        format!(
+            "eps = {L0_EPS}, c = {L0_C}, turnstile churn; ok = L0SandwichReferee(n^eps) verdict"
+        ),
+        &["n / mode", "rounds", "answer", "space bits", "ok"],
+        12,
     );
     for log_n in [8u32, 10, 12, 14] {
-        let n = 1u64 << log_n;
-        let mut rng = TranscriptRng::from_seed(40 + log_n as u64);
-        let mut ro = SisL0Estimator::new(n, 0.5, 0.25, MatrixMode::RandomOracle, &mut rng);
-        let mut explicit = SisL0Estimator::new(n, 0.5, 0.25, MatrixMode::Explicit, &mut rng);
-        let mut truth = FrequencyVector::new();
-        let mut ok = true;
-        for u in churn_stream(n, 8, n / 8, 41 + log_n as u64) {
-            ro.update(u.item, u.delta);
-            explicit.update(u.item, u.delta);
-            truth.update(u.item, u.delta);
-            let (lo, hi) = ro.answer_range();
-            ok &= lo <= truth.l0() && truth.l0() <= hi;
-        }
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("2^{log_n}"),
-                    truth.l0().to_string(),
-                    ro.answer().to_string(),
-                    ro.approximation_factor().to_string(),
-                    ro.space_bits().to_string(),
-                    explicit.space_bits().to_string(),
-                    ok.to_string(),
-                ],
-                10
-            )
-        );
+        section = section.row(sandwich_row(log_n, true));
+        section = section.row(sandwich_row(log_n, false));
     }
 
-    // Attack table.
-    println!("\nattacks (budget 30000 candidates per phase):");
-    header(&["target", "outcome"], 28);
-    let mut rng = TranscriptRng::from_seed(60);
-    let mut naive = NaiveModSketchL0::new(1 << 10, 64, 8, 2, &mut rng);
-    let attack = break_naive_sketch(&naive).expect("GF(2) kernel");
-    let mut t = FrequencyVector::new();
-    for u in &attack {
-        naive.update(u.item, u.delta);
-        t.update(u.item, u.delta);
-    }
-    println!(
-        "{}",
-        row(
-            &[
-                "naive q=2 sketch".into(),
-                format!("BROKEN: answer {} vs L0 {}", naive.answer(), t.l0()),
-            ],
-            28
-        )
+    let attacks = Section::new(
+        "attacks (budget 30000 candidates per phase)",
+        &["target", "outcome"],
+        30,
+    )
+    .row(Row::custom("naive q=2 sketch", |_ctx: &RunCtx| {
+        let mut rng = TranscriptRng::from_seed(60);
+        let mut naive = NaiveModSketchL0::new(1 << 10, 64, 8, 2, &mut rng);
+        let attack = break_naive_sketch(&naive).expect("GF(2) kernel");
+        let mut truth = FrequencyVector::new();
+        truth.update_batch(&attack.iter().map(|u| (u.item, u.delta)).collect::<Vec<_>>());
+        for u in &attack {
+            naive.update(u.item, u.delta);
+        }
+        vec![format!(
+            "BROKEN: answer {} vs L0 {}",
+            naive.answer(),
+            truth.l0()
+        )]
+    }))
+    .row(Row::custom("SIS sketch (Thm 1.5)", |ctx: &RunCtx| {
+        let mut rng = TranscriptRng::from_seed(61);
+        let victim = SisL0Estimator::new(1 << 12, 0.5, 0.4, MatrixMode::RandomOracle, &mut rng);
+        let budget = ctx.cap(30_000, 2_000);
+        let outcome = attack_sis_estimator(&victim, budget, &mut rng);
+        vec![match outcome {
+            SisAttackOutcome::Broken(_) => "BROKEN (unexpected!)".to_string(),
+            SisAttackOutcome::Resisted {
+                unbounded_kernel_max_entry,
+                ..
+            } => format!(
+                "resisted; mod-q kernel entry {} >> beta {}",
+                unbounded_kernel_max_entry.unwrap_or(0),
+                victim.matrix().params().beta_inf
+            ),
+        }]
+    }));
+
+    run_cli(
+        ExperimentSpec::new("e4", "SIS-based turnstile L0 estimation")
+            .section(section)
+            .section(attacks)
+            .note(
+                "RO rows store no matrix (the n^((1+c)eps) term vanishes); expl rows pay\n\
+                 for explicit matrix storage. The naive q=2 sketch falls to a GF(2)\n\
+                 kernel attack; the SIS instance resists the same candidate budget.",
+            ),
     );
-    let victim = SisL0Estimator::new(1 << 12, 0.5, 0.4, MatrixMode::RandomOracle, &mut rng);
-    let outcome = attack_sis_estimator(&victim, 30_000, &mut rng);
-    let desc = match outcome {
-        SisAttackOutcome::Broken(_) => "BROKEN (unexpected!)".to_string(),
-        SisAttackOutcome::Resisted {
-            unbounded_kernel_max_entry,
-            ..
-        } => format!(
-            "resisted; mod-q kernel entry {} >> beta {}",
-            unbounded_kernel_max_entry.unwrap_or(0),
-            victim.matrix().params().beta_inf
-        ),
-    };
-    println!("{}", row(&["SIS sketch (Thm 1.5)".into(), desc], 28));
 }

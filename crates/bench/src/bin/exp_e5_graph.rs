@@ -2,20 +2,56 @@
 //!
 //! Claim shape: the CRHF-hashed algorithm uses `O(n log n)` bits and the
 //! deterministic baseline `Θ(n²)` — the curves cross immediately and
-//! diverge; both decode the OR-Equality instances that prove the Ω(n²/log n)
-//! bound.
+//! diverge; both decode the OR-Equality instances that prove the
+//! Ω(n²/log n) bound. Decoding is enforced by a final-round referee in an
+//! engine-driven game over the vertex-arrival stream.
 
-use bench::{header, row};
+use wb_core::game::{FnReferee, Verdict};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::SpaceUsage;
-use wb_graph::{ExactNeighborhoods, HashedNeighborhoods, OrEqInstance};
+use wb_core::stream::StreamAlg;
+use wb_engine::experiment::{run_cli, ExperimentSpec, Row, RunCtx, Section};
+use wb_engine::Game;
+use wb_graph::{ExactNeighborhoods, HashedNeighborhoods, NeighborhoodGroups, OrEqInstance};
+
+/// Drive one algorithm over the instance's vertex stream; the referee
+/// demands that the final identical-neighborhood groups decode to the
+/// planted OR-Equality answer.
+fn decode_game<A>(alg: A, inst: &OrEqInstance, seed: u64) -> (bool, u64)
+where
+    A: StreamAlg<Update = wb_graph::VertexArrival, Output = NeighborhoodGroups>
+        + SpaceUsage
+        + 'static,
+{
+    let stream = inst.to_vertex_stream();
+    let m = stream.len() as u64;
+    let check = {
+        let inst = inst.clone();
+        FnReferee::new(move |t: u64, out: &NeighborhoodGroups| {
+            if t < m {
+                return Verdict::Correct;
+            }
+            if inst.decode(out) == inst.truth() {
+                Verdict::Correct
+            } else {
+                Verdict::violation(format!("round {t}: OR-Equality decode mismatch"))
+            }
+        })
+    };
+    let (report, alg) = Game::new(alg)
+        .script(stream)
+        .referee(check)
+        .batch(64)
+        .seed(seed)
+        .play();
+    (report.survived(), alg.space_bits())
+}
 
 fn main() {
-    println!("E5: OR-Equality reduction graphs (one planted equal pair)\n");
-    header(
+    let mut section = Section::new(
+        "OR-Equality reduction graphs (one planted equal pair)",
         &[
-            "n(bits)",
-            "k",
+            "n(bits)/k",
             "vertices",
             "hashed bits",
             "exact bits",
@@ -31,36 +67,35 @@ fn main() {
         (256, 64),
         (512, 128),
     ] {
-        let mut rng = TranscriptRng::from_seed((n * 31 + k) as u64);
-        let inst = OrEqInstance::random(n, k, &[k / 2], &mut rng);
-        let nv = inst.graph_vertices();
-        let mut hashed = HashedNeighborhoods::new(nv, &mut rng);
-        let mut exact = ExactNeighborhoods::new(nv);
-        for a in inst.to_vertex_stream() {
-            hashed.insert(&a);
-            exact.insert(&a);
-        }
-        let ok = inst.decode(&hashed.identical_groups()) == inst.truth()
-            && inst.decode(&exact.identical_groups()) == inst.truth();
-        let ratio = exact.space_bits() as f64 / hashed.space_bits() as f64;
-        println!(
-            "{}",
-            row(
-                &[
-                    n.to_string(),
-                    k.to_string(),
-                    nv.to_string(),
-                    hashed.space_bits().to_string(),
-                    exact.space_bits().to_string(),
-                    format!("{ratio:.2}"),
-                    ok.to_string(),
-                ],
-                11
-            )
-        );
+        section = section.row(Row::custom(format!("{n}/{k}"), move |ctx: &RunCtx| {
+            let (n, k) = if ctx.quick && n > 128 {
+                (128, 32)
+            } else {
+                (n, k)
+            };
+            let mut rng = TranscriptRng::from_seed((n * 31 + k) as u64);
+            let inst = OrEqInstance::random(n, k, &[k / 2], &mut rng);
+            let nv = inst.graph_vertices();
+            let (hashed_ok, hashed_bits) =
+                decode_game(HashedNeighborhoods::new(nv, &mut rng), &inst, 1);
+            let (exact_ok, exact_bits) = decode_game(ExactNeighborhoods::new(nv), &inst, 2);
+            let ratio = exact_bits as f64 / hashed_bits as f64;
+            vec![
+                nv.to_string(),
+                hashed_bits.to_string(),
+                exact_bits.to_string(),
+                format!("{ratio:.2}"),
+                (hashed_ok && exact_ok).to_string(),
+            ]
+        }));
     }
-    println!(
-        "\nshape check: the exact/hashed ratio grows linearly in n — the\n\
-         Θ(n²) vs O(n log n) separation of Theorems 1.4 vs 1.3."
+    run_cli(
+        ExperimentSpec::new("e5", "vertex-arrival neighborhood identification")
+            .section(section)
+            .note(
+                "shape check: the exact/hashed ratio grows linearly in n — the\n\
+                 Θ(n²) vs O(n log n) separation of Theorems 1.4 vs 1.3. ok is the\n\
+                 final-round referee verdict that both algorithms decode the instance.",
+            ),
     );
 }

@@ -3,14 +3,20 @@
 //! Claim shape: the `H·A` sketch answers the rank-decision problem
 //! correctly on planted rank-(k−1) and rank-k instances, including under
 //! turnstile row updates, in `Õ(nk)` words vs the exact baseline's `Θ(n²)`.
+//! Both algorithms stream the entry updates through the engine; the exact
+//! baseline runs under a final-round referee demanding the planted truth,
+//! and "agree" counts sketch-vs-exact agreement across trials.
 
-use bench::{header, row};
+use wb_core::game::{FnReferee, Verdict};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::SpaceUsage;
+use wb_core::stream::StreamAlg;
+use wb_engine::experiment::{run_cli, ExperimentSpec, Row, RunCtx, Section};
+use wb_engine::Game;
 use wb_linalg::{EntryUpdate, ExactRankDecision, RankDecisionSketch};
 
-/// Stream a random rank-`r` n×n integer matrix into both algorithms.
-fn run_instance(n: usize, r: usize, k: usize, seed: u64) -> (bool, bool, u64, u64) {
+/// Entry-update stream of a random rank-`r` n×n integer matrix.
+fn instance_stream(n: usize, r: usize, seed: u64) -> Vec<EntryUpdate> {
     let mut rng = TranscriptRng::from_seed(seed);
     let mut rows = vec![vec![0i64; n]; n];
     for _ in 0..r {
@@ -22,59 +28,91 @@ fn run_instance(n: usize, r: usize, k: usize, seed: u64) -> (bool, bool, u64, u6
             }
         }
     }
-    let mut sk = RankDecisionSketch::new(n, k, &seed.to_be_bytes());
-    let mut ex = ExactRankDecision::new(n, k);
+    let mut out = Vec::new();
     for (i, row) in rows.iter().enumerate() {
         for (j, &v) in row.iter().enumerate() {
             if v != 0 {
-                let u = EntryUpdate {
+                out.push(EntryUpdate {
                     row: i,
                     col: j,
                     delta: v,
-                };
-                sk.update(u);
-                ex.update(u);
+                });
             }
         }
     }
-    (
-        sk.rank_at_least_k(),
-        ex.rank_at_least_k(),
-        sk.space_bits(),
-        ex.space_bits(),
-    )
+    out
+}
+
+/// Stream the instance through `alg` with a final-round referee comparing
+/// the decision against `expected` (None = accept anything).
+fn rank_game<A>(alg: A, stream: Vec<EntryUpdate>, expected: Option<bool>) -> (bool, bool, u64)
+where
+    A: StreamAlg<Update = EntryUpdate, Output = bool> + SpaceUsage + 'static,
+{
+    let m = stream.len() as u64;
+    let referee = FnReferee::new(move |t: u64, out: &bool| match expected {
+        Some(want) if t >= m && *out != want => {
+            Verdict::violation(format!("round {t}: decided {out}, planted truth {want}"))
+        }
+        _ => Verdict::Correct,
+    });
+    let (report, alg) = Game::new(alg)
+        .script(stream)
+        .referee(referee)
+        .batch(128)
+        .play();
+    (alg.query(), report.survived(), alg.space_bits())
 }
 
 fn main() {
-    println!("E6: planted-rank instances, 10 trials per cell\n");
-    header(&["n", "k", "agree", "sketch bits", "exact bits"], 12);
+    let mut section = Section::new(
+        "planted-rank instances, 10 trials per cell; exact baseline refereed against truth",
+        &["n,k", "agree", "exact ok", "sketch bits", "exact bits"],
+        12,
+    );
     for &n in &[16usize, 32, 64] {
         for &k in &[2usize, 4, 8] {
-            let mut agree = 0;
-            let mut bits = (0u64, 0u64);
-            for trial in 0..10u64 {
-                // Alternate below-threshold and at-threshold ranks.
-                let r = if trial % 2 == 0 { k - 1 } else { k + 1 };
-                let (s, e, sb, eb) = run_instance(n, r.max(1), k, trial * 997 + n as u64);
-                if s == e {
-                    agree += 1;
+            section = section.row(Row::custom(format!("{n},{k}"), move |ctx: &RunCtx| {
+                let trials = ctx.trials(10, 2);
+                let mut agree = 0;
+                let mut exact_all_ok = true;
+                let mut bits = (0u64, 0u64);
+                for trial in 0..trials {
+                    // Alternate below-threshold and at-threshold ranks.
+                    let r = if trial % 2 == 0 { k - 1 } else { k + 1 };
+                    let r = r.max(1);
+                    let seed = trial * 997 + n as u64;
+                    let stream = instance_stream(n, r, seed);
+                    let truth = r >= k;
+                    let (s_ans, _, s_bits) = rank_game(
+                        RankDecisionSketch::new(n, k, &seed.to_be_bytes()),
+                        stream.clone(),
+                        None,
+                    );
+                    let (e_ans, e_ok, e_bits) =
+                        rank_game(ExactRankDecision::new(n, k), stream, Some(truth));
+                    if s_ans == e_ans {
+                        agree += 1;
+                    }
+                    exact_all_ok &= e_ok;
+                    bits = (s_bits, e_bits);
                 }
-                bits = (sb, eb);
-            }
-            println!(
-                "{}",
-                row(
-                    &[
-                        n.to_string(),
-                        k.to_string(),
-                        format!("{agree}/10"),
-                        bits.0.to_string(),
-                        bits.1.to_string(),
-                    ],
-                    12
-                )
-            );
+                vec![
+                    format!("{agree}/{trials}"),
+                    exact_all_ok.to_string(),
+                    bits.0.to_string(),
+                    bits.1.to_string(),
+                ]
+            }));
         }
     }
-    println!("\nagreement must be 10/10 everywhere; sketch bits scale with k·n, exact with n².");
+    run_cli(
+        ExperimentSpec::new("e6", "streaming rank decision (H·A sketch vs exact)")
+            .section(section)
+            .note(
+                "agreement must be full everywhere; sketch bits scale with k·n, exact\n\
+                 with n². 'exact ok' is the final-round referee verdict that the exact\n\
+                 baseline matches the planted rank truth.",
+            ),
+    );
 }

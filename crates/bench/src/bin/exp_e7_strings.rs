@@ -5,18 +5,20 @@
 //! size (cost = one order computation); the equivalent random-search
 //! budget never breaks the DL-exponent hash at demo sizes; Algorithm 6
 //! reports exactly the naive matcher's occurrences on unbordered-period
-//! patterns and its space tracks `p + |P|/p`, not the text length.
+//! patterns (enforced by a final-round referee in an engine-driven game)
+//! and its space tracks `p + |P|/p`, not the text length.
 
-use bench::{header, row};
+use wb_core::game::{FnReferee, Verdict};
 use wb_core::rng::TranscriptRng;
-use wb_core::space::SpaceUsage;
 use wb_crypto::crhf::DlExpParams;
+use wb_engine::experiment::{run_cli, ExperimentSpec, Row, RunCtx, Section};
+use wb_engine::Game;
 use wb_strings::attacks::{dlexp_random_collision_search, kr_order_collision};
 use wb_strings::{naive_find_all, KarpRabin, KarpRabinParams, StreamingPatternMatcher};
 
 fn main() {
-    println!("E7a: Karp–Rabin order attack vs DL-exponent random search\n");
-    header(
+    let mut attacks = Section::new(
+        "E7a: Karp-Rabin order attack vs DL-exponent random search",
         &[
             "p bits",
             "KR broken",
@@ -26,60 +28,70 @@ fn main() {
         16,
     );
     for bits in [14u32, 16, 18, 20] {
-        let mut rng = TranscriptRng::from_seed(700 + bits as u64);
-        let kr = KarpRabinParams::generate(bits, &mut rng);
-        let (u, v) = kr_order_collision(&kr);
-        let broken = u != v && KarpRabin::fingerprint(kr, &u) == KarpRabin::fingerprint(kr, &v);
-        let dl = DlExpParams::generate(40, 2, &mut rng);
-        let dl_broken = dlexp_random_collision_search(dl, 64, 1 << 13, &mut rng).is_some();
-        println!(
-            "{}",
-            row(
-                &[
-                    bits.to_string(),
-                    broken.to_string(),
-                    u.len().to_string(),
-                    dl_broken.to_string(),
-                ],
-                16
-            )
-        );
+        attacks = attacks.row(Row::custom(bits.to_string(), move |ctx: &RunCtx| {
+            let mut rng = TranscriptRng::from_seed(700 + bits as u64);
+            let kr = KarpRabinParams::generate(bits, &mut rng);
+            let (u, v) = kr_order_collision(&kr);
+            let broken = u != v && KarpRabin::fingerprint(kr, &u) == KarpRabin::fingerprint(kr, &v);
+            let dl = DlExpParams::generate(40, 2, &mut rng);
+            let tries = ctx.cap(1 << 13, 1 << 9);
+            let dl_broken = dlexp_random_collision_search(dl, 64, tries, &mut rng).is_some();
+            vec![
+                broken.to_string(),
+                u.len().to_string(),
+                dl_broken.to_string(),
+            ]
+        }));
     }
 
-    println!("\nE7b: streaming pattern matching vs naive reference\n");
-    header(
-        &["pattern", "text len", "matches", "agree", "peak bits"],
+    let mut matching = Section::new(
+        "E7b: streaming pattern matching vs naive reference (final-round referee)",
+        &["pattern", "text len", "matches", "ok", "peak bits"],
         12,
     );
-    let mut rng = TranscriptRng::from_seed(777);
-    let params = DlExpParams::generate(40, 4, &mut rng);
     for (name, pattern) in [
         ("aab", vec![0u64, 0, 1]),
         ("abab", vec![0u64, 1, 0, 1]),
         ("aabaab", vec![0u64, 0, 1, 0, 0, 1]),
         ("abcd", vec![0u64, 1, 2, 3]),
     ] {
-        let text: Vec<u64> = (0..20_000).map(|_| rng.below(3)).collect();
-        let mut m = StreamingPatternMatcher::new(&pattern, params);
-        let mut peak = 0;
-        for &c in &text {
-            m.push(c);
-            peak = peak.max(m.space_bits());
-        }
-        let naive = naive_find_all(&pattern, &text);
-        println!(
-            "{}",
-            row(
-                &[
-                    name.to_string(),
-                    text.len().to_string(),
-                    m.matches().len().to_string(),
-                    (m.matches() == &naive[..]).to_string(),
-                    peak.to_string(),
-                ],
-                12
-            )
-        );
+        matching = matching.row(Row::custom(name, move |ctx: &RunCtx| {
+            let mut rng = TranscriptRng::from_seed(777);
+            let params = DlExpParams::generate(40, 4, &mut rng);
+            let text_len = ctx.cap(20_000, 2_000);
+            let text: Vec<u64> = (0..text_len).map(|_| rng.below(3)).collect();
+            let expected = naive_find_all(&pattern, &text).len();
+            let m = text.len() as u64;
+            let referee = FnReferee::new(move |t: u64, found: &usize| {
+                if t >= m && *found != expected {
+                    Verdict::violation(format!(
+                        "round {t}: {found} occurrences reported, naive finds {expected}"
+                    ))
+                } else {
+                    Verdict::Correct
+                }
+            });
+            let (report, _) = Game::new(StreamingPatternMatcher::new(&pattern, params))
+                .script(text)
+                .referee(referee)
+                .play();
+            vec![
+                text_len.to_string(),
+                expected.to_string(),
+                report.survived().to_string(),
+                report.result.peak_space_bits.to_string(),
+            ]
+        }));
     }
-    println!("\npeak bits stay O(p·log T + |P|/p) while the text is 20000 symbols long.");
+
+    run_cli(
+        ExperimentSpec::new("e7", "string fingerprints and streaming pattern matching")
+            .section(attacks)
+            .section(matching)
+            .note(
+                "peak bits stay O(p·log T + |P|/p) while the text is 20000 symbols long;\n\
+                 ok is the final-round referee verdict that the matcher agrees with the\n\
+                 naive reference.",
+            ),
+    );
 }

@@ -1,77 +1,89 @@
 //! E8 (Theorems 1.8, 1.9/3.3, 1.10): white-box attacks force constant-
 //! factor Fp errors on o(n)-space sketches, and the derandomization
 //! reduction crosses exactly at the deterministic communication bound.
+//!
+//! The AMS and CountMin attack streams are driven through the engine
+//! (script games) — the sketch is the algorithm, the forged items are the
+//! adversary's stream; the communication-game cells are offline
+//! computations declared as custom rows.
 
-use bench::{header, row};
 use wb_core::rng::TranscriptRng;
+use wb_core::stream::Turnstile;
+use wb_engine::experiment::{run_cli, ExperimentSpec, Row, RunCtx, Section};
+use wb_engine::Game;
 use wb_lowerbounds::comm::games::{one_way_deterministic_bound, DetGapEquality, Equality};
 use wb_lowerbounds::reduction_experiment;
 use wb_sketch::ams::{find_aligned_items, AmsF2};
 use wb_sketch::count_min::{forge_all_row_collisions, CountMin};
 
 fn main() {
-    println!("E8a: AMS F2 inflation forced by a white-box adversary\n");
-    header(&["copies", "aligned found", "inflation x"], 14);
+    let mut ams = Section::new(
+        "E8a: AMS F2 inflation forced by a white-box adversary",
+        &["copies", "aligned found", "inflation x"],
+        14,
+    );
     for copies in [3usize, 5, 7, 9, 11] {
-        let mut rng = TranscriptRng::from_seed(800 + copies as u64);
-        let mut ams = AmsF2::new(copies, &mut rng);
-        let aligned = find_aligned_items(&ams, 256, 1 << 17);
-        for &i in &aligned {
-            ams.update(i, 1);
-        }
-        let k = aligned.len().max(1) as f64;
-        println!(
-            "{}",
-            row(
-                &[
-                    copies.to_string(),
-                    aligned.len().to_string(),
-                    format!("{:.0}", ams.estimate() / k),
-                ],
-                14
-            )
-        );
+        ams = ams.row(Row::custom(copies.to_string(), move |ctx: &RunCtx| {
+            let mut rng = TranscriptRng::from_seed(800 + copies as u64);
+            let sketch = AmsF2::new(copies, &mut rng);
+            let budget = ctx.cap(1 << 17, 1 << 13);
+            let aligned = find_aligned_items(&sketch, 256, budget);
+            let script: Vec<Turnstile> = aligned.iter().map(|&i| Turnstile::insert(i)).collect();
+            let (_, sketch) = Game::new(sketch).script(script).seed(1).play();
+            let k = aligned.len().max(1) as f64;
+            vec![
+                aligned.len().to_string(),
+                format!("{:.0}", sketch.estimate() / k),
+            ]
+        }));
     }
-    println!("\n(the attack cost doubles per copy — 2^copies scan — but succeeds for any");
-    println!(" constant number of copies: the Ω(n) bound of Thm 1.9 is unavoidable)\n");
 
-    println!("E8b: CountMin all-row collision forging\n");
-    header(&["depth", "width", "forged in 300k"], 14);
+    let mut cm = Section::new(
+        "E8b: CountMin all-row collision forging",
+        &["depth", "width", "forged in 300k"],
+        14,
+    );
     for depth in [1usize, 2, 3] {
-        let mut rng = TranscriptRng::from_seed(810 + depth as u64);
-        let cm = CountMin::new(depth, 64, &mut rng);
-        let forged = forge_all_row_collisions(&cm, 0, usize::MAX, 300_000);
-        println!(
-            "{}",
-            row(
-                &[depth.to_string(), "64".into(), forged.len().to_string()],
-                14
-            )
-        );
+        cm = cm.row(Row::custom(depth.to_string(), move |ctx: &RunCtx| {
+            let mut rng = TranscriptRng::from_seed(810 + depth as u64);
+            let sketch = CountMin::new(depth, 64, &mut rng);
+            let budget = ctx.cap(300_000, 20_000);
+            let forged = forge_all_row_collisions(&sketch, 0, usize::MAX, budget);
+            vec!["64".into(), forged.len().to_string()]
+        }));
     }
 
-    println!("\nE8c: Theorem 1.8 derandomization crossover (DetGapEQ)\n");
-    header(&["n", "det bound", "k", "derandomizable"], 14);
+    let mut der = Section::new(
+        "E8c: Theorem 1.8 derandomization crossover (DetGapEQ)",
+        &["n,k", "det bound", "derandomizable"],
+        14,
+    );
     for n in [8usize, 10] {
         let det = one_way_deterministic_bound(&DetGapEquality { n, gap: 2 });
         for k in [2usize, det as usize - 2, det as usize, det as usize + 2] {
-            let r = reduction_experiment(n, k, 2, 48);
-            println!(
-                "{}",
-                row(
-                    &[
-                        n.to_string(),
-                        det.to_string(),
-                        k.to_string(),
-                        format!("{:.0}%", 100.0 * r.derandomizable_fraction),
-                    ],
-                    14
-                )
-            );
+            der = der.row(Row::custom(format!("{n},{k}"), move |ctx: &RunCtx| {
+                let seed_pool = ctx.trials(48, 8);
+                let r = reduction_experiment(n, k, 2, seed_pool);
+                vec![
+                    det.to_string(),
+                    format!("{:.0}%", 100.0 * r.derandomizable_fraction),
+                ]
+            }));
         }
     }
-    println!(
-        "\nplain Equality deterministic bound (n = 6): {} bits — Theorem 3.2's Ω(n).",
-        one_way_deterministic_bound(&Equality { n: 6 })
+
+    run_cli(
+        ExperimentSpec::new("e8", "Fp attack lower bounds and derandomization")
+            .section(ams)
+            .section(cm)
+            .section(der)
+            .note(
+                "E8a: the attack cost doubles per copy (2^copies scan) but succeeds for\n\
+                 any constant number of copies — the Ω(n) bound of Thm 1.9 is unavoidable.",
+            )
+            .note(format!(
+                "plain Equality deterministic bound (n = 6): {} bits — Theorem 3.2's Ω(n).",
+                one_way_deterministic_bound(&Equality { n: 6 })
+            )),
     );
 }

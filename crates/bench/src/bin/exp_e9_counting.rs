@@ -3,95 +3,127 @@
 //! Claim shape: the certified width bound grows as `n^{1/3}` for
 //! `(1+δ)`-multiplicative counting (so Ω(log n) bits); every sub-bound
 //! deterministic candidate fails with an explicit counterexample; Morris
-//! counters (Lemma 2.1) beat the bound with randomness.
+//! counters (Lemma 2.1) beat the bound with randomness — the randomized
+//! rows run through the engine's registry under a real counting referee.
 
-use bench::{header, row};
-use wb_core::rng::TranscriptRng;
-use wb_core::space::SpaceUsage;
+use wb_engine::experiment::{run_cli, ExperimentSpec, GameRow, Metric, Row, RunCtx, Section};
+use wb_engine::registry::Params;
+use wb_engine::{RefereeSpec, WorkloadSpec};
 use wb_lowerbounds::{
     interval_family, verify_counter, width_lower_bound, BucketCounter, ErrorBudget, ExactCounter,
     SaturatingCounter,
 };
-use wb_sketch::MedianMorris;
 
 fn main() {
-    println!("E9a: certified width lower bound (ε(k) = 0.5k ⇒ h = Θ(n^(1/3)))\n");
-    header(&["n", "bound h+1", "bits", "n^(1/3)"], 12);
+    let mut widths = Section::new(
+        "E9a: certified width lower bound (eps(k) = 0.5k => h = Θ(n^(1/3)))",
+        &["n", "bound h+1", "bits", "n^(1/3)"],
+        12,
+    );
     for log_n in [8u32, 12, 16, 20, 24] {
-        let n = 1u64 << log_n;
-        let (_, bound) = width_lower_bound(n, ErrorBudget::Multiplicative(0.5));
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("2^{log_n}"),
-                    bound.to_string(),
-                    format!("{:.1}", (bound as f64).log2()),
-                    format!("{:.0}", (n as f64).powf(1.0 / 3.0)),
-                ],
-                12
-            )
-        );
+        widths = widths.row(Row::custom(format!("2^{log_n}"), move |ctx: &RunCtx| {
+            let n = 1u64 << if ctx.quick { log_n.min(16) } else { log_n };
+            let (_, bound) = width_lower_bound(n, ErrorBudget::Multiplicative(0.5));
+            vec![
+                bound.to_string(),
+                format!("{:.1}", (bound as f64).log2()),
+                format!("{:.0}", (n as f64).powf(1.0 / 3.0)),
+            ]
+        }));
     }
 
-    println!("\nE9b: verifier verdicts at n = 96, eps = 0.5\n");
-    header(&["candidate", "verdict"], 30);
-    let verdict_exact = match verify_counter(&ExactCounter, 96, 0.5) {
-        Ok(w) => format!("correct (width {})", w.iter().max().unwrap()),
-        Err(_) => unreachable!(),
-    };
-    println!("{}", row(&["exact".into(), verdict_exact], 30));
+    let mut verdicts = Section::new(
+        "E9b: verifier verdicts at n = 96, eps = 0.5",
+        &["candidate", "verdict"],
+        30,
+    );
+    verdicts = verdicts.row(Row::custom("exact", |ctx: &RunCtx| {
+        let n = if ctx.quick { 48 } else { 96 };
+        vec![match verify_counter(&ExactCounter, n, 0.5) {
+            Ok(w) => format!("correct (width {})", w.iter().max().unwrap()),
+            Err(_) => unreachable!("the exact counter is always correct"),
+        }]
+    }));
     for width in [8usize, 16, 32] {
-        let v = match verify_counter(&SaturatingCounter { width }, 96, 0.5) {
-            Ok(_) => "correct".to_string(),
-            Err(c) => format!("FAILS at count {}", c.true_count),
-        };
-        println!("{}", row(&[format!("saturating({width})"), v], 30));
-        let v = match verify_counter(&BucketCounter { delta: 0.5, width }, 96, 0.5) {
-            Ok(_) => "correct".to_string(),
-            Err(c) => format!("FAILS at count {}", c.true_count),
-        };
-        println!("{}", row(&[format!("det-Morris({width})"), v], 30));
+        verdicts = verdicts.row(Row::custom(format!("saturating({width})"), move |ctx| {
+            let n = if ctx.quick { 48 } else { 96 };
+            vec![match verify_counter(&SaturatingCounter { width }, n, 0.5) {
+                Ok(_) => "correct".to_string(),
+                Err(c) => format!("FAILS at count {}", c.true_count),
+            }]
+        }));
+        verdicts = verdicts.row(Row::custom(format!("det-Morris({width})"), move |ctx| {
+            let n = if ctx.quick { 48 } else { 96 };
+            vec![
+                match verify_counter(&BucketCounter { delta: 0.5, width }, n, 0.5) {
+                    Ok(_) => "correct".to_string(),
+                    Err(c) => format!("FAILS at count {}", c.true_count),
+                },
+            ]
+        }));
     }
 
-    println!("\nE9c: Lemma 3.10 interval stretch (det-Morris, 12 buckets, n = 48)");
-    let fam = interval_family(
-        &BucketCounter {
-            delta: 0.5,
-            width: 12,
-        },
-        48,
-    );
-    let worst = fam[48]
-        .iter()
-        .map(|iv| (iv.lo, iv.hi))
-        .max_by_key(|&(lo, hi)| hi - lo)
-        .unwrap();
-    println!(
-        "  widest achievable-count interval at t = 48: [{}, {}]",
-        worst.0, worst.1
-    );
-
-    println!("\nE9d: randomized Morris at the same horizons (Lemma 2.1)\n");
-    header(&["n", "estimate", "bits"], 12);
-    for log_n in [12u32, 16, 20] {
-        let n = 1u64 << log_n;
-        let mut rng = TranscriptRng::from_seed(log_n as u64);
-        let mut m = MedianMorris::new(0.2, 9);
-        for _ in 0..n {
-            m.increment(&mut rng);
-        }
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("2^{log_n}"),
-                    format!("{:.0}", m.estimate()),
-                    m.space_bits().to_string(),
-                ],
-                12
-            )
+    let stretch = Section::new(
+        "E9c: Lemma 3.10 interval stretch (det-Morris, 12 buckets, n = 48)",
+        &["t", "widest interval"],
+        24,
+    )
+    .row(Row::custom("48", |_ctx: &RunCtx| {
+        let fam = interval_family(
+            &BucketCounter {
+                delta: 0.5,
+                width: 12,
+            },
+            48,
         );
+        let worst = fam[48]
+            .iter()
+            .map(|iv| (iv.lo, iv.hi))
+            .max_by_key(|&(lo, hi)| hi - lo)
+            .unwrap();
+        vec![format!("[{}, {}]", worst.0, worst.1)]
+    }));
+
+    let mut morris = Section::new(
+        "E9d: randomized Morris at the same horizons (Lemma 2.1); ok = ApproxCountReferee(0.5)",
+        &["n", "estimate", "space bits", "ok"],
+        12,
+    );
+    for log_n in [12u32, 16, 20] {
+        morris = morris.row(Row::game(
+            GameRow::new(
+                format!("2^{log_n}"),
+                "median_morris",
+                Params {
+                    eps: 0.2,
+                    copies: 9,
+                    ..Params::default()
+                },
+                WorkloadSpec::Cycle {
+                    items: 1,
+                    m: 1 << log_n,
+                },
+                RefereeSpec::ApproxCount { eps: 0.5 },
+            )
+            .seed(log_n as u64)
+            .batch(1024)
+            .metrics(&[Metric::Answer, Metric::SpaceBits, Metric::Ok]),
+        ));
     }
-    println!("\nMorris bits grow ~log log n; the deterministic certificate grows ~(1/3)·log n.");
+
+    run_cli(
+        ExperimentSpec::new(
+            "e9",
+            "deterministic counting lower bound vs randomized Morris",
+        )
+        .section(widths)
+        .section(verdicts)
+        .section(stretch)
+        .section(morris)
+        .note(
+            "Morris bits grow ~log log n; the deterministic certificate grows\n\
+                 ~(1/3)·log n. The E9d 'ok' column is a real (1±0.5) counting referee\n\
+                 verdict checked throughout the stream.",
+        ),
+    );
 }

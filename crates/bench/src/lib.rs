@@ -1,93 +1,15 @@
 //! Shared workload generators and table formatting for the per-theorem
 //! experiment binaries (`src/bin/exp_*.rs`) and the Criterion benches.
 //!
-//! Each experiment binary regenerates one row block of `EXPERIMENTS.md`;
-//! see DESIGN.md §5 for the experiment index.
+//! The generators and table helpers live in `wb_engine` now (the engine's
+//! experiment runner and registry adversaries use them too); this crate
+//! re-exports them so the benches and any external callers keep their
+//! original paths.
 
-use wb_core::rng::TranscriptRng;
-use wb_core::stream::Turnstile;
-
-/// A Zipf-flavoured insertion stream: item `i ∈ [heavy_items]` receives a
-/// `~1/(i+1)`-proportional share; the rest is uniform noise over `[n]`.
-pub fn zipf_stream(n: u64, m: u64, heavy_items: u64, seed: u64) -> Vec<u64> {
-    let mut rng = TranscriptRng::from_seed(seed);
-    // Precompute cumulative Zipf weights for the heavy head (70% of mass).
-    let weights: Vec<f64> = (0..heavy_items).map(|i| 1.0 / (i + 1) as f64).collect();
-    let total: f64 = weights.iter().sum();
-    (0..m)
-        .map(|_| {
-            if rng.bernoulli(0.7) {
-                let mut u = rng.next_f64() * total;
-                for (i, w) in weights.iter().enumerate() {
-                    if u < *w {
-                        return i as u64;
-                    }
-                    u -= w;
-                }
-                heavy_items - 1
-            } else {
-                heavy_items + rng.below(n - heavy_items)
-            }
-        })
-        .collect()
-}
-
-/// Synthetic IPv4 DDoS traffic: one hot /24 prefix, one hot host, noise.
-pub fn ddos_stream(m: u64, seed: u64) -> Vec<u64> {
-    let mut rng = TranscriptRng::from_seed(seed);
-    (0..m)
-        .map(|t| match t % 20 {
-            0..=4 => (10 << 24) | (1 << 16) | (7 << 8) | rng.below(256), // /24, 25%
-            5..=7 => (203 << 24) | (113 << 8) | 5,                       // host, 15%
-            _ => rng.below(1 << 32),
-        })
-        .collect()
-}
-
-/// Turnstile churn: waves of insertions followed by partial deletions.
-pub fn churn_stream(n: u64, waves: u64, wave_size: u64, seed: u64) -> Vec<Turnstile> {
-    let mut rng = TranscriptRng::from_seed(seed);
-    let mut out = Vec::with_capacity((waves * wave_size * 3 / 2) as usize);
-    for w in 0..waves {
-        let base = rng.below(n);
-        for i in 0..wave_size {
-            out.push(Turnstile::insert((base + i * 7) % n));
-        }
-        for i in 0..wave_size / 2 {
-            out.push(Turnstile::delete((base + i * 7) % n));
-        }
-        let _ = w;
-    }
-    out
-}
-
-/// Print a Markdown-ish table row, padding each cell to `width`.
-pub fn row(cells: &[String], width: usize) -> String {
-    cells
-        .iter()
-        .map(|c| format!("{c:>width$}"))
-        .collect::<Vec<_>>()
-        .join(" | ")
-}
-
-/// Print a table header plus separator.
-pub fn header(cells: &[&str], width: usize) {
-    println!(
-        "{}",
-        row(
-            &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-            width
-        )
-    );
-    println!(
-        "{}",
-        cells
-            .iter()
-            .map(|_| "-".repeat(width))
-            .collect::<Vec<_>>()
-            .join("-|-")
-    );
-}
+pub use wb_engine::report::{header, row};
+pub use wb_engine::workload::{
+    churn_stream, cycle_stream, ddos_stream, uniform_stream, zipf_stream,
+};
 
 #[cfg(test)]
 mod tests {

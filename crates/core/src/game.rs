@@ -100,6 +100,16 @@ impl GameResult {
 /// replay the entire tape from it (see [`RandTranscript::replay`]).
 /// The game stops at the first violation (the adversary has already won),
 /// when the adversary returns `None`, or after `max_rounds`.
+///
+/// Deprecated: this five-positional-argument entry point is kept as a thin
+/// compatibility shim. New code should drive games through the fluent
+/// builder in the `wb-engine` crate
+/// (`wb_engine::Game::new(alg).adversary(adv).referee(r).max_rounds(m).seed(s).run()`),
+/// which adds observers, structured reports and batched ingestion.
+#[deprecated(
+    since = "0.2.0",
+    note = "drive games through wb_engine::Game (fluent builder); this shim will be removed"
+)]
 pub fn run_game<A, Adv, R>(
     alg: &mut A,
     adversary: &mut Adv,
@@ -267,6 +277,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim's own unit tests keep exercising it
 mod tests {
     use super::*;
     use crate::space::bits_for_count;

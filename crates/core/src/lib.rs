@@ -17,10 +17,12 @@
 //!
 //! The crate provides:
 //!
-//! * [`game`] — the game loop ([`game::run_game`]), adversary/referee traits
-//!   and game results; the algorithm value itself is handed to the adversary
-//!   by shared reference, which is the strongest possible reading of
-//!   "observes the entire internal state";
+//! * [`game`] — the adversary/referee traits and game results (the
+//!   positional `run_game` loop is a deprecated shim; games are driven
+//!   through the fluent builder in the `wb-engine` crate); the algorithm
+//!   value itself is handed to the adversary by shared reference, which is
+//!   the strongest possible reading of "observes the entire internal
+//!   state";
 //! * [`rng`] — deterministic, fully transparent randomness: every word the
 //!   algorithm draws is appended to a public transcript
 //!   ([`rng::RandTranscript`]) that the adversary can read, and the seed
@@ -34,11 +36,16 @@
 //!
 //! # Quick example
 //!
+//! Implement the two core traits, then drive the game through the engine's
+//! fluent builder (`wb_engine::Game`) — or skip the types entirely and
+//! pick a workspace algorithm by name from `wb_engine::registry`:
+//!
 //! ```
-//! use wb_core::game::{run_game, ScriptAdversary, FnReferee, Verdict};
+//! use wb_core::game::{ScriptAdversary, FnReferee, Verdict};
 //! use wb_core::rng::TranscriptRng;
 //! use wb_core::space::SpaceUsage;
 //! use wb_core::stream::{InsertOnly, StreamAlg};
+//! use wb_engine::Game;
 //!
 //! /// A trivial exact counter: deterministic, hence white-box robust.
 //! struct ExactCounter(u64);
@@ -52,14 +59,35 @@
 //!     fn space_bits(&self) -> u64 { wb_core::space::bits_for_count(self.0) }
 //! }
 //!
-//! let mut alg = ExactCounter(0);
-//! let mut adv = ScriptAdversary::new((0..100).map(InsertOnly).collect::<Vec<_>>());
-//! let mut referee = FnReferee::new(|t: u64, out: &u64| {
-//!     if *out == t { Verdict::Correct } else { Verdict::violation("count mismatch") }
-//! });
-//! let result = run_game(&mut alg, &mut adv, &mut referee, 100, 7);
-//! assert!(result.survived());
+//! let report = Game::new(ExactCounter(0))
+//!     .adversary(ScriptAdversary::new((0..100).map(InsertOnly).collect::<Vec<_>>()))
+//!     .referee(FnReferee::new(|t: u64, out: &u64| {
+//!         if *out == t { Verdict::Correct } else { Verdict::violation("count mismatch") }
+//!     }))
+//!     .max_rounds(100)
+//!     .seed(7)
+//!     .run();
+//! assert!(report.survived());
+//!
+//! // Runtime selection: the same game over the erased registry interface.
+//! use wb_engine::registry::{self, Params};
+//! let mut named = registry::get("misra_gries", &Params::default()).unwrap();
+//! assert_eq!(named.name_dyn(), "MisraGries");
 //! ```
+//!
+//! ## Migrating from `run_game`
+//!
+//! The positional `run_game(alg, adv, referee, max_rounds, seed)` shim maps
+//! onto the builder one argument at a time:
+//!
+//! ```text
+//! run_game(&mut alg, &mut adv, &mut ref_, m, s)
+//!   ⇒ Game::new(alg).adversary(adv).referee(ref_).max_rounds(m).seed(s).run()
+//! ```
+//!
+//! The builder returns a `GameReport` whose `.result` field is the old
+//! [`GameResult`]; use `.play()` instead of `.run()` to get the final
+//! algorithm state back alongside the report.
 
 pub mod error;
 pub mod game;
@@ -69,7 +97,9 @@ pub mod space;
 pub mod stream;
 
 pub use error::WbError;
-pub use game::{run_game, GameResult, Referee, Verdict, WhiteBoxAdversary};
+#[allow(deprecated)] // re-exported for the migration window; see wb-engine
+pub use game::run_game;
+pub use game::{GameResult, Referee, Verdict, WhiteBoxAdversary};
 pub use rng::{RandTranscript, TranscriptRng};
 pub use space::SpaceUsage;
 pub use stream::{FrequencyVector, InsertOnly, StreamAlg, Turnstile};

@@ -62,7 +62,26 @@ impl HeavyHitterReferee {
         &self.truth
     }
 
-    fn check_answer(&self, t: u64, answer: &HhAnswer) -> Verdict {
+    /// Observe one inserted item without going through the typed
+    /// [`Referee`] impl — the entry point for erased harnesses.
+    pub fn observe_item(&mut self, item: u64) {
+        self.truth.insert(item);
+    }
+
+    /// Observe a batch of inserted items at once (ground truth is updated
+    /// through [`FrequencyVector::insert_batch`]).
+    pub fn observe_items(&mut self, items: &[u64]) {
+        self.truth.insert_batch(items);
+    }
+
+    /// Judge an answer against the current ground truth — the same logic
+    /// the [`Referee`] impl applies, exposed for erased harnesses and
+    /// experiment tables.
+    pub fn judge(&self, t: u64, answer: &[(u64, f64)]) -> Verdict {
+        self.check_answer(t, answer)
+    }
+
+    fn check_answer(&self, t: u64, answer: &[(u64, f64)]) -> Verdict {
         if t < self.grace {
             return Verdict::Correct;
         }
@@ -139,6 +158,17 @@ impl ApproxCountReferee {
         self.count
     }
 
+    /// Observe `k` updates at once (the referee only counts them).
+    pub fn observe_count(&mut self, k: u64) {
+        self.count += k;
+    }
+
+    /// Judge an estimate against the current true count — the same logic
+    /// the [`Referee`] impl applies, exposed for erased harnesses.
+    pub fn judge(&self, t: u64, est: f64) -> Verdict {
+        self.check_estimate(t, est)
+    }
+
     fn check_estimate(&self, t: u64, est: f64) -> Verdict {
         let truth = self.count as f64;
         let lo = truth * (1.0 - self.eps) - 1.0;
@@ -189,6 +219,31 @@ impl L0SandwichReferee {
     pub fn truth(&self) -> &FrequencyVector {
         &self.truth
     }
+
+    /// Observe one turnstile update without the typed [`Referee`] impl.
+    pub fn observe_update(&mut self, item: u64, delta: i64) {
+        self.truth.update(item, delta);
+    }
+
+    /// Observe a batch of turnstile updates at once.
+    pub fn observe_updates(&mut self, updates: &[(u64, i64)]) {
+        self.truth.update_batch(updates);
+    }
+
+    /// Judge an answer against the current ground truth — the same logic
+    /// the [`Referee`] impl applies, exposed for erased harnesses.
+    pub fn judge(&self, t: u64, answer: u64) -> Verdict {
+        let l0 = self.truth.l0();
+        let ans = answer as f64;
+        if (answer > l0) || ((l0 as f64) > ans * self.factor) {
+            Verdict::violation(format!(
+                "round {t}: answer {answer} violates sandwich answer ≤ L0={l0} ≤ answer·{}",
+                self.factor
+            ))
+        } else {
+            Verdict::Correct
+        }
+    }
 }
 
 impl<A> Referee<A> for L0SandwichReferee
@@ -200,16 +255,7 @@ where
     }
 
     fn check(&mut self, t: u64, output: &u64) -> Verdict {
-        let l0 = self.truth.l0();
-        let ans = *output as f64;
-        if (*output > l0) || ((l0 as f64) > ans * self.factor) {
-            Verdict::violation(format!(
-                "round {t}: answer {output} violates sandwich answer ≤ L0={l0} ≤ answer·{}",
-                self.factor
-            ))
-        } else {
-            Verdict::Correct
-        }
+        self.judge(t, *output)
     }
 }
 

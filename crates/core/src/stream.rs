@@ -37,6 +37,43 @@ impl From<InsertOnly> for Turnstile {
     }
 }
 
+/// Trims a `std::any::type_name` path to the bare type name: the module
+/// path and any generic arguments are dropped, so
+/// `wb_sketch::robust_hh::RobustL1HeavyHitters` becomes
+/// `RobustL1HeavyHitters` and `a::B<c::D>` becomes `B`. Used by the default
+/// [`StreamAlg::name`] so experiment tables and registry keys stay readable.
+pub fn trim_type_name(full: &str) -> &str {
+    let base = full.split('<').next().unwrap_or(full);
+    base.rsplit("::").next().unwrap_or(base)
+}
+
+/// Calls `f(key, run_length)` for each maximal run of consecutive equal
+/// keys produced by `iter` — the shared grouping step of the batched
+/// ingestion overrides (feed a sorted sequence to aggregate per key, an
+/// unsorted one to collapse bursts while preserving order).
+pub fn for_each_run<K, I, F>(iter: I, mut f: F)
+where
+    K: PartialEq + Copy,
+    I: IntoIterator<Item = K>,
+    F: FnMut(K, u64),
+{
+    let mut current: Option<(K, u64)> = None;
+    for key in iter {
+        match &mut current {
+            Some((k, count)) if *k == key => *count += 1,
+            _ => {
+                if let Some((k, count)) = current.take() {
+                    f(k, count);
+                }
+                current = Some((key, 1));
+            }
+        }
+    }
+    if let Some((k, count)) = current {
+        f(k, count);
+    }
+}
+
 /// A single-pass streaming algorithm in the white-box model.
 ///
 /// `process` receives the only randomness source the algorithm may use; all
@@ -53,13 +90,30 @@ pub trait StreamAlg {
     /// Ingest one update, drawing any fresh randomness from `rng`.
     fn process(&mut self, update: &Self::Update, rng: &mut TranscriptRng);
 
+    /// Ingest a batch of updates known in advance (an *oblivious* stream
+    /// segment — e.g. a replayed workload, or the prefix before an adaptive
+    /// adversary takes over).
+    ///
+    /// The default forwards to [`StreamAlg::process`] one update at a time.
+    /// Implementations may override it with a faster path, but every
+    /// override **must** leave the algorithm in a state bit-identical to the
+    /// sequential fallback, with an identical randomness transcript — the
+    /// workspace property suite checks this for every registry-listed
+    /// algorithm.
+    fn process_batch(&mut self, updates: &[Self::Update], rng: &mut TranscriptRng) {
+        for update in updates {
+            self.process(update, rng);
+        }
+    }
+
+    /// Human-readable name used in experiment tables and registry keys:
+    /// the bare type name, without module path or generic arguments.
+    fn name(&self) -> &'static str {
+        trim_type_name(std::any::type_name::<Self>())
+    }
+
     /// Answer the fixed query for the stream seen so far.
     fn query(&self) -> Self::Output;
-
-    /// Human-readable name used in experiment tables.
-    fn name(&self) -> &'static str {
-        std::any::type_name::<Self>()
-    }
 }
 
 /// Exact frequency vector over a `u64` universe, maintained incrementally.
@@ -84,6 +138,53 @@ impl FrequencyVector {
     /// Apply a signed update to `item`.
     pub fn update(&mut self, item: u64, delta: i64) {
         self.updates += 1;
+        self.apply(item, delta);
+    }
+
+    /// Apply an insertion-only update.
+    pub fn insert(&mut self, item: u64) {
+        self.update(item, 1);
+    }
+
+    /// Apply a batch of signed updates at once.
+    ///
+    /// Equivalent to calling [`FrequencyVector::update`] per element, but
+    /// deltas are pre-aggregated per item (sort + run-length, cheaper than
+    /// hashing every update) so each touched coordinate is looked up once
+    /// — the fast path the engine's batched ingestion uses for referee
+    /// ground truth.
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        self.updates += updates.len() as u64;
+        let mut sorted: Vec<(u64, i64)> = updates.to_vec();
+        sorted.sort_unstable_by_key(|&(item, _)| item);
+        let mut i = 0;
+        while i < sorted.len() {
+            let item = sorted[i].0;
+            let mut delta = sorted[i].1;
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].0 == item {
+                delta += sorted[j].1;
+                j += 1;
+            }
+            if delta != 0 {
+                self.apply(item, delta);
+            }
+            i = j;
+        }
+    }
+
+    /// Apply a batch of insertions at once (see [`FrequencyVector::update_batch`]).
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        self.updates += items.len() as u64;
+        let mut sorted: Vec<u64> = items.to_vec();
+        sorted.sort_unstable();
+        for_each_run(sorted.iter().copied(), |item, count| {
+            self.apply(item, count as i64)
+        });
+    }
+
+    /// Core coordinate update, without touching the stream-length counter.
+    fn apply(&mut self, item: u64, delta: i64) {
         let entry = self.freqs.entry(item).or_insert(0);
         let before = entry.unsigned_abs();
         *entry += delta;
@@ -92,11 +193,6 @@ impl FrequencyVector {
         if *entry == 0 {
             self.freqs.remove(&item);
         }
-    }
-
-    /// Apply an insertion-only update.
-    pub fn insert(&mut self, item: u64) {
-        self.update(item, 1);
     }
 
     /// Exact frequency of `item` (0 if never seen or cancelled out).
@@ -209,6 +305,87 @@ mod tests {
         assert_eq!(f.items_above(5.0), vec![4, 9]);
         assert_eq!(f.items_above(0.5), vec![2, 4, 8, 9]);
         assert_eq!(f.items_above(100.0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn for_each_run_groups_consecutive_keys() {
+        let mut runs = Vec::new();
+        for_each_run([3u64, 3, 1, 1, 1, 3, 7], |k, c| runs.push((k, c)));
+        assert_eq!(runs, vec![(3, 2), (1, 3), (3, 1), (7, 1)]);
+        let mut empty = Vec::new();
+        for_each_run(std::iter::empty::<u64>(), |k, c| empty.push((k, c)));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn update_batch_matches_sequential() {
+        let updates: Vec<(u64, i64)> = vec![(1, 3), (2, -2), (1, -3), (9, 5), (2, 2), (9, -1)];
+        let mut seq = FrequencyVector::new();
+        for &(i, d) in &updates {
+            seq.update(i, d);
+        }
+        let mut batched = FrequencyVector::new();
+        batched.update_batch(&updates);
+        assert_eq!(seq.l0(), batched.l0());
+        assert_eq!(seq.l1(), batched.l1());
+        assert_eq!(seq.updates(), batched.updates());
+        for item in [1u64, 2, 9, 100] {
+            assert_eq!(seq.get(item), batched.get(item));
+        }
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential() {
+        let items = [4u64, 4, 7, 4, 9, 7];
+        let mut seq = FrequencyVector::new();
+        for &i in &items {
+            seq.insert(i);
+        }
+        let mut batched = FrequencyVector::new();
+        batched.insert_batch(&items);
+        assert_eq!(seq.l1(), batched.l1());
+        assert_eq!(seq.updates(), batched.updates());
+        assert_eq!(seq.get(4), batched.get(4));
+    }
+
+    #[test]
+    fn type_names_are_trimmed() {
+        assert_eq!(
+            trim_type_name("wb_sketch::robust_hh::RobustL1HeavyHitters"),
+            "RobustL1HeavyHitters"
+        );
+        assert_eq!(trim_type_name("a::b::C<d::e::F>"), "C");
+        assert_eq!(trim_type_name("Plain"), "Plain");
+
+        struct Local;
+        impl StreamAlg for Local {
+            type Update = InsertOnly;
+            type Output = u64;
+            fn process(&mut self, _u: &InsertOnly, _rng: &mut TranscriptRng) {}
+            fn query(&self) -> u64 {
+                0
+            }
+        }
+        assert_eq!(Local.name(), "Local");
+    }
+
+    #[test]
+    fn default_process_batch_is_sequential() {
+        struct Summer(u64);
+        impl StreamAlg for Summer {
+            type Update = InsertOnly;
+            type Output = u64;
+            fn process(&mut self, u: &InsertOnly, _rng: &mut TranscriptRng) {
+                self.0 += u.0;
+            }
+            fn query(&self) -> u64 {
+                self.0
+            }
+        }
+        let mut s = Summer(0);
+        let mut rng = TranscriptRng::from_seed(1);
+        s.process_batch(&[InsertOnly(2), InsertOnly(5)], &mut rng);
+        assert_eq!(s.query(), 7);
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! The object-safe algorithm layer.
+//!
+//! The typed [`StreamAlg`] trait is fully monomorphized: every algorithm
+//! picks its own `Update` and `Output` types, which is ideal for the game
+//! loop but blocks runtime algorithm selection — a binary cannot hold "some
+//! algorithm chosen by name" without a common object type. This module
+//! provides that type:
+//!
+//! * [`Update`] — a closed enum over the two stream models the paper
+//!   studies (insertion-only and turnstile);
+//! * [`Answer`] — a closed enum over the query-answer shapes the workspace
+//!   algorithms produce (heavy-hitter lists, scalar estimates, counts);
+//! * [`DynStreamAlg`] — an object-safe mirror of `StreamAlg + SpaceUsage`,
+//!   blanket-implemented for every algorithm whose update type converts
+//!   from [`Update`] and whose output converts into [`Answer`] — i.e. all
+//!   `u64`-universe sketches get `Box<dyn DynStreamAlg>` for free;
+//! * [`DynAdversary`] / erased drive loops ([`run_script_erased`],
+//!   [`run_erased`]) so registries and experiment runners can play the
+//!   white-box game without knowing concrete types.
+
+use crate::referee::DynReferee;
+use crate::report::GameReport;
+use std::any::Any;
+use wb_core::rng::{RandTranscript, TranscriptRng};
+use wb_core::space::SpaceUsage;
+use wb_core::stream::{InsertOnly, StreamAlg, Turnstile};
+use wb_core::WbError;
+
+/// A stream update in either of the paper's update models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// One occurrence of an item (insertion-only model).
+    Insert(u64),
+    /// A signed frequency change (turnstile model).
+    Turnstile {
+        /// Universe element, 0-indexed.
+        item: u64,
+        /// Signed change to the item's frequency.
+        delta: i64,
+    },
+}
+
+impl Update {
+    /// The item the update touches.
+    pub fn item(&self) -> u64 {
+        match *self {
+            Update::Insert(i) => i,
+            Update::Turnstile { item, .. } => item,
+        }
+    }
+
+    /// The signed frequency change the update applies.
+    pub fn delta(&self) -> i64 {
+        match *self {
+            Update::Insert(_) => 1,
+            Update::Turnstile { delta, .. } => delta,
+        }
+    }
+}
+
+impl From<InsertOnly> for Update {
+    fn from(u: InsertOnly) -> Self {
+        Update::Insert(u.0)
+    }
+}
+
+impl From<Turnstile> for Update {
+    fn from(u: Turnstile) -> Self {
+        Update::Turnstile {
+            item: u.item,
+            delta: u.delta,
+        }
+    }
+}
+
+/// Conversion from the erased [`Update`] into an algorithm's native update
+/// type. Returns `None` when the update is outside the algorithm's model
+/// (e.g. a deletion offered to an insertion-only sketch).
+pub trait FromUpdate: Sized {
+    /// Convert, or reject as model-incompatible.
+    fn from_update(u: &Update) -> Option<Self>;
+}
+
+impl FromUpdate for InsertOnly {
+    fn from_update(u: &Update) -> Option<Self> {
+        match *u {
+            Update::Insert(i) => Some(InsertOnly(i)),
+            Update::Turnstile { item, delta: 1 } => Some(InsertOnly(item)),
+            Update::Turnstile { .. } => None,
+        }
+    }
+}
+
+impl FromUpdate for Turnstile {
+    fn from_update(u: &Update) -> Option<Self> {
+        match *u {
+            Update::Insert(i) => Some(Turnstile::insert(i)),
+            Update::Turnstile { item, delta } => Some(Turnstile { item, delta }),
+        }
+    }
+}
+
+/// A query answer in one of the shapes the workspace algorithms produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// `(item, estimate)` pairs — heavy-hitter style answers.
+    Items(Vec<(u64, f64)>),
+    /// A real-valued estimate (Morris counters, F2, inner products).
+    Scalar(f64),
+    /// An integer answer (L0, victim estimates, rank bits).
+    Count(u64),
+}
+
+impl Answer {
+    /// The `(item, estimate)` list, if this is an [`Answer::Items`].
+    pub fn as_items(&self) -> Option<&[(u64, f64)]> {
+        match self {
+            Answer::Items(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The scalar value: `Scalar` directly, `Count` widened, `Items` `None`.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Answer::Scalar(x) => Some(*x),
+            Answer::Count(c) => Some(*c as f64),
+            Answer::Items(_) => None,
+        }
+    }
+
+    /// The integer value, if this is an [`Answer::Count`].
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            Answer::Count(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Compact rendering for experiment-table cells.
+    pub fn cell(&self) -> String {
+        match self {
+            Answer::Items(v) => format!("{} items", v.len()),
+            Answer::Scalar(x) => format!("{x:.1}"),
+            Answer::Count(c) => c.to_string(),
+        }
+    }
+}
+
+/// Conversion from an algorithm's native output into the erased [`Answer`].
+pub trait IntoAnswer {
+    /// Wrap the output in the matching [`Answer`] variant.
+    fn into_answer(self) -> Answer;
+}
+
+impl IntoAnswer for Vec<(u64, f64)> {
+    fn into_answer(self) -> Answer {
+        Answer::Items(self)
+    }
+}
+
+impl IntoAnswer for f64 {
+    fn into_answer(self) -> Answer {
+        Answer::Scalar(self)
+    }
+}
+
+impl IntoAnswer for u64 {
+    fn into_answer(self) -> Answer {
+        Answer::Count(self)
+    }
+}
+
+/// Object-safe mirror of `StreamAlg + SpaceUsage`.
+///
+/// Blanket-implemented for every algorithm whose update type implements
+/// [`FromUpdate`] and whose output implements [`IntoAnswer`]; the
+/// [`registry`](crate::registry) hands out `Box<dyn DynStreamAlg>` built
+/// from string keys. Method names carry a `_dyn` suffix so calls through
+/// `Box<dyn DynStreamAlg>` never shadow the typed inherent methods.
+pub trait DynStreamAlg {
+    /// Ingest one erased update. Errors if the update is outside the
+    /// algorithm's stream model (e.g. a deletion into an insertion-only
+    /// sketch).
+    fn process_dyn(&mut self, update: &Update, rng: &mut TranscriptRng) -> Result<(), WbError>;
+
+    /// Ingest a batch of erased updates through the algorithm's
+    /// (possibly hand-optimized) [`StreamAlg::process_batch`] path.
+    fn process_batch_dyn(
+        &mut self,
+        updates: &[Update],
+        rng: &mut TranscriptRng,
+    ) -> Result<(), WbError>;
+
+    /// Answer the fixed query.
+    fn query_dyn(&self) -> Answer;
+
+    /// Bit-level space accounting (see [`SpaceUsage`]).
+    fn space_bits_dyn(&self) -> u64;
+
+    /// Bare type name (see [`StreamAlg::name`]).
+    fn name_dyn(&self) -> &'static str;
+
+    /// The concrete algorithm, for white-box adversaries that downcast to
+    /// inspect internal state through the erased interface.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<A> DynStreamAlg for A
+where
+    A: StreamAlg + SpaceUsage + 'static,
+    A::Update: FromUpdate,
+    A::Output: IntoAnswer,
+{
+    fn process_dyn(&mut self, update: &Update, rng: &mut TranscriptRng) -> Result<(), WbError> {
+        let u = A::Update::from_update(update).ok_or_else(|| {
+            WbError::invalid(format!(
+                "{} cannot ingest {update:?} (wrong stream model)",
+                self.name()
+            ))
+        })?;
+        self.process(&u, rng);
+        Ok(())
+    }
+
+    fn process_batch_dyn(
+        &mut self,
+        updates: &[Update],
+        rng: &mut TranscriptRng,
+    ) -> Result<(), WbError> {
+        let converted: Option<Vec<A::Update>> =
+            updates.iter().map(A::Update::from_update).collect();
+        let converted = converted.ok_or_else(|| {
+            WbError::invalid(format!(
+                "{} cannot ingest a batch containing wrong-model updates",
+                self.name()
+            ))
+        })?;
+        self.process_batch(&converted, rng);
+        Ok(())
+    }
+
+    fn query_dyn(&self) -> Answer {
+        self.query().into_answer()
+    }
+
+    fn space_bits_dyn(&self) -> u64 {
+        self.space_bits()
+    }
+
+    fn name_dyn(&self) -> &'static str {
+        self.name()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Object-safe white-box adversary over the erased algorithm interface.
+///
+/// The adversary still sees everything: the erased algorithm reference
+/// (with [`DynStreamAlg::as_any`] for concrete-state inspection), the full
+/// randomness transcript, and the last answer.
+pub trait DynAdversary {
+    /// Produce the update for round `t` (1-indexed), or `None` to stop.
+    fn next_update(
+        &mut self,
+        t: u64,
+        alg: &dyn DynStreamAlg,
+        transcript: &RandTranscript,
+        last: Option<&Answer>,
+    ) -> Option<Update>;
+}
+
+/// A [`DynAdversary`] that replays a fixed script.
+#[derive(Debug, Clone)]
+pub struct ScriptDynAdversary {
+    script: Vec<Update>,
+    pos: usize,
+}
+
+impl ScriptDynAdversary {
+    /// Replay `script` in order, then stop.
+    pub fn new(script: Vec<Update>) -> Self {
+        ScriptDynAdversary { script, pos: 0 }
+    }
+}
+
+impl DynAdversary for ScriptDynAdversary {
+    fn next_update(
+        &mut self,
+        _t: u64,
+        _alg: &dyn DynStreamAlg,
+        _transcript: &RandTranscript,
+        _last: Option<&Answer>,
+    ) -> Option<Update> {
+        let u = self.script.get(self.pos).copied();
+        self.pos += 1;
+        u
+    }
+}
+
+/// A [`DynAdversary`] defined by a closure over the full erased view.
+pub struct FnDynAdversary<F> {
+    f: F,
+}
+
+impl<F> FnDynAdversary<F>
+where
+    F: FnMut(u64, &dyn DynStreamAlg, &RandTranscript, Option<&Answer>) -> Option<Update>,
+{
+    /// Wrap `f` as an erased adversary.
+    pub fn new(f: F) -> Self {
+        FnDynAdversary { f }
+    }
+}
+
+impl<F> DynAdversary for FnDynAdversary<F>
+where
+    F: FnMut(u64, &dyn DynStreamAlg, &RandTranscript, Option<&Answer>) -> Option<Update>,
+{
+    fn next_update(
+        &mut self,
+        t: u64,
+        alg: &dyn DynStreamAlg,
+        transcript: &RandTranscript,
+        last: Option<&Answer>,
+    ) -> Option<Update> {
+        (self.f)(t, alg, transcript, last)
+    }
+}
+
+/// Drives an oblivious script through an erased algorithm with batched
+/// ingestion: the referee observes every update, the algorithm ingests
+/// `batch`-sized chunks through its optimized [`StreamAlg::process_batch`]
+/// path, and the query is checked at every chunk boundary (with `batch = 1`
+/// this is exactly the per-round game).
+pub fn run_script_erased(
+    alg: &mut dyn DynStreamAlg,
+    script: &[Update],
+    referee: &mut dyn DynReferee,
+    batch: usize,
+    seed: u64,
+) -> Result<GameReport, WbError> {
+    let batch = batch.max(1);
+    let mut rng = TranscriptRng::from_seed(seed);
+    let expected_checks = (script.len() as u64).div_ceil(batch as u64);
+    let mut report = GameReport::new(alg.space_bits_dyn(), expected_checks);
+    let mut t = 0u64;
+    for chunk in script.chunks(batch) {
+        referee.observe_batch(chunk);
+        alg.process_batch_dyn(chunk, &mut rng)?;
+        t += chunk.len() as u64;
+        let space = alg.space_bits_dyn();
+        let answer = alg.query_dyn();
+        let verdict = referee.check(t, &answer);
+        report.record_check(t, space, &verdict);
+        if !verdict.is_correct() {
+            break;
+        }
+    }
+    report.finish(t, alg.space_bits_dyn());
+    Ok(report)
+}
+
+/// Drives an adaptive erased adversary through the per-round white-box game
+/// (the erased mirror of the typed game loop).
+pub fn run_erased(
+    alg: &mut dyn DynStreamAlg,
+    adversary: &mut dyn DynAdversary,
+    referee: &mut dyn DynReferee,
+    max_rounds: u64,
+    seed: u64,
+) -> Result<GameReport, WbError> {
+    let mut rng = TranscriptRng::from_seed(seed);
+    let mut report = GameReport::new(alg.space_bits_dyn(), max_rounds);
+    let mut last: Option<Answer> = None;
+    let mut t = 0u64;
+    for round in 1..=max_rounds {
+        let update = match adversary.next_update(round, alg, rng.transcript(), last.as_ref()) {
+            Some(u) => u,
+            None => break,
+        };
+        referee.observe(&update);
+        alg.process_dyn(&update, &mut rng)?;
+        t = round;
+        let space = alg.space_bits_dyn();
+        let answer = alg.query_dyn();
+        let verdict = referee.check(t, &answer);
+        report.record_check(t, space, &verdict);
+        if !verdict.is_correct() {
+            break;
+        }
+        last = Some(answer);
+    }
+    report.finish(t, alg.space_bits_dyn());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::referee::RefereeSpec;
+    use wb_sketch::{MisraGries, SpaceSaving};
+
+    #[test]
+    fn update_conversions() {
+        assert_eq!(
+            InsertOnly::from_update(&Update::Insert(4)),
+            Some(InsertOnly(4))
+        );
+        assert_eq!(
+            InsertOnly::from_update(&Update::Turnstile { item: 4, delta: 1 }),
+            Some(InsertOnly(4))
+        );
+        assert_eq!(
+            InsertOnly::from_update(&Update::Turnstile { item: 4, delta: -1 }),
+            None
+        );
+        assert_eq!(
+            Turnstile::from_update(&Update::Insert(9)),
+            Some(Turnstile::insert(9))
+        );
+        assert_eq!(Update::Insert(3).delta(), 1);
+        assert_eq!(Update::Turnstile { item: 3, delta: -2 }.item(), 3);
+    }
+
+    #[test]
+    fn erased_alg_processes_and_answers() {
+        let mut alg: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        let mut rng = TranscriptRng::from_seed(1);
+        for _ in 0..10 {
+            alg.process_dyn(&Update::Insert(7), &mut rng).unwrap();
+        }
+        assert_eq!(alg.name_dyn(), "MisraGries");
+        let items = alg.query_dyn();
+        assert_eq!(items.as_items().unwrap(), &[(7, 10.0)]);
+        assert!(alg.space_bits_dyn() > 0);
+        // Downcast through the white-box window.
+        let mg = alg.as_any().downcast_ref::<MisraGries>().unwrap();
+        assert_eq!(mg.estimate(7), 10);
+    }
+
+    #[test]
+    fn erased_alg_rejects_wrong_model() {
+        let mut alg: Box<dyn DynStreamAlg> = Box::new(SpaceSaving::with_counters(4, 1 << 10));
+        let mut rng = TranscriptRng::from_seed(2);
+        let bad = Update::Turnstile { item: 1, delta: -3 };
+        assert!(alg.process_dyn(&bad, &mut rng).is_err());
+        assert!(alg
+            .process_batch_dyn(&[Update::Insert(1), bad], &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn script_runner_checks_via_referee() {
+        let mut alg: Box<dyn DynStreamAlg> = Box::new(MisraGries::new(0.1, 1 << 10));
+        let script: Vec<Update> = (0..500u64).map(|t| Update::Insert(t % 5)).collect();
+        let mut referee = RefereeSpec::HeavyHitters {
+            eps: 0.1,
+            tol: 0.1,
+            phi: None,
+            grace: 0,
+        }
+        .build();
+        let report = run_script_erased(alg.as_mut(), &script, referee.as_mut(), 64, 7).unwrap();
+        assert!(report.result.survived());
+        assert_eq!(report.result.rounds, 500);
+        assert!(report.checks >= 500 / 64);
+        assert!(!report.space_timeline.is_empty());
+    }
+
+    #[test]
+    fn adaptive_erased_adversary_downcasts() {
+        // A white-box adversary that reads the Misra–Gries table through
+        // as_any and always sends an unmonitored item.
+        let mut alg: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(3, 1 << 10));
+        let mut adv = FnDynAdversary::new(|_t, alg, _tr, _last| {
+            let mg = alg.as_any().downcast_ref::<MisraGries>().expect("MG");
+            let tracked: Vec<u64> = mg.entries().iter().map(|&(i, _)| i).collect();
+            Some(Update::Insert(
+                (0..).find(|i| !tracked.contains(i)).unwrap(),
+            ))
+        });
+        let mut referee = RefereeSpec::Accept.build();
+        let report = run_erased(alg.as_mut(), &mut adv, referee.as_mut(), 50, 3).unwrap();
+        assert!(report.result.survived());
+        assert_eq!(report.result.rounds, 50);
+        // Every round sent a fresh unmonitored item, so no counter exceeds 1.
+        let mg = alg.as_any().downcast_ref::<MisraGries>().unwrap();
+        assert!(mg.entries().iter().all(|&(_, c)| c <= 1));
+    }
+}

@@ -1,0 +1,73 @@
+//! # wb-engine — the unified way to drive white-box adversarial games
+//!
+//! Every algorithm in the workspace is played through this crate, whether
+//! the caller knows its concrete type or only its name:
+//!
+//! * [`Game`] — a fluent, typed builder replacing the positional
+//!   `wb_core::game::run_game` (now a deprecated shim):
+//!   `Game::new(alg).adversary(a).referee(r).max_rounds(m).seed(s).run()`.
+//!   [`Observer`] hooks and [`GameReport`]s capture per-round
+//!   space/verdict timelines; [`Game::script`] + [`Game::batch`] ingest
+//!   oblivious stream segments through the algorithms' optimized
+//!   `process_batch` paths.
+//! * [`erased`] — the object-safe layer: an [`Update`] enum over the
+//!   paper's two stream models, an [`Answer`] enum over the query shapes,
+//!   and [`DynStreamAlg`], blanket-implemented for every
+//!   `StreamAlg + SpaceUsage` whose types convert — so
+//!   `Box<dyn DynStreamAlg>` is free for all `u64`-universe sketches.
+//! * [`registry`] — string-keyed construction
+//!   (`registry::get("robust_hh", &params)`) of algorithms and
+//!   adversaries, for binaries, tests, and servers that select at runtime.
+//! * [`experiment`] — the declarative [`ExperimentSpec`] runner behind
+//!   every `exp_e*` binary: workload × algorithm × metrics → table +
+//!   JSON-lines report, with real referees and a `--quick` smoke mode.
+//!
+//! # Example: typed builder
+//!
+//! ```
+//! use wb_engine::Game;
+//! use wb_core::game::ScriptAdversary;
+//! use wb_core::referee::HeavyHitterReferee;
+//! use wb_core::stream::InsertOnly;
+//! use wb_sketch::RobustL1HeavyHitters;
+//!
+//! let script: Vec<InsertOnly> = (0..2_000).map(|t| InsertOnly(t % 5)).collect();
+//! let report = Game::new(RobustL1HeavyHitters::new(1 << 12, 0.25))
+//!     .adversary(ScriptAdversary::new(script))
+//!     .referee(HeavyHitterReferee::new(0.25, 0.25).with_grace(64))
+//!     .max_rounds(2_000)
+//!     .seed(7)
+//!     .run();
+//! assert!(report.survived());
+//! ```
+//!
+//! # Example: registry + batched ingestion
+//!
+//! ```
+//! use wb_engine::erased::{run_script_erased, Update};
+//! use wb_engine::referee::RefereeSpec;
+//! use wb_engine::registry::{self, Params};
+//!
+//! let mut alg = registry::get("misra_gries", &Params::default()).unwrap();
+//! let script: Vec<Update> = (0..4_096).map(|t| Update::Insert(t % 8)).collect();
+//! let mut referee = RefereeSpec::HeavyHitters {
+//!     eps: 0.125, tol: 0.125, phi: None, grace: 0,
+//! }.build();
+//! let report = run_script_erased(alg.as_mut(), &script, referee.as_mut(), 256, 1).unwrap();
+//! assert!(report.survived());
+//! ```
+
+pub mod builder;
+pub mod erased;
+pub mod experiment;
+pub mod referee;
+pub mod registry;
+pub mod report;
+pub mod workload;
+
+pub use builder::{AcceptAll, Game, NoAdversary, NullObserver, Observer, RecordingObserver};
+pub use erased::{Answer, DynAdversary, DynStreamAlg, Update};
+pub use experiment::{ExperimentSpec, GameRow, Metric, Row, RunCtx, RunnerConfig, Section};
+pub use referee::{DynReferee, RefereeSpec};
+pub use report::GameReport;
+pub use workload::WorkloadSpec;

@@ -1,0 +1,281 @@
+//! Erased referees: ground-truth checkers over the [`Update`]/[`Answer`]
+//! enums, reusing the exact verdict logic of `wb_core::referee` so that
+//! "ok" columns in experiment tables mean the same thing as game verdicts.
+
+use crate::erased::{Answer, Update};
+use wb_core::game::Verdict;
+use wb_core::referee::{ApproxCountReferee, HeavyHitterReferee, L0SandwichReferee};
+
+/// Object-safe referee over erased updates and answers.
+pub trait DynReferee {
+    /// Observe one update that is about to be processed.
+    fn observe(&mut self, update: &Update);
+
+    /// Observe a batch at once. The default loops; implementations with a
+    /// [`wb_core::stream::FrequencyVector`] ground truth override this with
+    /// its aggregated batch path.
+    fn observe_batch(&mut self, updates: &[Update]) {
+        for u in updates {
+            self.observe(u);
+        }
+    }
+
+    /// Judge the answer after round `t`.
+    fn check(&mut self, t: u64, answer: &Answer) -> Verdict;
+}
+
+/// Declarative referee selection for registry-driven games.
+#[derive(Debug, Clone)]
+pub enum RefereeSpec {
+    /// `ε`-L1-heavy-hitters guarantee (optionally the `(φ, ε)` variant),
+    /// checked by [`HeavyHitterReferee`]. Insertion-only streams.
+    HeavyHitters {
+        /// Report threshold: items above `eps·‖f‖₁` must be reported.
+        eps: f64,
+        /// Additive estimate tolerance as a fraction of `‖f‖₁`.
+        tol: f64,
+        /// Optional `(φ, ε)` false-positive floor.
+        phi: Option<f64>,
+        /// Rounds to skip before checking.
+        grace: u64,
+    },
+    /// `(1±ε)`-approximate stream-length counting
+    /// ([`ApproxCountReferee`]).
+    ApproxCount {
+        /// Relative tolerance.
+        eps: f64,
+    },
+    /// `answer ≤ L0 ≤ answer·factor` sandwich ([`L0SandwichReferee`]).
+    /// Turnstile streams.
+    L0Sandwich {
+        /// Multiplicative gap (`n^ε` in Theorem 1.5).
+        factor: f64,
+    },
+    /// Accept everything (throughput runs, attack demonstrations).
+    Accept,
+}
+
+impl RefereeSpec {
+    /// Build the erased referee.
+    pub fn build(&self) -> Box<dyn DynReferee> {
+        match *self {
+            RefereeSpec::HeavyHitters {
+                eps,
+                tol,
+                phi,
+                grace,
+            } => {
+                let mut inner = HeavyHitterReferee::new(eps, tol).with_grace(grace);
+                if let Some(phi) = phi {
+                    inner = inner.with_phi(phi);
+                }
+                Box::new(ErasedHh {
+                    inner,
+                    model_violation: None,
+                })
+            }
+            RefereeSpec::ApproxCount { eps } => Box::new(ErasedCount {
+                inner: ApproxCountReferee::new(eps),
+            }),
+            RefereeSpec::L0Sandwich { factor } => Box::new(ErasedL0 {
+                inner: L0SandwichReferee::new(factor),
+            }),
+            RefereeSpec::Accept => Box::new(AcceptAllDyn),
+        }
+    }
+
+    /// Short name for report lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RefereeSpec::HeavyHitters { .. } => "heavy_hitters",
+            RefereeSpec::ApproxCount { .. } => "approx_count",
+            RefereeSpec::L0Sandwich { .. } => "l0_sandwich",
+            RefereeSpec::Accept => "accept",
+        }
+    }
+}
+
+/// Heavy-hitter referee over erased updates. Insertion-only: unit-delta
+/// turnstile updates are accepted as insertions, anything else is a
+/// violation at the next check (the guarantee under test is undefined for
+/// deletions).
+struct ErasedHh {
+    inner: HeavyHitterReferee,
+    /// Set when a non-insertion update reaches this insertion-only
+    /// referee; reported at the next check.
+    model_violation: Option<String>,
+}
+
+impl ErasedHh {
+    fn observe_one(&mut self, update: &Update) {
+        if update.delta() == 1 {
+            self.inner.observe_item(update.item());
+        } else if self.model_violation.is_none() {
+            self.model_violation = Some(format!(
+                "insertion-only heavy-hitter referee observed {update:?}"
+            ));
+        }
+    }
+}
+
+impl DynReferee for ErasedHh {
+    fn observe(&mut self, update: &Update) {
+        self.observe_one(update);
+    }
+
+    fn observe_batch(&mut self, updates: &[Update]) {
+        if updates.iter().all(|u| u.delta() == 1) {
+            let items: Vec<u64> = updates.iter().map(Update::item).collect();
+            self.inner.observe_items(&items);
+        } else {
+            for u in updates {
+                self.observe_one(u);
+            }
+        }
+    }
+
+    fn check(&mut self, t: u64, answer: &Answer) -> Verdict {
+        if let Some(msg) = &self.model_violation {
+            return Verdict::violation(format!("round {t}: {msg}"));
+        }
+        match answer.as_items() {
+            Some(items) => self.inner.judge(t, items),
+            None => Verdict::violation(format!(
+                "round {t}: heavy-hitter referee got a non-list answer {answer:?}"
+            )),
+        }
+    }
+}
+
+/// Approximate-counting referee over erased updates.
+struct ErasedCount {
+    inner: ApproxCountReferee,
+}
+
+impl DynReferee for ErasedCount {
+    fn observe(&mut self, _update: &Update) {
+        self.inner.observe_count(1);
+    }
+
+    fn observe_batch(&mut self, updates: &[Update]) {
+        self.inner.observe_count(updates.len() as u64);
+    }
+
+    fn check(&mut self, t: u64, answer: &Answer) -> Verdict {
+        match answer.as_scalar() {
+            Some(est) => self.inner.judge(t, est),
+            None => Verdict::violation(format!(
+                "round {t}: counting referee got a non-scalar answer {answer:?}"
+            )),
+        }
+    }
+}
+
+/// L0-sandwich referee over erased updates.
+struct ErasedL0 {
+    inner: L0SandwichReferee,
+}
+
+impl DynReferee for ErasedL0 {
+    fn observe(&mut self, update: &Update) {
+        self.inner.observe_update(update.item(), update.delta());
+    }
+
+    fn observe_batch(&mut self, updates: &[Update]) {
+        let pairs: Vec<(u64, i64)> = updates.iter().map(|u| (u.item(), u.delta())).collect();
+        self.inner.observe_updates(&pairs);
+    }
+
+    fn check(&mut self, t: u64, answer: &Answer) -> Verdict {
+        match answer.as_count() {
+            Some(c) => self.inner.judge(t, c),
+            None => Verdict::violation(format!(
+                "round {t}: L0 referee got a non-count answer {answer:?}"
+            )),
+        }
+    }
+}
+
+/// Accept-everything referee.
+struct AcceptAllDyn;
+
+impl DynReferee for AcceptAllDyn {
+    fn observe(&mut self, _update: &Update) {}
+
+    fn check(&mut self, _t: u64, _answer: &Answer) -> Verdict {
+        Verdict::Correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hh_spec_judges_like_core_referee() {
+        let mut r = RefereeSpec::HeavyHitters {
+            eps: 0.1,
+            tol: 0.1,
+            phi: None,
+            grace: 0,
+        }
+        .build();
+        let ups: Vec<Update> = (0..90).map(|_| Update::Insert(1)).collect();
+        r.observe_batch(&ups);
+        for _ in 0..10 {
+            r.observe(&Update::Insert(2));
+        }
+        // Item 1 is heavy and missing: violation.
+        let bad = Answer::Items(vec![(2, 10.0)]);
+        assert!(!r.check(100, &bad).is_correct());
+        let good = Answer::Items(vec![(1, 88.0), (2, 10.0)]);
+        assert!(r.check(100, &good).is_correct());
+        // Answer-shape mismatch is a violation, not a panic.
+        assert!(!r.check(100, &Answer::Scalar(1.0)).is_correct());
+    }
+
+    #[test]
+    fn hh_spec_flags_non_insertion_updates() {
+        let mut r = RefereeSpec::HeavyHitters {
+            eps: 0.1,
+            tol: 0.1,
+            phi: None,
+            grace: 0,
+        }
+        .build();
+        r.observe(&Update::Insert(1));
+        r.observe(&Update::Turnstile { item: 1, delta: -1 });
+        let v = r.check(2, &Answer::Items(vec![(1, 1.0)]));
+        assert!(!v.is_correct(), "deletion must surface as a violation");
+    }
+
+    #[test]
+    fn count_spec_bounds() {
+        let mut r = RefereeSpec::ApproxCount { eps: 0.1 }.build();
+        let ups: Vec<Update> = (0..1000).map(Update::Insert).collect();
+        r.observe_batch(&ups);
+        assert!(r.check(1000, &Answer::Scalar(1000.0)).is_correct());
+        assert!(!r.check(1000, &Answer::Scalar(500.0)).is_correct());
+    }
+
+    #[test]
+    fn l0_spec_sandwich() {
+        let mut r = RefereeSpec::L0Sandwich { factor: 4.0 }.build();
+        let ups: Vec<Update> = (0..8)
+            .map(|i| Update::Turnstile { item: i, delta: 1 })
+            .collect();
+        r.observe_batch(&ups);
+        assert!(r.check(8, &Answer::Count(8)).is_correct());
+        assert!(r.check(8, &Answer::Count(2)).is_correct());
+        assert!(!r.check(8, &Answer::Count(9)).is_correct());
+        assert!(!r.check(8, &Answer::Count(1)).is_correct());
+    }
+
+    #[test]
+    fn accept_spec_accepts() {
+        let mut r = RefereeSpec::Accept.build();
+        r.observe(&Update::Insert(1));
+        assert!(r.check(1, &Answer::Count(999)).is_correct());
+        assert_eq!(RefereeSpec::Accept.label(), "accept");
+    }
+}

@@ -1,0 +1,155 @@
+//! Structured game reports and experiment-table formatting.
+
+use wb_core::game::{Failure, GameResult, Verdict};
+
+/// How many `(round, space_bits)` samples a report retains at most; the
+/// recording stride is chosen so long games stay within this budget.
+pub const TIMELINE_POINTS: usize = 256;
+
+/// Structured outcome of one engine-driven game: the classic
+/// [`GameResult`] plus per-round space/verdict timelines and ingestion
+/// statistics captured by the engine's observer machinery.
+#[derive(Debug, Clone)]
+pub struct GameReport {
+    /// Rounds, first failure, peak/final space — the classic result.
+    pub result: GameResult,
+    /// Referee checks performed (in batched ingestion this is the number
+    /// of batch boundaries, not the number of updates).
+    pub checks: u64,
+    /// `(round, space_bits)` samples, recorded every [`Self::stride`]
+    /// checks (and always at the final check).
+    pub space_timeline: Vec<(u64, u64)>,
+    /// `(round, correct?)` for every recorded check in the timeline.
+    pub verdict_timeline: Vec<(u64, bool)>,
+    /// Stride (in checks) between timeline samples.
+    pub stride: u64,
+}
+
+impl GameReport {
+    /// Fresh report for a game expected to perform up to `expected_checks`
+    /// referee checks (rounds in the per-round game, batch boundaries under
+    /// batched ingestion) — the stride is sized so the timeline keeps about
+    /// [`TIMELINE_POINTS`] samples.
+    pub fn new(initial_space_bits: u64, expected_checks: u64) -> Self {
+        GameReport {
+            result: GameResult {
+                rounds: 0,
+                failure: None,
+                peak_space_bits: initial_space_bits,
+                final_space_bits: initial_space_bits,
+            },
+            checks: 0,
+            space_timeline: Vec::new(),
+            verdict_timeline: Vec::new(),
+            stride: (expected_checks / TIMELINE_POINTS as u64).max(1),
+        }
+    }
+
+    /// Record one referee check at round `t`.
+    pub fn record_check(&mut self, t: u64, space_bits: u64, verdict: &Verdict) {
+        self.checks += 1;
+        self.result.peak_space_bits = self.result.peak_space_bits.max(space_bits);
+        let sample_due = self.checks.is_multiple_of(self.stride);
+        if sample_due || !verdict.is_correct() {
+            self.space_timeline.push((t, space_bits));
+            self.verdict_timeline.push((t, verdict.is_correct()));
+        }
+        if let Verdict::Violation(description) = verdict {
+            if self.result.failure.is_none() {
+                self.result.failure = Some(Failure {
+                    round: t,
+                    description: description.clone(),
+                });
+            }
+        }
+    }
+
+    /// Seal the report after the last round.
+    pub fn finish(&mut self, rounds: u64, final_space_bits: u64) {
+        self.result.rounds = rounds;
+        self.result.final_space_bits = final_space_bits;
+        self.result.peak_space_bits = self.result.peak_space_bits.max(final_space_bits);
+        if let Some(&(t, _)) = self.space_timeline.last() {
+            if t != rounds && rounds > 0 {
+                self.space_timeline.push((rounds, final_space_bits));
+                self.verdict_timeline
+                    .push((rounds, self.result.failure.is_none()));
+            }
+        } else if rounds > 0 {
+            self.space_timeline.push((rounds, final_space_bits));
+            self.verdict_timeline
+                .push((rounds, self.result.failure.is_none()));
+        }
+    }
+
+    /// `true` iff every checked answer was correct.
+    pub fn survived(&self) -> bool {
+        self.result.survived()
+    }
+}
+
+/// Format one table row, padding each cell to `width`.
+pub fn row(cells: &[String], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>width$}"))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Print a table header plus separator line.
+pub fn header(cells: &[&str], width: usize) {
+    println!(
+        "{}",
+        row(
+            &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            width
+        )
+    );
+    println!(
+        "{}",
+        cells
+            .iter()
+            .map(|_| "-".repeat(width))
+            .collect::<Vec<_>>()
+            .join("-|-")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_records_and_seals() {
+        let mut r = GameReport::new(10, 100);
+        for t in 1..=100u64 {
+            r.record_check(t, 10 + t, &Verdict::Correct);
+        }
+        r.finish(100, 110);
+        assert_eq!(r.checks, 100);
+        assert!(r.survived());
+        assert_eq!(r.result.rounds, 100);
+        assert_eq!(r.result.peak_space_bits, 110);
+        assert_eq!(r.space_timeline.last(), Some(&(100, 110)));
+    }
+
+    #[test]
+    fn report_captures_first_violation() {
+        let mut r = GameReport::new(0, 10);
+        r.record_check(1, 5, &Verdict::Correct);
+        r.record_check(2, 6, &Verdict::violation("bad"));
+        r.finish(2, 6);
+        assert!(!r.survived());
+        let f = r.result.failure.as_ref().unwrap();
+        assert_eq!(f.round, 2);
+        assert_eq!(f.description, "bad");
+        assert_eq!(r.verdict_timeline.last(), Some(&(2, false)));
+    }
+
+    #[test]
+    fn table_row_formatting() {
+        let r = row(&["a".into(), "bb".into()], 4);
+        assert_eq!(r, "   a |   bb");
+    }
+}

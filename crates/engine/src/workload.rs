@@ -1,0 +1,272 @@
+//! Named workload generators and the declarative [`WorkloadSpec`] used by
+//! the experiment runner. The raw generators were born in the `bench`
+//! crate (which now delegates here) so every consumer — binaries, tests,
+//! criterion benches, the registry's scripted adversaries — draws from one
+//! set of streams.
+
+use crate::erased::Update;
+use wb_core::rng::TranscriptRng;
+use wb_core::stream::Turnstile;
+
+/// A Zipf-flavoured insertion stream: item `i ∈ [heavy_items]` receives a
+/// `~1/(i+1)`-proportional share of 70% of the mass; the rest is uniform
+/// noise over `[n]`.
+pub fn zipf_stream(n: u64, m: u64, heavy_items: u64, seed: u64) -> Vec<u64> {
+    let mut rng = TranscriptRng::from_seed(seed);
+    let weights: Vec<f64> = (0..heavy_items).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..m)
+        .map(|_| {
+            if rng.bernoulli(0.7) {
+                let mut u = rng.next_f64() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    if u < *w {
+                        return i as u64;
+                    }
+                    u -= w;
+                }
+                heavy_items - 1
+            } else {
+                heavy_items + rng.below(n - heavy_items)
+            }
+        })
+        .collect()
+}
+
+/// Synthetic IPv4 DDoS traffic: one hot /24 prefix (25%), one hot host
+/// (15%), uniform noise elsewhere.
+pub fn ddos_stream(m: u64, seed: u64) -> Vec<u64> {
+    let mut rng = TranscriptRng::from_seed(seed);
+    (0..m)
+        .map(|t| match t % 20 {
+            0..=4 => (10 << 24) | (1 << 16) | (7 << 8) | rng.below(256),
+            5..=7 => (203 << 24) | (113 << 8) | 5,
+            _ => rng.below(1 << 32),
+        })
+        .collect()
+}
+
+/// Turnstile churn: waves of insertions followed by partial deletions.
+pub fn churn_stream(n: u64, waves: u64, wave_size: u64, seed: u64) -> Vec<Turnstile> {
+    let mut rng = TranscriptRng::from_seed(seed);
+    let mut out = Vec::with_capacity((waves * wave_size * 3 / 2) as usize);
+    for _ in 0..waves {
+        let base = rng.below(n);
+        for i in 0..wave_size {
+            out.push(Turnstile::insert((base + i * 7) % n));
+        }
+        for i in 0..wave_size / 2 {
+            out.push(Turnstile::delete((base + i * 7) % n));
+        }
+    }
+    out
+}
+
+/// Uniform insertions over `[n]`.
+pub fn uniform_stream(n: u64, m: u64, seed: u64) -> Vec<u64> {
+    let mut rng = TranscriptRng::from_seed(seed);
+    (0..m).map(|_| rng.below(n)).collect()
+}
+
+/// Deterministic round-robin over `items` ids (`t % items`) — the
+/// few-distinct-items worst case for `log m`-bit counters.
+pub fn cycle_stream(items: u64, m: u64) -> Vec<u64> {
+    (0..m).map(|t| t % items.max(1)).collect()
+}
+
+/// Declarative workload for registry-driven experiment rows.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// [`zipf_stream`] insertions.
+    Zipf {
+        /// Universe size.
+        n: u64,
+        /// Stream length.
+        m: u64,
+        /// Size of the Zipf head.
+        heavy: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// [`ddos_stream`] insertions.
+    Ddos {
+        /// Stream length.
+        m: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// [`churn_stream`] turnstile updates.
+    Churn {
+        /// Universe size.
+        n: u64,
+        /// Number of insert/delete waves.
+        waves: u64,
+        /// Insertions per wave.
+        wave: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// [`uniform_stream`] insertions.
+    Uniform {
+        /// Universe size.
+        n: u64,
+        /// Stream length.
+        m: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// [`cycle_stream`] insertions (`t % items`).
+    Cycle {
+        /// Number of distinct items.
+        items: u64,
+        /// Stream length.
+        m: u64,
+    },
+    /// A literal update script.
+    Script(Vec<Update>),
+}
+
+impl WorkloadSpec {
+    /// Materialize the update stream.
+    pub fn generate(&self) -> Vec<Update> {
+        match self {
+            WorkloadSpec::Zipf { n, m, heavy, seed } => zipf_stream(*n, *m, *heavy, *seed)
+                .into_iter()
+                .map(Update::Insert)
+                .collect(),
+            WorkloadSpec::Ddos { m, seed } => ddos_stream(*m, *seed)
+                .into_iter()
+                .map(Update::Insert)
+                .collect(),
+            WorkloadSpec::Churn {
+                n,
+                waves,
+                wave,
+                seed,
+            } => churn_stream(*n, *waves, *wave, *seed)
+                .into_iter()
+                .map(Update::from)
+                .collect(),
+            WorkloadSpec::Uniform { n, m, seed } => uniform_stream(*n, *m, *seed)
+                .into_iter()
+                .map(Update::Insert)
+                .collect(),
+            WorkloadSpec::Cycle { items, m } => cycle_stream(*items, *m)
+                .into_iter()
+                .map(Update::Insert)
+                .collect(),
+            WorkloadSpec::Script(v) => v.clone(),
+        }
+    }
+
+    /// Nominal stream length before generation.
+    pub fn len(&self) -> u64 {
+        match self {
+            WorkloadSpec::Zipf { m, .. }
+            | WorkloadSpec::Ddos { m, .. }
+            | WorkloadSpec::Uniform { m, .. }
+            | WorkloadSpec::Cycle { m, .. } => *m,
+            WorkloadSpec::Churn { waves, wave, .. } => waves * (wave + wave / 2),
+            WorkloadSpec::Script(v) => v.len() as u64,
+        }
+    }
+
+    /// `true` iff the workload has no updates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The same workload capped at roughly `cap` updates — the `--quick`
+    /// smoke mode of the experiment runner.
+    pub fn capped(&self, cap: u64) -> WorkloadSpec {
+        let mut w = self.clone();
+        match &mut w {
+            WorkloadSpec::Zipf { m, .. }
+            | WorkloadSpec::Ddos { m, .. }
+            | WorkloadSpec::Uniform { m, .. }
+            | WorkloadSpec::Cycle { m, .. } => *m = (*m).min(cap),
+            WorkloadSpec::Churn { waves, wave, .. } => {
+                while *waves > 1 && *waves * (*wave + *wave / 2) > cap {
+                    *waves /= 2;
+                }
+                while *wave > 1 && *waves * (*wave + *wave / 2) > cap {
+                    *wave /= 2;
+                }
+            }
+            WorkloadSpec::Script(v) => v.truncate(cap as usize),
+        }
+        w
+    }
+
+    /// Short name for report lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Zipf { .. } => "zipf",
+            WorkloadSpec::Ddos { .. } => "ddos",
+            WorkloadSpec::Churn { .. } => "churn",
+            WorkloadSpec::Uniform { .. } => "uniform",
+            WorkloadSpec::Cycle { .. } => "cycle",
+            WorkloadSpec::Script(_) => "script",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_stream_has_heavy_head() {
+        let s = zipf_stream(1 << 16, 20_000, 8, 1);
+        let head = s.iter().filter(|&&i| i == 0).count();
+        assert!(head > 3_000, "head count {head}");
+        assert_eq!(s.len(), 20_000);
+    }
+
+    #[test]
+    fn ddos_stream_shares() {
+        let s = ddos_stream(20_000, 2);
+        let subnet = s
+            .iter()
+            .filter(|&&ip| ip >> 8 == (10 << 16) | (1 << 8) | 7)
+            .count();
+        assert!((4000..6000).contains(&subnet), "subnet share {subnet}");
+    }
+
+    #[test]
+    fn churn_stream_shape() {
+        let s = churn_stream(1 << 10, 4, 100, 3);
+        assert_eq!(s.len(), 4 * 150);
+        assert!(s.iter().any(|u| u.delta < 0));
+    }
+
+    #[test]
+    fn specs_generate_and_cap() {
+        let spec = WorkloadSpec::Zipf {
+            n: 1 << 12,
+            m: 4096,
+            heavy: 4,
+            seed: 9,
+        };
+        assert_eq!(spec.generate().len(), 4096);
+        assert_eq!(spec.capped(100).generate().len(), 100);
+        assert_eq!(spec.label(), "zipf");
+
+        let churn = WorkloadSpec::Churn {
+            n: 256,
+            waves: 8,
+            wave: 64,
+            seed: 1,
+        };
+        assert_eq!(churn.len(), 8 * 96);
+        assert!(churn.capped(100).len() <= 100 + 96);
+        assert!(churn
+            .generate()
+            .iter()
+            .any(|u| matches!(u, Update::Turnstile { delta, .. } if *delta < 0)));
+
+        let cyc = WorkloadSpec::Cycle { items: 3, m: 9 };
+        assert_eq!(cyc.generate()[4], Update::Insert(1));
+        assert!(!cyc.is_empty());
+    }
+}

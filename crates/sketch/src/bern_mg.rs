@@ -111,10 +111,6 @@ impl StreamAlg for BernMG {
     fn query(&self) -> Vec<(u64, f64)> {
         self.estimates()
     }
-
-    fn name(&self) -> &'static str {
-        "BernMG"
-    }
 }
 
 #[cfg(test)]

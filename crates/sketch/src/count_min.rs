@@ -10,7 +10,7 @@
 
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, SpaceUsage};
-use wb_core::stream::{InsertOnly, StreamAlg};
+use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
 
 /// A CountMin sketch with `depth` rows and `width` buckets per row.
 ///
@@ -56,10 +56,16 @@ impl CountMin {
 
     /// Add one occurrence of `item`.
     pub fn insert(&mut self, item: u64) {
-        self.processed += 1;
+        self.insert_weighted(item, 1);
+    }
+
+    /// Add `w` occurrences of `item` at once (row additions commute, so
+    /// this is identical to `w` single insertions).
+    pub fn insert_weighted(&mut self, item: u64, w: u64) {
+        self.processed += w;
         for row in 0..self.depth {
             let b = self.bucket(row, item);
-            self.table[row * self.width + b] += 1;
+            self.table[row * self.width + b] += w;
         }
     }
 
@@ -102,14 +108,23 @@ impl StreamAlg for CountMin {
         self.insert(update.0);
     }
 
+    /// Batched ingestion: occurrences are aggregated per item (sort +
+    /// run-length — cheaper than hashing every occurrence into a map), so
+    /// each distinct item's row hashes are evaluated once per batch instead
+    /// of once per occurrence. Counter additions commute, so the final
+    /// table is bit-identical to sequential processing.
+    fn process_batch(&mut self, updates: &[InsertOnly], _rng: &mut TranscriptRng) {
+        let mut items: Vec<u64> = updates.iter().map(|u| u.0).collect();
+        items.sort_unstable();
+        for_each_run(items.iter().copied(), |item, w| {
+            self.insert_weighted(item, w)
+        });
+    }
+
     /// The fixed query in attack experiments: the victim item `0`'s
     /// estimate.
     fn query(&self) -> u64 {
         self.estimate(0)
-    }
-
-    fn name(&self) -> &'static str {
-        "CountMin"
     }
 }
 
@@ -214,6 +229,24 @@ mod tests {
             f_shallow > 50 * f_deep.max(1),
             "shallow {f_shallow} vs deep {f_deep}"
         );
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut rng = TranscriptRng::from_seed(35);
+        let mut seq = CountMin::new(3, 64, &mut rng);
+        let mut bat = seq.clone();
+        let stream: Vec<InsertOnly> = (0..5000u64).map(|t| InsertOnly(t % 321)).collect();
+        let mut r1 = TranscriptRng::from_seed(36);
+        let mut r2 = TranscriptRng::from_seed(36);
+        for u in &stream {
+            seq.process(u, &mut r1);
+        }
+        for c in stream.chunks(113) {
+            bat.process_batch(c, &mut r2);
+        }
+        assert_eq!(seq.table, bat.table);
+        assert_eq!(seq.processed(), bat.processed());
     }
 
     #[test]

@@ -136,6 +136,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
     use wb_core::game::{run_game, ScriptAdversary};

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
-use wb_core::stream::{InsertOnly, StreamAlg};
+use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
 
 /// Misra–Gries summary with `k` counters over a universe of size `n`.
 #[derive(Debug, Clone)]
@@ -58,6 +58,30 @@ impl MisraGries {
             *c -= 1;
             *c > 0
         });
+    }
+
+    /// Process a run of `w` consecutive occurrences of `item`.
+    ///
+    /// Exactly equivalent to calling [`MisraGries::insert`] `w` times: as
+    /// soon as the item holds a counter (or a slot is free) the remaining
+    /// occurrences collapse into one counter addition; while the table is
+    /// full and the item unmonitored, decrement-all steps are replayed
+    /// one by one, since each may free slots and change the outcome.
+    pub fn insert_run(&mut self, item: u64, mut w: u64) {
+        while w > 0 {
+            if let Some(c) = self.counters.get_mut(&item) {
+                *c += w;
+                self.processed += w;
+                return;
+            }
+            if self.counters.len() < self.k {
+                self.counters.insert(item, w);
+                self.processed += w;
+                return;
+            }
+            self.insert(item);
+            w -= 1;
+        }
     }
 
     /// Lower-bound estimate `f̂_i ∈ [f_i − m/k, f_i]` of item `i`.
@@ -109,19 +133,25 @@ impl StreamAlg for MisraGries {
         self.insert(update.0);
     }
 
+    /// Batched ingestion: consecutive equal items are collapsed into
+    /// [`MisraGries::insert_run`] calls, skipping the per-update hash-map
+    /// probe on runs. State is bit-identical to sequential processing.
+    fn process_batch(&mut self, updates: &[InsertOnly], _rng: &mut TranscriptRng) {
+        for_each_run(updates.iter().map(|u| u.0), |item, w| {
+            self.insert_run(item, w)
+        });
+    }
+
     fn query(&self) -> Vec<(u64, f64)> {
         self.entries()
             .into_iter()
             .map(|(i, c)| (i, c as f64))
             .collect()
     }
-
-    fn name(&self) -> &'static str {
-        "MisraGries"
-    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
     use wb_core::game::{run_game, ScriptAdversary};
@@ -204,6 +234,29 @@ mod tests {
             large.space_bits() - small.space_bits(),
             bits_for_count(1_000_000) - bits_for_count(100)
         );
+    }
+
+    #[test]
+    fn insert_run_and_batch_match_sequential() {
+        // Mixed regime: spare capacity, then contention with decrement-alls.
+        let stream: Vec<u64> = (0..4000u64)
+            .map(|t| if t % 5 == 0 { 3 } else { t % 97 })
+            .collect();
+        for chunk in [1usize, 7, 64, 4000] {
+            let mut seq = MisraGries::with_counters(8, 1 << 10);
+            let mut bat = MisraGries::with_counters(8, 1 << 10);
+            let mut rng_a = TranscriptRng::from_seed(9);
+            let mut rng_b = TranscriptRng::from_seed(9);
+            for &i in &stream {
+                seq.process(&InsertOnly(i), &mut rng_a);
+            }
+            let updates: Vec<InsertOnly> = stream.iter().map(|&i| InsertOnly(i)).collect();
+            for c in updates.chunks(chunk) {
+                bat.process_batch(c, &mut rng_b);
+            }
+            assert_eq!(seq.entries(), bat.entries(), "chunk {chunk}");
+            assert_eq!(seq.processed(), bat.processed(), "chunk {chunk}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
-use wb_core::stream::{InsertOnly, StreamAlg};
+use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
 
 /// One monitored entry: over-estimate `count` and adoption error `err`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,11 +65,13 @@ impl SpaceSaving {
             self.entries.insert(item, SsEntry { count: w, err: 0 });
             return;
         }
-        // Replace the minimum-count entry.
+        // Replace the minimum-count entry; ties break on the smaller item
+        // id so the choice is deterministic (never on hash-map iteration
+        // order, which differs per instance).
         let (&min_item, &min_entry) = self
             .entries
             .iter()
-            .min_by_key(|(_, e)| e.count)
+            .min_by_key(|(&i, e)| (e.count, i))
             .expect("k ≥ 1 entries");
         self.entries.remove(&min_item);
         self.entries.insert(
@@ -127,15 +129,23 @@ impl StreamAlg for SpaceSaving {
         self.insert(update.0);
     }
 
+    /// Batched ingestion: consecutive equal items collapse into one
+    /// [`SpaceSaving::insert_weighted`] call. A weighted insert is exactly
+    /// equivalent to repeated unit inserts (once an item is monitored —
+    /// whether pre-existing, slotted into spare capacity, or adopted from
+    /// the evicted minimum — the remaining units are plain counter
+    /// additions), so state is bit-identical to sequential processing.
+    fn process_batch(&mut self, updates: &[InsertOnly], _rng: &mut TranscriptRng) {
+        for_each_run(updates.iter().map(|u| u.0), |item, w| {
+            self.insert_weighted(item, w)
+        });
+    }
+
     fn query(&self) -> Vec<(u64, f64)> {
         self.entries()
             .into_iter()
             .map(|(i, e)| (i, e.count as f64))
             .collect()
-    }
-
-    fn name(&self) -> &'static str {
-        "SpaceSaving"
     }
 }
 
@@ -200,6 +210,27 @@ mod tests {
         b.insert_weighted(5, 7);
         assert_eq!(a.over_estimate(5), b.over_estimate(5));
         assert_eq!(a.processed(), b.processed());
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let stream: Vec<InsertOnly> = (0..6000u64)
+            .map(|t| InsertOnly(if t % 4 == 0 { 3 } else { 10 + (t * 7) % 200 }))
+            .collect();
+        for chunk in [1usize, 17, 500] {
+            let mut seq = SpaceSaving::with_counters(10, 1 << 12);
+            let mut bat = SpaceSaving::with_counters(10, 1 << 12);
+            let mut r1 = TranscriptRng::from_seed(1);
+            let mut r2 = TranscriptRng::from_seed(1);
+            for u in &stream {
+                seq.process(u, &mut r1);
+            }
+            for c in stream.chunks(chunk) {
+                bat.process_batch(c, &mut r2);
+            }
+            assert_eq!(seq.entries(), bat.entries(), "chunk {chunk}");
+            assert_eq!(seq.processed(), bat.processed(), "chunk {chunk}");
+        }
     }
 
     #[test]

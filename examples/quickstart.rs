@@ -1,15 +1,19 @@
-//! Quickstart: run the white-box adversarial game with the paper's robust
-//! heavy-hitters algorithm (Theorem 1.1 / Algorithm 2).
+//! Quickstart: drive the paper's robust heavy-hitters algorithm
+//! (Theorem 1.1 / Algorithm 2) through the engine's fluent game builder,
+//! then rerun it by registry name over the erased interface.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use wbstream::core::game::{run_game, FnAdversary};
+use wbstream::core::game::FnAdversary;
 use wbstream::core::referee::HeavyHitterReferee;
 use wbstream::core::rng::RandTranscript;
 use wbstream::core::space::SpaceUsage;
 use wbstream::core::stream::InsertOnly;
+use wbstream::engine::erased::run_script_erased;
+use wbstream::engine::registry::{self, Params};
+use wbstream::engine::{Game, RecordingObserver, RefereeSpec, Update};
 use wbstream::sketch::{MisraGries, RobustL1HeavyHitters};
 
 fn main() {
@@ -17,14 +21,11 @@ fn main() {
     let m = 1u64 << 17; // stream length
     let eps = 0.125;
 
-    // The streaming algorithm under test: Algorithm 2.
-    let mut alg = RobustL1HeavyHitters::new(n, eps);
-
     // A white-box adversary: it reads the algorithm's internal Misra–Gries
     // table every round and sends items the summary is *not* monitoring,
     // interleaved with one genuinely heavy item.
     let mut evader = 1000u64;
-    let mut adversary = FnAdversary::new(
+    let adversary = FnAdversary::new(
         move |t: u64,
               alg: &RobustL1HeavyHitters,
               transcript: &RandTranscript,
@@ -59,20 +60,30 @@ fn main() {
         },
     );
 
-    // The referee holds exact ground truth and checks every answer.
-    let mut referee = HeavyHitterReferee::new(eps, eps).with_grace(64);
+    // The fluent builder: algorithm under test, adversary, a referee
+    // holding exact ground truth, and an observer recording the timeline.
+    let mut timeline = RecordingObserver::new();
+    let (report, alg) = Game::new(RobustL1HeavyHitters::new(n, eps))
+        .adversary(adversary)
+        .referee(HeavyHitterReferee::new(eps, eps).with_grace(64))
+        .max_rounds(m)
+        .seed(0xC0FFEE)
+        .observer(&mut timeline)
+        .play();
 
-    let result = run_game(&mut alg, &mut adversary, &mut referee, m, 0xC0FFEE);
-
-    println!("rounds played:      {}", result.rounds);
-    println!("survived:           {}", result.survived());
-    println!("peak space:         {} bits", result.peak_space_bits);
-    println!("final space:        {} bits", result.final_space_bits);
+    println!("rounds played:      {}", report.result.rounds);
+    println!("survived:           {}", report.survived());
+    println!("peak space:         {} bits", report.result.peak_space_bits);
+    println!(
+        "final space:        {} bits",
+        report.result.final_space_bits
+    );
+    println!("referee checks:     {}", report.checks);
     println!("epoch reached:      {}", alg.epoch());
     println!(
         "Morris t̂:           {:.0} (true {})",
         alg.t_hat(),
-        result.rounds
+        report.result.rounds
     );
 
     println!("\nreported heavy hitters (item, estimate):");
@@ -97,5 +108,32 @@ fn main() {
         mg.space_bits()
     );
 
-    assert!(result.survived(), "Theorem 1.1 held up");
+    // The same game family, selected by *name* through the registry and
+    // driven over the erased interface with batched ingestion: this is how
+    // the experiment runner and future servers pick algorithms at runtime.
+    let mut named = registry::get("robust_hh", &Params::default().with_n(n).with_eps(eps))
+        .expect("registered algorithm");
+    let script: Vec<Update> = (0..m)
+        .map(|t| Update::Insert(if t % 3 == 0 { 7 } else { 1000 + t % 1000 }))
+        .collect();
+    let mut referee = RefereeSpec::HeavyHitters {
+        eps,
+        tol: eps,
+        phi: None,
+        grace: 64,
+    }
+    .build();
+    let erased_report =
+        run_script_erased(named.as_mut(), &script, referee.as_mut(), 1024, 0xC0FFEE)
+            .expect("insertion stream fits the model");
+    println!(
+        "\nregistry run: {} over {} updates in {} batches — survived: {}",
+        named.name_dyn(),
+        erased_report.result.rounds,
+        erased_report.checks,
+        erased_report.survived()
+    );
+
+    assert!(report.survived(), "Theorem 1.1 held up");
+    assert!(erased_report.survived(), "Theorem 1.1 held up (erased run)");
 }

@@ -5,6 +5,8 @@
 //!
 //! * [`core`](mod@core) — the white-box adversarial model (game, transcripted
 //!   randomness, bit-level space accounting);
+//! * [`engine`](mod@engine) — the unified driver: fluent game builder,
+//!   string-keyed algorithm registry, batched ingestion, experiment runner;
 //! * [`crypto`](mod@crypto) — SHA-256, CRHFs, SIS sketches;
 //! * [`sketch`](mod@sketch) — Morris counters, heavy hitters, HHH, L0;
 //! * [`strings`](mod@strings) — fingerprints and streaming pattern matching;
@@ -14,6 +16,7 @@
 
 pub use wb_core as core;
 pub use wb_crypto as crypto;
+pub use wb_engine as engine;
 pub use wb_graph as graph;
 pub use wb_linalg as linalg;
 pub use wb_lowerbounds as lowerbounds;

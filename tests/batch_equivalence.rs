@@ -1,0 +1,111 @@
+//! Batch/sequential equivalence: for **every** registry-listed algorithm,
+//! `process_batch` must leave bit-identical observable state (query answer
+//! and space accounting) and an identical randomness transcript compared
+//! to per-update `process`, for arbitrary update sequences and chunkings.
+//! This is the contract that lets the engine route oblivious stream
+//! segments through the hand-optimized batch overrides.
+
+use proptest::prelude::*;
+use wbstream::core::rng::TranscriptRng;
+use wbstream::engine::registry::{self, Params};
+use wbstream::engine::Update;
+
+/// Insertion-only update stream over a small universe (all algorithms can
+/// ingest these; turnstile-capable ones see them as unit insertions).
+fn insert_updates(items: &[u64]) -> Vec<Update> {
+    items.iter().map(|&i| Update::Insert(i)).collect()
+}
+
+/// Signed update stream for the turnstile-capable algorithms.
+fn turnstile_updates(raw: &[(u64, i64)]) -> Vec<Update> {
+    raw.iter()
+        .map(|&(item, delta)| Update::Turnstile {
+            item,
+            delta: if delta == 0 { 1 } else { delta },
+        })
+        .collect()
+}
+
+/// Feed `updates` to a fresh `name` instance sequentially and chunked;
+/// assert identical answers, space, and transcripts.
+fn assert_equivalent(name: &str, updates: &[Update], chunk: usize, seed: u64) {
+    let params = Params::default().with_n(64).with_m_guess(1 << 10);
+    let mut seq = registry::get(name, &params).unwrap();
+    let mut bat = registry::get(name, &params).unwrap();
+    let mut rng_seq = TranscriptRng::from_seed(seed);
+    let mut rng_bat = TranscriptRng::from_seed(seed);
+    for u in updates {
+        seq.process_dyn(u, &mut rng_seq)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    for c in updates.chunks(chunk.max(1)) {
+        bat.process_batch_dyn(c, &mut rng_bat)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    assert_eq!(
+        seq.query_dyn(),
+        bat.query_dyn(),
+        "{name}: answers diverge at chunk {chunk}"
+    );
+    assert_eq!(
+        seq.space_bits_dyn(),
+        bat.space_bits_dyn(),
+        "{name}: space accounting diverges at chunk {chunk}"
+    );
+    assert_eq!(
+        rng_seq.transcript().draws(),
+        rng_bat.transcript().draws(),
+        "{name}: randomness transcripts diverge at chunk {chunk}"
+    );
+    assert_eq!(
+        rng_seq.transcript().recent(),
+        rng_bat.transcript().recent(),
+        "{name}: transcript tapes diverge at chunk {chunk}"
+    );
+}
+
+/// Registry algorithms that accept insertion-only streams (all of them:
+/// turnstile algorithms see unit insertions).
+fn insert_capable() -> Vec<&'static str> {
+    registry::names()
+}
+
+/// Registry algorithms whose stream model is turnstile.
+const TURNSTILE: &[&str] = &["ams_f2", "exact_l0", "sis_l0"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_equals_sequential_on_insertions(
+        items in proptest::collection::vec(0u64..64, 1..400),
+        chunk in 1usize..96,
+        seed in 0u64..1000,
+    ) {
+        let updates = insert_updates(&items);
+        for name in insert_capable() {
+            assert_equivalent(name, &updates, chunk, seed);
+        }
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_turnstile(
+        raw in proptest::collection::vec((0u64..64, -3i64..=3), 1..300),
+        chunk in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let updates = turnstile_updates(&raw);
+        for name in TURNSTILE {
+            assert_equivalent(name, &updates, chunk, seed);
+        }
+    }
+}
+
+#[test]
+fn registry_names_cover_both_models() {
+    let names = registry::names();
+    assert!(names.len() >= 8);
+    for t in TURNSTILE {
+        assert!(names.contains(t), "{t} missing from registry");
+    }
+}

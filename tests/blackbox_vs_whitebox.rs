@@ -2,9 +2,10 @@
 //! black-box adversary (outputs only) and a white-box adversary (full
 //! state). The paper's §1 motivation made executable.
 
-use wbstream::core::game::{run_game, BlackBoxAdversary, FnAdversary, FnReferee, Verdict};
+use wbstream::core::game::{BlackBoxAdversary, FnAdversary, FnReferee, Verdict};
 use wbstream::core::rng::{RandTranscript, TranscriptRng};
 use wbstream::core::stream::Turnstile;
+use wbstream::engine::Game;
 use wbstream::sketch::ams::{find_aligned_items, AmsF2};
 use wbstream::sketch::count_min::{forge_all_row_collisions, CountMin};
 
@@ -32,12 +33,17 @@ fn count_min_survives_black_box_but_falls_white_box() {
     // Blind guessing hits an all-row collision with probability 1/width²
     // per item — at width 64 and 2000 rounds the victim stays near zero.
     let mut rng = TranscriptRng::from_seed(7001);
-    let mut cm = CountMin::new(2, width, &mut rng);
-    let mut adv = BlackBoxAdversary::new(|t: u64, _last: Option<&u64>| {
+    let cm = CountMin::new(2, width, &mut rng);
+    let adv = BlackBoxAdversary::new(|t: u64, _last: Option<&u64>| {
         (t <= rounds).then(|| wbstream::core::stream::InsertOnly(1 + t % 1000))
     });
-    let mut referee = FnReferee::new(count_min_referee(width));
-    let result = run_game(&mut cm, &mut adv, &mut referee, rounds, 7002);
+    let report = Game::new(cm)
+        .adversary(adv)
+        .referee(FnReferee::new(count_min_referee(width)))
+        .max_rounds(rounds)
+        .seed(7002)
+        .run();
+    let result = report.result;
     assert!(
         result.survived(),
         "black-box random traffic must not inflate the victim: {:?}",
@@ -47,9 +53,9 @@ fn count_min_survives_black_box_but_falls_white_box() {
     // White-box: the adversary reads the hash seeds and sends only items
     // colliding with the victim in every row.
     let mut rng = TranscriptRng::from_seed(7003);
-    let mut cm = CountMin::new(2, width, &mut rng);
+    let cm = CountMin::new(2, width, &mut rng);
     let mut forged: Vec<u64> = Vec::new();
-    let mut adv = FnAdversary::new(
+    let adv = FnAdversary::new(
         move |t: u64, alg: &CountMin, _tr: &RandTranscript, _last: Option<&u64>| {
             if forged.is_empty() {
                 forged = forge_all_row_collisions(alg, 0, 512, 3_000_000);
@@ -60,8 +66,13 @@ fn count_min_survives_black_box_but_falls_white_box() {
             })
         },
     );
-    let mut referee = FnReferee::new(count_min_referee(width));
-    let result = run_game(&mut cm, &mut adv, &mut referee, rounds, 7004);
+    let report = Game::new(cm)
+        .adversary(adv)
+        .referee(FnReferee::new(count_min_referee(width)))
+        .max_rounds(rounds)
+        .seed(7004)
+        .run();
+    let result = report.result;
     assert!(!result.survived(), "white-box forging must defeat CountMin");
     // The break happens quickly: every forged insert lands on the victim.
     assert!(result.failure.unwrap().round < 400);
@@ -86,19 +97,24 @@ fn ams_survives_black_box_but_falls_white_box() {
 
     // Black-box: distinct random-ish items; the median estimator holds.
     let mut rng = TranscriptRng::from_seed(7010);
-    let mut ams = AmsF2::new(copies, &mut rng);
-    let mut adv = BlackBoxAdversary::new(|t: u64, _last: Option<&f64>| {
+    let ams = AmsF2::new(copies, &mut rng);
+    let adv = BlackBoxAdversary::new(|t: u64, _last: Option<&f64>| {
         (t <= m).then(|| Turnstile::insert(t.wrapping_mul(2654435761)))
     });
-    let mut referee = FnReferee::new(referee_fn);
-    let result = run_game(&mut ams, &mut adv, &mut referee, m, 7011);
+    let report = Game::new(ams)
+        .adversary(adv)
+        .referee(FnReferee::new(referee_fn))
+        .max_rounds(m)
+        .seed(7011)
+        .run();
+    let result = report.result;
     assert!(result.survived(), "black-box: {:?}", result.failure);
 
     // White-box: sign-aligned items drive every copy in lockstep.
     let mut rng = TranscriptRng::from_seed(7012);
-    let mut ams = AmsF2::new(copies, &mut rng);
+    let ams = AmsF2::new(copies, &mut rng);
     let mut aligned: Vec<u64> = Vec::new();
-    let mut adv = FnAdversary::new(
+    let adv = FnAdversary::new(
         move |t: u64, alg: &AmsF2, _tr: &RandTranscript, _last: Option<&f64>| {
             if aligned.is_empty() {
                 // 2^-15 of ids align; a 2^20 scan yields ~32 of them, and
@@ -109,7 +125,12 @@ fn ams_survives_black_box_but_falls_white_box() {
             (t <= m).then(|| Turnstile::insert(aligned[(t as usize - 1) % aligned.len()]))
         },
     );
-    let mut referee = FnReferee::new(referee_fn);
-    let result = run_game(&mut ams, &mut adv, &mut referee, m, 7013);
+    let report = Game::new(ams)
+        .adversary(adv)
+        .referee(FnReferee::new(referee_fn))
+        .max_rounds(m)
+        .seed(7013)
+        .run();
+    let result = report.result;
     assert!(!result.survived(), "white-box alignment must defeat AMS");
 }

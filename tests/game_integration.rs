@@ -1,11 +1,12 @@
 //! Cross-crate integration: every major algorithm of the paper survives
-//! the white-box game against adaptive adversaries, via the shared
-//! harness of `wb-core`.
+//! the white-box game against adaptive adversaries, driven through the
+//! engine's fluent builder (`wb_engine::Game`).
 
-use wbstream::core::game::{run_game, FnAdversary, ScriptAdversary};
+use wbstream::core::game::{FnAdversary, ScriptAdversary};
 use wbstream::core::referee::{ApproxCountReferee, HeavyHitterReferee, L0SandwichReferee};
 use wbstream::core::rng::{RandTranscript, TranscriptRng};
 use wbstream::core::stream::{InsertOnly, Turnstile};
+use wbstream::engine::{Game, RecordingObserver};
 use wbstream::sketch::hhh::{HhhReferee, RadixHierarchy, RobustHHH};
 use wbstream::sketch::l0::{MatrixMode, SisL0Estimator};
 use wbstream::sketch::{MedianMorris, RobustL1HeavyHitters};
@@ -15,9 +16,7 @@ fn morris_survives_transcript_aware_adversary() {
     // The adversary reads the exponent of every Morris copy from the
     // white-box view and stops at the "worst-looking" moment; the referee
     // checks every prefix anyway.
-    let mut alg = MedianMorris::new(0.2, 9);
-    let mut referee = ApproxCountReferee::new(0.5);
-    let mut adv = FnAdversary::new(
+    let adv = FnAdversary::new(
         |t: u64, alg: &MedianMorris, tr: &RandTranscript, _last: Option<&f64>| {
             // Exercise all transcript accessors while deciding.
             let _ = (tr.seed(), tr.draws(), tr.last());
@@ -41,8 +40,13 @@ fn morris_survives_transcript_aware_adversary() {
             }
         },
     );
-    let result = run_game(&mut alg, &mut adv, &mut referee, 60_000, 1001);
-    assert!(result.survived(), "{:?}", result.failure);
+    let report = Game::new(MedianMorris::new(0.2, 9))
+        .adversary(adv)
+        .referee(ApproxCountReferee::new(0.5))
+        .max_rounds(60_000)
+        .seed(1001)
+        .run();
+    assert!(report.survived(), "{:?}", report.result.failure);
 }
 
 #[test]
@@ -52,10 +56,8 @@ fn robust_hh_survives_output_feedback_adversary() {
     // reported items — coverage of the genuinely heavy item must persist.
     let n = 1u64 << 12;
     let m = 1u64 << 14;
-    let mut alg = RobustL1HeavyHitters::new(n, 0.125);
-    let mut referee = HeavyHitterReferee::new(0.125, 0.125).with_grace(64);
     let mut cursor = 100u64;
-    let mut adv = FnAdversary::new(
+    let adv = FnAdversary::new(
         move |t: u64,
               _alg: &RobustL1HeavyHitters,
               _tr: &RandTranscript,
@@ -78,8 +80,13 @@ fn robust_hh_survives_output_feedback_adversary() {
             Some(InsertOnly(item))
         },
     );
-    let result = run_game(&mut alg, &mut adv, &mut referee, m, 1002);
-    assert!(result.survived(), "{:?}", result.failure);
+    let (report, alg) = Game::new(RobustL1HeavyHitters::new(n, 0.125))
+        .adversary(adv)
+        .referee(HeavyHitterReferee::new(0.125, 0.125).with_grace(64))
+        .max_rounds(m)
+        .seed(1002)
+        .play();
+    assert!(report.survived(), "{:?}", report.result.failure);
     assert!(alg
         .heavy_hitters()
         .iter()
@@ -92,10 +99,9 @@ fn sis_l0_survives_deletion_storm_adversary() {
     // chunk sketches it can see are nonzero — maximal turnstile churn.
     let n = 1u64 << 10;
     let mut seed_rng = TranscriptRng::from_seed(1003);
-    let mut alg = SisL0Estimator::new(n, 0.5, 0.25, MatrixMode::RandomOracle, &mut seed_rng);
+    let alg = SisL0Estimator::new(n, 0.5, 0.25, MatrixMode::RandomOracle, &mut seed_rng);
     let factor = alg.approximation_factor() as f64;
-    let mut referee = L0SandwichReferee::new(factor);
-    let mut adv = FnAdversary::new(
+    let adv = FnAdversary::new(
         move |t: u64, _alg: &SisL0Estimator, _tr: &RandTranscript, _last: Option<&u64>| {
             if t > 4096 {
                 return None;
@@ -108,14 +114,18 @@ fn sis_l0_survives_deletion_storm_adversary() {
             })
         },
     );
-    let result = run_game(&mut alg, &mut adv, &mut referee, 4096, 1004);
-    assert!(result.survived(), "{:?}", result.failure);
+    let report = Game::new(alg)
+        .adversary(adv)
+        .referee(L0SandwichReferee::new(factor))
+        .max_rounds(4096)
+        .seed(1004)
+        .run();
+    assert!(report.survived(), "{:?}", report.result.failure);
 }
 
 #[test]
 fn robust_hhh_survives_scripted_ddos_in_game() {
     let h = RadixHierarchy::new(8, 2);
-    let mut alg = RobustHHH::new(h, 0.05, 0.25);
     let m = 16_000u64;
     let script: Vec<InsertOnly> = (0..m)
         .map(|t| {
@@ -126,24 +136,37 @@ fn robust_hhh_survives_scripted_ddos_in_game() {
             })
         })
         .collect();
-    let mut adv = ScriptAdversary::new(script);
-    let mut referee = HhhReferee::new(h, 0.25, 0.10)
-        .with_grace(1024)
-        .with_stride(1009);
-    let result = run_game(&mut alg, &mut adv, &mut referee, m, 1005);
-    assert!(result.survived(), "{:?}", result.failure);
+    let report = Game::new(RobustHHH::new(h, 0.05, 0.25))
+        .adversary(ScriptAdversary::new(script))
+        .referee(
+            HhhReferee::new(h, 0.25, 0.10)
+                .with_grace(1024)
+                .with_stride(1009),
+        )
+        .max_rounds(m)
+        .seed(1005)
+        .run();
+    assert!(report.survived(), "{:?}", report.result.failure);
 }
 
 #[test]
 fn peak_space_tracks_the_heaviest_epoch() {
-    // The game result's peak-space accounting must be ≥ final space and
-    // monotone under longer streams.
+    // The report's peak-space accounting must be ≥ final space, and the
+    // recorded space timeline must agree with the observer's full view.
     let n = 1u64 << 10;
-    let mut alg = RobustL1HeavyHitters::new(n, 0.25);
-    let mut referee = HeavyHitterReferee::new(0.25, 0.25).with_grace(32);
     let script: Vec<InsertOnly> = (0..4096u64).map(|t| InsertOnly(t % 8)).collect();
-    let mut adv = ScriptAdversary::new(script);
-    let result = run_game(&mut alg, &mut adv, &mut referee, 4096, 1006);
-    assert!(result.survived());
-    assert!(result.peak_space_bits >= result.final_space_bits);
+    let mut obs = RecordingObserver::new();
+    let report = Game::new(RobustL1HeavyHitters::new(n, 0.25))
+        .adversary(ScriptAdversary::new(script))
+        .referee(HeavyHitterReferee::new(0.25, 0.25).with_grace(32))
+        .max_rounds(4096)
+        .seed(1006)
+        .observer(&mut obs)
+        .run();
+    assert!(report.survived());
+    assert!(report.result.peak_space_bits >= report.result.final_space_bits);
+    assert_eq!(obs.rounds.len(), 4096);
+    let observed_peak = obs.rounds.iter().map(|r| r.space_bits).max().unwrap();
+    assert_eq!(observed_peak, report.result.peak_space_bits);
+    assert!(obs.rounds.iter().all(|r| r.correct));
 }

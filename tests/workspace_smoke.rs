@@ -5,29 +5,35 @@
 //! game driving a `sketch` Morris counter, and a `crypto` SIS sketch applied
 //! end-to-end.
 
-use wbstream::core::game::{run_game, FnReferee, ScriptAdversary, Verdict};
+use wbstream::core::game::{FnReferee, ScriptAdversary, Verdict};
 use wbstream::core::rng::TranscriptRng;
 use wbstream::core::space::SpaceUsage;
 use wbstream::core::stream::InsertOnly;
 use wbstream::crypto::sis::{is_sis_solution, SisMatrix, SisParams};
+use wbstream::engine::Game;
 use wbstream::sketch::MorrisCounter;
 
 #[test]
 fn core_game_drives_a_sketch_morris_counter() {
     let m: u64 = 4096;
-    let mut alg = MorrisCounter::new(0.5, 0.01);
-    let mut adv = ScriptAdversary::new((0..m).map(InsertOnly).collect::<Vec<_>>());
+    let alg = MorrisCounter::new(0.5, 0.01);
+    let adv = ScriptAdversary::new((0..m).map(InsertOnly).collect::<Vec<_>>());
     // Generous referee: the game plumbing is under test, not Lemma 2.1's
     // constants — only rule out wildly wrong estimates.
-    let mut referee = FnReferee::new(|t: u64, est: &f64| {
+    let referee = FnReferee::new(|t: u64, est: &f64| {
         if t < 64 || (*est >= t as f64 / 100.0 && *est <= t as f64 * 100.0) {
             Verdict::Correct
         } else {
             Verdict::violation(format!("estimate {est} far from true count {t}"))
         }
     });
-    let result = run_game(&mut alg, &mut adv, &mut referee, m, 42);
-    assert!(result.survived(), "Morris counter lost the white-box game");
+    let (report, alg) = Game::new(alg)
+        .adversary(adv)
+        .referee(referee)
+        .max_rounds(m)
+        .seed(42)
+        .play();
+    assert!(report.survived(), "Morris counter lost the white-box game");
     assert!(alg.space_bits() <= 64, "Morris state must stay word-sized");
     assert!(alg.estimate() > 0.0);
 }
