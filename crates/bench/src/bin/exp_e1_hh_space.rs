@@ -1,57 +1,7 @@
-//! E1 (Theorem 1.1 vs Theorem 2.2): space of the robust heavy-hitters
-//! algorithm vs deterministic Misra–Gries as the stream length grows.
-//!
-//! Claim shape: MG bits grow with `log m` (counters carry the count); the
-//! robust algorithm's counters count samples and saturate, leaving only
-//! the `O(log log m)` Morris term — so its curve flattens while MG's keeps
-//! climbing. Both must stay correct, and "ok" now means the real
-//! [`HeavyHitterReferee`](wb_core::referee::HeavyHitterReferee) accepted
-//! every checked answer — the same verdict logic as the game harness.
-
-use wb_engine::experiment::{run_cli, ExperimentSpec, GameRow, Metric, Row, Section};
-use wb_engine::registry::Params;
-use wb_engine::{RefereeSpec, WorkloadSpec};
+//! E1 (Theorem 1.1 vs Theorem 2.2): robust heavy-hitter space vs
+//! Misra–Gries. The spec lives in [`bench::specs::e1`] so the golden-report
+//! test can drive it directly.
 
 fn main() {
-    let eps = 0.125;
-    // Worst case for the Misra-Gries space bound: few distinct items, so
-    // every retained counter grows linearly with m (log m bits each).
-    let mut section = Section::new(
-        "uniform stream over 8 items; ok = HeavyHitterReferee(eps, eps) verdict",
-        &["m / alg", "space bits", "peak bits", "ok"],
-        14,
-    );
-    for log_m in [12u32, 14, 16, 18, 20, 22] {
-        let m = 1u64 << log_m;
-        for alg in ["misra_gries", "robust_hh"] {
-            section = section.row(Row::game(
-                GameRow::new(
-                    format!("2^{log_m} {alg}"),
-                    alg,
-                    Params::default().with_n(1 << 16).with_eps(eps),
-                    WorkloadSpec::Cycle { items: 8, m },
-                    RefereeSpec::HeavyHitters {
-                        eps,
-                        tol: eps,
-                        phi: None,
-                        grace: 64,
-                    },
-                )
-                .seed(1000 + log_m as u64)
-                .batch(1024)
-                .metrics(&[Metric::SpaceBits, Metric::PeakSpaceBits, Metric::Ok]),
-            ));
-        }
-    }
-    run_cli(
-        ExperimentSpec::new(
-            "e1",
-            format!("robust vs deterministic heavy-hitter space, eps = {eps}, n = 2^16"),
-        )
-        .section(section)
-        .note(
-            "shape check: MG grows ~2 bits per 4x m (log m per counter); the robust\n\
-             curve flattens once sampling kicks in (counters count samples, Thm 1.1).",
-        ),
-    );
+    wb_engine::experiment::run_cli(bench::specs::e1());
 }

@@ -1,0 +1,157 @@
+//! `tournament` — play every registered algorithm against every adversary
+//! on every workload, in parallel, with bit-reproducible reports.
+//!
+//! ```text
+//! tournament [--threads N] [--quick] [--seed S] [--json <path|->] [--cells]
+//!            [--alg KEY]... [--adversary KEY]... [--workload KEY]...
+//! ```
+//!
+//! * `--threads N` — worker threads (default: one per core). Reports are
+//!   byte-identical for every `N`.
+//! * `--quick` — smoke-scale cell sizes (CI mode); the cross-product stays
+//!   full.
+//! * `--seed S` — master seed; each cell's tapes derive from
+//!   `(S, alg, adversary, workload, role)` and can be replayed alone.
+//! * `--json <path|->` — write the sorted JSON-lines report (timing-free).
+//! * `--cells` — print every cell, not just the per-algorithm summary.
+//! * `--alg/--adversary/--workload` — restrict a dimension (repeatable).
+
+use std::io::Write as _;
+use wb_engine::registry;
+use wb_engine::tournament::{run_tournament, TournamentConfig, WORKLOADS};
+
+fn main() {
+    let mut quick = false;
+    let mut show_cells = false;
+    let mut json: Option<String> = None;
+    let mut threads = 0usize;
+    let mut seed = 42u64;
+    let mut algs: Vec<String> = Vec::new();
+    let mut adversaries: Vec<String> = Vec::new();
+    let mut workloads: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            // Refuse a following flag as the value: `--json --quick` must
+            // error, not swallow `--quick` as the path.
+            match args.next() {
+                Some(v) if !v.starts_with("--") => v,
+                _ => {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--cells" => show_cells = true,
+            "--json" => json = Some(value("--json")),
+            "--threads" => threads = parse(&value("--threads"), "--threads"),
+            "--seed" => seed = parse(&value("--seed"), "--seed"),
+            "--alg" => algs.push(value("--alg")),
+            "--adversary" => adversaries.push(value("--adversary")),
+            "--workload" => workloads.push(value("--workload")),
+            other => {
+                eprintln!(
+                    "unknown flag '{other}' (known: --quick, --cells, --json, --threads, \
+                     --seed, --alg, --adversary, --workload)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = TournamentConfig::default();
+    if quick {
+        cfg = cfg.quick();
+    }
+    cfg.master_seed = seed;
+    cfg.threads = threads;
+    if !algs.is_empty() {
+        validate(&algs, &registry::names(), "algorithm");
+        cfg.algs = algs;
+    }
+    if !adversaries.is_empty() {
+        validate(&adversaries, &registry::adversary_names(), "adversary");
+        cfg.adversaries = adversaries;
+    }
+    if !workloads.is_empty() {
+        validate(&workloads, WORKLOADS, "workload");
+        cfg.workloads = workloads;
+    }
+
+    println!(
+        "tournament: {} algorithms x {} adversaries x {} workloads = {} cells, master seed {}{}",
+        cfg.algs.len(),
+        cfg.adversaries.len(),
+        cfg.workloads.len(),
+        cfg.cell_count(),
+        cfg.master_seed,
+        if quick { "  [--quick]" } else { "" },
+    );
+
+    // Cell panics are caught by run_cell and reported as error cells; quiet
+    // the default hook so worker backtraces don't interleave with tables.
+    // (Binary-only: the library never touches process-global panic state.)
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_tournament(&cfg);
+    let _ = std::panic::take_hook();
+    report.print_summary();
+    if show_cells {
+        report.print_cells();
+    } else {
+        let failures = report.failures();
+        if !failures.is_empty() {
+            println!("\nviolations and errors ({}):", failures.len());
+            for c in failures {
+                println!(
+                    "  {} vs {} on {} [{}] round {}: {}",
+                    c.alg,
+                    c.adversary,
+                    c.workload,
+                    c.verdict.label(),
+                    c.rounds,
+                    c.detail
+                );
+            }
+        }
+    }
+    println!(
+        "\n{} cells in {} ms on {} thread{} (per-cell seeds derive from master seed {})",
+        report.cells.len(),
+        report.wall_millis,
+        report.threads,
+        if report.threads == 1 { "" } else { "s" },
+        report.master_seed,
+    );
+
+    if let Some(path) = json {
+        let lines = report.json_lines();
+        if path == "-" {
+            let mut out = std::io::stdout();
+            for line in &lines {
+                let _ = writeln!(out, "{line}");
+            }
+        } else if let Err(e) = std::fs::write(&path, lines.join("\n") + "\n") {
+            eprintln!("could not write JSON report to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: could not parse '{value}'");
+        std::process::exit(2);
+    })
+}
+
+fn validate(chosen: &[String], known: &[&str], what: &str) {
+    for key in chosen {
+        if !known.contains(&key.as_str()) {
+            eprintln!("unknown {what} '{key}' (known: {})", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+}

@@ -6,7 +6,10 @@
 //! re-exports them so the benches and any external callers keep their
 //! original paths.
 
+pub mod specs;
+
 pub use wb_engine::report::{header, row};
+pub use wb_engine::tournament;
 pub use wb_engine::workload::{
     churn_stream, cycle_stream, ddos_stream, uniform_stream, zipf_stream,
 };

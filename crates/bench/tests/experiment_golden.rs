@@ -1,0 +1,70 @@
+//! Golden-report test: the JSON-lines output of an `exp_e*` spec under
+//! `--quick` is pinned to a committed file, so report-format drift (field
+//! renames, metric reordering, escaping changes) is caught in CI instead
+//! of silently breaking downstream report consumers.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! WB_REGEN_GOLDEN=1 cargo test -p bench --test experiment_golden
+//! ```
+
+use wb_engine::experiment::{run, RunnerConfig};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("e1_quick.jsonl")
+}
+
+#[test]
+fn e1_quick_json_report_matches_golden() {
+    let cfg = RunnerConfig {
+        quick: true,
+        json: None,
+        threads: 1,
+    };
+    let lines = run(bench::specs::e1(), &cfg);
+    assert!(!lines.is_empty(), "e1 produced no report rows");
+    let actual = lines.join("\n") + "\n";
+
+    let path = golden_path();
+    if std::env::var_os("WB_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             WB_REGEN_GOLDEN=1 cargo test -p bench --test experiment_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        golden,
+        "e1 --quick report drifted from {}; if intentional, regenerate with \
+         WB_REGEN_GOLDEN=1 cargo test -p bench --test experiment_golden",
+        path.display()
+    );
+}
+
+#[test]
+fn e1_quick_report_is_stable_across_thread_counts() {
+    let lines_at = |threads: usize| {
+        run(
+            bench::specs::e1(),
+            &RunnerConfig {
+                quick: true,
+                json: None,
+                threads,
+            },
+        )
+        .join("\n")
+    };
+    assert_eq!(lines_at(1), lines_at(4), "parallel sections diverged");
+}

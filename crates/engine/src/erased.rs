@@ -56,6 +56,23 @@ impl Update {
             Update::Turnstile { delta, .. } => delta,
         }
     }
+
+    /// The same update with its item folded into the universe `[0, n)` by
+    /// `item % n`, shape and delta preserved. Universe-bounded algorithms
+    /// (e.g. `sis_l0`) assert `item < n`, while generators like `ddos`
+    /// emit raw 32-bit addresses; folding is the one deterministic rule
+    /// both the registry's scripted adversaries and the tournament apply,
+    /// so ground truth and algorithm always see the same stream.
+    pub fn fold_into(self, n: u64) -> Update {
+        let n = n.max(1);
+        match self {
+            Update::Insert(item) => Update::Insert(item % n),
+            Update::Turnstile { item, delta } => Update::Turnstile {
+                item: item % n,
+                delta,
+            },
+        }
+    }
 }
 
 impl From<InsertOnly> for Update {
@@ -178,7 +195,14 @@ impl IntoAnswer for u64 {
 /// [`registry`](crate::registry) hands out `Box<dyn DynStreamAlg>` built
 /// from string keys. Method names carry a `_dyn` suffix so calls through
 /// `Box<dyn DynStreamAlg>` never shadow the typed inherent methods.
-pub trait DynStreamAlg {
+///
+/// `Send` is a supertrait: erased games are the unit of work of the
+/// [tournament](crate::tournament) thread pool, so a boxed algorithm must
+/// be movable to a worker thread. Every algorithm in the workspace is plain
+/// owned data (no `Rc`, no interior mutability), so the bound is free; an
+/// algorithm that genuinely cannot be `Send` would need its own non-erased
+/// harness rather than a registry entry.
+pub trait DynStreamAlg: Send {
     /// Ingest one erased update. Errors if the update is outside the
     /// algorithm's stream model (e.g. a deletion into an insertion-only
     /// sketch).
@@ -208,7 +232,7 @@ pub trait DynStreamAlg {
 
 impl<A> DynStreamAlg for A
 where
-    A: StreamAlg + SpaceUsage + 'static,
+    A: StreamAlg + SpaceUsage + Send + 'static,
     A::Update: FromUpdate,
     A::Output: IntoAnswer,
 {
@@ -262,7 +286,11 @@ where
 /// The adversary still sees everything: the erased algorithm reference
 /// (with [`DynStreamAlg::as_any`] for concrete-state inspection), the full
 /// randomness transcript, and the last answer.
-pub trait DynAdversary {
+///
+/// `Send` is a supertrait so an erased game (algorithm, adversary, referee)
+/// can cross a thread boundary as one unit — see the
+/// [tournament](crate::tournament) runner.
+pub trait DynAdversary: Send {
     /// Produce the update for round `t` (1-indexed), or `None` to stop.
     fn next_update(
         &mut self,
@@ -308,7 +336,7 @@ pub struct FnDynAdversary<F> {
 
 impl<F> FnDynAdversary<F>
 where
-    F: FnMut(u64, &dyn DynStreamAlg, &RandTranscript, Option<&Answer>) -> Option<Update>,
+    F: FnMut(u64, &dyn DynStreamAlg, &RandTranscript, Option<&Answer>) -> Option<Update> + Send,
 {
     /// Wrap `f` as an erased adversary.
     pub fn new(f: F) -> Self {
@@ -318,7 +346,7 @@ where
 
 impl<F> DynAdversary for FnDynAdversary<F>
 where
-    F: FnMut(u64, &dyn DynStreamAlg, &RandTranscript, Option<&Answer>) -> Option<Update>,
+    F: FnMut(u64, &dyn DynStreamAlg, &RandTranscript, Option<&Answer>) -> Option<Update> + Send,
 {
     fn next_update(
         &mut self,

@@ -22,9 +22,14 @@
 //!   [`RunnerConfig::QUICK_CAP`] updates and custom rows see
 //!   `ctx.quick == true` (CI runs all experiment binaries this way);
 //! * `--json <path|->` — additionally emit one JSON object per row to a
-//!   file (or stdout with `-`).
+//!   file (or stdout with `-`);
+//! * `--threads N` — worker threads for row execution (default: one per
+//!   core). Rows are independent jobs on the engine's
+//!   [pool](crate::pool); tables still print in declaration order and the
+//!   JSON report is byte-identical across thread counts.
 
 use crate::erased::run_script_erased;
+use crate::pool::{self, Job};
 use crate::referee::RefereeSpec;
 use crate::registry::{self, Params};
 use crate::report::{header, row, GameReport};
@@ -209,7 +214,7 @@ impl RunCtx {
     }
 }
 
-type CustomFn = Box<dyn FnOnce(&RunCtx) -> Vec<String>>;
+type CustomFn = Box<dyn FnOnce(&RunCtx) -> Vec<String> + Send>;
 
 /// A table row: registry-driven game or domain-specific computation.
 pub enum Row {
@@ -230,10 +235,11 @@ impl Row {
         Row::Game(Box::new(g))
     }
 
-    /// Shorthand for a [`Row::Custom`].
+    /// Shorthand for a [`Row::Custom`]. The closure must be `Send`: rows
+    /// are executed on the engine's worker pool.
     pub fn custom(
         label: impl Into<String>,
-        cells: impl FnOnce(&RunCtx) -> Vec<String> + 'static,
+        cells: impl FnOnce(&RunCtx) -> Vec<String> + Send + 'static,
     ) -> Self {
         Row::Custom {
             label: label.into(),
@@ -249,21 +255,49 @@ pub struct RunnerConfig {
     pub quick: bool,
     /// Emit JSON lines to this path (`-` for stdout).
     pub json: Option<String>,
+    /// Worker threads for row execution (`0` = one per available core).
+    pub threads: usize,
 }
 
 impl RunnerConfig {
     /// Updates per workload in `--quick` mode.
     pub const QUICK_CAP: u64 = 1 << 11;
 
-    /// Parse `--quick` and `--json <path|->` from `std::env::args`.
+    /// Parse `--quick`, `--json <path|->`, and `--threads N` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let mut cfg = RunnerConfig::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => cfg.quick = true,
-                "--json" => cfg.json = args.next(),
-                other => eprintln!("ignoring unknown flag '{other}' (known: --quick, --json)"),
+                "--json" => {
+                    // Strict: a missing value (or a following flag) must not
+                    // be swallowed as the path — `--json --quick` would
+                    // silently run full-scale. `-` (stdout) stays valid.
+                    cfg.json = match args.next() {
+                        Some(v) if !v.starts_with("--") => Some(v),
+                        _ => {
+                            eprintln!("--json needs a path (or '-' for stdout)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--threads" => {
+                    // Strict: a missing/non-numeric value would otherwise
+                    // swallow the next flag (e.g. `--threads --quick`) and
+                    // silently run the full-scale workload.
+                    cfg.threads = match args.next().map(|v| v.parse()) {
+                        Some(Ok(n)) => n,
+                        _ => {
+                            eprintln!("--threads needs a number");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                other => {
+                    eprintln!("ignoring unknown flag '{other}' (known: --quick, --json, --threads)")
+                }
             }
         }
         cfg
@@ -289,41 +323,91 @@ pub fn run_cli(spec: ExperimentSpec) {
 
 /// Run the spec with an explicit configuration, printing tables and
 /// returning the JSON report lines (one object per row).
+///
+/// Rows are independent: each one becomes a job on the engine's
+/// [pool](crate::pool) (sized by [`RunnerConfig::threads`]). Finished rows
+/// stream to stdout as soon as every earlier row is done — long runs show
+/// progress — and they rejoin their sections in declaration order, so the
+/// printed tables and the JSON report are byte-identical no matter how
+/// many workers ran.
 pub fn run(spec: ExperimentSpec, cfg: &RunnerConfig) -> Vec<String> {
+    let ExperimentSpec {
+        id,
+        title,
+        notes,
+        sections,
+    } = spec;
     let ctx = RunCtx { quick: cfg.quick };
-    let mut lines = Vec::new();
     println!(
         "{}: {}{}",
-        spec.id.to_uppercase(),
-        spec.title,
+        id.to_uppercase(),
+        title,
         if cfg.quick { "  [--quick]" } else { "" }
     );
-    for section in spec.sections {
-        println!("\n{}\n", section.heading);
-        let cols: Vec<&str> = section.columns.iter().map(String::as_str).collect();
-        header(&cols, section.width);
+
+    struct RowOut {
+        label: String,
+        cells: Vec<String>,
+        extra: String,
+    }
+    // (heading, columns, width) per section, plus each row's section index.
+    let mut shapes: Vec<(String, Vec<String>, usize)> = Vec::new();
+    let mut row_section: Vec<usize> = Vec::new();
+    let mut jobs: Vec<Job<RowOut>> = Vec::new();
+    for section in sections {
+        shapes.push((section.heading, section.columns, section.width));
         for r in section.rows {
-            let (label, cells, extra) = match r {
-                Row::Game(g) => {
+            row_section.push(shapes.len() - 1);
+            jobs.push(match r {
+                Row::Game(g) => Box::new(move || {
                     let (cells, extra) = run_game_row(&g, cfg);
-                    (g.label, cells, extra)
-                }
-                Row::Custom { label, cells } => (label, cells(&ctx), String::new()),
-            };
-            let mut all = vec![label.clone()];
-            all.extend(cells.iter().cloned());
-            println!("{}", row(&all, section.width));
-            lines.push(json_line(
-                spec.id,
-                &section.heading,
-                &section.columns,
-                &label,
-                &cells,
-                &extra,
-            ));
+                    RowOut {
+                        label: g.label,
+                        cells,
+                        extra,
+                    }
+                }),
+                Row::Custom { label, cells } => Box::new(move || RowOut {
+                    label,
+                    cells: cells(&ctx),
+                    extra: String::new(),
+                }),
+            });
         }
     }
-    for note in &spec.notes {
+
+    fn print_headers(shapes: &[(String, Vec<String>, usize)], through: usize, printed: &mut usize) {
+        while *printed <= through {
+            let (heading, columns, width) = &shapes[*printed];
+            println!("\n{heading}\n");
+            let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+            header(&cols, *width);
+            *printed += 1;
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut headers_printed = 0usize;
+    pool::run_ordered_with(
+        jobs,
+        pool::effective_threads(cfg.threads),
+        |index, out: &RowOut| {
+            let section = row_section[index];
+            print_headers(&shapes, section, &mut headers_printed);
+            let (heading, columns, width) = &shapes[section];
+            let mut all = vec![out.label.clone()];
+            all.extend(out.cells.iter().cloned());
+            println!("{}", row(&all, *width));
+            lines.push(json_line(
+                id, heading, columns, &out.label, &out.cells, &out.extra,
+            ));
+        },
+    );
+    // Sections with no rows still print their header, in order.
+    if !shapes.is_empty() {
+        print_headers(&shapes, shapes.len() - 1, &mut headers_printed);
+    }
+    for note in &notes {
         println!("\n{note}");
     }
     lines
@@ -390,8 +474,9 @@ fn metric_cell(metric: Metric, report: &GameReport, answer_cell: &str) -> String
     }
 }
 
-/// Minimal JSON escaping for the ASCII-ish strings experiment tables use.
-fn json_escape(s: &str) -> String {
+/// Minimal JSON escaping for the ASCII-ish strings experiment tables use
+/// (shared with the tournament report writer).
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -471,7 +556,7 @@ mod tests {
     fn quick_mode_caps_workloads_and_custom_rows() {
         let cfg = RunnerConfig {
             quick: true,
-            json: None,
+            ..RunnerConfig::default()
         };
         let lines = run(demo_spec(), &cfg);
         // The game row reports rounds == QUICK_CAP, not 2^12.

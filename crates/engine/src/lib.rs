@@ -20,7 +20,14 @@
 //!   adversaries, for binaries, tests, and servers that select at runtime.
 //! * [`experiment`] — the declarative [`ExperimentSpec`] runner behind
 //!   every `exp_e*` binary: workload × algorithm × metrics → table +
-//!   JSON-lines report, with real referees and a `--quick` smoke mode.
+//!   JSON-lines report, with real referees, a `--quick` smoke mode, and
+//!   rows executed in parallel on the engine [`pool`] (`--threads N`).
+//! * [`tournament`] — the full registry cross-product (algorithm ×
+//!   adversary × workload) played in parallel with per-cell seeds derived
+//!   from one master seed: a systematic robustness evaluation whose JSON
+//!   report is byte-identical across thread counts.
+//! * [`pool`] — the hand-rolled work-queue thread pool (std only) behind
+//!   both runners, returning results in submission order.
 //!
 //! # Example: typed builder
 //!
@@ -60,9 +67,11 @@
 pub mod builder;
 pub mod erased;
 pub mod experiment;
+pub mod pool;
 pub mod referee;
 pub mod registry;
 pub mod report;
+pub mod tournament;
 pub mod workload;
 
 pub use builder::{AcceptAll, Game, NoAdversary, NullObserver, Observer, RecordingObserver};
@@ -70,4 +79,7 @@ pub use erased::{Answer, DynAdversary, DynStreamAlg, Update};
 pub use experiment::{ExperimentSpec, GameRow, Metric, Row, RunCtx, RunnerConfig, Section};
 pub use referee::{DynReferee, RefereeSpec};
 pub use report::GameReport;
+pub use tournament::{
+    run_tournament, AlgSummary, CellReport, CellVerdict, TournamentConfig, TournamentReport,
+};
 pub use workload::WorkloadSpec;

@@ -1,0 +1,173 @@
+//! A hand-rolled work-queue thread pool (std only — dependencies are
+//! vendored, so no rayon).
+//!
+//! [`run_ordered`] executes a batch of heterogeneous boxed jobs on up to
+//! `threads` scoped worker threads and returns the results **in submission
+//! order**, regardless of which worker finished which job when. That
+//! ordering guarantee is what makes the [tournament](crate::tournament)
+//! and the parallel [experiment](crate::experiment) sections
+//! bit-reproducible across thread counts: each job is a pure function of
+//! its inputs, and the only scheduling freedom — completion order — is
+//! erased by reassembling results by index.
+//!
+//! Workers pull `(index, job)` pairs from a shared queue and push
+//! `(index, result)` pairs through an mpsc channel; the caller collects on
+//! its own thread while the workers drain the queue. With `threads == 1`
+//! (or a single job) everything runs inline on the caller's thread — no
+//! spawn overhead, and trivially the same results.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+
+/// A boxed unit of pool work. The lifetime lets jobs borrow from the
+/// caller's stack (configs, specs) — workers are scoped threads.
+pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Resolve a requested thread count: `0` means one thread per available
+/// core (or 1 if parallelism cannot be queried).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Run every job, using at most `threads` workers, and return the results
+/// in submission order. A panicking job propagates after all workers have
+/// stopped (the queue is drained cooperatively; no job is lost silently).
+pub fn run_ordered<'a, T: Send>(jobs: Vec<Job<'a, T>>, threads: usize) -> Vec<T> {
+    run_ordered_with(jobs, threads, |_, _| {})
+}
+
+/// Like [`run_ordered`], but additionally invokes `on_ready(index, &result)`
+/// **in submission order** as soon as every earlier result exists — so a
+/// caller can stream output (print table rows, report progress) while later
+/// jobs are still running, without giving up deterministic ordering.
+pub fn run_ordered_with<'a, T: Send>(
+    jobs: Vec<Job<'a, T>>,
+    threads: usize,
+    mut on_ready: impl FnMut(usize, &T),
+) -> Vec<T> {
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(index, job)| {
+                let result = job();
+                on_ready(index, &result);
+                result
+            })
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, Job<'a, T>)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut next_ready = 0usize;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || loop {
+                // Pop under the lock, run outside it: cells are orders of
+                // magnitude heavier than the queue operation.
+                let job = queue.lock().unwrap().pop_front();
+                match job {
+                    Some((index, job)) => {
+                        if tx.send((index, job())).is_err() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            });
+        }
+        drop(tx);
+        for (index, result) in rx {
+            slots[index] = Some(result);
+            while let Some(Some(result)) = slots.get(next_ready) {
+                on_ready(next_ready, result);
+                next_ready += 1;
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every pool job delivers exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: usize, threads: usize) -> Vec<usize> {
+        let jobs: Vec<Job<usize>> = (0..n)
+            .map(|i| -> Job<usize> { Box::new(move || i * i) })
+            .collect();
+        run_ordered(jobs, threads)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(squares(100, threads), expected, "threads = {threads}");
+        }
+        assert_eq!(squares(0, 4), Vec::<usize>::new());
+        assert_eq!(squares(1, 4), vec![0]);
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_callers_stack() {
+        let data = [10u64, 20, 30];
+        let jobs: Vec<Job<u64>> = data
+            .iter()
+            .map(|x| -> Job<u64> { Box::new(move || x + 1) })
+            .collect();
+        assert_eq!(run_ordered(jobs, 2), vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn streaming_callback_fires_in_submission_order() {
+        for threads in [1, 3, 16] {
+            let jobs: Vec<Job<usize>> = (0..50)
+                .map(|i| -> Job<usize> { Box::new(move || i) })
+                .collect();
+            let mut seen = Vec::new();
+            let results = run_ordered_with(jobs, threads, |index, &r| {
+                assert_eq!(index, r);
+                seen.push(index);
+            });
+            assert_eq!(seen, (0..50).collect::<Vec<_>>(), "threads = {threads}");
+            assert_eq!(results, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let jobs: Vec<Job<u64>> = (0..8)
+            .map(|i| -> Job<u64> {
+                Box::new(move || {
+                    assert!(i != 5, "boom");
+                    i
+                })
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ordered(jobs, 2);
+        }));
+        assert!(outcome.is_err(), "panic in a job must propagate");
+    }
+}

@@ -7,7 +7,11 @@ use wb_core::game::Verdict;
 use wb_core::referee::{ApproxCountReferee, HeavyHitterReferee, L0SandwichReferee};
 
 /// Object-safe referee over erased updates and answers.
-pub trait DynReferee {
+///
+/// `Send` is a supertrait so erased games (algorithm, adversary, referee)
+/// can run on the [tournament](crate::tournament) worker threads; all
+/// ground-truth state here is plain owned data, so every referee qualifies.
+pub trait DynReferee: Send {
     /// Observe one update that is about to be processed.
     fn observe(&mut self, update: &Update);
 

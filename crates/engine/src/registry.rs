@@ -309,6 +309,11 @@ pub fn adversary_names() -> Vec<&'static str> {
 /// is adaptive — it interleaves one heavy item with items currently absent
 /// from the last reported heavy-hitter list (the classic summary-evasion
 /// strategy, expressed over the erased interface).
+///
+/// `ddos` traffic (raw 32-bit addresses) is folded into the universe by
+/// `item % params.n`, so universe-bounded algorithms (`sis_l0` asserts
+/// `item < n`) stay playable against every registered adversary; the hot
+/// prefix and hot host fold onto fixed residues, preserving the skew.
 pub fn adversary(name: &str, params: &Params) -> Result<Box<dyn DynAdversary>, WbError> {
     let p = params.clone();
     match name {
@@ -318,10 +323,17 @@ pub fn adversary(name: &str, params: &Params) -> Result<Box<dyn DynAdversary>, W
             heavy: p.heavy,
             seed: p.seed,
         })),
-        "ddos" => Ok(script(WorkloadSpec::Ddos {
-            m: p.m,
-            seed: p.seed,
-        })),
+        "ddos" => {
+            let folded: Vec<Update> = WorkloadSpec::Ddos {
+                m: p.m,
+                seed: p.seed,
+            }
+            .generate()
+            .into_iter()
+            .map(|u| u.fold_into(p.n))
+            .collect();
+            Ok(Box::new(ScriptDynAdversary::new(folded)))
+        }
         "uniform" => Ok(script(WorkloadSpec::Uniform {
             n: p.n,
             m: p.m,

@@ -1,0 +1,705 @@
+//! Tournament mode: every algorithm vs every adversary on every workload.
+//!
+//! The white-box model is defined by the *interaction* of an algorithm with
+//! an adversary that sees its full state; a dozen hand-picked pairings in
+//! the `exp_e*` binaries do not measure robustness breadth. This module
+//! enumerates the full registry cross-product — algorithm × adversary ×
+//! workload — and plays every cell as an erased game on the hand-rolled
+//! [pool](crate::pool), aggregating verdicts into a [`TournamentReport`].
+//!
+//! **Cell anatomy.** Each cell first ingests an *oblivious prelude* drawn
+//! from the named workload generator (batched, referee checking at chunk
+//! boundaries) — the algorithm's state is preloaded with realistic traffic —
+//! and then the named adversary plays the adaptive per-round white-box game
+//! against that warm state. One [`TranscriptRng`] spans both phases, so the
+//! adversary sees the full randomness transcript, prelude included.
+//!
+//! **Determinism.** The cell's random tapes are derived with
+//! [`derive_seed`]`(master, [alg, adversary, workload, role])` for the
+//! four roles `"ctor"` (constructor randomness), `"adversary"` (scripted
+//! adversary streams), `"workload"` (the prelude generator), and `"game"`
+//! (the algorithm's in-game tape). A cell is therefore a pure function of
+//! `(master_seed, alg, adversary, workload, sizes)` — independent of which
+//! worker thread runs it, of how many threads exist, and of every other
+//! cell. [`TournamentReport::json_lines`] is byte-identical across thread
+//! counts, and any single cell can be replayed in isolation for a citation.
+//!
+//! **Universe folding.** All cell traffic is folded into `[0, n)` by
+//! `item % n` before it reaches the referee or the algorithm, because
+//! universe-bounded algorithms (e.g. `sis_l0`) reject out-of-universe items
+//! while the `ddos` generator emits raw 32-bit addresses. Folding is
+//! deterministic and applied identically to referee and algorithm, so
+//! ground truth stays exact.
+
+use crate::erased::Update;
+use crate::experiment::json_escape;
+use crate::pool::{self, Job};
+use crate::referee::RefereeSpec;
+use crate::registry::{self, Params};
+use crate::report::{header, row, GameReport};
+use crate::workload::WorkloadSpec;
+use std::time::Instant;
+use wb_core::rng::{derive_seed, TranscriptRng};
+use wb_core::WbError;
+
+/// The workload dimensions of the cross-product: every named generator in
+/// [`crate::workload`].
+pub const WORKLOADS: &[&str] = &["zipf", "ddos", "churn", "uniform", "cycle"];
+
+// Drift guard: a new `WorkloadSpec` variant makes this match non-exhaustive
+// and fails the build until the author decides whether it joins [`WORKLOADS`]
+// and [`workload_spec`] (generators do; literal `Script`s do not).
+#[allow(dead_code)]
+fn workload_dimension_is_exhaustive(spec: &WorkloadSpec) {
+    match spec {
+        WorkloadSpec::Zipf { .. }
+        | WorkloadSpec::Ddos { .. }
+        | WorkloadSpec::Churn { .. }
+        | WorkloadSpec::Uniform { .. }
+        | WorkloadSpec::Cycle { .. } => (), // in WORKLOADS
+        WorkloadSpec::Script(_) => (), // a literal stream, not a generator
+    }
+}
+
+/// Configuration of one tournament run.
+#[derive(Debug, Clone)]
+pub struct TournamentConfig {
+    /// Master seed every per-cell seed is derived from.
+    pub master_seed: u64,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+    /// Algorithm registry keys (defaults to the whole registry).
+    pub algs: Vec<String>,
+    /// Adversary registry keys (defaults to all of them).
+    pub adversaries: Vec<String>,
+    /// Workload names (defaults to [`WORKLOADS`]).
+    pub workloads: Vec<String>,
+    /// Universe size; all cell traffic is folded into `[0, n)`.
+    pub n: u64,
+    /// Length of the oblivious workload prelude each cell ingests.
+    pub prelude_m: u64,
+    /// Adaptive adversary rounds after the prelude.
+    pub rounds: u64,
+    /// Prelude chunk size (referee checks happen at chunk boundaries).
+    pub batch: usize,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            master_seed: 42,
+            threads: 0,
+            algs: registry::names().iter().map(|s| s.to_string()).collect(),
+            adversaries: registry::adversary_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            workloads: WORKLOADS.iter().map(|s| s.to_string()).collect(),
+            n: 1 << 12,
+            prelude_m: 1 << 13,
+            rounds: 1 << 12,
+            batch: 256,
+        }
+    }
+}
+
+impl TournamentConfig {
+    /// Smoke-scale sizes for CI and tests; the cross-product stays full.
+    pub fn quick(mut self) -> Self {
+        self.n = 1 << 10;
+        self.prelude_m = 512;
+        self.rounds = 256;
+        self.batch = 128;
+        self
+    }
+
+    /// Number of cells the cross-product enumerates.
+    pub fn cell_count(&self) -> usize {
+        self.algs.len() * self.adversaries.len() * self.workloads.len()
+    }
+}
+
+/// Outcome class of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellVerdict {
+    /// The referee accepted every checked answer.
+    Survived,
+    /// First referee violation, at this cumulative 1-indexed round.
+    Violated {
+        /// Round of the first violation.
+        round: u64,
+    },
+    /// The pairing is outside the algorithm's stream model (e.g. `churn`
+    /// deletions offered to an insertion-only sketch) — recorded, not an
+    /// error: the cross-product is exhaustive by design.
+    Incompatible,
+    /// Construction failed or the cell panicked.
+    Error,
+}
+
+impl CellVerdict {
+    /// Stable lowercase label used in tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellVerdict::Survived => "survived",
+            CellVerdict::Violated { .. } => "violated",
+            CellVerdict::Incompatible => "incompatible",
+            CellVerdict::Error => "error",
+        }
+    }
+}
+
+/// Result of one `(algorithm, adversary, workload)` cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Algorithm registry key.
+    pub alg: String,
+    /// Adversary registry key.
+    pub adversary: String,
+    /// Workload name (the prelude generator).
+    pub workload: String,
+    /// The derived per-cell game seed (`role = "game"`), for replay.
+    pub seed: u64,
+    /// Outcome class.
+    pub verdict: CellVerdict,
+    /// Violation / error description (empty when survived).
+    pub detail: String,
+    /// Updates ingested (prelude + adaptive rounds).
+    pub rounds: u64,
+    /// Referee checks performed.
+    pub checks: u64,
+    /// Peak `space_bits()` across the cell.
+    pub peak_space_bits: u64,
+    /// `space_bits()` after the final round.
+    pub final_space_bits: u64,
+    /// Wall time of the cell. Informational only — deliberately **not**
+    /// part of [`CellReport::json_line`], which must be bit-reproducible.
+    pub millis: u128,
+}
+
+impl CellReport {
+    /// One JSON object describing the cell. Contains no timing and no
+    /// machine-dependent fields: byte-identical across runs and thread
+    /// counts for the same configuration.
+    pub fn json_line(&self) -> String {
+        let fail_round = match self.verdict {
+            CellVerdict::Violated { round } => round.to_string(),
+            _ => "null".to_string(),
+        };
+        format!(
+            concat!(
+                r#"{{"alg":"{}","adversary":"{}","workload":"{}","seed":{},"#,
+                r#""verdict":"{}","fail_round":{},"rounds":{},"checks":{},"#,
+                r#""peak_space_bits":{},"final_space_bits":{},"detail":"{}"}}"#
+            ),
+            json_escape(&self.alg),
+            json_escape(&self.adversary),
+            json_escape(&self.workload),
+            self.seed,
+            self.verdict.label(),
+            fail_round,
+            self.rounds,
+            self.checks,
+            self.peak_space_bits,
+            self.final_space_bits,
+            json_escape(&self.detail),
+        )
+    }
+}
+
+/// Per-algorithm rollup across all its cells.
+#[derive(Debug, Clone)]
+pub struct AlgSummary {
+    /// Algorithm registry key.
+    pub alg: String,
+    /// Cells played.
+    pub cells: usize,
+    /// Cells where the referee accepted everything.
+    pub survived: usize,
+    /// Cells with a referee violation.
+    pub violated: usize,
+    /// Model-incompatible pairings.
+    pub incompatible: usize,
+    /// Construction failures / panics.
+    pub errors: usize,
+    /// Earliest violation round across cells, if any.
+    pub first_fail_round: Option<u64>,
+    /// Peak space across all cells.
+    pub peak_space_bits: u64,
+}
+
+/// Aggregated outcome of a tournament run.
+#[derive(Debug, Clone)]
+pub struct TournamentReport {
+    /// The master seed the run derived every cell seed from.
+    pub master_seed: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// One report per cell, in cross-product enumeration order
+    /// (algorithm-major, then adversary, then workload).
+    pub cells: Vec<CellReport>,
+    /// Total wall time of the run.
+    pub wall_millis: u128,
+}
+
+impl TournamentReport {
+    /// JSON-lines report, sorted lexicographically — the canonical
+    /// byte-reproducible artifact (no timing, no thread count).
+    pub fn json_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self.cells.iter().map(CellReport::json_line).collect();
+        lines.sort();
+        lines
+    }
+
+    /// Per-algorithm rollups, in cell enumeration order.
+    pub fn summaries(&self) -> Vec<AlgSummary> {
+        let mut out: Vec<AlgSummary> = Vec::new();
+        for cell in &self.cells {
+            if out.last().map(|s| s.alg.as_str()) != Some(cell.alg.as_str()) {
+                out.push(AlgSummary {
+                    alg: cell.alg.clone(),
+                    cells: 0,
+                    survived: 0,
+                    violated: 0,
+                    incompatible: 0,
+                    errors: 0,
+                    first_fail_round: None,
+                    peak_space_bits: 0,
+                });
+            }
+            let s = out.last_mut().expect("pushed above");
+            s.cells += 1;
+            s.peak_space_bits = s.peak_space_bits.max(cell.peak_space_bits);
+            match cell.verdict {
+                CellVerdict::Survived => s.survived += 1,
+                CellVerdict::Violated { round } => {
+                    s.violated += 1;
+                    s.first_fail_round = Some(s.first_fail_round.map_or(round, |r| r.min(round)));
+                }
+                CellVerdict::Incompatible => s.incompatible += 1,
+                CellVerdict::Error => s.errors += 1,
+            }
+        }
+        out
+    }
+
+    /// Cells that ended in a referee violation or an error.
+    pub fn failures(&self) -> Vec<&CellReport> {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.verdict, CellVerdict::Violated { .. } | CellVerdict::Error))
+            .collect()
+    }
+
+    /// Print the per-algorithm robustness table.
+    pub fn print_summary(&self) {
+        println!("\nper-algorithm robustness (cells = adversary x workload pairings)\n");
+        header(
+            &[
+                "alg",
+                "cells",
+                "survived",
+                "violated",
+                "incompat",
+                "error",
+                "first fail",
+                "peak bits",
+            ],
+            12,
+        );
+        for s in self.summaries() {
+            println!(
+                "{}",
+                row(
+                    &[
+                        s.alg.clone(),
+                        s.cells.to_string(),
+                        s.survived.to_string(),
+                        s.violated.to_string(),
+                        s.incompatible.to_string(),
+                        s.errors.to_string(),
+                        s.first_fail_round
+                            .map_or("-".to_string(), |r| r.to_string()),
+                        s.peak_space_bits.to_string(),
+                    ],
+                    12,
+                )
+            );
+        }
+    }
+
+    /// Print every cell (verbose; `--cells` in the binary).
+    pub fn print_cells(&self) {
+        println!("\nall cells\n");
+        header(
+            &[
+                "alg",
+                "adversary",
+                "workload",
+                "verdict",
+                "rounds",
+                "checks",
+                "peak bits",
+                "ms",
+            ],
+            12,
+        );
+        for c in &self.cells {
+            println!(
+                "{}",
+                row(
+                    &[
+                        c.alg.clone(),
+                        c.adversary.clone(),
+                        c.workload.clone(),
+                        c.verdict.label().to_string(),
+                        c.rounds.to_string(),
+                        c.checks.to_string(),
+                        c.peak_space_bits.to_string(),
+                        c.millis.to_string(),
+                    ],
+                    12,
+                )
+            );
+        }
+    }
+}
+
+/// The prelude workload for a named dimension, sized for one cell.
+pub fn workload_spec(name: &str, n: u64, m: u64, seed: u64) -> Result<WorkloadSpec, WbError> {
+    match name {
+        "zipf" => Ok(WorkloadSpec::Zipf {
+            n,
+            m,
+            heavy: 8,
+            seed,
+        }),
+        "ddos" => Ok(WorkloadSpec::Ddos { m, seed }),
+        "churn" => Ok(WorkloadSpec::Churn {
+            n,
+            // waves * (wave + wave/2) ≈ m updates.
+            waves: (m / 96).max(1),
+            wave: 64,
+            seed,
+        }),
+        "uniform" => Ok(WorkloadSpec::Uniform { n, m, seed }),
+        "cycle" => Ok(WorkloadSpec::Cycle { items: 8, m }),
+        other => Err(WbError::invalid(format!(
+            "unknown workload '{other}' (known: {})",
+            WORKLOADS.join(", ")
+        ))),
+    }
+}
+
+/// The referee that checks the guarantee each registry algorithm actually
+/// claims. Algorithms whose fixed query has no stream-level guarantee shape
+/// (`count_min`'s victim estimate, `ams_f2`'s F2 moment) run under
+/// [`RefereeSpec::Accept`] — their cells measure survival of ingestion, not
+/// a correctness bound.
+pub fn referee_for(alg: &str, p: &Params) -> RefereeSpec {
+    match alg {
+        "misra_gries" | "space_saving" | "robust_hh" | "bern_mg" | "bernoulli_hh" => {
+            RefereeSpec::HeavyHitters {
+                eps: p.eps,
+                tol: p.eps,
+                phi: None,
+                grace: 64,
+            }
+        }
+        // The (φ,ε) guarantee: coverage at φ·‖f‖₁ (not ε — the compressed
+        // summary only promises φ-heavy items), with the false-positive
+        // floor; same calibration as exp_e2.
+        "phi_eps_hh" => RefereeSpec::HeavyHitters {
+            eps: p.phi,
+            tol: 0.1,
+            phi: Some(p.phi),
+            grace: 256,
+        },
+        "morris" | "median_morris" => RefereeSpec::ApproxCount { eps: 0.5 },
+        "exact_l0" => RefereeSpec::L0Sandwich { factor: 1.0 },
+        "sis_l0" => RefereeSpec::L0Sandwich {
+            factor: (p.n as f64).powf(p.l0_eps).ceil(),
+        },
+        _ => RefereeSpec::Accept,
+    }
+}
+
+/// Run the full cross-product on the pool and aggregate the report.
+pub fn run_tournament(cfg: &TournamentConfig) -> TournamentReport {
+    let start = Instant::now();
+    let mut coords: Vec<(String, String, String)> = Vec::with_capacity(cfg.cell_count());
+    for alg in &cfg.algs {
+        for adversary in &cfg.adversaries {
+            for workload in &cfg.workloads {
+                coords.push((alg.clone(), adversary.clone(), workload.clone()));
+            }
+        }
+    }
+    let jobs: Vec<Job<CellReport>> = coords
+        .into_iter()
+        .map(|(alg, adversary, workload)| -> Job<CellReport> {
+            Box::new(move || run_cell(cfg, &alg, &adversary, &workload))
+        })
+        .collect();
+    let threads = pool::effective_threads(cfg.threads);
+    let cells = pool::run_ordered(jobs, threads);
+    TournamentReport {
+        master_seed: cfg.master_seed,
+        threads,
+        cells,
+        wall_millis: start.elapsed().as_millis(),
+    }
+}
+
+/// Run one cell, converting panics into an [`CellVerdict::Error`] report so
+/// a single misbehaving pairing cannot take down the whole tournament.
+pub fn run_cell(cfg: &TournamentConfig, alg: &str, adversary: &str, workload: &str) -> CellReport {
+    let start = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        play_cell(cfg, alg, adversary, workload)
+    }));
+    let mut report = outcome.unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        let mut r = blank_cell(cfg, alg, adversary, workload);
+        r.verdict = CellVerdict::Error;
+        r.detail = format!("panicked: {msg}");
+        r
+    });
+    report.millis = start.elapsed().as_millis();
+    report
+}
+
+fn blank_cell(cfg: &TournamentConfig, alg: &str, adversary: &str, workload: &str) -> CellReport {
+    CellReport {
+        alg: alg.to_string(),
+        adversary: adversary.to_string(),
+        workload: workload.to_string(),
+        seed: derive_seed(cfg.master_seed, &[alg, adversary, workload, "game"]),
+        verdict: CellVerdict::Error,
+        detail: String::new(),
+        rounds: 0,
+        checks: 0,
+        peak_space_bits: 0,
+        final_space_bits: 0,
+        millis: 0,
+    }
+}
+
+fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &str) -> CellReport {
+    let mut cell = blank_cell(cfg, alg_name, adv_name, wl_name);
+    let error = |mut cell: CellReport, detail: String| {
+        cell.verdict = CellVerdict::Error;
+        cell.detail = detail;
+        cell
+    };
+
+    let n = cfg.n.max(1);
+    let ctor_seed = derive_seed(cfg.master_seed, &[alg_name, adv_name, wl_name, "ctor"]);
+    let adv_seed = derive_seed(cfg.master_seed, &[alg_name, adv_name, wl_name, "adversary"]);
+    let wl_seed = derive_seed(cfg.master_seed, &[alg_name, adv_name, wl_name, "workload"]);
+    let game_seed = cell.seed;
+
+    let mut params = Params::default().with_n(n).with_seed(ctor_seed);
+    // Fixed-horizon algorithms must budget for the whole cell.
+    params.m_guess = cfg.prelude_m + cfg.rounds;
+    let mut alg = match registry::get(alg_name, &params) {
+        Ok(a) => a,
+        Err(e) => return error(cell, e.to_string()),
+    };
+    let adv_params = {
+        let mut p = params.clone().with_m(cfg.rounds);
+        p.seed = adv_seed;
+        p
+    };
+    let mut adv = match registry::adversary(adv_name, &adv_params) {
+        Ok(a) => a,
+        Err(e) => return error(cell, e.to_string()),
+    };
+    let prelude: Vec<Update> = match workload_spec(wl_name, n, cfg.prelude_m, wl_seed) {
+        Ok(spec) => spec
+            .generate()
+            .into_iter()
+            .map(|u| u.fold_into(n))
+            .collect(),
+        Err(e) => return error(cell, e.to_string()),
+    };
+    let mut referee = referee_for(alg_name, &params).build();
+
+    // One rng spans both phases: the adversary sees the prelude's transcript.
+    let mut rng = TranscriptRng::from_seed(game_seed);
+    let batch = cfg.batch.max(1);
+    let expected_checks = (prelude.len() as u64).div_ceil(batch as u64) + cfg.rounds;
+    let mut game = GameReport::new(alg.space_bits_dyn(), expected_checks);
+    let mut t = 0u64;
+    let mut incompatible: Option<String> = None;
+
+    // Phase 1: oblivious workload prelude, batched.
+    for chunk in prelude.chunks(batch) {
+        referee.observe_batch(chunk);
+        if let Err(e) = alg.process_batch_dyn(chunk, &mut rng) {
+            incompatible = Some(e.to_string());
+            break;
+        }
+        t += chunk.len() as u64;
+        let space = alg.space_bits_dyn();
+        let answer = alg.query_dyn();
+        let verdict = referee.check(t, &answer);
+        game.record_check(t, space, &verdict);
+        if !verdict.is_correct() {
+            break;
+        }
+    }
+
+    // Phase 2: adaptive per-round white-box game against the warm state.
+    if incompatible.is_none() && game.result.failure.is_none() {
+        let mut last = None;
+        for round in 1..=cfg.rounds {
+            let update = match adv.next_update(round, alg.as_ref(), rng.transcript(), last.as_ref())
+            {
+                Some(u) => u.fold_into(n),
+                None => break,
+            };
+            referee.observe(&update);
+            if let Err(e) = alg.process_dyn(&update, &mut rng) {
+                incompatible = Some(e.to_string());
+                break;
+            }
+            t += 1;
+            let space = alg.space_bits_dyn();
+            let answer = alg.query_dyn();
+            let verdict = referee.check(t, &answer);
+            game.record_check(t, space, &verdict);
+            if !verdict.is_correct() {
+                break;
+            }
+            last = Some(answer);
+        }
+    }
+
+    game.finish(t, alg.space_bits_dyn());
+    let (verdict, detail) = if let Some(msg) = incompatible {
+        (CellVerdict::Incompatible, msg)
+    } else if let Some(f) = &game.result.failure {
+        (
+            CellVerdict::Violated { round: f.round },
+            f.description.clone(),
+        )
+    } else {
+        (CellVerdict::Survived, String::new())
+    };
+    cell.verdict = verdict;
+    cell.detail = detail;
+    cell.rounds = t;
+    cell.checks = game.checks;
+    cell.peak_space_bits = game.result.peak_space_bits;
+    cell.final_space_bits = game.result.final_space_bits;
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(threads: usize) -> TournamentConfig {
+        let mut cfg = TournamentConfig::default().quick();
+        cfg.master_seed = 7;
+        cfg.threads = threads;
+        cfg.algs = vec!["misra_gries".into(), "count_min".into(), "exact_l0".into()];
+        cfg.adversaries = vec!["cycle".into(), "hh_evader".into()];
+        cfg.workloads = vec!["uniform".into(), "churn".into()];
+        cfg.prelude_m = 128;
+        cfg.rounds = 64;
+        cfg.batch = 32;
+        cfg
+    }
+
+    #[test]
+    fn tiny_tournament_is_deterministic_across_thread_counts() {
+        let one = run_tournament(&tiny(1));
+        let three = run_tournament(&tiny(3));
+        assert_eq!(one.cells.len(), 3 * 2 * 2);
+        assert_eq!(one.json_lines(), three.json_lines());
+        assert_eq!(three.threads, 3);
+    }
+
+    #[test]
+    fn model_mismatch_is_incompatible_not_error() {
+        let cfg = tiny(1);
+        let cell = run_cell(&cfg, "misra_gries", "cycle", "churn");
+        assert_eq!(cell.verdict, CellVerdict::Incompatible, "{}", cell.detail);
+        assert!(cell.detail.contains("stream model") || cell.detail.contains("wrong-model"));
+        // The turnstile reference algorithm ingests churn fine.
+        let ok = run_cell(&cfg, "exact_l0", "cycle", "churn");
+        assert_eq!(ok.verdict, CellVerdict::Survived, "{}", ok.detail);
+        assert!(ok.rounds >= cfg.rounds, "prelude + adaptive rounds");
+    }
+
+    #[test]
+    fn unknown_names_become_error_cells() {
+        let cfg = tiny(1);
+        assert_eq!(
+            run_cell(&cfg, "no_such_alg", "cycle", "uniform").verdict,
+            CellVerdict::Error
+        );
+        assert_eq!(
+            run_cell(&cfg, "misra_gries", "no_such_adv", "uniform").verdict,
+            CellVerdict::Error
+        );
+        assert_eq!(
+            run_cell(&cfg, "misra_gries", "cycle", "no_such_wl").verdict,
+            CellVerdict::Error
+        );
+    }
+
+    #[test]
+    fn json_lines_are_sorted_and_time_free() {
+        let report = run_tournament(&tiny(2));
+        let lines = report.json_lines();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        for line in &lines {
+            assert!(!line.contains("millis"), "timing must stay out: {line}");
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn summaries_partition_the_cells() {
+        let report = run_tournament(&tiny(1));
+        let summaries = report.summaries();
+        assert_eq!(summaries.len(), 3);
+        for s in &summaries {
+            assert_eq!(s.cells, 4);
+            assert_eq!(s.cells, s.survived + s.violated + s.incompatible + s.errors);
+        }
+        let total: usize = summaries.iter().map(|s| s.cells).sum();
+        assert_eq!(total, report.cells.len());
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_per_coordinate() {
+        let cfg = tiny(1);
+        let a = run_cell(&cfg, "misra_gries", "cycle", "uniform").seed;
+        let b = run_cell(&cfg, "misra_gries", "cycle", "cycle").seed;
+        let c = run_cell(&cfg, "misra_gries", "hh_evader", "uniform").seed;
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_spec_rejects_unknown_names() {
+        assert!(workload_spec("nope", 1 << 10, 100, 1).is_err());
+        for name in WORKLOADS {
+            let spec = workload_spec(name, 1 << 10, 96, 1).unwrap();
+            assert!(!spec.generate().is_empty(), "{name}");
+            // The dimension name round-trips through the spec's label, so
+            // WORKLOADS, workload_spec, and WorkloadSpec::label agree.
+            assert_eq!(spec.label(), *name);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Satellite of the tournament tentpole: every algorithm in the registry
+//! must be *playable* against every registered adversary — constructible
+//! from its `(name, Params)` pair and able to complete at least one round
+//! of the erased white-box game. Catches an algorithm added to the
+//! registry but unplayable against some adversary (wrong update model,
+//! universe assert, constructor panic).
+
+use wb_engine::erased::run_erased;
+use wb_engine::referee::RefereeSpec;
+use wb_engine::registry::{self, Params};
+
+#[test]
+fn every_algorithm_plays_every_adversary() {
+    let params = Params::default().with_n(1 << 10).with_m(64);
+    let algs = registry::names();
+    let adversaries = registry::adversary_names();
+    assert!(algs.len() >= 12, "registry shrank to {}", algs.len());
+    assert!(
+        adversaries.len() >= 5,
+        "only {} adversaries",
+        adversaries.len()
+    );
+
+    for alg_name in &algs {
+        for adv_name in &adversaries {
+            let mut alg = registry::get(alg_name, &params)
+                .unwrap_or_else(|e| panic!("{alg_name}: construction failed: {e}"));
+            let mut adv = registry::adversary(adv_name, &params)
+                .unwrap_or_else(|e| panic!("{adv_name}: construction failed: {e}"));
+            // Accept-all referee: this test measures playability, not the
+            // correctness guarantee (the tournament measures that).
+            let mut referee = RefereeSpec::Accept.build();
+            let report = run_erased(alg.as_mut(), adv.as_mut(), referee.as_mut(), 64, 3)
+                .unwrap_or_else(|e| panic!("{alg_name} vs {adv_name}: {e}"));
+            assert!(
+                report.result.rounds >= 1,
+                "{alg_name} vs {adv_name} completed zero rounds"
+            );
+            assert!(report.survived(), "{alg_name} vs {adv_name} under Accept");
+        }
+    }
+}
+
+#[test]
+fn erased_games_are_send() {
+    // Compile-time satellite of the Send audit: a fully erased game
+    // (algorithm + adversary + referee) must be movable to a worker thread.
+    fn assert_send<T: Send>(_: &T) {}
+    let params = Params::default().with_n(1 << 10).with_m(16);
+    let alg = registry::get("robust_hh", &params).unwrap();
+    let adv = registry::adversary("hh_evader", &params).unwrap();
+    let referee = RefereeSpec::Accept.build();
+    assert_send(&alg);
+    assert_send(&adv);
+    assert_send(&referee);
+    std::thread::spawn(move || {
+        let (mut alg, mut adv, mut referee) = (alg, adv, referee);
+        run_erased(alg.as_mut(), adv.as_mut(), referee.as_mut(), 8, 1).unwrap()
+    })
+    .join()
+    .unwrap();
+}
