@@ -2,12 +2,16 @@
 //! on every workload, in parallel, with bit-reproducible reports.
 //!
 //! ```text
-//! tournament [--threads N] [--quick] [--seed S] [--json <path|->] [--cells]
-//!            [--alg KEY]... [--adversary KEY]... [--workload KEY]...
+//! tournament [--threads N] [--shards S] [--quick] [--seed S] [--json <path|->]
+//!            [--cells] [--alg KEY]... [--adversary KEY]... [--workload KEY]...
 //! ```
 //!
 //! * `--threads N` — worker threads (default: one per core). Reports are
 //!   byte-identical for every `N`.
+//! * `--shards S` — partition each cell's workload prelude across `S`
+//!   shard instances and merge them in a deterministic reduction tree
+//!   (mergeable algorithms only; the rest keep flat ingestion). Reports
+//!   stay byte-identical across thread counts for any fixed `S`.
 //! * `--quick` — smoke-scale cell sizes (CI mode); the cross-product stays
 //!   full.
 //! * `--seed S` — master seed; each cell's tapes derive from
@@ -25,6 +29,7 @@ fn main() {
     let mut show_cells = false;
     let mut json: Option<String> = None;
     let mut threads = 0usize;
+    let mut shards = 1usize;
     let mut seed = 42u64;
     let mut algs: Vec<String> = Vec::new();
     let mut adversaries: Vec<String> = Vec::new();
@@ -48,6 +53,13 @@ fn main() {
             "--cells" => show_cells = true,
             "--json" => json = Some(value("--json")),
             "--threads" => threads = parse(&value("--threads"), "--threads"),
+            "--shards" => {
+                shards = parse(&value("--shards"), "--shards");
+                if shards == 0 {
+                    eprintln!("--shards must be >= 1");
+                    std::process::exit(2);
+                }
+            }
             "--seed" => seed = parse(&value("--seed"), "--seed"),
             "--alg" => algs.push(value("--alg")),
             "--adversary" => adversaries.push(value("--adversary")),
@@ -55,7 +67,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag '{other}' (known: --quick, --cells, --json, --threads, \
-                     --seed, --alg, --adversary, --workload)"
+                     --shards, --seed, --alg, --adversary, --workload)"
                 );
                 std::process::exit(2);
             }
@@ -68,6 +80,7 @@ fn main() {
     }
     cfg.master_seed = seed;
     cfg.threads = threads;
+    cfg.shards = shards;
     if !algs.is_empty() {
         validate(&algs, &registry::names(), "algorithm");
         cfg.algs = algs;
@@ -82,12 +95,17 @@ fn main() {
     }
 
     println!(
-        "tournament: {} algorithms x {} adversaries x {} workloads = {} cells, master seed {}{}",
+        "tournament: {} algorithms x {} adversaries x {} workloads = {} cells, master seed {}{}{}",
         cfg.algs.len(),
         cfg.adversaries.len(),
         cfg.workloads.len(),
         cfg.cell_count(),
         cfg.master_seed,
+        if cfg.shards > 1 {
+            format!("  [sharded prelude: {} shards]", cfg.shards)
+        } else {
+            String::new()
+        },
         if quick { "  [--quick]" } else { "" },
     );
 

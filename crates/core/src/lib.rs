@@ -32,6 +32,9 @@
 //!   workspace reports an information-theoretically honest encoding size;
 //! * [`stream`] — update and stream types (insertion-only, turnstile) and
 //!   the exact [`stream::FrequencyVector`] used as ground truth by referees;
+//! * [`merge`] — the [`merge::Mergeable`] trait and typed [`MergeError`]s
+//!   behind sharded ingestion (`wb_engine::shard`): which summaries can
+//!   absorb a sibling instance, and why the rest refuse;
 //! * [`referee`] — reusable correctness referees for common query types.
 //!
 //! # Quick example
@@ -91,6 +94,7 @@
 
 pub mod error;
 pub mod game;
+pub mod merge;
 pub mod referee;
 pub mod rng;
 pub mod space;
@@ -100,6 +104,7 @@ pub use error::WbError;
 #[allow(deprecated)] // re-exported for the migration window; see wb-engine
 pub use game::run_game;
 pub use game::{GameResult, Referee, Verdict, WhiteBoxAdversary};
+pub use merge::{MergeError, Mergeable};
 pub use rng::{RandTranscript, TranscriptRng};
 pub use space::SpaceUsage;
 pub use stream::{FrequencyVector, InsertOnly, StreamAlg, Turnstile};

@@ -1,6 +1,7 @@
 //! Stream and update types, the streaming-algorithm trait, and the exact
 //! frequency vector used as referee ground truth.
 
+use crate::merge::{MergeError, Mergeable};
 use crate::rng::TranscriptRng;
 use std::collections::HashMap;
 
@@ -110,6 +111,27 @@ pub trait StreamAlg {
     /// the bare type name, without module path or generic arguments.
     fn name(&self) -> &'static str {
         trim_type_name(std::any::type_name::<Self>())
+    }
+
+    /// Fold the state of `other` — a sibling instance that ingested a
+    /// different slice of the same logical stream — into `self`.
+    ///
+    /// This is the bridge the erased layer (`DynStreamAlg::merge_dyn` in
+    /// `wb-engine`) calls after downcast-checking type equality. The
+    /// default declares the algorithm unmergeable; algorithms with a sound
+    /// merge implement [`Mergeable`] and override this to delegate:
+    ///
+    /// ```ignore
+    /// fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+    ///     Mergeable::merge(self, other)
+    /// }
+    /// ```
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError>
+    where
+        Self: Sized,
+    {
+        let _ = other;
+        Err(MergeError::unmergeable(self.name()))
     }
 
     /// Answer the fixed query for the stream seen so far.
@@ -241,6 +263,18 @@ impl FrequencyVector {
     }
 }
 
+impl Mergeable for FrequencyVector {
+    /// Exact merge: coordinates add, so the merged vector equals the one
+    /// obtained by ingesting the concatenation of both update streams.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        for (item, f) in other.iter() {
+            self.apply(item, f);
+        }
+        self.updates += other.updates;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +380,49 @@ mod tests {
         assert_eq!(seq.l1(), batched.l1());
         assert_eq!(seq.updates(), batched.updates());
         assert_eq!(seq.get(4), batched.get(4));
+    }
+
+    #[test]
+    fn frequency_vector_merge_is_exact() {
+        let left: Vec<(u64, i64)> = vec![(1, 3), (2, -2), (9, 5)];
+        let right: Vec<(u64, i64)> = vec![(1, -3), (2, 2), (4, 1), (9, -1)];
+        let mut merged = FrequencyVector::new();
+        for &(i, d) in &left {
+            merged.update(i, d);
+        }
+        let mut other = FrequencyVector::new();
+        for &(i, d) in &right {
+            other.update(i, d);
+        }
+        merged.merge(&other).unwrap();
+        let mut single = FrequencyVector::new();
+        for &(i, d) in left.iter().chain(&right) {
+            single.update(i, d);
+        }
+        assert_eq!(merged.l0(), single.l0());
+        assert_eq!(merged.l1(), single.l1());
+        assert_eq!(merged.updates(), single.updates());
+        for item in [1u64, 2, 4, 9, 77] {
+            assert_eq!(merged.get(item), single.get(item));
+        }
+    }
+
+    #[test]
+    fn default_merge_from_is_unmergeable() {
+        struct Opaque;
+        impl StreamAlg for Opaque {
+            type Update = InsertOnly;
+            type Output = u64;
+            fn process(&mut self, _u: &InsertOnly, _rng: &mut TranscriptRng) {}
+            fn query(&self) -> u64 {
+                0
+            }
+        }
+        let mut a = Opaque;
+        assert_eq!(
+            a.merge_from(&Opaque),
+            Err(MergeError::unmergeable("Opaque"))
+        );
     }
 
     #[test]

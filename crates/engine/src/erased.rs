@@ -21,10 +21,19 @@
 use crate::referee::DynReferee;
 use crate::report::GameReport;
 use std::any::Any;
+use wb_core::merge::MergeError;
 use wb_core::rng::{RandTranscript, TranscriptRng};
 use wb_core::space::SpaceUsage;
 use wb_core::stream::{InsertOnly, StreamAlg, Turnstile};
 use wb_core::WbError;
+
+/// Largest positive turnstile delta an insertion-only algorithm will expand
+/// into repeated unit insertions — per update, and also the cap on the
+/// *total extra* insertions one batch may materialize (the batched path
+/// clones the expansion, so without a per-batch cap the per-update bound
+/// would multiply by the batch length). Bounds the work and memory one
+/// erased call can cause; anything larger is rejected as out-of-model.
+pub const MAX_DELTA_EXPANSION: u64 = 1 << 16;
 
 /// A stream update in either of the paper's update models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,8 +72,15 @@ impl Update {
     /// emit raw 32-bit addresses; folding is the one deterministic rule
     /// both the registry's scripted adversaries and the tournament apply,
     /// so ground truth and algorithm always see the same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`. A zero universe used to be silently clamped to
+    /// 1, collapsing every item onto 0 and skewing verdicts; the registry
+    /// and tournament now reject `n == 0` at construction time, so reaching
+    /// this with an empty universe is a harness bug, not a stream property.
     pub fn fold_into(self, n: u64) -> Update {
-        let n = n.max(1);
+        assert!(n > 0, "fold_into requires a nonempty universe (n >= 1)");
         match self {
             Update::Insert(item) => Update::Insert(item % n),
             Update::Turnstile { item, delta } => Update::Turnstile {
@@ -93,16 +109,42 @@ impl From<Turnstile> for Update {
 /// Conversion from the erased [`Update`] into an algorithm's native update
 /// type. Returns `None` when the update is outside the algorithm's model
 /// (e.g. a deletion offered to an insertion-only sketch).
-pub trait FromUpdate: Sized {
+pub trait FromUpdate: Sized + Clone {
     /// Convert, or reject as model-incompatible.
     fn from_update(u: &Update) -> Option<Self>;
+
+    /// Convert into `(update, repeat)`: the native update plus how many
+    /// times it must be processed. The default repeats once; insertion-only
+    /// types override it so a positive multi-unit turnstile delta expands
+    /// into `delta` unit insertions (bounded by [`MAX_DELTA_EXPANSION`])
+    /// instead of being spuriously rejected as model-incompatible.
+    fn from_update_weighted(u: &Update) -> Option<(Self, u64)> {
+        Self::from_update(u).map(|c| (c, 1))
+    }
 }
 
 impl FromUpdate for InsertOnly {
+    /// Strict single-unit conversion: only `Insert` and unit-delta
+    /// turnstile updates map to one `InsertOnly`. A multi-unit delta is
+    /// `None` here — it is *not* one insertion, and silently dropping its
+    /// weight would undercount; weighted callers go through
+    /// [`FromUpdate::from_update_weighted`], which expands it instead.
     fn from_update(u: &Update) -> Option<Self> {
+        match Self::from_update_weighted(u) {
+            Some((c, 1)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Any positive delta is `delta` insertions; zero, negative, or
+    /// absurdly large deltas stay out-of-model.
+    fn from_update_weighted(u: &Update) -> Option<(Self, u64)> {
         match *u {
-            Update::Insert(i) => Some(InsertOnly(i)),
-            Update::Turnstile { item, delta: 1 } => Some(InsertOnly(item)),
+            Update::Insert(i) => Some((InsertOnly(i), 1)),
+            Update::Turnstile { item, delta } if delta >= 1 => {
+                let w = delta as u64;
+                (w <= MAX_DELTA_EXPANSION).then_some((InsertOnly(item), w))
+            }
             Update::Turnstile { .. } => None,
         }
     }
@@ -225,6 +267,15 @@ pub trait DynStreamAlg: Send {
     /// Bare type name (see [`StreamAlg::name`]).
     fn name_dyn(&self) -> &'static str;
 
+    /// Fold a sibling instance's state into this one — the erased mirror of
+    /// [`wb_core::merge::Mergeable`]. Type equality is downcast-checked:
+    /// offering a different concrete type is [`MergeError::TypeMismatch`],
+    /// an algorithm without a sound merge is [`MergeError::Unmergeable`],
+    /// and same-type instances built with different parameters are
+    /// [`MergeError::Incompatible`]. The sharded ingestion pipeline
+    /// ([`crate::shard`]) is built on this method.
+    fn merge_dyn(&mut self, other: &dyn DynStreamAlg) -> Result<(), MergeError>;
+
     /// The concrete algorithm, for white-box adversaries that downcast to
     /// inspect internal state through the erased interface.
     fn as_any(&self) -> &dyn Any;
@@ -237,13 +288,15 @@ where
     A::Output: IntoAnswer,
 {
     fn process_dyn(&mut self, update: &Update, rng: &mut TranscriptRng) -> Result<(), WbError> {
-        let u = A::Update::from_update(update).ok_or_else(|| {
+        let (u, repeat) = A::Update::from_update_weighted(update).ok_or_else(|| {
             WbError::invalid(format!(
                 "{} cannot ingest {update:?} (wrong stream model)",
                 self.name()
             ))
         })?;
-        self.process(&u, rng);
+        for _ in 0..repeat {
+            self.process(&u, rng);
+        }
         Ok(())
     }
 
@@ -252,14 +305,27 @@ where
         updates: &[Update],
         rng: &mut TranscriptRng,
     ) -> Result<(), WbError> {
-        let converted: Option<Vec<A::Update>> =
-            updates.iter().map(A::Update::from_update).collect();
-        let converted = converted.ok_or_else(|| {
-            WbError::invalid(format!(
-                "{} cannot ingest a batch containing wrong-model updates",
-                self.name()
-            ))
-        })?;
+        let mut converted: Vec<A::Update> = Vec::with_capacity(updates.len());
+        let mut extra = 0u64;
+        for update in updates {
+            let (u, repeat) = A::Update::from_update_weighted(update).ok_or_else(|| {
+                WbError::invalid(format!(
+                    "{} cannot ingest a batch containing wrong-model updates",
+                    self.name()
+                ))
+            })?;
+            extra += repeat - 1;
+            if extra > MAX_DELTA_EXPANSION {
+                return Err(WbError::invalid(format!(
+                    "{}: batch delta expansion exceeds {MAX_DELTA_EXPANSION} extra insertions",
+                    self.name()
+                )));
+            }
+            for _ in 1..repeat {
+                converted.push(u.clone());
+            }
+            converted.push(u);
+        }
         self.process_batch(&converted, rng);
         Ok(())
     }
@@ -274,6 +340,17 @@ where
 
     fn name_dyn(&self) -> &'static str {
         self.name()
+    }
+
+    fn merge_dyn(&mut self, other: &dyn DynStreamAlg) -> Result<(), MergeError> {
+        let other = other
+            .as_any()
+            .downcast_ref::<A>()
+            .ok_or(MergeError::TypeMismatch {
+                left: self.name(),
+                right: other.name_dyn(),
+            })?;
+        self.merge_from(other)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -468,6 +545,112 @@ mod tests {
         // Downcast through the white-box window.
         let mg = alg.as_any().downcast_ref::<MisraGries>().unwrap();
         assert_eq!(mg.estimate(7), 10);
+    }
+
+    #[test]
+    fn positive_deltas_expand_to_repeated_inserts() {
+        // Regression: delta > 1 used to be rejected as model-incompatible,
+        // spuriously marking insert-only algorithms incompatible in
+        // tournament cells fed by weighted generators.
+        let mut expanded: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        let mut repeated: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        let mut rng_a = TranscriptRng::from_seed(5);
+        let mut rng_b = TranscriptRng::from_seed(5);
+        expanded
+            .process_dyn(&Update::Turnstile { item: 9, delta: 7 }, &mut rng_a)
+            .unwrap();
+        for _ in 0..7 {
+            repeated
+                .process_dyn(&Update::Insert(9), &mut rng_b)
+                .unwrap();
+        }
+        assert_eq!(expanded.query_dyn(), repeated.query_dyn());
+
+        // The batched path expands identically.
+        let mut batched: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        let mut rng_c = TranscriptRng::from_seed(5);
+        batched
+            .process_batch_dyn(
+                &[
+                    Update::Turnstile { item: 9, delta: 3 },
+                    Update::Turnstile { item: 9, delta: 4 },
+                ],
+                &mut rng_c,
+            )
+            .unwrap();
+        assert_eq!(batched.query_dyn(), repeated.query_dyn());
+
+        // Zero, negative, and oversized deltas stay out-of-model.
+        for delta in [0i64, -1, (MAX_DELTA_EXPANSION + 1) as i64] {
+            assert!(
+                expanded
+                    .process_dyn(&Update::Turnstile { item: 1, delta }, &mut rng_a)
+                    .is_err(),
+                "delta {delta} must be rejected"
+            );
+        }
+        // The strict single-unit conversion still rejects multi-unit deltas
+        // (weight must never be silently dropped).
+        assert_eq!(
+            InsertOnly::from_update(&Update::Turnstile { item: 9, delta: 7 }),
+            None
+        );
+        // A batch may expand by at most MAX_DELTA_EXPANSION extra inserts
+        // in total, not per update.
+        let near_cap = Update::Turnstile {
+            item: 1,
+            delta: MAX_DELTA_EXPANSION as i64,
+        };
+        assert!(batched.process_batch_dyn(&[near_cap], &mut rng_c).is_ok());
+        assert!(batched
+            .process_batch_dyn(&[near_cap, near_cap], &mut rng_c)
+            .is_err());
+        // Turnstile algorithms still receive the delta untouched.
+        assert_eq!(
+            Turnstile::from_update_weighted(&Update::Turnstile { item: 2, delta: 5 }),
+            Some((Turnstile { item: 2, delta: 5 }, 1))
+        );
+    }
+
+    #[test]
+    fn merge_dyn_downcast_checks_type_equality() {
+        let mut mg: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        let ss: Box<dyn DynStreamAlg> = Box::new(SpaceSaving::with_counters(4, 1 << 10));
+        assert_eq!(
+            mg.merge_dyn(ss.as_ref()),
+            Err(MergeError::TypeMismatch {
+                left: "MisraGries",
+                right: "SpaceSaving",
+            })
+        );
+        // Same type merges through the erased interface.
+        let mut rng = TranscriptRng::from_seed(6);
+        let mut other: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        for i in 0..10 {
+            other.process_dyn(&Update::Insert(i % 2), &mut rng).unwrap();
+        }
+        mg.merge_dyn(other.as_ref()).unwrap();
+        let merged = mg.as_any().downcast_ref::<MisraGries>().unwrap();
+        assert_eq!(merged.processed(), 10);
+    }
+
+    #[test]
+    fn merge_dyn_reports_unmergeable_algorithms() {
+        use wb_sketch::MorrisCounter;
+        let mut a: Box<dyn DynStreamAlg> = Box::new(MorrisCounter::new(0.5, 0.25));
+        let b: Box<dyn DynStreamAlg> = Box::new(MorrisCounter::new(0.5, 0.25));
+        assert_eq!(
+            a.merge_dyn(b.as_ref()),
+            Err(MergeError::unmergeable("MorrisCounter"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty universe")]
+    fn fold_into_zero_universe_panics() {
+        // Regression: n = 0 used to be clamped to 1, silently collapsing
+        // the whole universe onto item 0.
+        let _ = Update::Insert(7).fold_into(0);
     }
 
     #[test]

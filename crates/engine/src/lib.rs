@@ -26,6 +26,12 @@
 //!   adversary × workload) played in parallel with per-cell seeds derived
 //!   from one master seed: a systematic robustness evaluation whose JSON
 //!   report is byte-identical across thread counts.
+//! * [`shard`] — sharded ingestion: partition one logical stream across
+//!   `S` instances (hash or round-robin), ingest in parallel on the
+//!   [`pool`], and fold the states back together with
+//!   `DynStreamAlg::merge_dyn` in a deterministic reduction tree. Only
+//!   [`wb_core::merge::Mergeable`] algorithms participate; the rest refuse
+//!   with a typed `MergeError`.
 //! * [`pool`] — the hand-rolled work-queue thread pool (std only) behind
 //!   both runners, returning results in submission order.
 //!
@@ -71,6 +77,7 @@ pub mod pool;
 pub mod referee;
 pub mod registry;
 pub mod report;
+pub mod shard;
 pub mod tournament;
 pub mod workload;
 
@@ -79,6 +86,7 @@ pub use erased::{Answer, DynAdversary, DynStreamAlg, Update};
 pub use experiment::{ExperimentSpec, GameRow, Metric, Row, RunCtx, RunnerConfig, Section};
 pub use referee::{DynReferee, RefereeSpec};
 pub use report::GameReport;
+pub use shard::{ingest_sharded, merge_reduce, Partition, ShardConfig, ShardedIngest};
 pub use tournament::{
     run_tournament, AlgSummary, CellReport, CellVerdict, TournamentConfig, TournamentReport,
 };

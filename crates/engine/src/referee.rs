@@ -2,7 +2,7 @@
 //! enums, reusing the exact verdict logic of `wb_core::referee` so that
 //! "ok" columns in experiment tables mean the same thing as game verdicts.
 
-use crate::erased::{Answer, Update};
+use crate::erased::{Answer, Update, MAX_DELTA_EXPANSION};
 use wb_core::game::Verdict;
 use wb_core::referee::{ApproxCountReferee, HeavyHitterReferee, L0SandwichReferee};
 
@@ -99,8 +99,9 @@ impl RefereeSpec {
     }
 }
 
-/// Heavy-hitter referee over erased updates. Insertion-only: unit-delta
-/// turnstile updates are accepted as insertions, anything else is a
+/// Heavy-hitter referee over erased updates. Insertion-only: positive
+/// turnstile deltas are accepted as that many insertions (mirroring the
+/// expansion the erased algorithm layer applies), anything else is a
 /// violation at the next check (the guarantee under test is undefined for
 /// deletions).
 struct ErasedHh {
@@ -112,8 +113,11 @@ struct ErasedHh {
 
 impl ErasedHh {
     fn observe_one(&mut self, update: &Update) {
-        if update.delta() == 1 {
-            self.inner.observe_item(update.item());
+        let delta = update.delta();
+        if (1..=MAX_DELTA_EXPANSION as i64).contains(&delta) {
+            for _ in 0..delta {
+                self.inner.observe_item(update.item());
+            }
         } else if self.model_violation.is_none() {
             self.model_violation = Some(format!(
                 "insertion-only heavy-hitter referee observed {update:?}"
@@ -236,6 +240,26 @@ mod tests {
         assert!(r.check(100, &good).is_correct());
         // Answer-shape mismatch is a violation, not a panic.
         assert!(!r.check(100, &Answer::Scalar(1.0)).is_correct());
+    }
+
+    #[test]
+    fn hh_spec_counts_positive_deltas_as_weighted_insertions() {
+        // Mirrors the erased layer's delta expansion: Turnstile{delta: w>0}
+        // is w insertions for ground truth too, not a model violation.
+        let mut r = RefereeSpec::HeavyHitters {
+            eps: 0.1,
+            tol: 0.1,
+            phi: None,
+            grace: 0,
+        }
+        .build();
+        r.observe(&Update::Turnstile { item: 1, delta: 90 });
+        r.observe_batch(&[Update::Turnstile { item: 2, delta: 10 }]);
+        assert!(r
+            .check(100, &Answer::Items(vec![(1, 90.0), (2, 10.0)]))
+            .is_correct());
+        // Item 1 is heavy (f = 90 of 100): omitting it is a violation.
+        assert!(!r.check(100, &Answer::Items(vec![(2, 10.0)])).is_correct());
     }
 
     #[test]

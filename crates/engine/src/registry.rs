@@ -286,8 +286,23 @@ pub fn describe() -> Vec<(&'static str, &'static str)> {
     ENTRIES.iter().map(|&(n, d, _)| (n, d)).collect()
 }
 
+/// Reject an empty universe at construction time. `Update::fold_into`
+/// used to clamp `n = 0` to 1, silently collapsing every item onto 0 (and
+/// with it the whole ground truth); an empty universe is a configuration
+/// error, not a stream property, so it fails loudly here instead.
+fn check_universe(n: u64) -> Result<(), WbError> {
+    if n == 0 {
+        Err(WbError::invalid(
+            "universe size n must be >= 1 (a zero universe has no items to stream)",
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 /// Construct the algorithm registered under `name`.
 pub fn get(name: &str, params: &Params) -> Result<Box<dyn DynStreamAlg>, WbError> {
+    check_universe(params.n)?;
     match ENTRIES.iter().find(|&&(n, _, _)| n == name) {
         Some(&(_, _, ctor)) => ctor(params),
         None => Err(WbError::invalid(format!(
@@ -315,6 +330,7 @@ pub fn adversary_names() -> Vec<&'static str> {
 /// `item < n`) stay playable against every registered adversary; the hot
 /// prefix and hot host fold onto fixed residues, preserving the skew.
 pub fn adversary(name: &str, params: &Params) -> Result<Box<dyn DynAdversary>, WbError> {
+    check_universe(params.n)?;
     let p = params.clone();
     match name {
         "zipf" => Ok(script(WorkloadSpec::Zipf {
@@ -413,6 +429,20 @@ mod tests {
         assert!(get("robust_hh", &Params::default().with_eps(0.9)).is_err());
         assert!(get("misra_gries", &Params::default().with_eps(0.0)).is_err());
         assert!(adversary("no_such_adv", &Params::default()).is_err());
+    }
+
+    #[test]
+    fn zero_universe_is_a_constructor_error() {
+        // Regression: n = 0 used to be silently clamped by fold_into,
+        // collapsing every stream onto item 0; it must fail at the door.
+        for name in names() {
+            let err = get(name, &Params::default().with_n(0));
+            assert!(err.is_err(), "{name} accepted n = 0");
+        }
+        for adv in adversary_names() {
+            let err = adversary(adv, &Params::default().with_n(0));
+            assert!(err.is_err(), "adversary {adv} accepted n = 0");
+        }
     }
 
     #[test]

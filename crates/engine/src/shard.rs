@@ -1,0 +1,392 @@
+//! Sharded ingestion: one logical stream, `S` shard instances, one merged
+//! answer — the first end-to-end scale-out path in the workspace.
+//!
+//! The pipeline partitions an erased [`Update`] stream across `S`
+//! identically-constructed instances of one algorithm, ingests every shard
+//! independently (in parallel on the engine [pool](crate::pool), each
+//! through the batched [`DynStreamAlg::process_batch_dyn`] path), and then
+//! folds the shard states together with [`DynStreamAlg::merge_dyn`] in a
+//! **deterministic reduction tree**: level by level, shard `2i+1` merges
+//! into shard `2i`. Which *worker thread* ran which shard is invisible —
+//! shard seeds derive from the master seed via
+//! [`derive_seed`]`(master, ["shard", i])`, merges happen in fixed tree
+//! order on the caller's thread, and the pool returns results in submission
+//! order — so the merged instance is a pure function of
+//! `(stream, algorithm, S, partition, master_seed)`, byte-identical for
+//! every thread count.
+//!
+//! **White-box caveat.** Sharding never weakens the paper's adversary — it
+//! strengthens it: the adversary observes *every* shard's internal state
+//! and every shard's randomness tape (each tape's seed is public and
+//! derived from public inputs). Only algorithms whose robustness argument
+//! tolerates full state exposure merge soundly; see
+//! [`wb_core::merge::Mergeable`] for the contract and
+//! [`MergeError::Unmergeable`] for the refusals.
+
+use crate::erased::{DynStreamAlg, Update};
+use crate::pool::{self, Job};
+use wb_core::merge::MergeError;
+use wb_core::rng::{derive_seed, SplitMix64, TranscriptRng};
+use wb_core::WbError;
+
+/// How updates are routed to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// By item hash: every occurrence of an item lands on the same shard
+    /// (SplitMix64 of the item id, mod `S`). The right choice for counter
+    /// summaries — each shard sees a disjoint sub-universe, so per-item
+    /// mass is never split across summaries.
+    Hash,
+    /// By position: update `j` goes to shard `j mod S`. Spreads load
+    /// perfectly evenly; items smear across shards, which linear sketches
+    /// absorb exactly and counter summaries absorb within their merge
+    /// error.
+    RoundRobin,
+}
+
+impl Partition {
+    /// Stable lowercase label for reports and flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Partition::Hash => "hash",
+            Partition::RoundRobin => "round_robin",
+        }
+    }
+}
+
+/// Configuration of one sharded ingestion run.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shard instances `S ≥ 1`.
+    pub shards: usize,
+    /// Routing rule.
+    pub partition: Partition,
+    /// Worker threads (`0` = one per core, `1` = fully inline).
+    pub threads: usize,
+    /// Chunk size for each shard's batched ingestion.
+    pub batch: usize,
+    /// Master seed; shard `i`'s random tape is seeded with
+    /// `derive_seed(master_seed, ["shard", i])`.
+    pub master_seed: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            partition: Partition::Hash,
+            threads: 0,
+            batch: 256,
+            master_seed: 42,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// The derived public seed of shard `i`'s random tape.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        derive_seed(self.master_seed, &["shard", &shard.to_string()])
+    }
+}
+
+/// The shard index of `item` under hash partitioning.
+pub fn hash_shard(item: u64, shards: usize) -> usize {
+    (SplitMix64::new(item).next_u64() % shards as u64) as usize
+}
+
+/// Split `updates` into `S` per-shard buckets, preserving relative order
+/// within each bucket.
+pub fn partition_updates(
+    updates: &[Update],
+    shards: usize,
+    partition: Partition,
+) -> Vec<Vec<Update>> {
+    let shards = shards.max(1);
+    let mut buckets: Vec<Vec<Update>> = (0..shards)
+        .map(|_| Vec::with_capacity(updates.len() / shards + 1))
+        .collect();
+    for (j, u) in updates.iter().enumerate() {
+        let s = match partition {
+            Partition::Hash => hash_shard(u.item(), shards),
+            Partition::RoundRobin => j % shards,
+        };
+        buckets[s].push(*u);
+    }
+    buckets
+}
+
+/// Fold `instances` into one by a deterministic reduction tree: at every
+/// level, instance `2i+1` merges into instance `2i`; survivors repeat until
+/// one remains. Equivalent to a left fold in outcome for associative
+/// merges, but the tree shape is part of the contract so reports stay
+/// byte-identical as the shard count varies only with `S`, never with the
+/// thread count.
+pub fn merge_reduce(
+    mut instances: Vec<Box<dyn DynStreamAlg>>,
+) -> Result<Box<dyn DynStreamAlg>, MergeError> {
+    assert!(!instances.is_empty(), "nothing to reduce");
+    while instances.len() > 1 {
+        let mut next = Vec::with_capacity(instances.len().div_ceil(2));
+        let mut iter = instances.into_iter();
+        while let Some(mut left) = iter.next() {
+            if let Some(right) = iter.next() {
+                left.merge_dyn(right.as_ref())?;
+            }
+            next.push(left);
+        }
+        instances = next;
+    }
+    Ok(instances.pop().expect("one instance remains"))
+}
+
+/// Outcome of [`ingest_sharded`]: the merged instance plus how the stream
+/// was spread.
+pub struct ShardedIngest {
+    /// The merged algorithm holding the whole stream's summary.
+    pub merged: Box<dyn DynStreamAlg>,
+    /// Updates routed to each shard (diagnostics; sums to the stream
+    /// length).
+    pub shard_loads: Vec<usize>,
+}
+
+/// Ingest `updates` across `cfg.shards` instances built by `ctor` and
+/// return the merged result.
+///
+/// `ctor(i)` must build shard `i`'s instance; for seeded sketches
+/// (CountMin, AmsF2) every shard must be constructed from the **same**
+/// public seed or the merge will report
+/// [`MergeError::Incompatible`]. Model mismatches during ingestion (e.g. a
+/// deletion offered to an insertion-only sketch) surface as the underlying
+/// [`WbError`]; merge refusals are mapped into [`WbError::InvalidParameter`]
+/// with the typed error's message (probe with [`probe_mergeable`] first to
+/// branch on mergeability without paying for ingestion).
+pub fn ingest_sharded(
+    ctor: &dyn Fn(usize) -> Result<Box<dyn DynStreamAlg>, WbError>,
+    updates: &[Update],
+    cfg: &ShardConfig,
+) -> Result<ShardedIngest, WbError> {
+    let shards = cfg.shards.max(1);
+    let batch = cfg.batch.max(1);
+    let buckets = partition_updates(updates, shards, cfg.partition);
+    let shard_loads: Vec<usize> = buckets.iter().map(Vec::len).collect();
+    let instances: Result<Vec<Box<dyn DynStreamAlg>>, WbError> = (0..shards).map(ctor).collect();
+    let instances = instances?;
+
+    let jobs: Vec<Job<Result<Box<dyn DynStreamAlg>, WbError>>> = instances
+        .into_iter()
+        .zip(buckets)
+        .enumerate()
+        .map(
+            |(i, (mut alg, bucket))| -> Job<Result<Box<dyn DynStreamAlg>, WbError>> {
+                let seed = cfg.shard_seed(i);
+                Box::new(move || {
+                    let mut rng = TranscriptRng::from_seed(seed);
+                    for chunk in bucket.chunks(batch) {
+                        alg.process_batch_dyn(chunk, &mut rng)?;
+                    }
+                    Ok(alg)
+                })
+            },
+        )
+        .collect();
+    let ingested: Result<Vec<Box<dyn DynStreamAlg>>, WbError> =
+        pool::run_ordered(jobs, pool::effective_threads(cfg.threads))
+            .into_iter()
+            .collect();
+    let merged =
+        merge_reduce(ingested?).map_err(|e| WbError::invalid(format!("sharded merge: {e}")))?;
+    Ok(ShardedIngest {
+        merged,
+        shard_loads,
+    })
+}
+
+/// `true` iff instances built by `ctor` can merge: constructs two fresh
+/// instances and trial-merges them empty. Unmergeable algorithms and
+/// parameter-incompatible constructions both return `false`; construction
+/// failures propagate.
+pub fn probe_mergeable(
+    ctor: &dyn Fn(usize) -> Result<Box<dyn DynStreamAlg>, WbError>,
+) -> Result<bool, WbError> {
+    let mut a = ctor(0)?;
+    let b = ctor(0)?;
+    Ok(a.merge_dyn(b.as_ref()).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{self, Params};
+
+    fn registry_ctor(
+        name: &'static str,
+        params: Params,
+    ) -> impl Fn(usize) -> Result<Box<dyn DynStreamAlg>, WbError> {
+        move |_shard| registry::get(name, &params)
+    }
+
+    fn zipfish(m: u64, n: u64) -> Vec<Update> {
+        (0..m)
+            .map(|t| {
+                Update::Insert(match t % 10 {
+                    0..=4 => 1,
+                    5..=7 => 2,
+                    _ => (t.wrapping_mul(2654435761)) % n,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_cover_the_stream_exactly() {
+        let updates = zipfish(1000, 1 << 10);
+        for partition in [Partition::Hash, Partition::RoundRobin] {
+            let buckets = partition_updates(&updates, 4, partition);
+            assert_eq!(buckets.len(), 4);
+            assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 1000);
+            if partition == Partition::Hash {
+                // Same item, same shard — across all buckets.
+                for (s, bucket) in buckets.iter().enumerate() {
+                    for u in bucket {
+                        assert_eq!(hash_shard(u.item(), 4), s);
+                    }
+                }
+            } else {
+                // Round-robin: bucket sizes differ by at most one.
+                let (min, max) = (
+                    buckets.iter().map(Vec::len).min().unwrap(),
+                    buckets.iter().map(Vec::len).max().unwrap(),
+                );
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_linear_sketch_equals_single_stream_exactly() {
+        // CountMin is linear: the merged table must be bit-identical to
+        // single-stream ingestion, for both partitions and any threads.
+        let params = Params::default().with_n(1 << 10);
+        let updates = zipfish(4000, 1 << 10);
+        let mut single = registry::get("count_min", &params).unwrap();
+        let mut rng = TranscriptRng::from_seed(1);
+        single.process_batch_dyn(&updates, &mut rng).unwrap();
+        for partition in [Partition::Hash, Partition::RoundRobin] {
+            for threads in [1usize, 4] {
+                let cfg = ShardConfig {
+                    shards: 4,
+                    partition,
+                    threads,
+                    batch: 128,
+                    master_seed: 7,
+                };
+                let out =
+                    ingest_sharded(&registry_ctor("count_min", params.clone()), &updates, &cfg)
+                        .unwrap();
+                assert_eq!(
+                    out.merged.query_dyn(),
+                    single.query_dyn(),
+                    "{partition:?} threads {threads}"
+                );
+                assert_eq!(out.merged.space_bits_dyn(), single.space_bits_dyn());
+                assert_eq!(out.shard_loads.iter().sum::<usize>(), 4000);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_counter_summary_is_deterministic_and_within_guarantee() {
+        let params = Params::default().with_n(1 << 10);
+        let updates = zipfish(6000, 1 << 10);
+        let cfg = |threads| ShardConfig {
+            shards: 8,
+            partition: Partition::Hash,
+            threads,
+            batch: 256,
+            master_seed: 3,
+        };
+        let a = ingest_sharded(
+            &registry_ctor("misra_gries", params.clone()),
+            &updates,
+            &cfg(1),
+        )
+        .unwrap();
+        let b = ingest_sharded(
+            &registry_ctor("misra_gries", params.clone()),
+            &updates,
+            &cfg(8),
+        )
+        .unwrap();
+        assert_eq!(
+            a.merged.query_dyn(),
+            b.merged.query_dyn(),
+            "thread count leaked into the merged state"
+        );
+        // Items 1 (50%) and 2 (30%) are heavy and must be reported.
+        let items = a.merged.query_dyn();
+        let reported: Vec<u64> = items.as_items().unwrap().iter().map(|&(i, _)| i).collect();
+        assert!(
+            reported.contains(&1) && reported.contains(&2),
+            "{reported:?}"
+        );
+    }
+
+    #[test]
+    fn unmergeable_algorithms_probe_false_and_error_on_ingest() {
+        let params = Params::default().with_n(1 << 10);
+        let ctor = registry_ctor("morris", params);
+        assert!(!probe_mergeable(&ctor).unwrap());
+        let cfg = ShardConfig {
+            shards: 2,
+            ..ShardConfig::default()
+        };
+        let err = match ingest_sharded(&ctor, &zipfish(64, 1 << 10), &cfg) {
+            Ok(_) => panic!("unmergeable multi-shard ingest must error"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("no sound merge"), "{err}");
+    }
+
+    #[test]
+    fn mergeable_probe_accepts_the_mergeable_registry_subset() {
+        let params = Params::default().with_n(1 << 10);
+        for name in [
+            "misra_gries",
+            "space_saving",
+            "count_min",
+            "ams_f2",
+            "exact_l0",
+        ] {
+            assert!(
+                probe_mergeable(&registry_ctor(name, params.clone())).unwrap(),
+                "{name} should merge"
+            );
+        }
+        for name in ["morris", "median_morris", "robust_hh", "sis_l0"] {
+            assert!(
+                !probe_mergeable(&registry_ctor(name, params.clone())).unwrap(),
+                "{name} should refuse to merge"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_is_a_plain_pass_through() {
+        let params = Params::default().with_n(256);
+        let updates = zipfish(512, 256);
+        let cfg = ShardConfig::default();
+        let out = ingest_sharded(
+            &registry_ctor("space_saving", params.clone()),
+            &updates,
+            &cfg,
+        )
+        .unwrap();
+        let mut single = registry::get("space_saving", &params).unwrap();
+        let mut rng = TranscriptRng::from_seed(cfg.shard_seed(0));
+        for chunk in updates.chunks(cfg.batch) {
+            single.process_batch_dyn(chunk, &mut rng).unwrap();
+        }
+        assert_eq!(out.merged.query_dyn(), single.query_dyn());
+        assert_eq!(out.shard_loads, vec![512]);
+    }
+}

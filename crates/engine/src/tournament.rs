@@ -37,6 +37,7 @@ use crate::pool::{self, Job};
 use crate::referee::RefereeSpec;
 use crate::registry::{self, Params};
 use crate::report::{header, row, GameReport};
+use crate::shard::{self, Partition, ShardConfig};
 use crate::workload::WorkloadSpec;
 use std::time::Instant;
 use wb_core::rng::{derive_seed, TranscriptRng};
@@ -82,6 +83,15 @@ pub struct TournamentConfig {
     pub rounds: u64,
     /// Prelude chunk size (referee checks happen at chunk boundaries).
     pub batch: usize,
+    /// Shard instances the prelude is partitioned across (`1` = classic
+    /// single-stream ingestion). With `S > 1`, mergeable algorithms ingest
+    /// the prelude as `S` hash-partitioned shards merged in a
+    /// deterministic reduction tree (see [`crate::shard`]); unmergeable
+    /// algorithms fall back to the flat single-stream path — keeping their
+    /// full prelude randomness transcript visible to the phase-2 adversary
+    /// — so every cell stays playable and reports stay byte-identical
+    /// across thread counts.
+    pub shards: usize,
 }
 
 impl Default for TournamentConfig {
@@ -99,6 +109,7 @@ impl Default for TournamentConfig {
             prelude_m: 1 << 13,
             rounds: 1 << 12,
             batch: 256,
+            shards: 1,
         }
     }
 }
@@ -158,6 +169,8 @@ pub struct CellReport {
     pub adversary: String,
     /// Workload name (the prelude generator).
     pub workload: String,
+    /// Shard instances the prelude was configured to spread across.
+    pub shards: usize,
     /// The derived per-cell game seed (`role = "game"`), for replay.
     pub seed: u64,
     /// Outcome class.
@@ -188,13 +201,14 @@ impl CellReport {
         };
         format!(
             concat!(
-                r#"{{"alg":"{}","adversary":"{}","workload":"{}","seed":{},"#,
+                r#"{{"alg":"{}","adversary":"{}","workload":"{}","shards":{},"seed":{},"#,
                 r#""verdict":"{}","fail_round":{},"rounds":{},"checks":{},"#,
                 r#""peak_space_bits":{},"final_space_bits":{},"detail":"{}"}}"#
             ),
             json_escape(&self.alg),
             json_escape(&self.adversary),
             json_escape(&self.workload),
+            self.shards,
             self.seed,
             self.verdict.label(),
             fail_round,
@@ -478,6 +492,7 @@ fn blank_cell(cfg: &TournamentConfig, alg: &str, adversary: &str, workload: &str
         alg: alg.to_string(),
         adversary: adversary.to_string(),
         workload: workload.to_string(),
+        shards: cfg.shards.max(1),
         seed: derive_seed(cfg.master_seed, &[alg, adversary, workload, "game"]),
         verdict: CellVerdict::Error,
         detail: String::new(),
@@ -497,7 +512,13 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
         cell
     };
 
-    let n = cfg.n.max(1);
+    if cfg.n == 0 {
+        return error(
+            cell,
+            "universe size n must be >= 1 (a zero universe has no items)".to_string(),
+        );
+    }
+    let n = cfg.n;
     let ctor_seed = derive_seed(cfg.master_seed, &[alg_name, adv_name, wl_name, "ctor"]);
     let adv_seed = derive_seed(cfg.master_seed, &[alg_name, adv_name, wl_name, "adversary"]);
     let wl_seed = derive_seed(cfg.master_seed, &[alg_name, adv_name, wl_name, "workload"]);
@@ -532,25 +553,75 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
     // One rng spans both phases: the adversary sees the prelude's transcript.
     let mut rng = TranscriptRng::from_seed(game_seed);
     let batch = cfg.batch.max(1);
-    let expected_checks = (prelude.len() as u64).div_ceil(batch as u64) + cfg.rounds;
+    let shards = cfg.shards.max(1);
+    // Mergeability gates the sharded path. The probe trial-merges one extra
+    // empty instance into `alg` (a no-op by the Mergeable contract — the
+    // sibling summarizes the empty stream), so it costs one construction,
+    // not two, and unmergeable algorithms keep `alg` untouched for the
+    // flat path below.
+    let use_sharded = shards > 1 && {
+        match registry::get(alg_name, &params) {
+            Ok(probe) => alg.merge_dyn(probe.as_ref()).is_ok(),
+            Err(e) => return error(cell, e.to_string()),
+        }
+    };
+    let expected_checks = if use_sharded {
+        1 + cfg.rounds
+    } else {
+        (prelude.len() as u64).div_ceil(batch as u64) + cfg.rounds
+    };
     let mut game = GameReport::new(alg.space_bits_dyn(), expected_checks);
     let mut t = 0u64;
     let mut incompatible: Option<String> = None;
 
-    // Phase 1: oblivious workload prelude, batched.
-    for chunk in prelude.chunks(batch) {
-        referee.observe_batch(chunk);
-        if let Err(e) = alg.process_batch_dyn(chunk, &mut rng) {
-            incompatible = Some(e.to_string());
-            break;
+    if use_sharded {
+        // Phase 1, sharded: the referee observes the stream in original
+        // order while the algorithm state is assembled from hash-partitioned
+        // shard ingests merged in a deterministic reduction tree (shard
+        // tapes derive from the cell's game seed, so the report stays a
+        // pure function of the cell coordinates). The answer is checked
+        // once, at the merge point — mid-shard answers are undefined for
+        // the global stream. Every mergeable algorithm ingests
+        // deterministically (constructor-only randomness), so the phase-2
+        // transcript handed to the adversary — empty at prelude end —
+        // matches flat mode exactly; unmergeable (randomized) algorithms
+        // take the flat path below and keep their full prelude transcript.
+        let ctor = |_: usize| registry::get(alg_name, &params);
+        let shard_cfg = ShardConfig {
+            shards,
+            partition: Partition::Hash,
+            threads: 1, // cells already parallelize on the tournament pool
+            batch,
+            master_seed: game_seed,
+        };
+        referee.observe_batch(&prelude);
+        match shard::ingest_sharded(&ctor, &prelude, &shard_cfg) {
+            Ok(out) => {
+                alg = out.merged;
+                t = prelude.len() as u64;
+                let space = alg.space_bits_dyn();
+                let answer = alg.query_dyn();
+                let verdict = referee.check(t, &answer);
+                game.record_check(t, space, &verdict);
+            }
+            Err(e) => incompatible = Some(e.to_string()),
         }
-        t += chunk.len() as u64;
-        let space = alg.space_bits_dyn();
-        let answer = alg.query_dyn();
-        let verdict = referee.check(t, &answer);
-        game.record_check(t, space, &verdict);
-        if !verdict.is_correct() {
-            break;
+    } else {
+        // Phase 1: oblivious workload prelude, batched single-stream.
+        for chunk in prelude.chunks(batch) {
+            referee.observe_batch(chunk);
+            if let Err(e) = alg.process_batch_dyn(chunk, &mut rng) {
+                incompatible = Some(e.to_string());
+                break;
+            }
+            t += chunk.len() as u64;
+            let space = alg.space_bits_dyn();
+            let answer = alg.query_dyn();
+            let verdict = referee.check(t, &answer);
+            game.record_check(t, space, &verdict);
+            if !verdict.is_correct() {
+                break;
+            }
         }
     }
 
@@ -666,6 +737,37 @@ mod tests {
             assert!(!line.contains("millis"), "timing must stay out: {line}");
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn sharded_tournament_is_deterministic_across_thread_counts() {
+        let sharded = |threads| {
+            let mut cfg = tiny(threads);
+            cfg.shards = 4;
+            cfg
+        };
+        let one = run_tournament(&sharded(1));
+        let three = run_tournament(&sharded(3));
+        assert_eq!(one.json_lines(), three.json_lines());
+        for line in one.json_lines() {
+            assert!(line.contains(r#""shards":4"#), "line: {line}");
+        }
+        // Sharding must not manufacture failures: the mergeable
+        // deterministic summary and the unmergeable fallback both survive
+        // the compatible pairings they survive unsharded.
+        let flat = run_tournament(&tiny(1));
+        for (s, f) in one.cells.iter().zip(&flat.cells) {
+            assert_eq!((s.alg.clone(), s.verdict), (f.alg.clone(), f.verdict));
+        }
+    }
+
+    #[test]
+    fn zero_universe_reports_error_cells() {
+        let mut cfg = tiny(1);
+        cfg.n = 0;
+        let cell = run_cell(&cfg, "misra_gries", "cycle", "uniform");
+        assert_eq!(cell.verdict, CellVerdict::Error);
+        assert!(cell.detail.contains("universe"), "{}", cell.detail);
     }
 
     #[test]

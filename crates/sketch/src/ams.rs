@@ -13,6 +13,7 @@
 //! [`find_aligned_items`] is the attack; experiment E8 charts the forced
 //! error against the number of median copies.
 
+use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_signed, SpaceUsage};
 use wb_core::stream::{StreamAlg, Turnstile};
@@ -102,6 +103,38 @@ impl AmsF2 {
     }
 }
 
+impl Mergeable for AmsF2 {
+    /// Linear-sketch merge: each copy maintains `⟨Z, f⟩`, which is linear
+    /// in `f`, so counters add — **provided both instances use the same
+    /// sign functions** (same public coefficients, i.e. constructed from
+    /// the same seed). The merged sketch is bit-identical to single-stream
+    /// ingestion of the concatenated stream.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.copies.len() != other.copies.len() {
+            return Err(MergeError::incompatible(format!(
+                "AmsF2 {} vs {} copies",
+                self.copies.len(),
+                other.copies.len()
+            )));
+        }
+        if self
+            .copies
+            .iter()
+            .zip(&other.copies)
+            .any(|(a, b)| a.coeffs != b.coeffs)
+        {
+            return Err(MergeError::incompatible(
+                "AmsF2 sign coefficients differ — shard instances must be \
+                 constructed from the same public seed",
+            ));
+        }
+        for (a, b) in self.copies.iter_mut().zip(&other.copies) {
+            a.counter += b.counter;
+        }
+        Ok(())
+    }
+}
+
 impl SpaceUsage for AmsF2 {
     fn space_bits(&self) -> u64 {
         self.copies
@@ -117,6 +150,10 @@ impl StreamAlg for AmsF2 {
 
     fn process(&mut self, update: &Turnstile, _rng: &mut TranscriptRng) {
         self.update(update.item, update.delta);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        Mergeable::merge(self, other)
     }
 
     fn query(&self) -> f64 {
@@ -238,6 +275,39 @@ mod tests {
         let n_many = find_aligned_items(&many, usize::MAX, budget).len();
         // Expected ratio 2^8; allow slack.
         assert!(n_few > 16 * n_many.max(1), "few {n_few} vs many {n_many}");
+    }
+
+    #[test]
+    fn merge_is_exact_for_same_seed_instances() {
+        let mut rng = TranscriptRng::from_seed(47);
+        let single = AmsF2::new(7, &mut rng);
+        let mut a = single.clone();
+        let mut b = single.clone();
+        let mut single = single;
+        for t in 0..2000u64 {
+            let (item, delta) = (t % 97, if t % 5 == 0 { -1 } else { 2 });
+            single.update(item, delta);
+            if t % 2 == 0 {
+                a.update(item, delta);
+            } else {
+                b.update(item, delta);
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), single.estimate());
+        for (m, s) in a.copies().iter().zip(single.copies()) {
+            assert_eq!(m.counter(), s.counter());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_different_sign_seeds() {
+        let mut rng = TranscriptRng::from_seed(48);
+        let mut a = AmsF2::new(3, &mut rng);
+        let b = AmsF2::new(3, &mut rng);
+        assert!(matches!(a.merge(&b), Err(MergeError::Incompatible(_))));
+        let c = AmsF2::new(5, &mut rng);
+        assert!(matches!(a.merge(&c), Err(MergeError::Incompatible(_))));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ever inserting it. [`forge_all_row_collisions`] implements that search;
 //! the experiments (E8) chart its success against the sketch dimensions.
 
+use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
@@ -94,6 +95,33 @@ impl CountMin {
     }
 }
 
+impl Mergeable for CountMin {
+    /// Linear-sketch merge: with identical dimensions **and identical row
+    /// hash coefficients** the tables add cell-wise, and the merged table
+    /// is bit-identical to single-stream ingestion of the concatenated
+    /// stream. Instances constructed from the same public seed share
+    /// coefficients; anything else is [`MergeError::Incompatible`].
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.depth != other.depth || self.width != other.width {
+            return Err(MergeError::incompatible(format!(
+                "CountMin {}x{} vs {}x{}",
+                self.depth, self.width, other.depth, other.width
+            )));
+        }
+        if self.seeds != other.seeds {
+            return Err(MergeError::incompatible(
+                "CountMin row hash coefficients differ — shard instances \
+                 must be constructed from the same public seed",
+            ));
+        }
+        for (cell, &o) in self.table.iter_mut().zip(&other.table) {
+            *cell += o;
+        }
+        self.processed += other.processed;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for CountMin {
     fn space_bits(&self) -> u64 {
         self.table.iter().map(|&c| bits_for_count(c)).sum::<u64>() + self.seeds.len() as u64 * 128
@@ -119,6 +147,10 @@ impl StreamAlg for CountMin {
         for_each_run(items.iter().copied(), |item, w| {
             self.insert_weighted(item, w)
         });
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        Mergeable::merge(self, other)
     }
 
     /// The fixed query in attack experiments: the victim item `0`'s
@@ -247,6 +279,37 @@ mod tests {
         }
         assert_eq!(seq.table, bat.table);
         assert_eq!(seq.processed(), bat.processed());
+    }
+
+    #[test]
+    fn merge_is_exact_for_same_seed_instances() {
+        let mut rng = TranscriptRng::from_seed(37);
+        let single = CountMin::new(3, 64, &mut rng);
+        let mut a = single.clone();
+        let mut b = single.clone();
+        let mut single = single;
+        for t in 0..4000u64 {
+            let item = t % 123;
+            single.insert(item);
+            if item % 2 == 0 {
+                a.insert(item);
+            } else {
+                b.insert(item);
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.table, single.table, "linear merge must be bit-exact");
+        assert_eq!(a.processed(), single.processed());
+    }
+
+    #[test]
+    fn merge_rejects_different_seeds_and_dims() {
+        let mut rng = TranscriptRng::from_seed(38);
+        let mut a = CountMin::new(2, 32, &mut rng);
+        let b = CountMin::new(2, 32, &mut rng); // fresh coefficients
+        assert!(matches!(a.merge(&b), Err(MergeError::Incompatible(_))));
+        let c = CountMin::new(3, 32, &mut rng);
+        assert!(matches!(a.merge(&c), Err(MergeError::Incompatible(_))));
     }
 
     #[test]

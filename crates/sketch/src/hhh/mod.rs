@@ -136,15 +136,14 @@ where
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
-    use wb_core::game::{run_game, ScriptAdversary};
+    use wb_core::game::ScriptAdversary;
+    use wb_engine::Game;
 
     #[test]
     fn referee_accepts_correct_robust_hhh_in_game() {
         let h = RadixHierarchy::new(8, 2); // 16-bit leaves, height 2
-        let mut alg = RobustHHH::new(h, 0.05, 0.25);
         let m = 20_000u64;
         let script: Vec<InsertOnly> = (0..m)
             .map(|t| {
@@ -155,12 +154,16 @@ mod tests {
                 })
             })
             .collect();
-        let mut adv = ScriptAdversary::new(script);
-        let mut referee = HhhReferee::new(h, 0.25, 0.10)
+        let referee = HhhReferee::new(h, 0.25, 0.10)
             .with_grace(1024)
             .with_stride(997);
-        let result = run_game(&mut alg, &mut adv, &mut referee, m, 64);
-        assert!(result.survived(), "failed: {:?}", result.failure);
+        let report = Game::new(RobustHHH::new(h, 0.05, 0.25))
+            .adversary(ScriptAdversary::new(script))
+            .referee(referee)
+            .max_rounds(m)
+            .seed(64)
+            .run();
+        assert!(report.survived(), "failed: {:?}", report.result.failure);
     }
 
     #[test]

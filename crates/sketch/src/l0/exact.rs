@@ -5,6 +5,7 @@
 //! unavoidable for white-box adversaries with unbounded computation; the
 //! SIS estimator (Algorithm 5) beats it only under Assumption 2.17.
 
+use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_signed, bits_for_universe, SpaceUsage};
 use wb_core::stream::{FrequencyVector, StreamAlg, Turnstile};
@@ -41,6 +42,20 @@ impl ExactL0 {
     }
 }
 
+impl Mergeable for ExactL0 {
+    /// Exact merge: the underlying frequency vectors add coordinate-wise,
+    /// so the merged L0 equals single-stream ingestion of both streams.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.n != other.n {
+            return Err(MergeError::incompatible(format!(
+                "ExactL0 universe {} vs {}",
+                self.n, other.n
+            )));
+        }
+        self.freqs.merge(&other.freqs)
+    }
+}
+
 impl SpaceUsage for ExactL0 {
     fn space_bits(&self) -> u64 {
         let id_bits = bits_for_universe(self.n);
@@ -57,6 +72,10 @@ impl StreamAlg for ExactL0 {
 
     fn process(&mut self, update: &Turnstile, _rng: &mut TranscriptRng) {
         self.update(update.item, update.delta);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        Mergeable::merge(self, other)
     }
 
     fn query(&self) -> u64 {
@@ -83,6 +102,28 @@ mod tests {
         assert_eq!(e.l0(), 2, "cancelled item leaves the support");
         e.update(4, -7);
         assert_eq!(e.l0(), 3, "negative coordinates count");
+    }
+
+    #[test]
+    fn merge_cancels_across_shards() {
+        // Insertions land on one shard and the matching deletions on the
+        // other; only the merged view sees the cancellation.
+        let mut a = ExactL0::new(1000);
+        let mut b = ExactL0::new(1000);
+        for i in 0..32u64 {
+            a.update(i, 2);
+            b.update(i, -2);
+        }
+        b.update(777, 1);
+        assert_eq!(a.l0(), 32);
+        a.merge(&b).unwrap();
+        assert_eq!(a.l0(), 1, "cancelled items must leave the merged support");
+        assert_eq!(a.freqs().get(777), 1);
+        let wrong_universe = ExactL0::new(10);
+        assert!(matches!(
+            a.merge(&wrong_universe),
+            Err(MergeError::Incompatible(_))
+        ));
     }
 
     #[test]

@@ -213,11 +213,11 @@ impl StreamAlg for SisL0Estimator {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
-    use wb_core::game::{run_game, ScriptAdversary};
+    use wb_core::game::ScriptAdversary;
     use wb_core::referee::L0SandwichReferee;
+    use wb_engine::Game;
 
     #[test]
     fn sandwich_holds_on_insertions() {
@@ -268,9 +268,8 @@ mod tests {
     fn survives_adaptive_turnstile_game() {
         let mut rng = TranscriptRng::from_seed(73);
         let n = 1 << 10;
-        let mut est = SisL0Estimator::new(n, 0.5, 0.25, MatrixMode::RandomOracle, &mut rng);
+        let est = SisL0Estimator::new(n, 0.5, 0.25, MatrixMode::RandomOracle, &mut rng);
         let factor = est.approximation_factor() as f64;
-        let mut referee = L0SandwichReferee::new(factor);
         // Delete-heavy script: insert a block, delete half, re-insert…
         let mut script = Vec::new();
         for round in 0..6u64 {
@@ -282,9 +281,13 @@ mod tests {
             }
         }
         let len = script.len() as u64;
-        let mut adv = ScriptAdversary::new(script);
-        let result = run_game(&mut est, &mut adv, &mut referee, len, 74);
-        assert!(result.survived(), "failed: {:?}", result.failure);
+        let report = Game::new(est)
+            .adversary(ScriptAdversary::new(script))
+            .referee(L0SandwichReferee::new(factor))
+            .max_rounds(len)
+            .seed(74)
+            .run();
+        assert!(report.survived(), "failed: {:?}", report.result.failure);
     }
 
     #[test]

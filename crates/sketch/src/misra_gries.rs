@@ -10,6 +10,7 @@
 //! robust randomized algorithm's `O(ε⁻¹ (log n + log ε⁻¹) + log log m)`.
 
 use std::collections::HashMap;
+use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
@@ -112,6 +113,38 @@ impl MisraGries {
     }
 }
 
+impl Mergeable for MisraGries {
+    /// Classic `k`-counter merge (Agarwal–Cormode–Huang–Phillips–Wei–Yi):
+    /// counters add pointwise; if more than `k` survive, the `(k+1)`-th
+    /// largest count is subtracted from every counter and non-positive
+    /// counters are dropped — the merged equivalent of the decrement-all
+    /// step. The merged summary's additive error is at most
+    /// `(m₁ + m₂)/(k+1)`, i.e. the same `ε`-heavy-hitters guarantee as
+    /// single-stream ingestion of the concatenated stream.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.k != other.k || self.n != other.n {
+            return Err(MergeError::incompatible(format!(
+                "MisraGries (k={}, n={}) vs (k={}, n={})",
+                self.k, self.n, other.k, other.n
+            )));
+        }
+        for (&item, &count) in &other.counters {
+            *self.counters.entry(item).or_insert(0) += count;
+        }
+        if self.counters.len() > self.k {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.k];
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+        self.processed += other.processed;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for MisraGries {
     /// Each live counter stores an id (`⌈log₂ n⌉` bits) and a count
     /// (`O(log m)` bits — this is the `log m` term of Theorem 2.2 that the
@@ -142,6 +175,10 @@ impl StreamAlg for MisraGries {
         });
     }
 
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        Mergeable::merge(self, other)
+    }
+
     fn query(&self) -> Vec<(u64, f64)> {
         self.entries()
             .into_iter()
@@ -151,11 +188,11 @@ impl StreamAlg for MisraGries {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
-    use wb_core::game::{run_game, ScriptAdversary};
+    use wb_core::game::ScriptAdversary;
     use wb_core::referee::HeavyHitterReferee;
+    use wb_engine::Game;
 
     #[test]
     fn exact_when_few_distinct_items() {
@@ -262,8 +299,8 @@ mod tests {
     #[test]
     fn passes_heavy_hitter_referee_in_game() {
         // ε = 0.1, additive tolerance m/k = εm/2: referee at ε tolerance.
-        let mut mg = MisraGries::new(0.1, 1 << 16);
-        let mut referee = HeavyHitterReferee::new(0.1, 0.1);
+        let mg = MisraGries::new(0.1, 1 << 16);
+        let referee = HeavyHitterReferee::new(0.1, 0.1);
         // Zipf-ish script: item i appears ~ 1/(i+1) of the time.
         let mut script = Vec::new();
         for t in 0..5000u64 {
@@ -275,9 +312,54 @@ mod tests {
             };
             script.push(InsertOnly(item));
         }
-        let mut adv = ScriptAdversary::new(script);
-        let result = run_game(&mut mg, &mut adv, &mut referee, 5000, 13);
-        assert!(result.survived(), "failed: {:?}", result.failure);
+        let report = Game::new(mg)
+            .adversary(ScriptAdversary::new(script))
+            .referee(referee)
+            .max_rounds(5000)
+            .seed(13)
+            .run();
+        assert!(report.survived(), "failed: {:?}", report.result.failure);
+    }
+
+    #[test]
+    fn merge_matches_single_stream_guarantee() {
+        // Split a skewed stream across 4 shard instances by item hash, merge,
+        // and compare against single-stream ingestion: estimates must agree
+        // within the combined additive bound m/(k+1).
+        let stream: Vec<u64> = (0..6000u64)
+            .map(|t| if t % 3 == 0 { 5 } else { t % 41 })
+            .collect();
+        let k = 8;
+        let mut single = MisraGries::with_counters(k, 1 << 10);
+        let mut shards: Vec<MisraGries> = (0..4)
+            .map(|_| MisraGries::with_counters(k, 1 << 10))
+            .collect();
+        for &item in &stream {
+            single.insert(item);
+            shards[(item % 4) as usize].insert(item);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s).unwrap();
+        }
+        assert_eq!(merged.processed(), single.processed());
+        assert!(merged.entries().len() <= k, "capacity exceeded by merge");
+        let m = stream.len() as u64;
+        let truth = |i: u64| stream.iter().filter(|&&x| x == i).count() as u64;
+        for (item, est) in merged.entries() {
+            let f = truth(item);
+            assert!(est <= f, "merged overestimate for {item}: {est} > {f}");
+            assert!(f - est <= m / (k as u64 + 1), "merged error too large");
+        }
+        // The heavy item (1/3 of the stream) must survive the merge.
+        assert!(merged.estimate(5) > 0, "heavy item lost in merge");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_budgets() {
+        let mut a = MisraGries::with_counters(4, 100);
+        let b = MisraGries::with_counters(8, 100);
+        assert!(matches!(a.merge(&b), Err(MergeError::Incompatible(_))));
     }
 
     #[test]

@@ -19,6 +19,15 @@ use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
 
 /// A single Morris counter with base `1 + a`.
+///
+/// **Deliberately unmergeable** (`StreamAlg::merge_from` returns
+/// [`wb_core::merge::MergeError::Unmergeable`]): the stored exponent `X` is
+/// a random variable whose distribution encodes the whole count, and no
+/// deterministic function of two exponents `(X₁, X₂)` is distributed like
+/// the exponent of a counter that saw both streams — a sound merge needs
+/// fresh randomness (subsampling one counter's increments), which the
+/// deterministic [`wb_core::merge::Mergeable`] contract rules out. Sharded
+/// pipelines must route counting through one shard or use exact counters.
 #[derive(Debug, Clone)]
 pub struct MorrisCounter {
     /// The stored exponent `X`.
@@ -154,12 +163,13 @@ impl StreamAlg for MedianMorris {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
-    use wb_core::game::{run_game, FnAdversary, ScriptAdversary};
+    use wb_core::game::{FnAdversary, ScriptAdversary};
+    use wb_core::merge::MergeError;
     use wb_core::referee::ApproxCountReferee;
     use wb_core::rng::RandTranscript;
+    use wb_engine::Game;
 
     #[test]
     fn estimate_zero_initially() {
@@ -238,9 +248,7 @@ mod tests {
         // Adversary stops the stream the moment the estimate drifts high —
         // the classic "stop at an unlucky time" adaptive strategy. With a
         // generous tolerance and a fine base, the counter must survive.
-        let mut alg = MedianMorris::new(0.2, 9);
-        let mut referee = ApproxCountReferee::new(0.5);
-        let mut adv = FnAdversary::new(
+        let adv = FnAdversary::new(
             |_t: u64, alg: &MedianMorris, _tr: &RandTranscript, _last: Option<&f64>| {
                 // White-box: inspect the exponents; stop if estimate looks
                 // inflated (tries to lock in an error — it cannot, because
@@ -252,22 +260,47 @@ mod tests {
                 }
             },
         );
-        let result = run_game(&mut alg, &mut adv, &mut referee, 200_000, 7);
-        assert!(result.survived(), "failed at {:?}", result.failure);
+        let report = Game::new(MedianMorris::new(0.2, 9))
+            .adversary(adv)
+            .referee(ApproxCountReferee::new(0.5))
+            .max_rounds(200_000)
+            .seed(7)
+            .run();
+        assert!(report.survived(), "failed at {:?}", report.result.failure);
     }
 
     #[test]
     fn survives_long_scripted_stream_and_reports_small_space() {
-        let mut alg = MedianMorris::new(0.2, 9);
-        let mut referee = ApproxCountReferee::new(0.5);
-        let mut adv = ScriptAdversary::new(vec![InsertOnly(0); 100_000]);
-        let result = run_game(&mut alg, &mut adv, &mut referee, 100_000, 11);
-        assert!(result.survived(), "failed at {:?}", result.failure);
+        let report = Game::new(MedianMorris::new(0.2, 9))
+            .adversary(ScriptAdversary::new(vec![InsertOnly(0); 100_000]))
+            .referee(ApproxCountReferee::new(0.5))
+            .max_rounds(100_000)
+            .seed(11)
+            .run();
+        assert!(report.survived(), "failed at {:?}", report.result.failure);
         // 9 counters, each ~7 bits of exponent at m = 1e5 with a = 2·ε²δ.
         assert!(
-            result.peak_space_bits < 9 * 16,
+            report.result.peak_space_bits < 9 * 16,
             "peak space {} bits",
-            result.peak_space_bits
+            report.result.peak_space_bits
+        );
+    }
+
+    #[test]
+    fn morris_counters_refuse_to_merge() {
+        // No deterministic combination of two exponents preserves the
+        // estimator's distribution — the typed error records that.
+        let mut a = MorrisCounter::new(0.5, 0.25);
+        let b = MorrisCounter::new(0.5, 0.25);
+        assert_eq!(
+            a.merge_from(&b),
+            Err(MergeError::unmergeable("MorrisCounter"))
+        );
+        let mut ma = MedianMorris::new(0.3, 3);
+        let mb = MedianMorris::new(0.3, 3);
+        assert_eq!(
+            ma.merge_from(&mb),
+            Err(MergeError::unmergeable("MedianMorris"))
         );
     }
 

@@ -246,11 +246,11 @@ impl StreamAlg for PhiEpsHeavyHitters {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
-    use wb_core::game::{run_game, ScriptAdversary};
+    use wb_core::game::ScriptAdversary;
     use wb_core::referee::HeavyHitterReferee;
+    use wb_engine::Game;
 
     fn script(m: u64, n: u64) -> Vec<InsertOnly> {
         (0..m)
@@ -302,13 +302,17 @@ mod tests {
         let mut seed_rng = TranscriptRng::from_seed(51);
         let n = 1u64 << 40;
         let m = 1 << 14;
-        let mut alg = PhiEpsHeavyHitters::new(n, 0.20, 0.05, 1 << 16, &mut seed_rng);
-        let mut referee = HeavyHitterReferee::new(0.20, 0.08)
+        let alg = PhiEpsHeavyHitters::new(n, 0.20, 0.05, 1 << 16, &mut seed_rng);
+        let referee = HeavyHitterReferee::new(0.20, 0.08)
             .with_phi(0.20)
             .with_grace(256);
-        let mut adv = ScriptAdversary::new(script(m, n));
-        let result = run_game(&mut alg, &mut adv, &mut referee, m, 52);
-        assert!(result.survived(), "failed: {:?}", result.failure);
+        let report = Game::new(alg)
+            .adversary(ScriptAdversary::new(script(m, n)))
+            .referee(referee)
+            .max_rounds(m)
+            .seed(52)
+            .run();
+        assert!(report.survived(), "failed: {:?}", report.result.failure);
     }
 
     #[test]

@@ -126,13 +126,13 @@ impl StreamAlg for RobustL1HeavyHitters {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // run_game shim: these suites migrate to wb-engine incrementally
 mod tests {
     use super::*;
     use crate::misra_gries::MisraGries;
-    use wb_core::game::{run_game, FnAdversary, ScriptAdversary};
+    use wb_core::game::{FnAdversary, ScriptAdversary};
     use wb_core::referee::HeavyHitterReferee;
     use wb_core::rng::RandTranscript;
+    use wb_engine::Game;
 
     /// Zipf-flavoured script: item 1 at 40%, item 2 at 15%, item 3 at 8%,
     /// uniform noise elsewhere.
@@ -154,12 +154,14 @@ mod tests {
     fn survives_long_zipf_stream() {
         let n = 1 << 14;
         let m = 1 << 16;
-        let mut alg = RobustL1HeavyHitters::new(n, 0.125);
-        let mut referee = HeavyHitterReferee::new(0.125, 0.125).with_grace(64);
-        let mut adv = ScriptAdversary::new(zipf_script(m, n));
-        let result = run_game(&mut alg, &mut adv, &mut referee, m, 21);
-        assert!(result.survived(), "failed: {:?}", result.failure);
-        assert_eq!(result.rounds, m);
+        let report = Game::new(RobustL1HeavyHitters::new(n, 0.125))
+            .adversary(ScriptAdversary::new(zipf_script(m, n)))
+            .referee(HeavyHitterReferee::new(0.125, 0.125).with_grace(64))
+            .max_rounds(m)
+            .seed(21)
+            .run();
+        assert!(report.survived(), "failed: {:?}", report.result.failure);
+        assert_eq!(report.result.rounds, m);
     }
 
     #[test]
@@ -171,10 +173,8 @@ mod tests {
         // sampling+Morris do not open a new attack surface.
         let n = 1 << 14;
         let m = 1 << 15;
-        let mut alg = RobustL1HeavyHitters::new(n, 0.125);
-        let mut referee = HeavyHitterReferee::new(0.125, 0.125).with_grace(64);
         let mut next_evader = 500u64;
-        let mut adv = FnAdversary::new(
+        let adv = FnAdversary::new(
             move |t: u64,
                   alg: &RobustL1HeavyHitters,
                   _tr: &RandTranscript,
@@ -202,8 +202,13 @@ mod tests {
                 }
             },
         );
-        let result = run_game(&mut alg, &mut adv, &mut referee, m, 22);
-        assert!(result.survived(), "failed: {:?}", result.failure);
+        let (report, alg) = Game::new(RobustL1HeavyHitters::new(n, 0.125))
+            .adversary(adv)
+            .referee(HeavyHitterReferee::new(0.125, 0.125).with_grace(64))
+            .max_rounds(m)
+            .seed(22)
+            .play();
+        assert!(report.survived(), "failed: {:?}", report.result.failure);
         // The heavy item must be reported with a sane estimate.
         let hh = alg.heavy_hitters();
         let est1 = hh.iter().find(|&&(i, _)| i == 1).map(|&(_, e)| e);

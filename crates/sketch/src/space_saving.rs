@@ -9,6 +9,7 @@
 //! white-box robust.
 
 use std::collections::HashMap;
+use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
@@ -109,6 +110,70 @@ impl SpaceSaving {
     pub fn capacity(&self) -> usize {
         self.k
     }
+
+    /// Smallest monitored count if the summary is full, else 0. Any item
+    /// *not* monitored by a full summary has true frequency at most this
+    /// value (an unmonitored item was either never seen or evicted at a
+    /// count it had not exceeded), which is what makes the merge sound.
+    fn floor(&self) -> u64 {
+        if self.entries.len() == self.k {
+            self.entries.values().map(|e| e.count).min().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+}
+
+impl Mergeable for SpaceSaving {
+    /// Mergeable-summaries combine (Agarwal et al.): for every item in
+    /// either summary, counts and errors add; an item absent from a *full*
+    /// sibling contributes that sibling's minimum count to both fields (its
+    /// unseen frequency there is at most that minimum — the over-estimate
+    /// invariant survives). The `k` largest merged counts are kept, ties
+    /// broken toward the smaller item id like the eviction rule. Kept items
+    /// keep `f ≤ count ≤ f + err` with `err ≤ (m₁+m₂)·2/k`, inside the
+    /// `ε`-heavy-hitters tolerance for `k = ⌈2/ε⌉`.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.k != other.k || self.n != other.n {
+            return Err(MergeError::incompatible(format!(
+                "SpaceSaving (k={}, n={}) vs (k={}, n={})",
+                self.k, self.n, other.k, other.n
+            )));
+        }
+        let floor_self = self.floor();
+        let floor_other = other.floor();
+        let mut merged: Vec<(u64, SsEntry)> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
+        for (&item, &e) in &self.entries {
+            let (count, err) = other
+                .entries
+                .get(&item)
+                .map_or((floor_other, floor_other), |o| (o.count, o.err));
+            merged.push((
+                item,
+                SsEntry {
+                    count: e.count + count,
+                    err: e.err + err,
+                },
+            ));
+        }
+        for (&item, &e) in &other.entries {
+            if !self.entries.contains_key(&item) {
+                merged.push((
+                    item,
+                    SsEntry {
+                        count: e.count + floor_self,
+                        err: e.err + floor_self,
+                    },
+                ));
+            }
+        }
+        merged.sort_unstable_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(&b.0)));
+        merged.truncate(self.k);
+        self.entries = merged.into_iter().collect();
+        self.processed += other.processed;
+        Ok(())
+    }
 }
 
 impl SpaceUsage for SpaceSaving {
@@ -139,6 +204,10 @@ impl StreamAlg for SpaceSaving {
         for_each_run(updates.iter().map(|u| u.0), |item, w| {
             self.insert_weighted(item, w)
         });
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        Mergeable::merge(self, other)
     }
 
     fn query(&self) -> Vec<(u64, f64)> {
@@ -231,6 +300,51 @@ mod tests {
             assert_eq!(seq.entries(), bat.entries(), "chunk {chunk}");
             assert_eq!(seq.processed(), bat.processed(), "chunk {chunk}");
         }
+    }
+
+    #[test]
+    fn merge_keeps_sandwich_invariant() {
+        // Item-hash sharding across 3 instances, then a tree merge; the
+        // merged summary must keep f ≤ count and count − err ≤ f for every
+        // kept item, with err within the combined 2m/k budget.
+        let stream: Vec<u64> = (0..4500u64)
+            .map(|t| if t % 4 == 0 { 3 } else { 10 + (t * 7) % 60 })
+            .collect();
+        let k = 12;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut shards: Vec<SpaceSaving> = (0..3)
+            .map(|_| SpaceSaving::with_counters(k, 1 << 12))
+            .collect();
+        for &item in &stream {
+            *truth.entry(item).or_insert(0) += 1;
+            shards[(item % 3) as usize].insert(item);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s).unwrap();
+        }
+        let m = stream.len() as u64;
+        assert_eq!(merged.processed(), m);
+        assert!(merged.entries().len() <= k);
+        for (item, e) in merged.entries() {
+            let f = truth.get(&item).copied().unwrap_or(0);
+            assert!(e.count >= f, "merged count {} < f {f} for {item}", e.count);
+            assert!(
+                e.count - e.err <= f,
+                "merged under-estimate {} > f {f} for {item}",
+                e.count - e.err
+            );
+            assert!(e.err <= 2 * m / k as u64, "merged err {} too large", e.err);
+        }
+        // The 25% item must be monitored with a near-true count.
+        assert!(merged.over_estimate(3) >= truth[&3]);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_budgets() {
+        let mut a = SpaceSaving::with_counters(4, 100);
+        let b = SpaceSaving::with_counters(5, 100);
+        assert!(matches!(a.merge(&b), Err(MergeError::Incompatible(_))));
     }
 
     #[test]

@@ -43,6 +43,40 @@ fn tournament_reports_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn sharded_tournament_reports_are_byte_identical_across_thread_counts() {
+    // Acceptance criterion of the sharded-ingestion tentpole: with the
+    // prelude split across 4 shard instances, the JSON report stays a pure
+    // function of the configuration for --threads 1 / 4 / 8.
+    let sharded = |threads: usize| {
+        let mut cfg = config(threads);
+        cfg.shards = 4;
+        cfg
+    };
+    let json_1 = run_tournament(&sharded(1)).json_lines().join("\n");
+    let json_4 = run_tournament(&sharded(4)).json_lines().join("\n");
+    let json_8 = run_tournament(&sharded(8)).json_lines().join("\n");
+    assert!(!json_1.is_empty());
+    assert_eq!(json_1, json_4, "sharded: 1 vs 4 threads diverged");
+    assert_eq!(json_1, json_8, "sharded: 1 vs 8 threads diverged");
+    assert!(json_1.contains(r#""shards":4"#));
+    // No cell may error out under sharding: unmergeable algorithms fall
+    // back to flat single-stream ingestion instead of failing.
+    for report in [run_tournament(&sharded(2))] {
+        for cell in &report.cells {
+            assert_ne!(
+                cell.verdict,
+                CellVerdict::Error,
+                "{} vs {} on {} errored under sharding: {}",
+                cell.alg,
+                cell.adversary,
+                cell.workload,
+                cell.detail
+            );
+        }
+    }
+}
+
+#[test]
 fn tournament_is_reproducible_for_the_same_master_seed_only() {
     let mut other_seed = config(2);
     other_seed.master_seed = 0xBEEF;
