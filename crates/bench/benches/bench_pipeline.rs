@@ -1,0 +1,130 @@
+//! Streaming vs materialized ingestion throughput — the acceptance gauge
+//! of the pull-based workload pipeline.
+//!
+//! Two paths over the identical stream (same spec, same seed, byte-equal
+//! updates):
+//!
+//! * **materialized** — the historical dataflow: `WorkloadSpec::generate()`
+//!   allocates the whole `Vec<Update>`, then the algorithm ingests it
+//!   slice-chunk by slice-chunk;
+//! * **streamed** — `WorkloadSpec::stream()` pulls chunks into one reused
+//!   buffer (O(chunk) memory), ingesting as it generates.
+//!
+//! Chunked streaming must be at least as fast as materializing: it does
+//! the same generation and ingestion work without the big allocation, the
+//! second pass over memory, or the cache misses of a multi-MB script.
+//!
+//! Besides the criterion groups, the bench's `main` measures both paths
+//! directly and writes `BENCH_pipeline.json` (repo root when invoked via
+//! `cargo bench`) — the committed perf-trajectory artifact CI checks.
+
+use criterion::{black_box, criterion_group, Criterion};
+use std::time::Instant;
+use wb_core::rng::TranscriptRng;
+use wb_engine::registry::{self, Params};
+use wb_engine::workload::UpdateSource;
+use wb_engine::{Update, WorkloadSpec};
+
+const CHUNK: usize = 4096;
+
+fn spec(kind: &str, n: u64, m: u64) -> WorkloadSpec {
+    match kind {
+        "uniform" => WorkloadSpec::Uniform { n, m, seed: 97 },
+        "cycle" => WorkloadSpec::Cycle { items: 8, m },
+        other => panic!("unknown bench workload {other}"),
+    }
+}
+
+/// Materialized path: generate the whole stream, then ingest it in chunks.
+fn ingest_materialized(alg_name: &str, params: &Params, spec: &WorkloadSpec) -> u64 {
+    let mut alg = registry::get(alg_name, params).expect("registry");
+    let mut rng = TranscriptRng::from_seed(1);
+    let script = spec.generate();
+    for chunk in script.chunks(CHUNK) {
+        alg.process_batch_dyn(chunk, &mut rng).expect("model");
+    }
+    alg.space_bits_dyn()
+}
+
+/// Streamed path: pull chunks into one reused buffer, ingesting lazily.
+fn ingest_streamed(alg_name: &str, params: &Params, spec: &WorkloadSpec) -> u64 {
+    let mut alg = registry::get(alg_name, params).expect("registry");
+    let mut rng = TranscriptRng::from_seed(1);
+    let mut source = spec.stream();
+    let mut buf: Vec<Update> = Vec::with_capacity(CHUNK);
+    while source.next_chunk(&mut buf) > 0 {
+        alg.process_batch_dyn(&buf, &mut rng).expect("model");
+    }
+    alg.space_bits_dyn()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let params = Params::default().with_n(1 << 12);
+    let m = 1u64 << 18;
+    for workload in ["uniform", "cycle"] {
+        for alg in ["misra_gries", "count_min"] {
+            let spec = spec(workload, params.n, m);
+            let mut g = c.benchmark_group(&format!("pipeline_{workload}_{alg}"));
+            g.bench_function("materialized", |b| {
+                b.iter(|| black_box(ingest_materialized(alg, &params, &spec)))
+            });
+            g.bench_function("streamed", |b| {
+                b.iter(|| black_box(ingest_streamed(alg, &params, &spec)))
+            });
+            g.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+
+/// Median-of-`trials` wall time of `f`, in seconds.
+fn measure(trials: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut times: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    benches();
+
+    // The committed perf artifact: million-updates-per-second for both
+    // paths, per (workload, algorithm) cell.
+    let params = Params::default().with_n(1 << 12);
+    let m = 1u64 << 20;
+    let trials = 5;
+    let mut rows = Vec::new();
+    for workload in ["uniform", "cycle"] {
+        for alg in ["misra_gries", "count_min"] {
+            let s = spec(workload, params.n, m);
+            let mat = measure(trials, || ingest_materialized(alg, &params, &s));
+            let str_ = measure(trials, || ingest_streamed(alg, &params, &s));
+            let mups = |secs: f64| m as f64 / secs / 1e6;
+            rows.push(format!(
+                concat!(
+                    r#"{{"workload":"{}","alg":"{}","materialized_mups":{:.1},"#,
+                    r#""streamed_mups":{:.1},"speedup":{:.3}}}"#
+                ),
+                workload,
+                alg,
+                mups(mat),
+                mups(str_),
+                mat / str_,
+            ));
+        }
+    }
+    let json = format!(
+        "{{\"bench\":\"pipeline\",\"m\":{m},\"chunk\":{CHUNK},\"trials\":{trials},\"results\":[\n  {}\n]}}\n",
+        rows.join(",\n  ")
+    );
+    // Write at the workspace root (benches run with the package as CWD).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("\nBENCH_pipeline.json:\n{json}");
+}

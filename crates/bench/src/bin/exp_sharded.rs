@@ -14,7 +14,7 @@
 use wb_core::rng::TranscriptRng;
 use wb_engine::experiment::{run_cli, ExperimentSpec, Row, RunnerConfig, Section};
 use wb_engine::registry::{self, Params};
-use wb_engine::shard::{ingest_sharded, Partition, ShardConfig};
+use wb_engine::shard::{ingest_sharded_source, Partition, ShardConfig};
 use wb_engine::{Answer, RefereeSpec, Update, WorkloadSpec};
 
 /// Mergeable registry algorithms and the referee guarding each one's
@@ -78,13 +78,16 @@ fn main() {
                 let referee = referee.clone();
                 section = section.row(Row::custom(format!("{alg} x{shards}"), move |ctx| {
                     let m = ctx.cap(1 << 15, RunnerConfig::QUICK_CAP);
-                    let updates: Vec<Update> = WorkloadSpec::Zipf {
+                    let spec = WorkloadSpec::Zipf {
                         n: params.n,
                         m,
                         heavy: 8,
                         seed: 1789,
-                    }
-                    .generate();
+                    };
+                    // Ground truth (single-stream state + referee) needs the
+                    // materialized stream; the sharded path streams the same
+                    // spec through the chunk-queue pipeline.
+                    let updates: Vec<Update> = spec.generate();
                     let ctor = |_: usize| registry::get(alg, &params);
                     let cfg = ShardConfig {
                         shards,
@@ -98,7 +101,8 @@ fn main() {
                     for chunk in updates.chunks(cfg.batch) {
                         single.process_batch_dyn(chunk, &mut rng).expect("model");
                     }
-                    let out = ingest_sharded(&ctor, &updates, &cfg).expect("sharded ingest");
+                    let out = ingest_sharded_source(&ctor, &mut spec.stream(), &cfg)
+                        .expect("sharded ingest");
                     let merged_answer = out.merged.query_dyn();
                     let drift = answer_drift(&merged_answer, &single.query_dyn());
                     let mut ref_ = referee.build();

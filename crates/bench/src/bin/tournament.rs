@@ -2,8 +2,9 @@
 //! on every workload, in parallel, with bit-reproducible reports.
 //!
 //! ```text
-//! tournament [--threads N] [--shards S] [--quick] [--seed S] [--json <path|->]
-//!            [--cells] [--alg KEY]... [--adversary KEY]... [--workload KEY]...
+//! tournament [--threads N] [--shards S] [--prelude-m M] [--chunk C]
+//!            [--quick] [--seed S] [--json <path|->] [--cells]
+//!            [--alg KEY]... [--adversary KEY]... [--workload KEY]...
 //! ```
 //!
 //! * `--threads N` — worker threads (default: one per core). Reports are
@@ -12,6 +13,13 @@
 //!   shard instances and merge them in a deterministic reduction tree
 //!   (mergeable algorithms only; the rest keep flat ingestion). Reports
 //!   stay byte-identical across thread counts for any fixed `S`.
+//! * `--prelude-m M` — length of each cell's oblivious prelude
+//!   (underscores allowed: `10_000_000`). The prelude is *streamed* in
+//!   `--chunk`-sized pulls, so memory stays O(threads × chunk) no matter
+//!   how large `M` is. Overrides the `--quick` prelude when both are
+//!   given.
+//! * `--chunk C` — prelude chunk size (default 4096). Pure transport: the
+//!   report is byte-identical for every `C`.
 //! * `--quick` — smoke-scale cell sizes (CI mode); the cross-product stays
 //!   full.
 //! * `--seed S` — master seed; each cell's tapes derive from
@@ -30,6 +38,8 @@ fn main() {
     let mut json: Option<String> = None;
     let mut threads = 0usize;
     let mut shards = 1usize;
+    let mut prelude_m: Option<u64> = None;
+    let mut chunk: Option<usize> = None;
     let mut seed = 42u64;
     let mut algs: Vec<String> = Vec::new();
     let mut adversaries: Vec<String> = Vec::new();
@@ -60,6 +70,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--prelude-m" => prelude_m = Some(parse(&value("--prelude-m"), "--prelude-m")),
+            "--chunk" => {
+                chunk = Some(parse(&value("--chunk"), "--chunk"));
+                if chunk == Some(0) {
+                    eprintln!("--chunk must be >= 1");
+                    std::process::exit(2);
+                }
+            }
             "--seed" => seed = parse(&value("--seed"), "--seed"),
             "--alg" => algs.push(value("--alg")),
             "--adversary" => adversaries.push(value("--adversary")),
@@ -67,7 +85,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag '{other}' (known: --quick, --cells, --json, --threads, \
-                     --shards, --seed, --alg, --adversary, --workload)"
+                     --shards, --prelude-m, --chunk, --seed, --alg, --adversary, --workload)"
                 );
                 std::process::exit(2);
             }
@@ -81,6 +99,12 @@ fn main() {
     cfg.master_seed = seed;
     cfg.threads = threads;
     cfg.shards = shards;
+    if let Some(m) = prelude_m {
+        cfg.prelude_m = m; // after quick(): an explicit -m wins
+    }
+    if let Some(c) = chunk {
+        cfg.batch = c;
+    }
     if !algs.is_empty() {
         validate(&algs, &registry::names(), "algorithm");
         cfg.algs = algs;
@@ -95,11 +119,14 @@ fn main() {
     }
 
     println!(
-        "tournament: {} algorithms x {} adversaries x {} workloads = {} cells, master seed {}{}{}",
+        "tournament: {} algorithms x {} adversaries x {} workloads = {} cells, \
+         prelude m = {} streamed in chunks of {}, master seed {}{}{}",
         cfg.algs.len(),
         cfg.adversaries.len(),
         cfg.workloads.len(),
         cfg.cell_count(),
+        cfg.prelude_m,
+        cfg.batch,
         cfg.master_seed,
         if cfg.shards > 1 {
             format!("  [sharded prelude: {} shards]", cfg.shards)
@@ -159,7 +186,8 @@ fn main() {
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
-    value.parse().unwrap_or_else(|_| {
+    // Underscore separators are allowed: `--prelude-m 10_000_000`.
+    value.replace('_', "").parse().unwrap_or_else(|_| {
         eprintln!("{flag}: could not parse '{value}'");
         std::process::exit(2);
     })

@@ -22,8 +22,8 @@ fn golden_path() -> std::path::PathBuf {
 fn e1_quick_json_report_matches_golden() {
     let cfg = RunnerConfig {
         quick: true,
-        json: None,
         threads: 1,
+        ..RunnerConfig::default()
     };
     let lines = run(bench::specs::e1(), &cfg);
     assert!(!lines.is_empty(), "e1 produced no report rows");
@@ -60,8 +60,8 @@ fn e1_quick_report_is_stable_across_thread_counts() {
             bench::specs::e1(),
             &RunnerConfig {
                 quick: true,
-                json: None,
                 threads,
+                ..RunnerConfig::default()
             },
         )
         .join("\n")

@@ -14,12 +14,17 @@
 //!   blanket-implemented for every algorithm whose update type converts
 //!   from [`Update`] and whose output converts into [`Answer`] — i.e. all
 //!   `u64`-universe sketches get `Box<dyn DynStreamAlg>` for free;
-//! * [`DynAdversary`] / erased drive loops ([`run_script_erased`],
-//!   [`run_erased`]) so registries and experiment runners can play the
-//!   white-box game without knowing concrete types.
+//! * [`DynAdversary`] / erased drive loops ([`run_source_erased`],
+//!   [`run_script_erased`], [`run_erased`]) so registries and experiment
+//!   runners can play the white-box game without knowing concrete types.
+//!   The source-driven loop is the primary ingestion path: it pulls chunks
+//!   from an [`UpdateSource`] into one reused buffer, so memory stays
+//!   O(chunk) no matter how long the stream is; the script loop is a thin
+//!   wrapper over a [`SliceSource`].
 
 use crate::referee::DynReferee;
 use crate::report::GameReport;
+use crate::workload::{SliceSource, UpdateSource};
 use std::any::Any;
 use wb_core::merge::MergeError;
 use wb_core::rng::{RandTranscript, TranscriptRng};
@@ -28,11 +33,13 @@ use wb_core::stream::{InsertOnly, StreamAlg, Turnstile};
 use wb_core::WbError;
 
 /// Largest positive turnstile delta an insertion-only algorithm will expand
-/// into repeated unit insertions — per update, and also the cap on the
-/// *total extra* insertions one batch may materialize (the batched path
-/// clones the expansion, so without a per-batch cap the per-update bound
-/// would multiply by the batch length). Bounds the work and memory one
-/// erased call can cause; anything larger is rejected as out-of-model.
+/// into repeated unit insertions. The **per-update** bound is the only
+/// rejection rule — so whether a stream is in-model never depends on how
+/// it was chunked. The batched path additionally uses this as its
+/// *segment* budget: a batch whose total expansion would exceed it is
+/// processed in several bounded `process_batch` segments (bit-identical by
+/// the batching contract) instead of materializing the whole expansion,
+/// bounding the work and memory of one erased call.
 pub const MAX_DELTA_EXPANSION: u64 = 1 << 16;
 
 /// A stream update in either of the paper's update models.
@@ -252,6 +259,13 @@ pub trait DynStreamAlg: Send {
 
     /// Ingest a batch of erased updates through the algorithm's
     /// (possibly hand-optimized) [`StreamAlg::process_batch`] path.
+    ///
+    /// Outcomes are **chunk-invariant**: whether a stream is in-model (and
+    /// the final state when it is) never depends on how callers chunked
+    /// it. On a wrong-model error, updates from earlier internal segments
+    /// of the same call may already be applied (heavy-delta expansions are
+    /// processed in bounded segments); callers treat a failed instance as
+    /// discarded, never as rolled back.
     fn process_batch_dyn(
         &mut self,
         updates: &[Update],
@@ -314,13 +328,19 @@ where
                     self.name()
                 ))
             })?;
-            extra += repeat - 1;
-            if extra > MAX_DELTA_EXPANSION {
-                return Err(WbError::invalid(format!(
-                    "{}: batch delta expansion exceeds {MAX_DELTA_EXPANSION} extra insertions",
-                    self.name()
-                )));
+            // Keep the materialized expansion bounded without making the
+            // outcome chunk-dependent: once the accumulated expansion would
+            // blow the segment budget, flush what we have (chunking is
+            // bit-identical by the process_batch contract) and continue.
+            // The only rejection is the per-update bound inside
+            // from_update_weighted, so a stream's validity never depends
+            // on how callers chunked it.
+            if extra + (repeat - 1) > MAX_DELTA_EXPANSION && !converted.is_empty() {
+                self.process_batch(&converted, rng);
+                converted.clear();
+                extra = 0;
             }
+            extra += repeat - 1;
             for _ in 1..repeat {
                 converted.push(u.clone());
             }
@@ -406,6 +426,52 @@ impl DynAdversary for ScriptDynAdversary {
     }
 }
 
+/// A [`DynAdversary`] that replays an [`UpdateSource`] one update per
+/// round, pulling chunks lazily into a small reused buffer — the streaming
+/// replacement for materializing a generator's whole script up front (the
+/// registry's scripted adversaries are built on this).
+pub struct StreamDynAdversary<S> {
+    source: S,
+    buf: Vec<Update>,
+    pos: usize,
+}
+
+/// Chunk size of the adversary's internal pull buffer: adversaries serve
+/// one update per round, so a small buffer amortizes the pull without
+/// holding a meaningful slice of the stream.
+const ADVERSARY_CHUNK: usize = 256;
+
+impl<S: UpdateSource + Send> StreamDynAdversary<S> {
+    /// Replay `source` in order, then stop.
+    pub fn new(source: S) -> Self {
+        StreamDynAdversary {
+            source,
+            buf: Vec::with_capacity(ADVERSARY_CHUNK),
+            pos: 0,
+        }
+    }
+}
+
+impl<S: UpdateSource + Send> DynAdversary for StreamDynAdversary<S> {
+    fn next_update(
+        &mut self,
+        _t: u64,
+        _alg: &dyn DynStreamAlg,
+        _transcript: &RandTranscript,
+        _last: Option<&Answer>,
+    ) -> Option<Update> {
+        if self.pos >= self.buf.len() {
+            self.pos = 0;
+            if self.source.next_chunk(&mut self.buf) == 0 {
+                return None;
+            }
+        }
+        let u = self.buf[self.pos];
+        self.pos += 1;
+        Some(u)
+    }
+}
+
 /// A [`DynAdversary`] defined by a closure over the full erased view.
 pub struct FnDynAdversary<F> {
     f: F,
@@ -436,27 +502,32 @@ where
     }
 }
 
-/// Drives an oblivious script through an erased algorithm with batched
-/// ingestion: the referee observes every update, the algorithm ingests
-/// `batch`-sized chunks through its optimized [`StreamAlg::process_batch`]
-/// path, and the query is checked at every chunk boundary (with `batch = 1`
-/// this is exactly the per-round game).
-pub fn run_script_erased(
+/// Drives an oblivious [`UpdateSource`] through an erased algorithm with
+/// batched ingestion: chunks of up to `chunk` updates are pulled into one
+/// reused buffer (memory stays O(chunk) for any stream length), the
+/// referee observes every update, the algorithm ingests each chunk through
+/// its optimized [`StreamAlg::process_batch`] path, and the query is
+/// checked at every chunk boundary (with `chunk = 1` this is exactly the
+/// per-round game).
+pub fn run_source_erased(
     alg: &mut dyn DynStreamAlg,
-    script: &[Update],
+    source: &mut dyn UpdateSource,
     referee: &mut dyn DynReferee,
-    batch: usize,
+    chunk: usize,
     seed: u64,
 ) -> Result<GameReport, WbError> {
-    let batch = batch.max(1);
+    let chunk = chunk.max(1);
     let mut rng = TranscriptRng::from_seed(seed);
-    let expected_checks = (script.len() as u64).div_ceil(batch as u64);
+    let expected_checks = source
+        .len_hint()
+        .map_or(1, |len| len.div_ceil(chunk as u64).max(1));
     let mut report = GameReport::new(alg.space_bits_dyn(), expected_checks);
+    let mut buf: Vec<Update> = Vec::with_capacity(chunk);
     let mut t = 0u64;
-    for chunk in script.chunks(batch) {
-        referee.observe_batch(chunk);
-        alg.process_batch_dyn(chunk, &mut rng)?;
-        t += chunk.len() as u64;
+    while source.next_chunk(&mut buf) > 0 {
+        referee.observe_batch(&buf);
+        alg.process_batch_dyn(&buf, &mut rng)?;
+        t += buf.len() as u64;
         let space = alg.space_bits_dyn();
         let answer = alg.query_dyn();
         let verdict = referee.check(t, &answer);
@@ -467,6 +538,21 @@ pub fn run_script_erased(
     }
     report.finish(t, alg.space_bits_dyn());
     Ok(report)
+}
+
+/// Drives an already-materialized script through the streaming loop — a
+/// thin [`SliceSource`] wrapper over [`run_source_erased`], kept for tests
+/// and callers that hold literal scripts. Chunk boundaries (and therefore
+/// referee checks and reports) are identical to pulling the same stream
+/// from any other source with the same `batch`.
+pub fn run_script_erased(
+    alg: &mut dyn DynStreamAlg,
+    script: &[Update],
+    referee: &mut dyn DynReferee,
+    batch: usize,
+    seed: u64,
+) -> Result<GameReport, WbError> {
+    run_source_erased(alg, &mut SliceSource::new(script), referee, batch, seed)
 }
 
 /// Drives an adaptive erased adversary through the per-round white-box game
@@ -595,16 +681,24 @@ mod tests {
             InsertOnly::from_update(&Update::Turnstile { item: 9, delta: 7 }),
             None
         );
-        // A batch may expand by at most MAX_DELTA_EXPANSION extra inserts
-        // in total, not per update.
+        // Expansion totals beyond MAX_DELTA_EXPANSION are processed in
+        // bounded segments, never rejected: in-model/out-of-model is a
+        // per-update property, so it cannot depend on how a stream was
+        // chunked (the tournament's --chunk invariance relies on this).
         let near_cap = Update::Turnstile {
             item: 1,
             delta: MAX_DELTA_EXPANSION as i64,
         };
         assert!(batched.process_batch_dyn(&[near_cap], &mut rng_c).is_ok());
-        assert!(batched
-            .process_batch_dyn(&[near_cap, near_cap], &mut rng_c)
-            .is_err());
+        let mut wide: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        let mut narrow: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        let mut rng_d = TranscriptRng::from_seed(5);
+        let mut rng_e = TranscriptRng::from_seed(5);
+        wide.process_batch_dyn(&[near_cap, near_cap], &mut rng_d)
+            .unwrap();
+        narrow.process_batch_dyn(&[near_cap], &mut rng_e).unwrap();
+        narrow.process_batch_dyn(&[near_cap], &mut rng_e).unwrap();
+        assert_eq!(wide.query_dyn(), narrow.query_dyn());
         // Turnstile algorithms still receive the delta untouched.
         assert_eq!(
             Turnstile::from_update_weighted(&Update::Turnstile { item: 2, delta: 5 }),
@@ -680,6 +774,59 @@ mod tests {
         assert_eq!(report.result.rounds, 500);
         assert!(report.checks >= 500 / 64);
         assert!(!report.space_timeline.is_empty());
+    }
+
+    #[test]
+    fn source_runner_matches_script_runner() {
+        use crate::workload::WorkloadSpec;
+        let spec = WorkloadSpec::Zipf {
+            n: 1 << 10,
+            m: 2000,
+            heavy: 4,
+            seed: 11,
+        };
+        let referee_spec = RefereeSpec::HeavyHitters {
+            eps: 0.125,
+            tol: 0.125,
+            phi: None,
+            grace: 32,
+        };
+        let script = spec.generate();
+        let mut a: Box<dyn DynStreamAlg> = Box::new(MisraGries::new(0.125, 1 << 10));
+        let mut b: Box<dyn DynStreamAlg> = Box::new(MisraGries::new(0.125, 1 << 10));
+        let mut ref_a = referee_spec.clone().build();
+        let mut ref_b = referee_spec.build();
+        let ra = run_script_erased(a.as_mut(), &script, ref_a.as_mut(), 128, 3).unwrap();
+        let rb = run_source_erased(b.as_mut(), &mut spec.stream(), ref_b.as_mut(), 128, 3).unwrap();
+        assert_eq!(ra.result.rounds, rb.result.rounds);
+        assert_eq!(ra.checks, rb.checks);
+        assert_eq!(a.query_dyn(), b.query_dyn());
+        assert_eq!(a.space_bits_dyn(), b.space_bits_dyn());
+    }
+
+    #[test]
+    fn stream_adversary_replays_the_source_in_order() {
+        use crate::workload::WorkloadSpec;
+        let spec = WorkloadSpec::Uniform {
+            n: 1 << 8,
+            m: 700,
+            seed: 5,
+        };
+        let expected = spec.generate();
+        let mut adv = StreamDynAdversary::new(spec.stream());
+        let alg: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(2, 1 << 8));
+        let rng = TranscriptRng::from_seed(0);
+        let mut got = Vec::new();
+        let mut t = 0;
+        while let Some(u) = adv.next_update(t, alg.as_ref(), rng.transcript(), None) {
+            got.push(u);
+            t += 1;
+        }
+        assert_eq!(got, expected);
+        // Exhausted sources stay exhausted.
+        assert!(adv
+            .next_update(t, alg.as_ref(), rng.transcript(), None)
+            .is_none());
     }
 
     #[test]

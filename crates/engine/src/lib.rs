@@ -26,12 +26,18 @@
 //!   adversary × workload) played in parallel with per-cell seeds derived
 //!   from one master seed: a systematic robustness evaluation whose JSON
 //!   report is byte-identical across thread counts.
-//! * [`shard`] — sharded ingestion: partition one logical stream across
-//!   `S` instances (hash or round-robin), ingest in parallel on the
-//!   [`pool`], and fold the states back together with
-//!   `DynStreamAlg::merge_dyn` in a deterministic reduction tree. Only
-//!   [`wb_core::merge::Mergeable`] algorithms participate; the rest refuse
-//!   with a typed `MergeError`.
+//! * [`shard`] — sharded ingestion: route one logical stream across `S`
+//!   instances (hash or round-robin) over bounded per-shard chunk queues,
+//!   and fold the states back together with `DynStreamAlg::merge_dyn` in a
+//!   deterministic reduction tree. Only [`wb_core::merge::Mergeable`]
+//!   algorithms participate; the rest refuse with a typed `MergeError`.
+//! * [`workload`] — the named stream generators, the declarative
+//!   [`WorkloadSpec`], and the **pull-based streaming layer**
+//!   ([`workload::UpdateSource`] / [`WorkloadSpec::stream`]) every
+//!   ingestion path above is built on: chunks are generated lazily into a
+//!   caller-owned reused buffer, so memory is O(chunk) for any stream
+//!   length and `--prelude-m 10_000_000`-scale runs are wall-clock-bound,
+//!   not RAM-bound.
 //! * [`pool`] — the hand-rolled work-queue thread pool (std only) behind
 //!   both runners, returning results in submission order.
 //!
@@ -86,8 +92,13 @@ pub use erased::{Answer, DynAdversary, DynStreamAlg, Update};
 pub use experiment::{ExperimentSpec, GameRow, Metric, Row, RunCtx, RunnerConfig, Section};
 pub use referee::{DynReferee, RefereeSpec};
 pub use report::GameReport;
-pub use shard::{ingest_sharded, merge_reduce, Partition, ShardConfig, ShardedIngest};
+pub use shard::{
+    ingest_sharded, ingest_sharded_source, merge_reduce, Partition, ShardConfig, ShardedIngest,
+};
 pub use tournament::{
     run_tournament, AlgSummary, CellReport, CellVerdict, TournamentConfig, TournamentReport,
 };
-pub use workload::WorkloadSpec;
+pub use workload::{
+    FoldSource, InspectSource, SliceSource, UpdateSource, WorkloadSpec, WorkloadStream,
+    DEFAULT_CHUNK,
+};

@@ -14,8 +14,8 @@
 //! Every entry returns a boxed [`DynStreamAlg`]; unknown keys and
 //! out-of-domain parameters return [`WbError::InvalidParameter`].
 
-use crate::erased::{DynAdversary, DynStreamAlg, FnDynAdversary, ScriptDynAdversary, Update};
-use crate::workload::WorkloadSpec;
+use crate::erased::{DynAdversary, DynStreamAlg, FnDynAdversary, StreamDynAdversary, Update};
+use crate::workload::{FoldSource, WorkloadSpec};
 use wb_core::rng::TranscriptRng;
 use wb_core::WbError;
 use wb_sketch::ams::AmsF2;
@@ -320,45 +320,54 @@ pub fn adversary_names() -> Vec<&'static str> {
 /// Construct the adversary registered under `name`.
 ///
 /// The scripted adversaries (`zipf`, `ddos`, `uniform`, `cycle`) replay
-/// the matching [`WorkloadSpec`] stream for `params.m` rounds; `hh_evader`
-/// is adaptive — it interleaves one heavy item with items currently absent
-/// from the last reported heavy-hitter list (the classic summary-evasion
-/// strategy, expressed over the erased interface).
+/// the matching [`WorkloadSpec`] stream for `params.m` rounds — pulled
+/// lazily from [`WorkloadSpec::stream`], so even a huge scripted phase is
+/// O(chunk) memory, never a materialized script; `hh_evader` is adaptive —
+/// it interleaves one heavy item with items currently absent from the last
+/// reported heavy-hitter list (the classic summary-evasion strategy,
+/// expressed over the erased interface).
 ///
 /// `ddos` traffic (raw 32-bit addresses) is folded into the universe by
-/// `item % params.n`, so universe-bounded algorithms (`sis_l0` asserts
-/// `item < n`) stay playable against every registered adversary; the hot
-/// prefix and hot host fold onto fixed residues, preserving the skew.
+/// `item % params.n` (the shared [`FoldSource`] rule — the generator logic
+/// itself lives only in [`crate::workload`]), so universe-bounded
+/// algorithms (`sis_l0` asserts `item < n`) stay playable against every
+/// registered adversary; the hot prefix and hot host fold onto fixed
+/// residues, preserving the skew.
 pub fn adversary(name: &str, params: &Params) -> Result<Box<dyn DynAdversary>, WbError> {
     check_universe(params.n)?;
     let p = params.clone();
     match name {
-        "zipf" => Ok(script(WorkloadSpec::Zipf {
-            n: p.n,
-            m: p.m,
-            heavy: p.heavy,
-            seed: p.seed,
-        })),
-        "ddos" => {
-            let folded: Vec<Update> = WorkloadSpec::Ddos {
+        "zipf" => Ok(scripted(
+            WorkloadSpec::Zipf {
+                n: p.n,
+                m: p.m,
+                heavy: p.heavy,
+                seed: p.seed,
+            },
+            None,
+        )),
+        "ddos" => Ok(scripted(
+            WorkloadSpec::Ddos {
                 m: p.m,
                 seed: p.seed,
-            }
-            .generate()
-            .into_iter()
-            .map(|u| u.fold_into(p.n))
-            .collect();
-            Ok(Box::new(ScriptDynAdversary::new(folded)))
-        }
-        "uniform" => Ok(script(WorkloadSpec::Uniform {
-            n: p.n,
-            m: p.m,
-            seed: p.seed,
-        })),
-        "cycle" => Ok(script(WorkloadSpec::Cycle {
-            items: p.heavy.max(1),
-            m: p.m,
-        })),
+            },
+            Some(p.n),
+        )),
+        "uniform" => Ok(scripted(
+            WorkloadSpec::Uniform {
+                n: p.n,
+                m: p.m,
+                seed: p.seed,
+            },
+            None,
+        )),
+        "cycle" => Ok(scripted(
+            WorkloadSpec::Cycle {
+                items: p.heavy.max(1),
+                m: p.m,
+            },
+            None,
+        )),
         "hh_evader" => {
             // The evader cycles over the upper half of the universe; a tiny
             // universe would leave it nothing to evade into (or divide by
@@ -401,8 +410,13 @@ pub fn adversary(name: &str, params: &Params) -> Result<Box<dyn DynAdversary>, W
     }
 }
 
-fn script(spec: WorkloadSpec) -> Box<dyn DynAdversary> {
-    Box::new(ScriptDynAdversary::new(spec.generate()))
+/// One streaming replay path for every scripted adversary: pull chunks
+/// from the spec's lazy stream, optionally folding items into `[0, n)`.
+fn scripted(spec: WorkloadSpec, fold_into: Option<u64>) -> Box<dyn DynAdversary> {
+    match fold_into {
+        Some(n) => Box::new(StreamDynAdversary::new(FoldSource::new(spec.stream(), n))),
+        None => Box::new(StreamDynAdversary::new(spec.stream())),
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +472,32 @@ mod tests {
         }
         assert_eq!(a.query_dyn(), b.query_dyn());
         assert_eq!(a.space_bits_dyn(), b.space_bits_dyn());
+    }
+
+    #[test]
+    fn scripted_adversaries_replay_the_folded_workload_stream() {
+        // The streaming ddos adversary must emit exactly the folded
+        // materialized script the old hand-rolled fold produced.
+        let p = Params::default().with_n(1 << 10).with_m(500);
+        let expected: Vec<Update> = WorkloadSpec::Ddos {
+            m: p.m,
+            seed: p.seed,
+        }
+        .generate()
+        .into_iter()
+        .map(|u| u.fold_into(p.n))
+        .collect();
+        let mut adv = adversary("ddos", &p).unwrap();
+        let alg = get("misra_gries", &p).unwrap();
+        let rng = TranscriptRng::from_seed(0);
+        let mut got = Vec::new();
+        let mut t = 1;
+        while let Some(u) = adv.next_update(t, alg.as_ref(), rng.transcript(), None) {
+            got.push(u);
+            t += 1;
+        }
+        assert_eq!(got, expected);
+        assert!(got.iter().all(|u| u.item() < p.n), "fold missed an item");
     }
 
     #[test]

@@ -46,11 +46,28 @@ impl GameReport {
     }
 
     /// Record one referee check at round `t`.
+    ///
+    /// The timeline is self-bounding: if a game performs far more checks
+    /// than `expected_checks` predicted (streaming sources without a
+    /// length hint, iterators with inexact size hints), the retained
+    /// samples are decimated and the stride doubled whenever they reach
+    /// `2 ×` [`TIMELINE_POINTS`] — memory stays O(1) in the stream length
+    /// no matter how wrong the prediction was. Games with accurate
+    /// predictions never hit the threshold, so their reports are
+    /// unchanged.
     pub fn record_check(&mut self, t: u64, space_bits: u64, verdict: &Verdict) {
         self.checks += 1;
         self.result.peak_space_bits = self.result.peak_space_bits.max(space_bits);
         let sample_due = self.checks.is_multiple_of(self.stride);
         if sample_due || !verdict.is_correct() {
+            if sample_due && self.space_timeline.len() >= 2 * TIMELINE_POINTS {
+                let mut keep = [false, true].iter().copied().cycle();
+                self.space_timeline.retain(|_| keep.next().expect("cycle"));
+                let mut keep = [false, true].iter().copied().cycle();
+                self.verdict_timeline
+                    .retain(|_| keep.next().expect("cycle"));
+                self.stride *= 2;
+            }
             self.space_timeline.push((t, space_bits));
             self.verdict_timeline.push((t, verdict.is_correct()));
         }
@@ -132,6 +149,27 @@ mod tests {
         assert_eq!(r.result.rounds, 100);
         assert_eq!(r.result.peak_space_bits, 110);
         assert_eq!(r.space_timeline.last(), Some(&(100, 110)));
+    }
+
+    #[test]
+    fn timeline_stays_bounded_under_wrong_expectations() {
+        // A report told to expect 1 check (stride 1) but fed 100k of them
+        // must decimate instead of retaining every sample.
+        let mut r = GameReport::new(0, 1);
+        for t in 1..=100_000u64 {
+            r.record_check(t, t, &Verdict::Correct);
+        }
+        r.finish(100_000, 100_000);
+        assert_eq!(r.checks, 100_000);
+        assert!(
+            r.space_timeline.len() <= 2 * TIMELINE_POINTS + 1,
+            "timeline grew to {}",
+            r.space_timeline.len()
+        );
+        assert!(r.stride > 1, "stride never adapted");
+        assert_eq!(r.space_timeline.last(), Some(&(100_000, 100_000)));
+        // Samples stay in increasing round order after decimation.
+        assert!(r.space_timeline.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

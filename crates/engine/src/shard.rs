@@ -1,19 +1,31 @@
 //! Sharded ingestion: one logical stream, `S` shard instances, one merged
 //! answer — the first end-to-end scale-out path in the workspace.
 //!
-//! The pipeline partitions an erased [`Update`] stream across `S`
-//! identically-constructed instances of one algorithm, ingests every shard
-//! independently (in parallel on the engine [pool](crate::pool), each
-//! through the batched [`DynStreamAlg::process_batch_dyn`] path), and then
-//! folds the shard states together with [`DynStreamAlg::merge_dyn`] in a
+//! The pipeline is **streaming**: [`ingest_sharded_source`] pulls chunks
+//! from an [`UpdateSource`] on the caller's thread (the producer), routes
+//! each update to its shard's staging buffer, and hands full `batch`-sized
+//! chunks to the shard's consumer over a **bounded SPSC chunk queue**
+//! (consumers recycle emptied buffers back to the producer, so the whole
+//! run keeps O(S × batch) updates in flight regardless of the stream
+//! length — there are no materialized per-shard buckets). Each consumer
+//! ingests its chunks through the batched
+//! [`DynStreamAlg::process_batch_dyn`] path, and the caller then folds the
+//! shard states together with [`DynStreamAlg::merge_dyn`] in a
 //! **deterministic reduction tree**: level by level, shard `2i+1` merges
-//! into shard `2i`. Which *worker thread* ran which shard is invisible —
-//! shard seeds derive from the master seed via
-//! [`derive_seed`]`(master, ["shard", i])`, merges happen in fixed tree
-//! order on the caller's thread, and the pool returns results in submission
-//! order — so the merged instance is a pure function of
-//! `(stream, algorithm, S, partition, master_seed)`, byte-identical for
-//! every thread count.
+//! into shard `2i`. Scheduling is invisible — each shard's update
+//! subsequence and chunk boundaries are pure functions of the stream and
+//! the config, shard seeds derive from the master seed via
+//! [`derive_seed`]`(master, ["shard", i])`, and merges happen in fixed
+//! tree order on the caller's thread — so the merged instance is a pure
+//! function of `(stream, algorithm, S, partition, batch, master_seed)`,
+//! byte-identical for every thread count and identical to the historical
+//! materialized-bucket implementation (asserted by the
+//! `streaming_pipeline` test suite).
+//!
+//! With `threads <= 1` the same routing runs fully inline on the caller's
+//! thread — no queues, no spawns — producing the identical chunk sequence
+//! per shard. The tournament uses this mode, because its cells already
+//! parallelize on the engine [pool](crate::pool).
 //!
 //! **White-box caveat.** Sharding never weakens the paper's adversary — it
 //! strengthens it: the adversary observes *every* shard's internal state
@@ -24,7 +36,8 @@
 //! [`MergeError::Unmergeable`] for the refusals.
 
 use crate::erased::{DynStreamAlg, Update};
-use crate::pool::{self, Job};
+use crate::workload::{SliceSource, UpdateSource};
+use std::sync::mpsc;
 use wb_core::merge::MergeError;
 use wb_core::rng::{derive_seed, SplitMix64, TranscriptRng};
 use wb_core::WbError;
@@ -61,9 +74,14 @@ pub struct ShardConfig {
     pub shards: usize,
     /// Routing rule.
     pub partition: Partition,
-    /// Worker threads (`0` = one per core, `1` = fully inline).
+    /// Threading mode: `1` runs the whole pipeline inline on the caller's
+    /// thread; anything that resolves to more than one worker (`0` = one
+    /// per core) spawns **one consumer thread per shard**, fed over
+    /// bounded chunk queues by the caller-thread producer. Both modes
+    /// produce bit-identical shard states.
     pub threads: usize,
-    /// Chunk size for each shard's batched ingestion.
+    /// Chunk size for each shard's batched ingestion (and the unit of the
+    /// producer→consumer queues).
     pub batch: usize,
     /// Master seed; shard `i`'s random tape is seeded with
     /// `derive_seed(master_seed, ["shard", i])`.
@@ -139,8 +157,8 @@ pub fn merge_reduce(
     Ok(instances.pop().expect("one instance remains"))
 }
 
-/// Outcome of [`ingest_sharded`]: the merged instance plus how the stream
-/// was spread.
+/// Outcome of [`ingest_sharded_source`]: the merged instance plus how the
+/// stream was spread.
 pub struct ShardedIngest {
     /// The merged algorithm holding the whole stream's summary.
     pub merged: Box<dyn DynStreamAlg>,
@@ -149,55 +167,308 @@ pub struct ShardedIngest {
     pub shard_loads: Vec<usize>,
 }
 
-/// Ingest `updates` across `cfg.shards` instances built by `ctor` and
-/// return the merged result.
+/// How many in-flight chunks each shard's bounded queue may hold before
+/// the producer blocks. Together with the staging buffer and the buffers
+/// being recycled, this caps the pipeline's resident stream slice at
+/// `S × (QUEUE_CHUNKS + 2) × batch` updates — independent of `m`.
+const QUEUE_CHUNKS: usize = 2;
+
+/// The shard an update at global stream position `j` routes to.
+fn route(partition: Partition, u: &Update, j: u64, shards: usize) -> usize {
+    match partition {
+        Partition::Hash => hash_shard(u.item(), shards),
+        Partition::RoundRobin => (j % shards as u64) as usize,
+    }
+}
+
+/// After a chunk-level ingest error, locate the offset (relative to the
+/// start of this ingester's subsequence; `base` updates were accepted
+/// before this chunk) of the first update that fails on its own. Probing
+/// mutates the algorithm, which is fine — the caller is about to discard
+/// it; the point is a **chunk-size-independent** offset in the error
+/// report without retaining the stream. Every batch-level error has a
+/// per-update witness (the erased layer's only rejection rule is
+/// per-update), so the probe always finds one; `base` alone is a
+/// defensive fallback.
+pub(crate) fn locate_failure(
+    alg: &mut dyn DynStreamAlg,
+    chunk: &[Update],
+    rng: &mut TranscriptRng,
+    base: u64,
+) -> u64 {
+    for (k, u) in chunk.iter().enumerate() {
+        if alg.process_dyn(u, rng).is_err() {
+            return base + k as u64;
+        }
+    }
+    base
+}
+
+/// A shard's ingest error, annotated with the shard index and the failing
+/// offset within the shard's subsequence.
+fn shard_failure(
+    alg: &mut dyn DynStreamAlg,
+    rng: &mut TranscriptRng,
+    chunk: &[Update],
+    processed: u64,
+    shard: usize,
+    e: WbError,
+) -> WbError {
+    let off = locate_failure(alg, chunk, rng, processed);
+    WbError::invalid(format!(
+        "shard {shard}: {e} (first offending update at shard offset {off})"
+    ))
+}
+
+/// Merge the per-shard outcomes: the first error in **shard order** wins
+/// (never the first in wall-clock order, which scheduling could reorder),
+/// otherwise reduce the states.
+fn finish_sharded(
+    results: Vec<Result<Box<dyn DynStreamAlg>, WbError>>,
+    shard_loads: Vec<usize>,
+) -> Result<ShardedIngest, WbError> {
+    let ingested: Result<Vec<Box<dyn DynStreamAlg>>, WbError> = results.into_iter().collect();
+    let merged =
+        merge_reduce(ingested?).map_err(|e| WbError::invalid(format!("sharded merge: {e}")))?;
+    Ok(ShardedIngest {
+        merged,
+        shard_loads,
+    })
+}
+
+/// Ingest a pull-based stream across `cfg.shards` instances built by
+/// `ctor` and return the merged result, holding only O(shards × batch)
+/// updates in memory at any moment (see the module docs for the
+/// producer/consumer anatomy).
 ///
 /// `ctor(i)` must build shard `i`'s instance; for seeded sketches
 /// (CountMin, AmsF2) every shard must be constructed from the **same**
 /// public seed or the merge will report
 /// [`MergeError::Incompatible`]. Model mismatches during ingestion (e.g. a
 /// deletion offered to an insertion-only sketch) surface as the underlying
-/// [`WbError`]; merge refusals are mapped into [`WbError::InvalidParameter`]
-/// with the typed error's message (probe with [`probe_mergeable`] first to
-/// branch on mergeability without paying for ingestion).
+/// [`WbError`], annotated with the shard and the failing offset; when
+/// several shards fail, the error of the lowest-numbered shard is
+/// reported. The outcome is deterministic because each shard's **first**
+/// failure is what it reports, and a shard keeps consuming (without
+/// processing) after failing — production only stops early once *every*
+/// shard has failed, by which point all reports are fixed. Merge refusals
+/// are mapped into
+/// [`WbError::InvalidParameter`] with the typed error's message (probe
+/// with [`probe_mergeable`] first to branch on mergeability without paying
+/// for ingestion).
+pub fn ingest_sharded_source(
+    ctor: &dyn Fn(usize) -> Result<Box<dyn DynStreamAlg>, WbError>,
+    source: &mut dyn UpdateSource,
+    cfg: &ShardConfig,
+) -> Result<ShardedIngest, WbError> {
+    let shards = cfg.shards.max(1);
+    let instances: Result<Vec<Box<dyn DynStreamAlg>>, WbError> = (0..shards).map(ctor).collect();
+    let instances = instances?;
+    if crate::pool::effective_threads(cfg.threads) <= 1 || shards == 1 {
+        ingest_inline(instances, source, cfg)
+    } else {
+        ingest_threaded(instances, source, cfg)
+    }
+}
+
+/// Ingest an already-materialized slice — a [`SliceSource`] wrapper over
+/// [`ingest_sharded_source`], kept for callers that hold literal scripts.
+/// The per-shard chunk boundaries (and therefore the shard states) are
+/// identical to the streaming path's.
 pub fn ingest_sharded(
     ctor: &dyn Fn(usize) -> Result<Box<dyn DynStreamAlg>, WbError>,
     updates: &[Update],
     cfg: &ShardConfig,
 ) -> Result<ShardedIngest, WbError> {
-    let shards = cfg.shards.max(1);
-    let batch = cfg.batch.max(1);
-    let buckets = partition_updates(updates, shards, cfg.partition);
-    let shard_loads: Vec<usize> = buckets.iter().map(Vec::len).collect();
-    let instances: Result<Vec<Box<dyn DynStreamAlg>>, WbError> = (0..shards).map(ctor).collect();
-    let instances = instances?;
+    ingest_sharded_source(ctor, &mut SliceSource::new(updates), cfg)
+}
 
-    let jobs: Vec<Job<Result<Box<dyn DynStreamAlg>, WbError>>> = instances
-        .into_iter()
-        .zip(buckets)
-        .enumerate()
-        .map(
-            |(i, (mut alg, bucket))| -> Job<Result<Box<dyn DynStreamAlg>, WbError>> {
-                let seed = cfg.shard_seed(i);
-                Box::new(move || {
-                    let mut rng = TranscriptRng::from_seed(seed);
-                    for chunk in bucket.chunks(batch) {
-                        alg.process_batch_dyn(chunk, &mut rng)?;
-                    }
-                    Ok(alg)
-                })
-            },
-        )
+/// Single-threaded pipeline: route and ingest on the caller's thread.
+fn ingest_inline(
+    instances: Vec<Box<dyn DynStreamAlg>>,
+    source: &mut dyn UpdateSource,
+    cfg: &ShardConfig,
+) -> Result<ShardedIngest, WbError> {
+    let shards = instances.len();
+    let batch = cfg.batch.max(1);
+    let mut algs = instances;
+    let mut rngs: Vec<TranscriptRng> = (0..shards)
+        .map(|i| TranscriptRng::from_seed(cfg.shard_seed(i)))
         .collect();
-    let ingested: Result<Vec<Box<dyn DynStreamAlg>>, WbError> =
-        pool::run_ordered(jobs, pool::effective_threads(cfg.threads))
+    let mut staging: Vec<Vec<Update>> = (0..shards).map(|_| Vec::with_capacity(batch)).collect();
+    let mut failures: Vec<Option<WbError>> = (0..shards).map(|_| None).collect();
+    let mut processed = vec![0u64; shards];
+    let mut loads = vec![0usize; shards];
+    let mut buf: Vec<Update> = Vec::with_capacity(batch);
+    let mut j = 0u64;
+
+    let mut deliver = |s: usize,
+                       chunk: &[Update],
+                       algs: &mut Vec<Box<dyn DynStreamAlg>>,
+                       rngs: &mut Vec<TranscriptRng>,
+                       failures: &mut Vec<Option<WbError>>| {
+        if failures[s].is_none() {
+            if let Err(e) = algs[s].process_batch_dyn(chunk, &mut rngs[s]) {
+                failures[s] = Some(shard_failure(
+                    algs[s].as_mut(),
+                    &mut rngs[s],
+                    chunk,
+                    processed[s],
+                    s,
+                    e,
+                ));
+            }
+        }
+        processed[s] += chunk.len() as u64;
+    };
+
+    'produce: while source.next_chunk(&mut buf) > 0 {
+        for u in &buf {
+            let s = route(cfg.partition, u, j, shards);
+            j += 1;
+            loads[s] += 1;
+            staging[s].push(*u);
+            if staging[s].len() >= batch {
+                let chunk = std::mem::take(&mut staging[s]);
+                deliver(s, &chunk, &mut algs, &mut rngs, &mut failures);
+                staging[s] = chunk;
+                staging[s].clear();
+                // Once every shard has recorded its failure nothing that
+                // follows can change the outcome (each shard's *first*
+                // failure wins and is already fixed) — stop generating.
+                if failures.iter().all(Option::is_some) {
+                    break 'produce;
+                }
+            }
+        }
+    }
+    let leftovers = std::mem::take(&mut staging);
+    for (s, chunk) in leftovers.into_iter().enumerate() {
+        if !chunk.is_empty() {
+            deliver(s, &chunk, &mut algs, &mut rngs, &mut failures);
+        }
+    }
+
+    let results = algs
+        .into_iter()
+        .zip(failures)
+        .map(|(alg, failure)| match failure {
+            Some(e) => Err(e),
+            None => Ok(alg),
+        })
+        .collect();
+    finish_sharded(results, loads)
+}
+
+/// Multi-threaded pipeline: one consumer thread per shard behind a bounded
+/// SPSC chunk queue, the producer on the caller's thread.
+fn ingest_threaded(
+    instances: Vec<Box<dyn DynStreamAlg>>,
+    source: &mut dyn UpdateSource,
+    cfg: &ShardConfig,
+) -> Result<ShardedIngest, WbError> {
+    let shards = instances.len();
+    let batch = cfg.batch.max(1);
+    // Consumers bump this once, at their first failure; when it reaches
+    // `shards` the producer stops generating — nothing downstream can
+    // change the outcome once every shard's first failure is fixed.
+    let failed_shards = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut full_txs = Vec::with_capacity(shards);
+        let mut empty_rxs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (i, mut alg) in instances.into_iter().enumerate() {
+            let (full_tx, full_rx) = mpsc::sync_channel::<Vec<Update>>(QUEUE_CHUNKS);
+            let (empty_tx, empty_rx) = mpsc::channel::<Vec<Update>>();
+            full_txs.push(full_tx);
+            empty_rxs.push(empty_rx);
+            let seed = cfg.shard_seed(i);
+            let failed_shards = &failed_shards;
+            handles.push(
+                scope.spawn(move || -> Result<Box<dyn DynStreamAlg>, WbError> {
+                    let mut rng = TranscriptRng::from_seed(seed);
+                    let mut failure: Option<WbError> = None;
+                    let mut processed = 0u64;
+                    // An errored consumer keeps draining (and recycling)
+                    // chunks instead of dropping its receiver: closing the
+                    // queue would abort the producer mid-stream and make
+                    // *which other shards also fail* depend on scheduling.
+                    for mut chunk in full_rx {
+                        if failure.is_none() {
+                            if let Err(e) = alg.process_batch_dyn(&chunk, &mut rng) {
+                                failure = Some(shard_failure(
+                                    alg.as_mut(),
+                                    &mut rng,
+                                    &chunk,
+                                    processed,
+                                    i,
+                                    e,
+                                ));
+                                failed_shards.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                        processed += chunk.len() as u64;
+                        chunk.clear();
+                        let _ = empty_tx.send(chunk);
+                    }
+                    match failure {
+                        Some(e) => Err(e),
+                        None => Ok(alg),
+                    }
+                }),
+            );
+        }
+
+        let mut staging: Vec<Vec<Update>> =
+            (0..shards).map(|_| Vec::with_capacity(batch)).collect();
+        let mut loads = vec![0usize; shards];
+        let mut buf: Vec<Update> = Vec::with_capacity(batch);
+        let mut j = 0u64;
+        fn flush(
+            staging: &mut Vec<Update>,
+            full_tx: &mpsc::SyncSender<Vec<Update>>,
+            empty_rx: &mpsc::Receiver<Vec<Update>>,
+            batch: usize,
+        ) {
+            let next = empty_rx
+                .try_recv()
+                .unwrap_or_else(|_| Vec::with_capacity(batch));
+            let chunk = std::mem::replace(staging, next);
+            // Consumers never close their queue while the producer lives,
+            // so this only fails if a consumer panicked — surfaced at join.
+            let _ = full_tx.send(chunk);
+        }
+        while source.next_chunk(&mut buf) > 0 {
+            for u in &buf {
+                let s = route(cfg.partition, u, j, shards);
+                j += 1;
+                loads[s] += 1;
+                staging[s].push(*u);
+                if staging[s].len() >= batch {
+                    flush(&mut staging[s], &full_txs[s], &empty_rxs[s], batch);
+                }
+            }
+            // Every shard has failed: the outcome (lowest shard's first
+            // failure) is already fixed, so stop generating the stream.
+            if failed_shards.load(std::sync::atomic::Ordering::Relaxed) >= shards {
+                break;
+            }
+        }
+        for s in 0..shards {
+            if !staging[s].is_empty() {
+                flush(&mut staging[s], &full_txs[s], &empty_rxs[s], batch);
+            }
+        }
+        drop(full_txs); // close the queues: consumers finish and return
+
+        let results = handles
             .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
             .collect();
-    let merged =
-        merge_reduce(ingested?).map_err(|e| WbError::invalid(format!("sharded merge: {e}")))?;
-    Ok(ShardedIngest {
-        merged,
-        shard_loads,
+        finish_sharded(results, loads)
     })
 }
 

@@ -8,11 +8,28 @@
 //! [pool](crate::pool), aggregating verdicts into a [`TournamentReport`].
 //!
 //! **Cell anatomy.** Each cell first ingests an *oblivious prelude* drawn
-//! from the named workload generator (batched, referee checking at chunk
-//! boundaries) — the algorithm's state is preloaded with realistic traffic —
-//! and then the named adversary plays the adaptive per-round white-box game
-//! against that warm state. One [`TranscriptRng`] spans both phases, so the
-//! adversary sees the full randomness transcript, prelude included.
+//! from the named workload generator — the algorithm's state is preloaded
+//! with realistic traffic — and then the named adversary plays the
+//! adaptive per-round white-box game against that warm state. One
+//! [`TranscriptRng`] spans both phases, so the adversary sees the full
+//! randomness transcript, prelude included.
+//!
+//! **Streaming prelude.** The prelude is never materialized: chunks of
+//! `batch` updates are pulled from [`WorkloadSpec::stream`] into one
+//! reused buffer (flat mode) or routed through the bounded chunk queues of
+//! [`crate::shard`] (sharded mode), so a cell's memory is O(batch + n)
+//! regardless of `prelude_m` — `--prelude-m 10_000_000` and beyond is a
+//! matter of wall-clock, not RAM. The chunk size is pure transport: the
+//! referee observes every update but checks the answer once, at the **end
+//! of the prelude** (then after every adaptive round as before), so the
+//! JSON report is byte-identical across `--chunk` values as well as across
+//! thread counts. An incompatible pairing reports the offset of the first
+//! offending update (probed per update after the chunk-level error, hence
+//! also chunk-size-independent) without ever retaining the stream — as a
+//! logical *stream offset* in flat mode (with `rounds` = updates accepted
+//! before it), and as the failing shard's *shard-local offset* in sharded
+//! mode (the shard subsequences are themselves deterministic; nothing was
+//! merged, so `rounds` stays 0 there).
 //!
 //! **Determinism.** The cell's random tapes are derived with
 //! [`derive_seed`]`(master, [alg, adversary, workload, role])` for the
@@ -38,7 +55,7 @@ use crate::referee::RefereeSpec;
 use crate::registry::{self, Params};
 use crate::report::{header, row, GameReport};
 use crate::shard::{self, Partition, ShardConfig};
-use crate::workload::WorkloadSpec;
+use crate::workload::{FoldSource, InspectSource, UpdateSource, WorkloadSpec};
 use std::time::Instant;
 use wb_core::rng::{derive_seed, TranscriptRng};
 use wb_core::WbError;
@@ -81,7 +98,9 @@ pub struct TournamentConfig {
     pub prelude_m: u64,
     /// Adaptive adversary rounds after the prelude.
     pub rounds: u64,
-    /// Prelude chunk size (referee checks happen at chunk boundaries).
+    /// Prelude chunk size — pure transport (`--chunk`): it bounds the
+    /// cell's resident stream slice and never affects the report (the
+    /// referee checks at the end of the prelude, not at chunk boundaries).
     pub batch: usize,
     /// Shard instances the prelude is partitioned across (`1` = classic
     /// single-stream ingestion). With `S > 1`, mergeable algorithms ingest
@@ -108,7 +127,7 @@ impl Default for TournamentConfig {
             n: 1 << 12,
             prelude_m: 1 << 13,
             rounds: 1 << 12,
-            batch: 256,
+            batch: crate::workload::DEFAULT_CHUNK,
             shards: 1,
         }
     }
@@ -177,7 +196,9 @@ pub struct CellReport {
     pub verdict: CellVerdict,
     /// Violation / error description (empty when survived).
     pub detail: String,
-    /// Updates ingested (prelude + adaptive rounds).
+    /// Updates ingested (prelude + adaptive rounds). For incompatible
+    /// cells: the updates accepted before the first offending one in flat
+    /// mode, `0` in sharded mode (nothing was merged).
     pub rounds: u64,
     /// Referee checks performed.
     pub checks: u64,
@@ -540,12 +561,8 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
         Ok(a) => a,
         Err(e) => return error(cell, e.to_string()),
     };
-    let prelude: Vec<Update> = match workload_spec(wl_name, n, cfg.prelude_m, wl_seed) {
-        Ok(spec) => spec
-            .generate()
-            .into_iter()
-            .map(|u| u.fold_into(n))
-            .collect(),
+    let spec = match workload_spec(wl_name, n, cfg.prelude_m, wl_seed) {
+        Ok(spec) => spec,
         Err(e) => return error(cell, e.to_string()),
     };
     let mut referee = referee_for(alg_name, &params).build();
@@ -565,27 +582,28 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
             Err(e) => return error(cell, e.to_string()),
         }
     };
-    let expected_checks = if use_sharded {
-        1 + cfg.rounds
-    } else {
-        (prelude.len() as u64).div_ceil(batch as u64) + cfg.rounds
-    };
+    // The prelude is checked once, at its end, in both modes — the chunk
+    // size is pure transport and must not leak into the report.
+    let expected_checks = 1 + cfg.rounds;
     let mut game = GameReport::new(alg.space_bits_dyn(), expected_checks);
     let mut t = 0u64;
     let mut incompatible: Option<String> = None;
 
     if use_sharded {
         // Phase 1, sharded: the referee observes the stream in original
-        // order while the algorithm state is assembled from hash-partitioned
-        // shard ingests merged in a deterministic reduction tree (shard
-        // tapes derive from the cell's game seed, so the report stays a
-        // pure function of the cell coordinates). The answer is checked
-        // once, at the merge point — mid-shard answers are undefined for
-        // the global stream. Every mergeable algorithm ingests
-        // deterministically (constructor-only randomness), so the phase-2
-        // transcript handed to the adversary — empty at prelude end —
-        // matches flat mode exactly; unmergeable (randomized) algorithms
-        // take the flat path below and keep their full prelude transcript.
+        // order (teed off the producer's chunks) while the algorithm state
+        // is assembled from hash-partitioned shard ingests merged in a
+        // deterministic reduction tree (shard tapes derive from the cell's
+        // game seed, so the report stays a pure function of the cell
+        // coordinates). The answer is checked once, at the merge point —
+        // mid-shard answers are undefined for the global stream. Every
+        // mergeable algorithm ingests deterministically (constructor-only
+        // randomness), so the phase-2 transcript handed to the adversary —
+        // empty at prelude end — matches flat mode exactly; unmergeable
+        // (randomized) algorithms take the flat path below and keep their
+        // full prelude randomness transcript. If the fallback or a replay
+        // is ever needed, the source is simply re-created from the spec —
+        // a stream is a pure function of its seed, so nothing is cloned.
         let ctor = |_: usize| registry::get(alg_name, &params);
         let shard_cfg = ShardConfig {
             shards,
@@ -594,11 +612,17 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
             batch,
             master_seed: game_seed,
         };
-        referee.observe_batch(&prelude);
-        match shard::ingest_sharded(&ctor, &prelude, &shard_cfg) {
+        let ingested = {
+            let referee = referee.as_mut();
+            let mut source = InspectSource::new(FoldSource::new(spec.stream(), n), |chunk| {
+                referee.observe_batch(chunk)
+            });
+            shard::ingest_sharded_source(&ctor, &mut source, &shard_cfg)
+        };
+        match ingested {
             Ok(out) => {
                 alg = out.merged;
-                t = prelude.len() as u64;
+                t = out.shard_loads.iter().map(|&l| l as u64).sum();
                 let space = alg.space_bits_dyn();
                 let answer = alg.query_dyn();
                 let verdict = referee.check(t, &answer);
@@ -607,21 +631,29 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
             Err(e) => incompatible = Some(e.to_string()),
         }
     } else {
-        // Phase 1: oblivious workload prelude, batched single-stream.
-        for chunk in prelude.chunks(batch) {
-            referee.observe_batch(chunk);
-            if let Err(e) = alg.process_batch_dyn(chunk, &mut rng) {
-                incompatible = Some(e.to_string());
+        // Phase 1: oblivious workload prelude, streamed chunk by chunk
+        // through one reused buffer — O(batch) memory for any prelude_m.
+        let mut source = FoldSource::new(spec.stream(), n);
+        let mut buf: Vec<Update> = Vec::with_capacity(batch);
+        while source.next_chunk(&mut buf) > 0 {
+            referee.observe_batch(&buf);
+            if let Err(e) = alg.process_batch_dyn(&buf, &mut rng) {
+                let off = shard::locate_failure(alg.as_mut(), &buf, &mut rng, t);
+                incompatible = Some(format!(
+                    "{e} (first offending update at stream offset {off})"
+                ));
+                // Count the updates before the offending one as ingested —
+                // the per-update semantics, independent of the chunk size.
+                t = off;
                 break;
             }
-            t += chunk.len() as u64;
+            t += buf.len() as u64;
+        }
+        if incompatible.is_none() {
             let space = alg.space_bits_dyn();
             let answer = alg.query_dyn();
             let verdict = referee.check(t, &answer);
             game.record_check(t, space, &verdict);
-            if !verdict.is_correct() {
-                break;
-            }
         }
     }
 
@@ -759,6 +791,48 @@ mod tests {
         for (s, f) in one.cells.iter().zip(&flat.cells) {
             assert_eq!((s.alg.clone(), s.verdict), (f.alg.clone(), f.verdict));
         }
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_chunk_sizes() {
+        // The chunk size is pure transport: flat and sharded cells must
+        // produce the same JSON for any --chunk value.
+        let with_batch = |batch: usize, shards: usize| {
+            let mut cfg = tiny(2);
+            cfg.batch = batch;
+            cfg.shards = shards;
+            cfg
+        };
+        for shards in [1usize, 4] {
+            let a = run_tournament(&with_batch(16, shards)).json_lines();
+            let b = run_tournament(&with_batch(64, shards)).json_lines();
+            let c = run_tournament(&with_batch(4096, shards)).json_lines();
+            assert_eq!(a, b, "shards {shards}: chunk 16 vs 64 diverged");
+            assert_eq!(a, c, "shards {shards}: chunk 16 vs 4096 diverged");
+        }
+    }
+
+    #[test]
+    fn incompatible_detail_reports_a_chunk_invariant_offset() {
+        // misra_gries cannot ingest churn deletions; the detail must name
+        // the stream offset of the first offending update, and that offset
+        // must not depend on the transport chunk size.
+        let offset_with_batch = |batch: usize| {
+            let mut cfg = tiny(1);
+            cfg.batch = batch;
+            let cell = run_cell(&cfg, "misra_gries", "cycle", "churn");
+            assert_eq!(cell.verdict, CellVerdict::Incompatible, "{}", cell.detail);
+            let (_, tail) = cell
+                .detail
+                .split_once("stream offset ")
+                .unwrap_or_else(|| panic!("no offset in detail: {}", cell.detail));
+            tail.trim_end_matches(')').parse::<u64>().unwrap()
+        };
+        let fine = offset_with_batch(8);
+        let coarse = offset_with_batch(512);
+        assert_eq!(fine, coarse, "offset depends on chunk size");
+        // churn emits `wave` insertions before its first deletion.
+        assert_eq!(fine, 64);
     }
 
     #[test]

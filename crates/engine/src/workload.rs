@@ -1,12 +1,173 @@
-//! Named workload generators and the declarative [`WorkloadSpec`] used by
-//! the experiment runner. The raw generators were born in the `bench`
-//! crate (which now delegates here) so every consumer — binaries, tests,
-//! criterion benches, the registry's scripted adversaries — draws from one
-//! set of streams.
+//! Named workload generators, the declarative [`WorkloadSpec`] used by the
+//! experiment runner, and the pull-based streaming layer ([`UpdateSource`])
+//! every ingestion path in the engine is built on.
+//!
+//! The raw generators were born in the `bench` crate (which now delegates
+//! here) so every consumer — binaries, tests, criterion benches, the
+//! registry's scripted adversaries — draws from one set of streams.
+//!
+//! # Streaming vs materializing
+//!
+//! The paper's guarantees (and the lower bounds they are contrasted
+//! against) are asymptotic in the stream length `m`; a harness that
+//! materializes the whole stream as a `Vec<Update>` before ingesting caps
+//! `m` at available RAM and spends most of its wall-clock on allocation.
+//! [`WorkloadSpec::stream`] therefore produces a [`WorkloadStream`] — a
+//! lazy generator that fills a caller-owned, reused chunk buffer — and
+//! [`WorkloadSpec::generate`] is a thin collect wrapper kept for tests and
+//! small scripts. The two are **byte-identical**: the stream drives the
+//! same RNG in the same order, so concatenating chunks of any size
+//! reproduces `generate()` exactly (asserted by the
+//! `streaming_pipeline` proptest suite for every variant and chunk size).
 
 use crate::erased::Update;
 use wb_core::rng::TranscriptRng;
 use wb_core::stream::Turnstile;
+
+/// Default chunk size of the streaming pipeline: the buffer length
+/// [`UpdateSource::next_chunk`] falls back to when the caller's buffer has
+/// no capacity, and the default of the `--chunk` CLI flag.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// A pull-based source of erased updates — the streaming replacement for
+/// materialized `Vec<Update>` preludes.
+///
+/// Callers own the chunk buffer and reuse it across pulls, so a whole
+/// ingestion run allocates O(chunk) memory regardless of the stream length:
+///
+/// ```
+/// use wb_engine::workload::{UpdateSource, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::Uniform { n: 1 << 10, m: 100_000, seed: 7 };
+/// let mut source = spec.stream();
+/// let mut buf = Vec::with_capacity(4096); // the chunk size
+/// let mut total = 0;
+/// while source.next_chunk(&mut buf) > 0 {
+///     total += buf.len(); // ingest the chunk...
+/// }
+/// assert_eq!(total, 100_000);
+/// ```
+pub trait UpdateSource {
+    /// Clear `buf` and refill it with the next chunk of the stream: up to
+    /// `buf.capacity()` updates (or [`DEFAULT_CHUNK`] if the buffer has no
+    /// capacity yet). Returns the number of updates written; `0` means the
+    /// source is exhausted (and stays exhausted).
+    fn next_chunk(&mut self, buf: &mut Vec<Update>) -> usize;
+
+    /// Exact number of updates remaining, when cheaply known. Used only to
+    /// size report timeline strides — `None` never changes verdicts,
+    /// rounds, or check counts, and timelines stay bounded either way (a
+    /// report decimates itself when a prediction turns out wrong); only
+    /// the sampling granularity can differ.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Chunk budget for one [`UpdateSource::next_chunk`] call.
+fn chunk_cap(buf: &Vec<Update>) -> usize {
+    if buf.capacity() == 0 {
+        DEFAULT_CHUNK
+    } else {
+        buf.capacity()
+    }
+}
+
+/// An [`UpdateSource`] over a borrowed, already-materialized slice — the
+/// bridge that lets slice-shaped callers (tests, literal scripts) drive the
+/// streaming ingestion paths.
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    rest: &'a [Update],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Stream `updates` in order, chunk by chunk.
+    pub fn new(updates: &'a [Update]) -> Self {
+        SliceSource { rest: updates }
+    }
+}
+
+impl UpdateSource for SliceSource<'_> {
+    fn next_chunk(&mut self, buf: &mut Vec<Update>) -> usize {
+        buf.clear();
+        let take = chunk_cap(buf).min(self.rest.len());
+        buf.extend_from_slice(&self.rest[..take]);
+        self.rest = &self.rest[take..];
+        take
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.rest.len() as u64)
+    }
+}
+
+/// An [`UpdateSource`] adapter folding every item into the universe
+/// `[0, n)` by `item % n` (see [`Update::fold_into`]) — the rule the
+/// tournament and the registry's scripted adversaries apply so
+/// universe-bounded algorithms can ingest raw-address generators like
+/// `ddos`.
+#[derive(Debug, Clone)]
+pub struct FoldSource<S> {
+    inner: S,
+    n: u64,
+}
+
+impl<S: UpdateSource> FoldSource<S> {
+    /// Fold `inner`'s items into `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (see [`Update::fold_into`]).
+    pub fn new(inner: S, n: u64) -> Self {
+        assert!(n > 0, "FoldSource requires a nonempty universe (n >= 1)");
+        FoldSource { inner, n }
+    }
+}
+
+impl<S: UpdateSource> UpdateSource for FoldSource<S> {
+    fn next_chunk(&mut self, buf: &mut Vec<Update>) -> usize {
+        let wrote = self.inner.next_chunk(buf);
+        for u in buf.iter_mut() {
+            *u = u.fold_into(self.n);
+        }
+        wrote
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
+
+/// An [`UpdateSource`] adapter invoking a callback on every chunk before
+/// handing it on — how the tournament's sharded path lets the referee
+/// observe the stream in original order while the shard pipeline consumes
+/// it, without a second pass or a materialized copy.
+pub struct InspectSource<S, F> {
+    inner: S,
+    inspect: F,
+}
+
+impl<S: UpdateSource, F: FnMut(&[Update])> InspectSource<S, F> {
+    /// Call `inspect` on each non-empty chunk pulled from `inner`.
+    pub fn new(inner: S, inspect: F) -> Self {
+        InspectSource { inner, inspect }
+    }
+}
+
+impl<S: UpdateSource, F: FnMut(&[Update])> UpdateSource for InspectSource<S, F> {
+    fn next_chunk(&mut self, buf: &mut Vec<Update>) -> usize {
+        let wrote = self.inner.next_chunk(buf);
+        if wrote > 0 {
+            (self.inspect)(buf);
+        }
+        wrote
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
 
 /// A Zipf-flavoured insertion stream: item `i ∈ [heavy_items]` receives a
 /// `~1/(i+1)`-proportional share of 70% of the mass; the rest is uniform
@@ -16,34 +177,47 @@ pub fn zipf_stream(n: u64, m: u64, heavy_items: u64, seed: u64) -> Vec<u64> {
     let weights: Vec<f64> = (0..heavy_items).map(|i| 1.0 / (i + 1) as f64).collect();
     let total: f64 = weights.iter().sum();
     (0..m)
-        .map(|_| {
-            if rng.bernoulli(0.7) {
-                let mut u = rng.next_f64() * total;
-                for (i, w) in weights.iter().enumerate() {
-                    if u < *w {
-                        return i as u64;
-                    }
-                    u -= w;
-                }
-                heavy_items - 1
-            } else {
-                heavy_items + rng.below(n - heavy_items)
-            }
-        })
+        .map(|_| zipf_next(&mut rng, n, heavy_items, &weights, total))
         .collect()
+}
+
+/// One Zipf draw — shared by the materialized and streaming generators so
+/// their RNG transcripts are identical by construction.
+fn zipf_next(
+    rng: &mut TranscriptRng,
+    n: u64,
+    heavy_items: u64,
+    weights: &[f64],
+    total: f64,
+) -> u64 {
+    if rng.bernoulli(0.7) {
+        let mut u = rng.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return i as u64;
+            }
+            u -= w;
+        }
+        heavy_items - 1
+    } else {
+        heavy_items + rng.below(n - heavy_items)
+    }
 }
 
 /// Synthetic IPv4 DDoS traffic: one hot /24 prefix (25%), one hot host
 /// (15%), uniform noise elsewhere.
 pub fn ddos_stream(m: u64, seed: u64) -> Vec<u64> {
     let mut rng = TranscriptRng::from_seed(seed);
-    (0..m)
-        .map(|t| match t % 20 {
-            0..=4 => (10 << 24) | (1 << 16) | (7 << 8) | rng.below(256),
-            5..=7 => (203 << 24) | (113 << 8) | 5,
-            _ => rng.below(1 << 32),
-        })
-        .collect()
+    (0..m).map(|t| ddos_next(&mut rng, t)).collect()
+}
+
+/// One DDoS draw at stream position `t` (shared with the streaming path).
+fn ddos_next(rng: &mut TranscriptRng, t: u64) -> u64 {
+    match t % 20 {
+        0..=4 => (10 << 24) | (1 << 16) | (7 << 8) | rng.below(256),
+        5..=7 => (203 << 24) | (113 << 8) | 5,
+        _ => rng.below(1 << 32),
+    }
 }
 
 /// Turnstile churn: waves of insertions followed by partial deletions.
@@ -127,36 +301,80 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    /// Materialize the update stream.
-    pub fn generate(&self) -> Vec<Update> {
-        match self {
-            WorkloadSpec::Zipf { n, m, heavy, seed } => zipf_stream(*n, *m, *heavy, *seed)
-                .into_iter()
-                .map(Update::Insert)
-                .collect(),
-            WorkloadSpec::Ddos { m, seed } => ddos_stream(*m, *seed)
-                .into_iter()
-                .map(Update::Insert)
-                .collect(),
+    /// The lazy, chunk-at-a-time generator for this workload, seeded from
+    /// the spec's own embedded seed — the RNG derivation is exactly the one
+    /// [`WorkloadSpec::generate`] uses, so concatenating the chunks (of any
+    /// size) reproduces the materialized stream byte for byte.
+    ///
+    /// Memory is O(1) in the stream length for every generator variant;
+    /// only a literal [`WorkloadSpec::Script`] keeps its updates resident
+    /// (it *is* the materialized form).
+    pub fn stream(&self) -> WorkloadStream {
+        let state = match self {
+            WorkloadSpec::Zipf { n, m, heavy, seed } => {
+                let weights: Vec<f64> = (0..*heavy).map(|i| 1.0 / (i + 1) as f64).collect();
+                let total: f64 = weights.iter().sum();
+                StreamState::Zipf {
+                    rng: TranscriptRng::from_seed(*seed),
+                    n: *n,
+                    heavy: *heavy,
+                    weights,
+                    total,
+                    remaining: *m,
+                }
+            }
+            WorkloadSpec::Ddos { m, seed } => StreamState::Ddos {
+                rng: TranscriptRng::from_seed(*seed),
+                t: 0,
+                m: *m,
+            },
             WorkloadSpec::Churn {
                 n,
                 waves,
                 wave,
                 seed,
-            } => churn_stream(*n, *waves, *wave, *seed)
-                .into_iter()
-                .map(Update::from)
-                .collect(),
-            WorkloadSpec::Uniform { n, m, seed } => uniform_stream(*n, *m, *seed)
-                .into_iter()
-                .map(Update::Insert)
-                .collect(),
-            WorkloadSpec::Cycle { items, m } => cycle_stream(*items, *m)
-                .into_iter()
-                .map(Update::Insert)
-                .collect(),
-            WorkloadSpec::Script(v) => v.clone(),
+            } => StreamState::Churn {
+                rng: TranscriptRng::from_seed(*seed),
+                n: *n,
+                wave: *wave,
+                waves_left: *waves,
+                base: 0,
+                phase: ChurnPhase::NextWave,
+            },
+            WorkloadSpec::Uniform { n, m, seed } => StreamState::Uniform {
+                rng: TranscriptRng::from_seed(*seed),
+                n: *n,
+                remaining: *m,
+            },
+            WorkloadSpec::Cycle { items, m } => StreamState::Cycle {
+                items: (*items).max(1),
+                t: 0,
+                m: *m,
+            },
+            WorkloadSpec::Script(v) => StreamState::Script {
+                script: v.clone(),
+                pos: 0,
+            },
+        };
+        WorkloadStream { state }
+    }
+
+    /// Materialize the update stream — a thin collect over
+    /// [`WorkloadSpec::stream`], kept for tests and small literal scripts.
+    /// Large-`m` callers should pull chunks from the stream instead.
+    pub fn generate(&self) -> Vec<Update> {
+        if let WorkloadSpec::Script(v) = self {
+            // A script already is its materialized form; skip the pull
+            // loop's two extra copies.
+            return v.clone();
         }
+        let mut source = self.stream();
+        let mut out = Vec::with_capacity(self.len().min(1 << 20) as usize);
+        let mut buf = Vec::with_capacity(DEFAULT_CHUNK);
+        while source.next_chunk(&mut buf) > 0 {
+            out.extend_from_slice(&buf);
+        }
+        out
     }
 
     /// Nominal stream length before generation.
@@ -198,6 +416,25 @@ impl WorkloadSpec {
         w
     }
 
+    /// The same workload resized to roughly `m` updates (up or down) — how
+    /// the `--prelude-m` CLI flag rescales declarative rows without
+    /// touching their other parameters. A literal script cannot grow; it is
+    /// truncated like [`WorkloadSpec::capped`].
+    pub fn resized(&self, m: u64) -> WorkloadSpec {
+        let mut w = self.clone();
+        match &mut w {
+            WorkloadSpec::Zipf { m: len, .. }
+            | WorkloadSpec::Ddos { m: len, .. }
+            | WorkloadSpec::Uniform { m: len, .. }
+            | WorkloadSpec::Cycle { m: len, .. } => *len = m,
+            WorkloadSpec::Churn { waves, wave, .. } => {
+                *waves = (m / (*wave + *wave / 2).max(1)).max(1);
+            }
+            WorkloadSpec::Script(v) => v.truncate(m as usize),
+        }
+        w
+    }
+
     /// Short name for report lines.
     pub fn label(&self) -> &'static str {
         match self {
@@ -208,6 +445,194 @@ impl WorkloadSpec {
             WorkloadSpec::Cycle { .. } => "cycle",
             WorkloadSpec::Script(_) => "script",
         }
+    }
+}
+
+/// Where a churn stream is inside its wave state machine.
+#[derive(Debug, Clone)]
+enum ChurnPhase {
+    /// Draw the next wave's base (or finish if no waves remain).
+    NextWave,
+    /// Emitting insertion `i` of the current wave.
+    Insert(u64),
+    /// Emitting deletion `i` of the current wave.
+    Delete(u64),
+}
+
+#[derive(Debug, Clone)]
+enum StreamState {
+    Zipf {
+        rng: TranscriptRng,
+        n: u64,
+        heavy: u64,
+        weights: Vec<f64>,
+        total: f64,
+        remaining: u64,
+    },
+    Ddos {
+        rng: TranscriptRng,
+        t: u64,
+        m: u64,
+    },
+    Churn {
+        rng: TranscriptRng,
+        n: u64,
+        wave: u64,
+        waves_left: u64,
+        base: u64,
+        phase: ChurnPhase,
+    },
+    Uniform {
+        rng: TranscriptRng,
+        n: u64,
+        remaining: u64,
+    },
+    Cycle {
+        items: u64,
+        t: u64,
+        m: u64,
+    },
+    Script {
+        script: Vec<Update>,
+        pos: usize,
+    },
+}
+
+/// The lazy generator behind [`WorkloadSpec::stream`]: an [`UpdateSource`]
+/// holding only the generator's RNG/position state, never the stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    state: StreamState,
+}
+
+impl WorkloadStream {
+    /// The next update, or `None` when the stream is exhausted. Drives the
+    /// spec's RNG in exactly the order the materialized generators do.
+    fn next_update(&mut self) -> Option<Update> {
+        match &mut self.state {
+            StreamState::Zipf {
+                rng,
+                n,
+                heavy,
+                weights,
+                total,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                Some(Update::Insert(zipf_next(rng, *n, *heavy, weights, *total)))
+            }
+            StreamState::Ddos { rng, t, m } => {
+                if t >= m {
+                    return None;
+                }
+                let item = ddos_next(rng, *t);
+                *t += 1;
+                Some(Update::Insert(item))
+            }
+            StreamState::Churn {
+                rng,
+                n,
+                wave,
+                waves_left,
+                base,
+                phase,
+            } => loop {
+                match phase {
+                    ChurnPhase::NextWave => {
+                        if *waves_left == 0 {
+                            return None;
+                        }
+                        *waves_left -= 1;
+                        *base = rng.below(*n);
+                        *phase = ChurnPhase::Insert(0);
+                    }
+                    ChurnPhase::Insert(i) => {
+                        if *i < *wave {
+                            let item = (*base + *i * 7) % *n;
+                            *phase = ChurnPhase::Insert(*i + 1);
+                            return Some(Update::from(Turnstile::insert(item)));
+                        }
+                        *phase = ChurnPhase::Delete(0);
+                    }
+                    ChurnPhase::Delete(i) => {
+                        if *i < *wave / 2 {
+                            let item = (*base + *i * 7) % *n;
+                            *phase = ChurnPhase::Delete(*i + 1);
+                            return Some(Update::from(Turnstile::delete(item)));
+                        }
+                        *phase = ChurnPhase::NextWave;
+                    }
+                }
+            },
+            StreamState::Uniform { rng, n, remaining } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                Some(Update::Insert(rng.below(*n)))
+            }
+            StreamState::Cycle { items, t, m } => {
+                if t >= m {
+                    return None;
+                }
+                let item = *t % *items;
+                *t += 1;
+                Some(Update::Insert(item))
+            }
+            StreamState::Script { script, pos } => {
+                let u = script.get(*pos).copied();
+                *pos += 1;
+                u
+            }
+        }
+    }
+
+    /// Updates not yet emitted.
+    fn remaining(&self) -> u64 {
+        match &self.state {
+            StreamState::Zipf { remaining, .. } | StreamState::Uniform { remaining, .. } => {
+                *remaining
+            }
+            StreamState::Ddos { t, m, .. } | StreamState::Cycle { t, m, .. } => {
+                m.saturating_sub(*t)
+            }
+            StreamState::Churn {
+                wave,
+                waves_left,
+                phase,
+                ..
+            } => {
+                let per_wave = wave + wave / 2;
+                let in_wave = match phase {
+                    ChurnPhase::NextWave => 0,
+                    ChurnPhase::Insert(i) => per_wave.saturating_sub(*i),
+                    ChurnPhase::Delete(i) => (wave / 2).saturating_sub(*i),
+                };
+                waves_left * per_wave + in_wave
+            }
+            StreamState::Script { script, pos } => script.len().saturating_sub(*pos) as u64,
+        }
+    }
+}
+
+impl UpdateSource for WorkloadStream {
+    fn next_chunk(&mut self, buf: &mut Vec<Update>) -> usize {
+        buf.clear();
+        let cap = chunk_cap(buf);
+        while buf.len() < cap {
+            match self.next_update() {
+                Some(u) => buf.push(u),
+                None => break,
+            }
+        }
+        buf.len()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining())
     }
 }
 
@@ -268,5 +693,125 @@ mod tests {
         let cyc = WorkloadSpec::Cycle { items: 3, m: 9 };
         assert_eq!(cyc.generate()[4], Update::Insert(1));
         assert!(!cyc.is_empty());
+    }
+
+    #[test]
+    fn stream_matches_raw_generators_byte_for_byte() {
+        // The streaming path must reproduce the original materialized
+        // generators exactly — same RNG, same order — for every variant.
+        let (n, m, seed) = (1 << 10, 1000, 17);
+        let cases: Vec<(WorkloadSpec, Vec<Update>)> = vec![
+            (
+                WorkloadSpec::Zipf {
+                    n,
+                    m,
+                    heavy: 8,
+                    seed,
+                },
+                zipf_stream(n, m, 8, seed)
+                    .into_iter()
+                    .map(Update::Insert)
+                    .collect(),
+            ),
+            (
+                WorkloadSpec::Ddos { m, seed },
+                ddos_stream(m, seed)
+                    .into_iter()
+                    .map(Update::Insert)
+                    .collect(),
+            ),
+            (
+                WorkloadSpec::Churn {
+                    n,
+                    waves: 7,
+                    wave: 64,
+                    seed,
+                },
+                churn_stream(n, 7, 64, seed)
+                    .into_iter()
+                    .map(Update::from)
+                    .collect(),
+            ),
+            (
+                WorkloadSpec::Uniform { n, m, seed },
+                uniform_stream(n, m, seed)
+                    .into_iter()
+                    .map(Update::Insert)
+                    .collect(),
+            ),
+            (
+                WorkloadSpec::Cycle { items: 5, m },
+                cycle_stream(5, m).into_iter().map(Update::Insert).collect(),
+            ),
+        ];
+        for (spec, reference) in cases {
+            assert_eq!(spec.generate(), reference, "{}", spec.label());
+            // Chunked pulls concatenate to the same stream.
+            let mut source = spec.stream();
+            assert_eq!(source.len_hint(), Some(reference.len() as u64));
+            let mut got = Vec::new();
+            let mut buf = Vec::with_capacity(7);
+            while source.next_chunk(&mut buf) > 0 {
+                got.extend_from_slice(&buf);
+            }
+            assert_eq!(got, reference, "{} chunked", spec.label());
+            assert_eq!(source.len_hint(), Some(0));
+        }
+    }
+
+    #[test]
+    fn slice_and_fold_and_inspect_sources() {
+        let updates: Vec<Update> = (0..10).map(Update::Insert).collect();
+        let mut buf = Vec::with_capacity(4);
+        let mut source = SliceSource::new(&updates);
+        assert_eq!(source.len_hint(), Some(10));
+        assert_eq!(source.next_chunk(&mut buf), 4);
+        assert_eq!(buf, updates[..4]);
+        assert_eq!(source.len_hint(), Some(6));
+
+        let mut folded = FoldSource::new(SliceSource::new(&updates), 3);
+        folded.next_chunk(&mut buf);
+        assert_eq!(buf[..4], [0, 1, 2, 0].map(Update::Insert));
+
+        let mut seen = 0usize;
+        let mut inspected = InspectSource::new(SliceSource::new(&updates), |chunk: &[Update]| {
+            seen += chunk.len();
+        });
+        while inspected.next_chunk(&mut buf) > 0 {}
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_falls_back_to_default_chunk() {
+        let spec = WorkloadSpec::Cycle {
+            items: 3,
+            m: DEFAULT_CHUNK as u64 + 10,
+        };
+        let mut source = spec.stream();
+        let mut buf = Vec::new();
+        assert_eq!(source.next_chunk(&mut buf), DEFAULT_CHUNK);
+        assert_eq!(source.next_chunk(&mut buf), 10);
+        assert_eq!(source.next_chunk(&mut buf), 0);
+    }
+
+    #[test]
+    fn resized_rescales_every_variant() {
+        let zipf = WorkloadSpec::Zipf {
+            n: 1 << 10,
+            m: 100,
+            heavy: 4,
+            seed: 1,
+        };
+        assert_eq!(zipf.resized(5000).len(), 5000);
+        let churn = WorkloadSpec::Churn {
+            n: 256,
+            waves: 2,
+            wave: 64,
+            seed: 1,
+        };
+        let grown = churn.resized(10_000);
+        assert!(grown.len() >= 10_000 - 96 && grown.len() <= 10_000 + 96);
+        let script = WorkloadSpec::Script((0..50).map(Update::Insert).collect());
+        assert_eq!(script.resized(10).len(), 10, "scripts cannot grow");
     }
 }

@@ -152,6 +152,33 @@ impl StreamAlg for AmsF2 {
         self.update(update.item, update.delta);
     }
 
+    /// Batched ingestion: deltas are aggregated per item (sort +
+    /// run-length) before touching the counters, so each distinct item's
+    /// sign functions are evaluated once per batch instead of once per
+    /// update. Each counter maintains `⟨Z, f⟩`, which is linear in the
+    /// deltas, so `counter += Z(i)·(δ₁ + δ₂)` is exactly
+    /// `counter += Z(i)·δ₁ + Z(i)·δ₂` — the final state is bit-identical
+    /// to sequential processing (items whose deltas cancel contribute 0
+    /// either way).
+    fn process_batch(&mut self, updates: &[Turnstile], _rng: &mut TranscriptRng) {
+        let mut pairs: Vec<(u64, i64)> = updates.iter().map(|u| (u.item, u.delta)).collect();
+        pairs.sort_unstable_by_key(|&(item, _)| item);
+        let mut i = 0;
+        while i < pairs.len() {
+            let item = pairs[i].0;
+            let mut delta = pairs[i].1;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == item {
+                delta += pairs[j].1;
+                j += 1;
+            }
+            if delta != 0 {
+                self.update(item, delta);
+            }
+            i = j;
+        }
+    }
+
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         Mergeable::merge(self, other)
     }
@@ -275,6 +302,36 @@ mod tests {
         let n_many = find_aligned_items(&many, usize::MAX, budget).len();
         // Expected ratio 2^8; allow slack.
         assert!(n_few > 16 * n_many.max(1), "few {n_few} vs many {n_many}");
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut rng = TranscriptRng::from_seed(49);
+        let mut seq = AmsF2::new(7, &mut rng);
+        let mut bat = seq.clone();
+        // Signed stream with repeats and full cancellations.
+        let stream: Vec<Turnstile> = (0..4000u64)
+            .map(|t| Turnstile {
+                item: t % 97,
+                delta: match t % 7 {
+                    0 => -2,
+                    1..=4 => 1,
+                    _ => 3,
+                },
+            })
+            .collect();
+        let mut r1 = TranscriptRng::from_seed(50);
+        let mut r2 = TranscriptRng::from_seed(50);
+        for u in &stream {
+            seq.process(u, &mut r1);
+        }
+        for c in stream.chunks(173) {
+            bat.process_batch(c, &mut r2);
+        }
+        assert_eq!(seq.estimate(), bat.estimate());
+        for (a, b) in seq.copies().iter().zip(bat.copies()) {
+            assert_eq!(a.counter(), b.counter(), "counters must be bit-identical");
+        }
     }
 
     #[test]
