@@ -1,5 +1,6 @@
 //! Streaming vs materialized ingestion throughput — the acceptance gauge
-//! of the pull-based workload pipeline.
+//! of the pull-based workload pipeline and the source of the committed
+//! perf trajectory.
 //!
 //! Two paths over the identical stream (same spec, same seed, byte-equal
 //! updates):
@@ -15,8 +16,11 @@
 //! second pass over memory, or the cache misses of a multi-MB script.
 //!
 //! Besides the criterion groups, the bench's `main` measures both paths
-//! directly and writes `BENCH_pipeline.json` (repo root when invoked via
-//! `cargo bench`) — the committed perf-trajectory artifact CI checks.
+//! directly and **appends a dated snapshot** to `BENCH_pipeline.json`
+//! (repo root when invoked via `cargo bench`). The file is a JSON array of
+//! snapshots — one per perf PR — so the committed artifact is a
+//! trajectory, not a single point; CI's no-regression gate compares the
+//! freshest run against the last committed snapshot cell by cell.
 
 use criterion::{black_box, criterion_group, Criterion};
 use std::time::Instant;
@@ -27,10 +31,39 @@ use wb_engine::{Update, WorkloadSpec};
 
 const CHUNK: usize = 4096;
 
+/// The benched (workload, algorithm) cells: every generator variant, with
+/// the insert-only sketches where the workload is insert-only and the
+/// turnstile AMS sketch on the deletion-heavy churn stream.
+const MATRIX: &[(&str, &str)] = &[
+    ("uniform", "misra_gries"),
+    ("uniform", "count_min"),
+    ("cycle", "misra_gries"),
+    ("cycle", "count_min"),
+    ("zipf", "misra_gries"),
+    ("zipf", "count_min"),
+    ("ddos", "misra_gries"),
+    ("ddos", "count_min"),
+    ("churn", "ams_f2"),
+];
+
 fn spec(kind: &str, n: u64, m: u64) -> WorkloadSpec {
     match kind {
         "uniform" => WorkloadSpec::Uniform { n, m, seed: 97 },
         "cycle" => WorkloadSpec::Cycle { items: 8, m },
+        "zipf" => WorkloadSpec::Zipf {
+            n,
+            m,
+            heavy: 64,
+            seed: 97,
+        },
+        "ddos" => WorkloadSpec::Ddos { m, seed: 97 },
+        // waves × (wave + wave/2) updates ≈ m.
+        "churn" => WorkloadSpec::Churn {
+            n,
+            waves: m / 6144,
+            wave: 4096,
+            seed: 97,
+        },
         other => panic!("unknown bench workload {other}"),
     }
 }
@@ -61,18 +94,16 @@ fn ingest_streamed(alg_name: &str, params: &Params, spec: &WorkloadSpec) -> u64 
 fn bench_pipeline(c: &mut Criterion) {
     let params = Params::default().with_n(1 << 12);
     let m = 1u64 << 18;
-    for workload in ["uniform", "cycle"] {
-        for alg in ["misra_gries", "count_min"] {
-            let spec = spec(workload, params.n, m);
-            let mut g = c.benchmark_group(&format!("pipeline_{workload}_{alg}"));
-            g.bench_function("materialized", |b| {
-                b.iter(|| black_box(ingest_materialized(alg, &params, &spec)))
-            });
-            g.bench_function("streamed", |b| {
-                b.iter(|| black_box(ingest_streamed(alg, &params, &spec)))
-            });
-            g.finish();
-        }
+    for &(workload, alg) in MATRIX {
+        let spec = spec(workload, params.n, m);
+        let mut g = c.benchmark_group(&format!("pipeline_{workload}_{alg}"));
+        g.bench_function("materialized", |b| {
+            b.iter(|| black_box(ingest_materialized(alg, &params, &spec)))
+        });
+        g.bench_function("streamed", |b| {
+            b.iter(|| black_box(ingest_streamed(alg, &params, &spec)))
+        });
+        g.finish();
     }
 }
 
@@ -91,40 +122,74 @@ fn measure(trials: usize, mut f: impl FnMut() -> u64) -> f64 {
     times[times.len() / 2]
 }
 
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock via the
+/// days-to-civil algorithm (no date dependency in the workspace).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 fn main() {
     benches();
 
     // The committed perf artifact: million-updates-per-second for both
-    // paths, per (workload, algorithm) cell.
+    // paths, per (workload, algorithm) cell, appended as a dated snapshot
+    // to the trajectory array.
     let params = Params::default().with_n(1 << 12);
     let m = 1u64 << 20;
     let trials = 5;
     let mut rows = Vec::new();
-    for workload in ["uniform", "cycle"] {
-        for alg in ["misra_gries", "count_min"] {
-            let s = spec(workload, params.n, m);
-            let mat = measure(trials, || ingest_materialized(alg, &params, &s));
-            let str_ = measure(trials, || ingest_streamed(alg, &params, &s));
-            let mups = |secs: f64| m as f64 / secs / 1e6;
-            rows.push(format!(
-                concat!(
-                    r#"{{"workload":"{}","alg":"{}","materialized_mups":{:.1},"#,
-                    r#""streamed_mups":{:.1},"speedup":{:.3}}}"#
-                ),
-                workload,
-                alg,
-                mups(mat),
-                mups(str_),
-                mat / str_,
-            ));
-        }
+    for &(workload, alg) in MATRIX {
+        let s = spec(workload, params.n, m);
+        // Actual emitted length (churn rounds m down to whole waves).
+        let len = s.stream().len_hint().expect("generators know their length");
+        let mat = measure(trials, || ingest_materialized(alg, &params, &s));
+        let str_ = measure(trials, || ingest_streamed(alg, &params, &s));
+        let mups = |secs: f64| len as f64 / secs / 1e6;
+        rows.push(format!(
+            concat!(
+                r#"{{"workload":"{}","alg":"{}","m":{},"materialized_mups":{:.1},"#,
+                r#""streamed_mups":{:.1},"speedup":{:.3}}}"#
+            ),
+            workload,
+            alg,
+            len,
+            mups(mat),
+            mups(str_),
+            mat / str_,
+        ));
     }
-    let json = format!(
-        "{{\"bench\":\"pipeline\",\"m\":{m},\"chunk\":{CHUNK},\"trials\":{trials},\"results\":[\n  {}\n]}}\n",
+    let snapshot = format!(
+        "{{\"date\":\"{}\",\"bench\":\"pipeline\",\"chunk\":{CHUNK},\"trials\":{trials},\"results\":[\n  {}\n]}}",
+        today_utc(),
         rows.join(",\n  ")
     );
-    // Write at the workspace root (benches run with the package as CWD).
+    // Append to the trajectory at the workspace root (benches run with the
+    // package as CWD). A legacy single-object file becomes the array's
+    // first point.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim();
+    let json = if trimmed.is_empty() {
+        format!("[\n{snapshot}\n]\n")
+    } else if let Some(body) = trimmed.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        format!("[\n{},\n{snapshot}\n]\n", body.trim())
+    } else {
+        format!("[\n{trimmed},\n{snapshot}\n]\n")
+    };
     std::fs::write(path, &json).expect("write BENCH_pipeline.json");
     println!("\nBENCH_pipeline.json:\n{json}");
 }

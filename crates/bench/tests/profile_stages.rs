@@ -1,0 +1,167 @@
+//! Stage-by-stage throughput attribution for the streamed uniform
+//! pipeline — a profiling aid, not a correctness test (run with
+//! `cargo test --release -p bench --test profile_stages -- --ignored --nocapture`).
+
+use std::time::Instant;
+use wb_core::rng::TranscriptRng;
+use wb_core::stream::{InsertOnly, RunAggregator};
+use wb_engine::registry::{self, Params};
+use wb_engine::workload::UpdateSource;
+use wb_engine::{Update, WorkloadSpec};
+
+fn time(label: &str, m: u64, f: impl FnOnce() -> u64) {
+    let t = Instant::now();
+    let s = f();
+    let el = t.elapsed().as_secs_f64();
+    println!("{label:30} {:6.1} Mups  (sink {s})", m as f64 / el / 1e6);
+}
+
+#[test]
+#[ignore = "profiling aid; run explicitly in release mode"]
+fn profile_pipeline_stages() {
+    let params = Params::default().with_n(1 << 12);
+    let m = 1u64 << 21;
+    let spec = WorkloadSpec::Uniform {
+        n: params.n,
+        m,
+        seed: 97,
+    };
+    // Stage 1: generation only.
+    time("gen only", m, || {
+        let mut src = spec.stream();
+        let mut buf: Vec<Update> = Vec::with_capacity(4096);
+        let mut sink = 0u64;
+        while src.next_chunk(&mut buf) > 0 {
+            sink = sink.wrapping_add(buf.len() as u64);
+        }
+        sink
+    });
+    // Stage 2: gen + conversion to InsertOnly.
+    time("gen + convert", m, || {
+        let mut src = spec.stream();
+        let mut buf: Vec<Update> = Vec::with_capacity(4096);
+        let mut sink = 0u64;
+        while src.next_chunk(&mut buf) > 0 {
+            let conv: Vec<InsertOnly> = buf
+                .iter()
+                .map(|u| match u {
+                    Update::Insert(i) => InsertOnly(*i),
+                    _ => unreachable!(),
+                })
+                .collect();
+            sink = sink.wrapping_add(conv.len() as u64);
+        }
+        sink
+    });
+    // Stage 3: gen + convert + aggregate.
+    time("gen + convert + agg", m, || {
+        let mut src = spec.stream();
+        let mut buf: Vec<Update> = Vec::with_capacity(4096);
+        let mut agg: RunAggregator<u64> = RunAggregator::new();
+        let mut sink = 0u64;
+        while src.next_chunk(&mut buf) > 0 {
+            let conv: Vec<InsertOnly> = buf
+                .iter()
+                .map(|u| match u {
+                    Update::Insert(i) => InsertOnly(*i),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let runs = agg.aggregate(conv.iter().map(|u| (u.0, 1u64)), conv.len());
+            sink = sink.wrapping_add(runs.len() as u64);
+        }
+        sink
+    });
+    // Stage 4: the full streamed count_min path.
+    time("full count_min", m, || {
+        let mut alg = registry::get("count_min", &params).unwrap();
+        let mut rng = TranscriptRng::from_seed(1);
+        let mut src = spec.stream();
+        let mut buf: Vec<Update> = Vec::with_capacity(4096);
+        while src.next_chunk(&mut buf) > 0 {
+            alg.process_batch_dyn(&buf, &mut rng).unwrap();
+        }
+        alg.space_bits_dyn()
+    });
+}
+
+#[test]
+#[ignore = "profiling aid; run explicitly in release mode"]
+fn profile_agg_variants() {
+    let params = Params::default().with_n(1 << 12);
+    let m = 1u64 << 21;
+    let spec = WorkloadSpec::Uniform {
+        n: params.n,
+        m,
+        seed: 97,
+    };
+    // Variant A: packed u32 slots (epoch 8 bits, run idx 24 bits).
+    time("agg packed u32", m, || {
+        let mut src = spec.stream();
+        let mut buf: Vec<Update> = Vec::with_capacity(4096);
+        let mut slots: Vec<u32> = Vec::new();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        let mut epoch = 0u32;
+        let mut sink = 0u64;
+        while src.next_chunk(&mut buf) > 0 {
+            let want = (buf.len().max(4) * 2).next_power_of_two();
+            if slots.len() < want {
+                slots = vec![0; want];
+                epoch = 0;
+            }
+            let mask = slots.len() - 1;
+            epoch += 1;
+            if epoch == 256 {
+                slots.iter_mut().for_each(|s| *s = 0);
+                epoch = 1;
+            }
+            runs.clear();
+            for u in &buf {
+                let item = match u {
+                    Update::Insert(i) => *i,
+                    _ => unreachable!(),
+                };
+                let mut idx = (item.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+                loop {
+                    let s = slots[idx];
+                    if s >> 24 != epoch {
+                        slots[idx] = (epoch << 24) | runs.len() as u32;
+                        runs.push((item, 1));
+                        break;
+                    }
+                    let ri = (s & 0xFF_FFFF) as usize;
+                    if runs[ri].0 == item {
+                        runs[ri].1 += 1;
+                        break;
+                    }
+                    idx = (idx + 1) & mask;
+                }
+            }
+            sink = sink.wrapping_add(runs.len() as u64);
+        }
+        sink
+    });
+    // Variant B: no aggregation, direct 4-row hashing per update.
+    time("direct hash (no agg)", m, || {
+        let mut rng = TranscriptRng::from_seed(params.seed);
+        let seeds: Vec<(u64, u64)> = (0..4)
+            .map(|_| (rng.range(1, (1u64 << 61) - 1), rng.below((1u64 << 61) - 1)))
+            .collect();
+        let mut table = vec![0u64; 4 * 256];
+        let mut src = spec.stream();
+        let mut buf: Vec<Update> = Vec::with_capacity(4096);
+        while src.next_chunk(&mut buf) > 0 {
+            for u in &buf {
+                let x = match u {
+                    Update::Insert(i) => *i as u128,
+                    _ => unreachable!(),
+                };
+                for (r, &(a, b)) in seeds.iter().enumerate() {
+                    let h = wb_crypto::mersenne::reduce128(a as u128 * x + b as u128);
+                    table[r * 256 + (h & 255) as usize] += 1;
+                }
+            }
+        }
+        table.iter().sum()
+    });
+}

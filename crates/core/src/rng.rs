@@ -78,6 +78,21 @@ pub struct Xoshiro256StarStar {
     s: [u64; 4],
 }
 
+/// One xoshiro256\*\* step on an explicit state array — shared by the
+/// scalar and bulk paths so both walk the identical tape.
+#[inline(always)]
+fn xoshiro_step(s: &mut [u64; 4]) -> u64 {
+    let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+    let t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = s[3].rotate_left(45);
+    result
+}
+
 impl Xoshiro256StarStar {
     /// Seeds the generator by expanding `seed` with SplitMix64, per the
     /// reference implementation's recommendation.
@@ -89,16 +104,82 @@ impl Xoshiro256StarStar {
 
     /// Returns the next 64-bit word.
     pub fn next_u64(&mut self) -> u64 {
-        let s = &mut self.s;
-        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = s[1] << 17;
-        s[2] ^= s[0];
-        s[3] ^= s[1];
-        s[1] ^= s[2];
-        s[0] ^= s[3];
-        s[2] ^= t;
-        s[3] = s[3].rotate_left(45);
-        result
+        xoshiro_step(&mut self.s)
+    }
+
+    /// Fills `out` with the next `out.len()` words of the tape — exactly
+    /// the words `out.len()` calls to [`Xoshiro256StarStar::next_u64`]
+    /// would return, produced by an unrolled loop that keeps the state in
+    /// registers for the whole batch instead of loading and storing it per
+    /// word.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        let mut s = self.s;
+        let mut chunks = out.chunks_exact_mut(4);
+        for quad in &mut chunks {
+            quad[0] = xoshiro_step(&mut s);
+            quad[1] = xoshiro_step(&mut s);
+            quad[2] = xoshiro_step(&mut s);
+            quad[3] = xoshiro_step(&mut s);
+        }
+        for w in chunks.into_remainder() {
+            *w = xoshiro_step(&mut s);
+        }
+        self.s = s;
+    }
+}
+
+/// A precomputed reciprocal for exact division-free `v % n` (the
+/// libdivide/Lemire "fastmod" strength reduction: one 128-bit multiply by
+/// `⌈2¹²⁸/n⌉`, then the high half of a 128×64 product).
+///
+/// [`Reciprocal::rem`] is **bit-identical** to the hardware `v % n` for
+/// every `v` and every `n ≥ 1` — not an approximation — so random tapes
+/// produced through it are unchanged (proptested against `%` in
+/// `rng_bulk_equivalence`). Computing the magic costs one 128-bit
+/// division, amortized over every later call; the hot paths (uniform
+/// sampling, CountMin bucket folding) reuse one `Reciprocal` across a
+/// whole stream or sketch lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reciprocal {
+    n: u64,
+    /// `⌈2¹²⁸ / n⌉`, wrapped to 0 for `n = 1` (where every residue is 0).
+    magic: u128,
+    /// Largest multiple of `n` that fits in `u64`: accept `v < zone` when
+    /// rejection-sampling a uniform draw below `n`.
+    zone: u64,
+}
+
+impl Reciprocal {
+    /// Precomputes the reciprocal of `n`. Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "Reciprocal of 0 is undefined");
+        let magic = (u128::MAX / n as u128).wrapping_add(1);
+        let mut r = Reciprocal { n, magic, zone: 0 };
+        r.zone = u64::MAX - r.rem(u64::MAX);
+        r
+    }
+
+    /// The divisor this reciprocal was built for.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exactly `v % n`, via two multiplies instead of a division.
+    #[inline]
+    pub fn rem(&self, v: u64) -> u64 {
+        let low = self.magic.wrapping_mul(v as u128);
+        // High 64 bits of the 192-bit product `low * n`.
+        let hi = (low >> 64) as u64;
+        let lo = low as u64;
+        let t = ((lo as u128 * self.n as u128) >> 64) + hi as u128 * self.n as u128;
+        (t >> 64) as u64
+    }
+
+    /// The rejection-sampling acceptance zone: the largest multiple of `n`
+    /// representable in `u64` (accept `v < zone` for exact uniformity).
+    #[inline]
+    pub fn zone(&self) -> u64 {
+        self.zone
     }
 }
 
@@ -134,8 +215,51 @@ impl RandTranscript {
             self.ring.push(word);
         } else {
             self.ring[self.ring_next] = word;
-            self.ring_next = (self.ring_next + 1) % TRANSCRIPT_RING;
+            // Conditional reset instead of `% TRANSCRIPT_RING`: this is the
+            // per-draw hot path, and the wrap happens once per ring lap.
+            self.ring_next += 1;
+            if self.ring_next == TRANSCRIPT_RING {
+                self.ring_next = 0;
+            }
         }
+    }
+
+    /// Records a whole batch of drawn words with amortized accounting:
+    /// `draws` is bumped once, and only the words that survive into the
+    /// ring are written — ending in **exactly** the state `words.len()`
+    /// calls to `record` would produce (same ring contents, same
+    /// `ring_next`, same `draws`).
+    fn record_many(&mut self, words: &[u64]) {
+        self.draws += words.len() as u64;
+        let mut rest = words;
+        if self.ring.len() < TRANSCRIPT_RING {
+            let take = (TRANSCRIPT_RING - self.ring.len()).min(rest.len());
+            self.ring.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+        }
+        if rest.is_empty() {
+            return;
+        }
+        // The ring is full. Only the last TRANSCRIPT_RING words survive;
+        // place them at the positions per-word recording would have used,
+        // and advance `ring_next` by the full (possibly larger) count.
+        let skip = rest.len() - rest.len().min(TRANSCRIPT_RING);
+        let survivors = &rest[skip..];
+        let start = (self.ring_next + skip % TRANSCRIPT_RING) % TRANSCRIPT_RING;
+        let first = survivors.len().min(TRANSCRIPT_RING - start);
+        self.ring[start..start + first].copy_from_slice(&survivors[..first]);
+        let wrapped = &survivors[first..];
+        self.ring[..wrapped.len()].copy_from_slice(wrapped);
+        self.ring_next = if wrapped.is_empty() {
+            let end = start + first;
+            if end == TRANSCRIPT_RING {
+                0
+            } else {
+                end
+            }
+        } else {
+            wrapped.len()
+        };
     }
 
     /// The public seed of the algorithm's random tape.
@@ -168,7 +292,11 @@ impl RandTranscript {
         if self.ring.len() < TRANSCRIPT_RING {
             self.ring.last().copied()
         } else {
-            let idx = (self.ring_next + TRANSCRIPT_RING - 1) % TRANSCRIPT_RING;
+            let idx = if self.ring_next == 0 {
+                TRANSCRIPT_RING - 1
+            } else {
+                self.ring_next - 1
+            };
             Some(self.ring[idx])
         }
     }
@@ -191,6 +319,11 @@ impl RandTranscript {
 pub struct TranscriptRng {
     rng: Xoshiro256StarStar,
     transcript: RandTranscript,
+    /// One-entry [`Reciprocal`] cache for [`TranscriptRng::below`]: callers
+    /// overwhelmingly sample one modulus repeatedly (a workload's universe,
+    /// a sketch's width), so the 128-bit division behind the magic is paid
+    /// once per modulus change, not once per draw.
+    recip: Option<Reciprocal>,
 }
 
 impl TranscriptRng {
@@ -199,6 +332,7 @@ impl TranscriptRng {
         TranscriptRng {
             rng: Xoshiro256StarStar::from_seed(seed),
             transcript: RandTranscript::new(seed),
+            recip: None,
         }
     }
 
@@ -207,6 +341,30 @@ impl TranscriptRng {
         let w = self.rng.next_u64();
         self.transcript.record(w);
         w
+    }
+
+    /// Fills `out` with the next `out.len()` words of the tape, all
+    /// recorded: the same words, transcript draw count, and ring state as
+    /// `out.len()` calls to [`TranscriptRng::next_u64`], with the tape
+    /// generated by the unrolled bulk fill and the transcript updated once
+    /// per batch.
+    pub fn next_u64_many(&mut self, out: &mut [u64]) {
+        self.rng.fill_u64(out);
+        self.transcript.record_many(out);
+    }
+
+    /// The cached reciprocal for modulus `n` (recomputed only when `n`
+    /// changes between calls).
+    #[inline]
+    fn recip_for(&mut self, n: u64) -> Reciprocal {
+        match self.recip {
+            Some(r) if r.n() == n => r,
+            _ => {
+                let r = Reciprocal::new(n);
+                self.recip = Some(r);
+                r
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)` using 53 random bits.
@@ -221,18 +379,66 @@ impl TranscriptRng {
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     ///
-    /// Uses rejection sampling on the top bits for exact uniformity.
+    /// Uses rejection sampling on the top bits for exact uniformity; the
+    /// `v % n` of the historical implementation is strength-reduced to a
+    /// cached [`Reciprocal`] multiply, bit-identical to the hardware
+    /// division, so existing tapes are unchanged.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is undefined");
         if n.is_power_of_two() {
             return self.next_u64() & (n - 1);
         }
-        // Rejection zone: multiples of n that fit in 2^64.
-        let zone = u64::MAX - (u64::MAX % n);
+        let r = self.recip_for(n);
         loop {
             let v = self.next_u64();
-            if v < zone {
-                return v % n;
+            if v < r.zone() {
+                return r.rem(v);
+            }
+        }
+    }
+
+    /// Fills `out` with `out.len()` uniform integers in `[0, n)` — the
+    /// exact values (and the exact raw-word tape, rejections included) that
+    /// `out.len()` calls to [`TranscriptRng::below`] would produce, with
+    /// the words drawn by bulk fill and the transcript updated per batch
+    /// instead of per draw. Panics if `n == 0`.
+    pub fn below_many(&mut self, n: u64, out: &mut [u64]) {
+        assert!(n > 0, "below(0) is undefined");
+        if out.is_empty() {
+            return;
+        }
+        if n.is_power_of_two() {
+            let mask = n - 1;
+            self.next_u64_many(out);
+            for v in out.iter_mut() {
+                *v &= mask;
+            }
+            return;
+        }
+        let r = self.recip_for(n);
+        // Optimistic pass: one word per output. Rejected words are skipped
+        // (in tape order, exactly like the scalar rejection loop) and the
+        // shortfall redrawn in small rounds — each round draws exactly the
+        // number of outputs still missing, so the total word count matches
+        // the scalar loop draw for draw.
+        self.next_u64_many(out);
+        let mut filled = 0;
+        for i in 0..out.len() {
+            let v = out[i];
+            if v < r.zone() {
+                out[filled] = r.rem(v);
+                filled += 1;
+            }
+        }
+        let mut spare = [0u64; 32];
+        while filled < out.len() {
+            let need = (out.len() - filled).min(spare.len());
+            self.next_u64_many(&mut spare[..need]);
+            for &v in &spare[..need] {
+                if v < r.zone() {
+                    out[filled] = r.rem(v);
+                    filled += 1;
+                }
             }
         }
     }
@@ -404,5 +610,102 @@ mod tests {
     fn below_zero_panics() {
         let mut rng = TranscriptRng::from_seed(1);
         rng.below(0);
+    }
+
+    #[test]
+    fn reciprocal_rem_matches_hardware_division() {
+        let divisors = [
+            1u64,
+            2,
+            3,
+            7,
+            10,
+            255,
+            256,
+            257,
+            1 << 20,
+            (1 << 20) + 1,
+            P_TEST,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let values = [0u64, 1, 2, 6, 7, 255, 1 << 33, u64::MAX - 1, u64::MAX];
+        for &n in &divisors {
+            let r = Reciprocal::new(n);
+            assert_eq!(r.n(), n);
+            assert_eq!(r.zone(), u64::MAX - (u64::MAX % n), "zone for n={n}");
+            for &v in &values {
+                assert_eq!(r.rem(v), v % n, "v={v}, n={n}");
+            }
+            // A stretch of sequential values around a multiple boundary.
+            for v in (n.saturating_sub(3))..(n.saturating_add(3)) {
+                assert_eq!(r.rem(v), v % n, "v={v}, n={n}");
+            }
+        }
+        let mut sm = SplitMix64::new(99);
+        for _ in 0..5000 {
+            let n = sm.next_u64().max(1);
+            let v = sm.next_u64();
+            assert_eq!(Reciprocal::new(n).rem(v), v % n, "v={v}, n={n}");
+        }
+    }
+
+    const P_TEST: u64 = (1 << 61) - 1;
+
+    #[test]
+    fn fill_u64_matches_scalar_tape() {
+        for len in [0usize, 1, 3, 4, 5, 8, 63, 64, 65, 1000] {
+            let mut scalar = Xoshiro256StarStar::from_seed(7);
+            let mut bulk = scalar.clone();
+            let want: Vec<u64> = (0..len).map(|_| scalar.next_u64()).collect();
+            let mut got = vec![0u64; len];
+            bulk.fill_u64(&mut got);
+            assert_eq!(got, want, "len {len}");
+            // Post-state agrees: the next word continues the same tape.
+            assert_eq!(bulk.next_u64(), scalar.next_u64(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn next_u64_many_matches_scalar_transcript_across_ring_wrap() {
+        let mut scalar = TranscriptRng::from_seed(21);
+        let mut bulk = TranscriptRng::from_seed(21);
+        // Batch sizes chosen to land before, straddle, and lap the ring.
+        for batch in [
+            1usize,
+            7,
+            TRANSCRIPT_RING - 3,
+            10,
+            TRANSCRIPT_RING,
+            2 * TRANSCRIPT_RING + 13,
+        ] {
+            let want: Vec<u64> = (0..batch).map(|_| scalar.next_u64()).collect();
+            let mut got = vec![0u64; batch];
+            bulk.next_u64_many(&mut got);
+            assert_eq!(got, want, "batch {batch}");
+            assert_eq!(bulk.transcript().draws(), scalar.transcript().draws());
+            assert_eq!(bulk.transcript().recent(), scalar.transcript().recent());
+            assert_eq!(bulk.transcript().last(), scalar.transcript().last());
+        }
+    }
+
+    #[test]
+    fn below_many_matches_scalar_draw_for_draw() {
+        for n in [3u64, 7, 8, 100, (1 << 32) - 5, P_TEST] {
+            let mut scalar = TranscriptRng::from_seed(31);
+            let mut bulk = TranscriptRng::from_seed(31);
+            let want: Vec<u64> = (0..2000).map(|_| scalar.below(n)).collect();
+            let mut got = vec![0u64; 2000];
+            bulk.below_many(n, &mut got);
+            assert_eq!(got, want, "n {n}");
+            assert_eq!(
+                bulk.transcript().draws(),
+                scalar.transcript().draws(),
+                "n {n}: rejection redraw counts must match"
+            );
+            assert_eq!(bulk.transcript().recent(), scalar.transcript().recent());
+            // Both continue on the same tape afterwards.
+            assert_eq!(bulk.below(n), scalar.below(n));
+        }
     }
 }

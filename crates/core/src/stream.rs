@@ -75,6 +75,116 @@ where
     }
 }
 
+/// Reusable open-addressed scratch that aggregates a batch of
+/// `(item, weight)` pairs by distinct item — the O(len) replacement for
+/// the sort-based grouping in the commutative batched-ingestion kernels
+/// (CountMin, AMS), where only per-item totals matter, not order.
+///
+/// One table is kept alive across batches (stored inside the sketch), so
+/// the per-batch cost is a handful of words per update: a multiplicative
+/// hash, a short linear probe of a packed `u32` slot array (epoch stamp in
+/// the high byte, run index in the low 24 bits — sized so a chunk's table
+/// stays L1-resident), and an add. Occupancy is tracked by the epoch stamp
+/// instead of clearing slots; the table is sized to ≤ 50% load from the
+/// caller-declared batch length. Runs come back in first-occurrence order
+/// — deterministic for a given batch; consumers must be order-insensitive
+/// (commutative additions), which is exactly the property that makes
+/// batching bit-identical in the first place.
+///
+/// Callers either use the one-shot [`RunAggregator::aggregate`] or the
+/// incremental [`RunAggregator::begin`] / [`RunAggregator::add`] /
+/// [`RunAggregator::runs`] triple — the latter lets a kernel sample a
+/// batch prefix and abandon aggregation when the batch looks
+/// high-distinct (aggregation only pays when duplicates abound).
+#[derive(Debug, Clone, Default)]
+pub struct RunAggregator<W> {
+    /// Packed per-slot `(epoch << 24) | run_index`; a slot is live iff its
+    /// epoch byte matches the current batch epoch (0 = never used).
+    slots: Vec<u32>,
+    mask: usize,
+    epoch: u32,
+    runs: Vec<(u64, W)>,
+}
+
+/// Run indices occupy the low 24 bits of a slot.
+const RUN_IDX_BITS: u32 = 24;
+
+impl<W: Copy + core::ops::AddAssign> RunAggregator<W> {
+    /// An empty aggregator; the slot table is sized lazily per batch.
+    pub fn new() -> Self {
+        RunAggregator {
+            slots: Vec::new(),
+            mask: 0,
+            epoch: 0,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Starts a new batch of at most `len` pairs: bumps the epoch and
+    /// (re)sizes the slot table to keep load ≤ 50%.
+    pub fn begin(&mut self, len: usize) {
+        assert!(
+            len < (1 << RUN_IDX_BITS),
+            "RunAggregator batches are capped at 2^24 pairs"
+        );
+        let want = (len.max(4) * 2).next_power_of_two();
+        if self.slots.len() < want {
+            self.slots = vec![0; want];
+            self.mask = want - 1;
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.epoch == (1 << (32 - RUN_IDX_BITS)) {
+            // Epoch byte wrap-around: stale stamps could alias, clear once.
+            self.slots.fill(0);
+            self.epoch = 1;
+        }
+        self.runs.clear();
+    }
+
+    /// Folds one pair into the current batch's runs.
+    #[inline]
+    pub fn add(&mut self, item: u64, w: W) {
+        // Fibonacci hash to a starting slot, then linear probing; the
+        // ≤ 50% load factor keeps probe chains short.
+        let mut idx = (item.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask;
+        let stamp = self.epoch << RUN_IDX_BITS;
+        loop {
+            let slot = self.slots[idx];
+            if slot >> RUN_IDX_BITS != self.epoch {
+                debug_assert!(self.runs.len() < (1 << RUN_IDX_BITS));
+                self.slots[idx] = stamp | self.runs.len() as u32;
+                self.runs.push((item, w));
+                return;
+            }
+            let run = &mut self.runs[(slot & ((1 << RUN_IDX_BITS) - 1)) as usize];
+            if run.0 == item {
+                run.1 += w;
+                return;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// The current batch's `(item, total)` runs, in first-occurrence order.
+    pub fn runs(&self) -> &[(u64, W)] {
+        &self.runs
+    }
+
+    /// One-shot [`RunAggregator::begin`] + [`RunAggregator::add`] over
+    /// `pairs` (at most `len` of them), returning the aggregated runs.
+    pub fn aggregate(&mut self, pairs: impl Iterator<Item = (u64, W)>, len: usize) -> &[(u64, W)] {
+        self.begin(len);
+        let mut seen = 0usize;
+        for (item, w) in pairs {
+            seen += 1;
+            assert!(seen <= len, "aggregate: more pairs than declared len");
+            self.add(item, w);
+        }
+        &self.runs
+    }
+}
+
 /// A single-pass streaming algorithm in the white-box model.
 ///
 /// `process` receives the only randomness source the algorithm may use; all

@@ -27,7 +27,7 @@ use crate::report::GameReport;
 use crate::workload::{SliceSource, UpdateSource};
 use std::any::Any;
 use wb_core::merge::MergeError;
-use wb_core::rng::{RandTranscript, TranscriptRng};
+use wb_core::rng::{RandTranscript, Reciprocal, TranscriptRng};
 use wb_core::space::SpaceUsage;
 use wb_core::stream::{InsertOnly, StreamAlg, Turnstile};
 use wb_core::WbError;
@@ -92,6 +92,20 @@ impl Update {
             Update::Insert(item) => Update::Insert(item % n),
             Update::Turnstile { item, delta } => Update::Turnstile {
                 item: item % n,
+                delta,
+            },
+        }
+    }
+
+    /// [`Update::fold_into`] with a precomputed [`Reciprocal`] — the form
+    /// the streaming pipeline's per-update hot path (`FoldSource`) uses to
+    /// avoid a hardware division per update. `Reciprocal::rem` is
+    /// bit-identical to `% n`, so the two folds agree on every item.
+    pub fn fold_with(self, r: &Reciprocal) -> Update {
+        match self {
+            Update::Insert(item) => Update::Insert(r.rem(item)),
+            Update::Turnstile { item, delta } => Update::Turnstile {
+                item: r.rem(item),
                 delta,
             },
         }

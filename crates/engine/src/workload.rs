@@ -21,7 +21,7 @@
 //! `streaming_pipeline` proptest suite for every variant and chunk size).
 
 use crate::erased::Update;
-use wb_core::rng::TranscriptRng;
+use wb_core::rng::{Reciprocal, TranscriptRng, Xoshiro256StarStar};
 use wb_core::stream::Turnstile;
 
 /// Default chunk size of the streaming pipeline: the buffer length
@@ -110,7 +110,9 @@ impl UpdateSource for SliceSource<'_> {
 #[derive(Debug, Clone)]
 pub struct FoldSource<S> {
     inner: S,
-    n: u64,
+    /// Precomputed reciprocal of `n`: the fold is a per-update hot path,
+    /// and [`Reciprocal::rem`] is bit-identical to the `% n` it replaces.
+    recip: Reciprocal,
 }
 
 impl<S: UpdateSource> FoldSource<S> {
@@ -121,7 +123,10 @@ impl<S: UpdateSource> FoldSource<S> {
     /// Panics if `n == 0` (see [`Update::fold_into`]).
     pub fn new(inner: S, n: u64) -> Self {
         assert!(n > 0, "FoldSource requires a nonempty universe (n >= 1)");
-        FoldSource { inner, n }
+        FoldSource {
+            inner,
+            recip: Reciprocal::new(n),
+        }
     }
 }
 
@@ -129,7 +134,7 @@ impl<S: UpdateSource> UpdateSource for FoldSource<S> {
     fn next_chunk(&mut self, buf: &mut Vec<Update>) -> usize {
         let wrote = self.inner.next_chunk(buf);
         for u in buf.iter_mut() {
-            *u = u.fold_into(self.n);
+            *u = u.fold_with(&self.recip);
         }
         wrote
     }
@@ -169,6 +174,198 @@ impl<S: UpdateSource, F: FnMut(&[Update])> UpdateSource for InspectSource<S, F> 
     }
 }
 
+/// Words fetched per refill of a [`WordTape`] — one bulk
+/// [`Xoshiro256StarStar::fill_u64`] call amortized over this many scalar
+/// consumptions.
+const WORD_TAPE_BUF: usize = 1024;
+
+/// The refillable word-buffer layer under [`WorkloadStream`]: a xoshiro
+/// generator whose raw 64-bit words are produced in bulk (the unrolled
+/// [`Xoshiro256StarStar::fill_u64`]) and consumed one at a time — or a
+/// chunk at a time by the vectorized kernels — in **exactly the order** the
+/// historical per-draw `TranscriptRng` consumed them. Every conversion
+/// helper mirrors the `TranscriptRng` method of the same name bit for bit
+/// (same seed expansion, same rejection zones, reciprocal remainder equal
+/// to the hardware remainder), so each workload variant emits a
+/// draw-for-draw identical stream by construction. Workload generators are
+/// *environment* randomness — the white-box transcript of the algorithm
+/// under test is a separate `TranscriptRng` and is untouched — so the tape
+/// keeps no transcript and pays no per-draw accounting.
+#[derive(Debug, Clone)]
+struct WordTape {
+    rng: Xoshiro256StarStar,
+    buf: Vec<u64>,
+    pos: usize,
+    scratch: Vec<u64>,
+    recip: Option<Reciprocal>,
+}
+
+impl WordTape {
+    /// Seeded exactly like `TranscriptRng::from_seed`, so the raw word
+    /// tape is identical.
+    fn from_seed(seed: u64) -> Self {
+        WordTape {
+            rng: Xoshiro256StarStar::from_seed(seed),
+            buf: Vec::new(),
+            pos: 0,
+            scratch: Vec::new(),
+            recip: None,
+        }
+    }
+
+    /// Next raw tape word (buffered; refilled in bulk).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == self.buf.len() {
+            self.buf.resize(WORD_TAPE_BUF, 0);
+            self.rng.fill_u64(&mut self.buf);
+            self.pos = 0;
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Fills `out` with the next raw tape words: buffered words first
+    /// (they are earlier tape positions), then one direct bulk fill.
+    fn fill_words(&mut self, out: &mut [u64]) {
+        let buffered = self.buf.len() - self.pos;
+        let take = buffered.min(out.len());
+        out[..take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+        self.pos += take;
+        if take < out.len() {
+            self.rng.fill_u64(&mut out[take..]);
+        }
+    }
+
+    /// Mirrors `TranscriptRng::next_f64` bit for bit.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Mirrors `TranscriptRng::bernoulli` bit for bit.
+    #[inline]
+    fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Cached reciprocal for modulus `n` (recomputed only on change).
+    #[inline]
+    fn recip_for(&mut self, n: u64) -> Reciprocal {
+        match self.recip {
+            Some(r) if r.n() == n => r,
+            _ => {
+                let r = Reciprocal::new(n);
+                self.recip = Some(r);
+                r
+            }
+        }
+    }
+
+    /// Mirrors `TranscriptRng::below` bit for bit: same power-of-two mask,
+    /// same rejection zone, same word consumption.
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let r = self.recip_for(n);
+        loop {
+            let v = self.next_u64();
+            if v < r.zone() {
+                return r.rem(v);
+            }
+        }
+    }
+
+    /// The vectorized uniform kernel: `k` draws below `n` as a reused
+    /// scratch slice. Word consumption (rejections included) is identical
+    /// to `k` scalar `below(n)` calls — raw words are taken in tape order,
+    /// rejected words skipped, and the shortfall redrawn round by round
+    /// exactly as the scalar rejection loop would.
+    fn below_chunk(&mut self, n: u64, k: usize) -> &[u64] {
+        assert!(n > 0, "below(0) is undefined");
+        let mut s = std::mem::take(&mut self.scratch);
+        s.resize(k, 0);
+        if n.is_power_of_two() {
+            let mask = n - 1;
+            self.fill_words(&mut s);
+            for v in s.iter_mut() {
+                *v &= mask;
+            }
+        } else {
+            let r = self.recip_for(n);
+            self.fill_words(&mut s);
+            let mut filled = 0;
+            for i in 0..k {
+                let v = s[i];
+                if v < r.zone() {
+                    s[filled] = r.rem(v);
+                    filled += 1;
+                }
+            }
+            let mut spare = [0u64; 32];
+            while filled < k {
+                let need = (k - filled).min(spare.len());
+                self.fill_words(&mut spare[..need]);
+                for &v in &spare[..need] {
+                    if v < r.zone() {
+                        s[filled] = r.rem(v);
+                        filled += 1;
+                    }
+                }
+            }
+        }
+        self.scratch = s;
+        &self.scratch
+    }
+
+    /// `k` raw tape words as a reused scratch slice — for kernels doing
+    /// their own conversion (the ddos address mixer).
+    fn word_chunk(&mut self, k: usize) -> &[u64] {
+        let mut s = std::mem::take(&mut self.scratch);
+        s.resize(k, 0);
+        self.fill_words(&mut s);
+        self.scratch = s;
+        &self.scratch
+    }
+}
+
+/// The draw interface shared by the reference generators (`TranscriptRng`)
+/// and the streaming [`WordTape`], so per-update generator logic is written
+/// once and consumes the same draws on both paths by construction.
+trait DrawSource {
+    fn next_f64(&mut self) -> f64;
+    fn bernoulli(&mut self, p: f64) -> bool;
+    fn below(&mut self, n: u64) -> u64;
+}
+
+impl DrawSource for TranscriptRng {
+    fn next_f64(&mut self) -> f64 {
+        TranscriptRng::next_f64(self)
+    }
+    fn bernoulli(&mut self, p: f64) -> bool {
+        TranscriptRng::bernoulli(self, p)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        TranscriptRng::below(self, n)
+    }
+}
+
+impl DrawSource for WordTape {
+    fn next_f64(&mut self) -> f64 {
+        WordTape::next_f64(self)
+    }
+    fn bernoulli(&mut self, p: f64) -> bool {
+        WordTape::bernoulli(self, p)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        WordTape::below(self, n)
+    }
+}
+
 /// A Zipf-flavoured insertion stream: item `i ∈ [heavy_items]` receives a
 /// `~1/(i+1)`-proportional share of 70% of the mass; the rest is uniform
 /// noise over `[n]`.
@@ -181,10 +378,11 @@ pub fn zipf_stream(n: u64, m: u64, heavy_items: u64, seed: u64) -> Vec<u64> {
         .collect()
 }
 
-/// One Zipf draw — shared by the materialized and streaming generators so
-/// their RNG transcripts are identical by construction.
-fn zipf_next(
-    rng: &mut TranscriptRng,
+/// One Zipf draw — shared by the materialized and streaming generators
+/// (via [`DrawSource`]) so their draw sequences are identical by
+/// construction.
+fn zipf_next<R: DrawSource>(
+    rng: &mut R,
     n: u64,
     heavy_items: u64,
     weights: &[f64],
@@ -243,9 +441,21 @@ pub fn uniform_stream(n: u64, m: u64, seed: u64) -> Vec<u64> {
 }
 
 /// Deterministic round-robin over `items` ids (`t % items`) — the
-/// few-distinct-items worst case for `log m`-bit counters.
+/// few-distinct-items worst case for `log m`-bit counters. The `t % items`
+/// of the historical implementation is carried as a running wrap counter:
+/// same output, no division in the per-update loop.
 pub fn cycle_stream(items: u64, m: u64) -> Vec<u64> {
-    (0..m).map(|t| t % items.max(1)).collect()
+    let items = items.max(1);
+    let mut out = Vec::with_capacity(usize::try_from(m).unwrap_or(0));
+    let mut cur = 0u64;
+    for _ in 0..m {
+        out.push(cur);
+        cur += 1;
+        if cur == items {
+            cur = 0;
+        }
+    }
+    out
 }
 
 /// Declarative workload for registry-driven experiment rows.
@@ -315,7 +525,7 @@ impl WorkloadSpec {
                 let weights: Vec<f64> = (0..*heavy).map(|i| 1.0 / (i + 1) as f64).collect();
                 let total: f64 = weights.iter().sum();
                 StreamState::Zipf {
-                    rng: TranscriptRng::from_seed(*seed),
+                    tape: WordTape::from_seed(*seed),
                     n: *n,
                     heavy: *heavy,
                     weights,
@@ -324,7 +534,7 @@ impl WorkloadSpec {
                 }
             }
             WorkloadSpec::Ddos { m, seed } => StreamState::Ddos {
-                rng: TranscriptRng::from_seed(*seed),
+                tape: WordTape::from_seed(*seed),
                 t: 0,
                 m: *m,
             },
@@ -334,15 +544,16 @@ impl WorkloadSpec {
                 wave,
                 seed,
             } => StreamState::Churn {
-                rng: TranscriptRng::from_seed(*seed),
+                tape: WordTape::from_seed(*seed),
                 n: *n,
+                step7: if *n == 0 { 0 } else { 7 % *n },
                 wave: *wave,
                 waves_left: *waves,
                 base: 0,
                 phase: ChurnPhase::NextWave,
             },
             WorkloadSpec::Uniform { n, m, seed } => StreamState::Uniform {
-                rng: TranscriptRng::from_seed(*seed),
+                tape: WordTape::from_seed(*seed),
                 n: *n,
                 remaining: *m,
             },
@@ -350,6 +561,7 @@ impl WorkloadSpec {
                 items: (*items).max(1),
                 t: 0,
                 m: *m,
+                cur: 0,
             },
             WorkloadSpec::Script(v) => StreamState::Script {
                 script: v.clone(),
@@ -448,21 +660,25 @@ impl WorkloadSpec {
     }
 }
 
-/// Where a churn stream is inside its wave state machine.
-#[derive(Debug, Clone)]
+/// Where a churn stream is inside its wave state machine. `Insert` and
+/// `Delete` carry the position `i` and the precomputed item
+/// `(base + 7·i) % n`, maintained incrementally (add the precomputed
+/// `7 % n`, conditional wrap) so the per-update modulo of the historical
+/// implementation disappears while the emitted walk stays identical.
+#[derive(Debug, Clone, Copy)]
 enum ChurnPhase {
     /// Draw the next wave's base (or finish if no waves remain).
     NextWave,
-    /// Emitting insertion `i` of the current wave.
-    Insert(u64),
-    /// Emitting deletion `i` of the current wave.
-    Delete(u64),
+    /// Emitting insertion `i` of the current wave, at item `cur`.
+    Insert(u64, u64),
+    /// Emitting deletion `i` of the current wave, at item `cur`.
+    Delete(u64, u64),
 }
 
 #[derive(Debug, Clone)]
 enum StreamState {
     Zipf {
-        rng: TranscriptRng,
+        tape: WordTape,
         n: u64,
         heavy: u64,
         weights: Vec<f64>,
@@ -470,20 +686,22 @@ enum StreamState {
         remaining: u64,
     },
     Ddos {
-        rng: TranscriptRng,
+        tape: WordTape,
         t: u64,
         m: u64,
     },
     Churn {
-        rng: TranscriptRng,
+        tape: WordTape,
         n: u64,
+        /// Precomputed `7 % n`: the stride of the wave walk.
+        step7: u64,
         wave: u64,
         waves_left: u64,
         base: u64,
         phase: ChurnPhase,
     },
     Uniform {
-        rng: TranscriptRng,
+        tape: WordTape,
         n: u64,
         remaining: u64,
     },
@@ -491,6 +709,8 @@ enum StreamState {
         items: u64,
         t: u64,
         m: u64,
+        /// Running `t % items` wrap counter (no division per update).
+        cur: u64,
     },
     Script {
         script: Vec<Update>,
@@ -500,96 +720,18 @@ enum StreamState {
 
 /// The lazy generator behind [`WorkloadSpec::stream`]: an [`UpdateSource`]
 /// holding only the generator's RNG/position state, never the stream.
+///
+/// Since the bulk-kernel rework, every variant consumes pre-filled raw
+/// words from a [`WordTape`] in the same order as the historical scalar
+/// draws; uniform, ddos, cycle, and script chunks are produced by
+/// vectorized kernels, zipf and churn by the shared per-draw logic over
+/// the buffered tape.
 #[derive(Debug, Clone)]
 pub struct WorkloadStream {
     state: StreamState,
 }
 
 impl WorkloadStream {
-    /// The next update, or `None` when the stream is exhausted. Drives the
-    /// spec's RNG in exactly the order the materialized generators do.
-    fn next_update(&mut self) -> Option<Update> {
-        match &mut self.state {
-            StreamState::Zipf {
-                rng,
-                n,
-                heavy,
-                weights,
-                total,
-                remaining,
-            } => {
-                if *remaining == 0 {
-                    return None;
-                }
-                *remaining -= 1;
-                Some(Update::Insert(zipf_next(rng, *n, *heavy, weights, *total)))
-            }
-            StreamState::Ddos { rng, t, m } => {
-                if t >= m {
-                    return None;
-                }
-                let item = ddos_next(rng, *t);
-                *t += 1;
-                Some(Update::Insert(item))
-            }
-            StreamState::Churn {
-                rng,
-                n,
-                wave,
-                waves_left,
-                base,
-                phase,
-            } => loop {
-                match phase {
-                    ChurnPhase::NextWave => {
-                        if *waves_left == 0 {
-                            return None;
-                        }
-                        *waves_left -= 1;
-                        *base = rng.below(*n);
-                        *phase = ChurnPhase::Insert(0);
-                    }
-                    ChurnPhase::Insert(i) => {
-                        if *i < *wave {
-                            let item = (*base + *i * 7) % *n;
-                            *phase = ChurnPhase::Insert(*i + 1);
-                            return Some(Update::from(Turnstile::insert(item)));
-                        }
-                        *phase = ChurnPhase::Delete(0);
-                    }
-                    ChurnPhase::Delete(i) => {
-                        if *i < *wave / 2 {
-                            let item = (*base + *i * 7) % *n;
-                            *phase = ChurnPhase::Delete(*i + 1);
-                            return Some(Update::from(Turnstile::delete(item)));
-                        }
-                        *phase = ChurnPhase::NextWave;
-                    }
-                }
-            },
-            StreamState::Uniform { rng, n, remaining } => {
-                if *remaining == 0 {
-                    return None;
-                }
-                *remaining -= 1;
-                Some(Update::Insert(rng.below(*n)))
-            }
-            StreamState::Cycle { items, t, m } => {
-                if t >= m {
-                    return None;
-                }
-                let item = *t % *items;
-                *t += 1;
-                Some(Update::Insert(item))
-            }
-            StreamState::Script { script, pos } => {
-                let u = script.get(*pos).copied();
-                *pos += 1;
-                u
-            }
-        }
-    }
-
     /// Updates not yet emitted.
     fn remaining(&self) -> u64 {
         match &self.state {
@@ -608,8 +750,8 @@ impl WorkloadStream {
                 let per_wave = wave + wave / 2;
                 let in_wave = match phase {
                     ChurnPhase::NextWave => 0,
-                    ChurnPhase::Insert(i) => per_wave.saturating_sub(*i),
-                    ChurnPhase::Delete(i) => (wave / 2).saturating_sub(*i),
+                    ChurnPhase::Insert(i, _) => per_wave.saturating_sub(*i),
+                    ChurnPhase::Delete(i, _) => (wave / 2).saturating_sub(*i),
                 };
                 waves_left * per_wave + in_wave
             }
@@ -618,14 +760,144 @@ impl WorkloadStream {
     }
 }
 
+/// Chunk budget left for a generator with `left` updates remaining.
+#[inline]
+fn take_of(cap: usize, len: usize, left: u64) -> usize {
+    debug_assert!(len <= cap);
+    usize::try_from(left).unwrap_or(usize::MAX).min(cap - len)
+}
+
 impl UpdateSource for WorkloadStream {
     fn next_chunk(&mut self, buf: &mut Vec<Update>) -> usize {
         buf.clear();
         let cap = chunk_cap(buf);
-        while buf.len() < cap {
-            match self.next_update() {
-                Some(u) => buf.push(u),
-                None => break,
+        match &mut self.state {
+            StreamState::Zipf {
+                tape,
+                n,
+                heavy,
+                weights,
+                total,
+                remaining,
+            } => {
+                let k = take_of(cap, 0, *remaining);
+                for _ in 0..k {
+                    buf.push(Update::Insert(zipf_next(tape, *n, *heavy, weights, *total)));
+                }
+                *remaining -= k as u64;
+            }
+            StreamState::Ddos { tape, t, m } => {
+                let k = take_of(cap, 0, m.saturating_sub(*t));
+                // Phases 5..=7 of the 20-step pattern draw no word. Count
+                // the words this chunk needs, bulk-fill exactly that many,
+                // then mix addresses — one word per drawing position, in
+                // tape order, exactly as the scalar `ddos_next` consumed
+                // them (both its `below` calls are power-of-two masks).
+                let mut phase = (*t % 20) as u32;
+                let mut draws = 0usize;
+                let mut ph = phase;
+                for _ in 0..k {
+                    if !(5..=7).contains(&ph) {
+                        draws += 1;
+                    }
+                    ph += 1;
+                    if ph == 20 {
+                        ph = 0;
+                    }
+                }
+                let words = tape.word_chunk(draws);
+                let mut wi = 0;
+                for _ in 0..k {
+                    let item = match phase {
+                        0..=4 => {
+                            let w = words[wi];
+                            wi += 1;
+                            (10 << 24) | (1 << 16) | (7 << 8) | (w & 255)
+                        }
+                        5..=7 => (203 << 24) | (113 << 8) | 5,
+                        _ => {
+                            let w = words[wi];
+                            wi += 1;
+                            w & 0xFFFF_FFFF
+                        }
+                    };
+                    buf.push(Update::Insert(item));
+                    phase += 1;
+                    if phase == 20 {
+                        phase = 0;
+                    }
+                }
+                *t += k as u64;
+            }
+            StreamState::Churn {
+                tape,
+                n,
+                step7,
+                wave,
+                waves_left,
+                base,
+                phase,
+            } => loop {
+                if buf.len() == cap {
+                    break;
+                }
+                match *phase {
+                    ChurnPhase::NextWave => {
+                        if *waves_left == 0 {
+                            break;
+                        }
+                        *waves_left -= 1;
+                        *base = tape.below(*n);
+                        *phase = ChurnPhase::Insert(0, *base);
+                    }
+                    ChurnPhase::Insert(i, cur) => {
+                        if i < *wave {
+                            let mut next = cur + *step7;
+                            if next >= *n {
+                                next -= *n;
+                            }
+                            *phase = ChurnPhase::Insert(i + 1, next);
+                            buf.push(Update::from(Turnstile::insert(cur)));
+                        } else {
+                            *phase = ChurnPhase::Delete(0, *base);
+                        }
+                    }
+                    ChurnPhase::Delete(i, cur) => {
+                        if i < *wave / 2 {
+                            let mut next = cur + *step7;
+                            if next >= *n {
+                                next -= *n;
+                            }
+                            *phase = ChurnPhase::Delete(i + 1, next);
+                            buf.push(Update::from(Turnstile::delete(cur)));
+                        } else {
+                            *phase = ChurnPhase::NextWave;
+                        }
+                    }
+                }
+            },
+            StreamState::Uniform { tape, n, remaining } => {
+                let k = take_of(cap, 0, *remaining);
+                buf.extend(tape.below_chunk(*n, k).iter().map(|&v| Update::Insert(v)));
+                *remaining -= k as u64;
+            }
+            StreamState::Cycle { items, t, m, cur } => {
+                let k = take_of(cap, 0, m.saturating_sub(*t));
+                let mut c = *cur;
+                for _ in 0..k {
+                    buf.push(Update::Insert(c));
+                    c += 1;
+                    if c == *items {
+                        c = 0;
+                    }
+                }
+                *cur = c;
+                *t += k as u64;
+            }
+            StreamState::Script { script, pos } => {
+                let take = cap.min(script.len() - *pos);
+                buf.extend_from_slice(&script[*pos..*pos + take]);
+                *pos += take;
             }
         }
         buf.len()

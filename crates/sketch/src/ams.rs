@@ -16,7 +16,8 @@
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_signed, SpaceUsage};
-use wb_core::stream::{StreamAlg, Turnstile};
+use wb_core::stream::{RunAggregator, StreamAlg, Turnstile};
+use wb_crypto::mersenne::{add61, mul61, reduce64};
 
 /// Mersenne prime `2^61 − 1` for the 4-wise independent sign hash.
 const P: u64 = (1 << 61) - 1;
@@ -39,19 +40,11 @@ impl AmsCopy {
         }
     }
 
-    /// The public sign `Z(item) ∈ {−1, +1}`.
+    /// The public sign `Z(item) ∈ {−1, +1}`: parity of the Horner cubic
+    /// `((a·x + b)·x + c)·x + d mod P`, reduced by Mersenne shift-adds —
+    /// bit-identical to the `%` chain it replaces.
     pub fn sign(&self, item: u64) -> i64 {
-        let x = item as u128 % P as u128;
-        let [a, b, c, d] = self.coeffs;
-        let mut acc = a as u128;
-        for coef in [b, c, d] {
-            acc = (acc * x + coef as u128) % P as u128;
-        }
-        if acc & 1 == 0 {
-            1
-        } else {
-            -1
-        }
+        sign_of(&self.coeffs, reduce64(item))
     }
 
     /// Current inner product (white-box view).
@@ -60,10 +53,30 @@ impl AmsCopy {
     }
 }
 
+/// The sign hash on an already-reduced point `x < P` — the shared core of
+/// [`AmsCopy::sign`] and the batched kernel (which reduces each distinct
+/// item once and reuses the point across every copy).
+#[inline]
+fn sign_of(coeffs: &[u64; 4], x: u64) -> i64 {
+    debug_assert!(x < P);
+    let [a, b, c, d] = *coeffs;
+    let mut acc = a;
+    for coef in [b, c, d] {
+        acc = add61(mul61(acc, x), coef);
+    }
+    if acc & 1 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
 /// AMS F2 estimator: median over `copies` independent atoms of `⟨Z, f⟩²`.
 #[derive(Debug, Clone)]
 pub struct AmsF2 {
     copies: Vec<AmsCopy>,
+    /// Reusable batch scratch: distinct-point delta aggregation table.
+    agg: RunAggregator<i64>,
 }
 
 impl AmsF2 {
@@ -76,6 +89,7 @@ impl AmsF2 {
         };
         AmsF2 {
             copies: (0..copies).map(|_| AmsCopy::new(rng)).collect(),
+            agg: RunAggregator::new(),
         }
     }
 
@@ -159,23 +173,26 @@ impl StreamAlg for AmsF2 {
     /// deltas, so `counter += Z(i)·(δ₁ + δ₂)` is exactly
     /// `counter += Z(i)·δ₁ + Z(i)·δ₂` — the final state is bit-identical
     /// to sequential processing (items whose deltas cancel contribute 0
-    /// either way).
+    /// either way). Aggregation is by the reduced point `x = item mod P`
+    /// (reduced once per update; the sign depends only on `x`), via the
+    /// reusable [`RunAggregator`] — O(len), no sort. The runs are then
+    /// consumed copy-major: each copy's coefficients stay in registers
+    /// while a local accumulator sums `Z(x)·δ` over the whole batch,
+    /// touching the stored counter once.
     fn process_batch(&mut self, updates: &[Turnstile], _rng: &mut TranscriptRng) {
-        let mut pairs: Vec<(u64, i64)> = updates.iter().map(|u| (u.item, u.delta)).collect();
-        pairs.sort_unstable_by_key(|&(item, _)| item);
-        let mut i = 0;
-        while i < pairs.len() {
-            let item = pairs[i].0;
-            let mut delta = pairs[i].1;
-            let mut j = i + 1;
-            while j < pairs.len() && pairs[j].0 == item {
-                delta += pairs[j].1;
-                j += 1;
+        let runs = self.agg.aggregate(
+            updates.iter().map(|u| (reduce64(u.item), u.delta)),
+            updates.len(),
+        );
+        for copy in &mut self.copies {
+            let coeffs = copy.coeffs;
+            let mut acc = 0i64;
+            for &(x, delta) in runs {
+                if delta != 0 {
+                    acc += delta * sign_of(&coeffs, x);
+                }
             }
-            if delta != 0 {
-                self.update(item, delta);
-            }
-            i = j;
+            copy.counter += acc;
         }
     }
 

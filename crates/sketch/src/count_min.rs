@@ -9,9 +9,10 @@
 //! the experiments (E8) chart its success against the sketch dimensions.
 
 use wb_core::merge::{MergeError, Mergeable};
-use wb_core::rng::TranscriptRng;
+use wb_core::rng::{Reciprocal, TranscriptRng};
 use wb_core::space::{bits_for_count, SpaceUsage};
-use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
+use wb_core::stream::{InsertOnly, RunAggregator, StreamAlg};
+use wb_crypto::mersenne::reduce125;
 
 /// A CountMin sketch with `depth` rows and `width` buckets per row.
 ///
@@ -26,6 +27,11 @@ pub struct CountMin {
     seeds: Vec<(u64, u64)>,
     table: Vec<u64>, // depth × width, row-major
     processed: u64,
+    /// Precomputed reciprocal of `width` — [`Reciprocal::rem`] is
+    /// bit-identical to the `% width` it replaces in the bucket hash.
+    width_recip: Reciprocal,
+    /// Reusable batch scratch: distinct-item aggregation table.
+    agg: RunAggregator<u64>,
 }
 
 /// The Mersenne prime `2^61 − 1` used by the row hashes.
@@ -45,14 +51,24 @@ impl CountMin {
             seeds,
             table: vec![0; depth * width],
             processed: 0,
+            width_recip: Reciprocal::new(width as u64),
+            agg: RunAggregator::new(),
         }
     }
 
-    /// Bucket of `item` in `row`.
+    /// Bucket of `item` in `row`: `((a·x + b) mod P) mod width`, with the
+    /// Mersenne reduction done by shift-adds (`a, b < P` keeps the hash
+    /// below `2^125`, so the short [`reduce125`] fold applies) and the
+    /// width fold by the precomputed reciprocal — both bit-identical to
+    /// the `%` operators they replace.
     pub fn bucket(&self, row: usize, item: u64) -> usize {
         let (a, b) = self.seeds[row];
-        let h = ((a as u128 * item as u128 + b as u128) % P as u128) as u64;
-        (h % self.width as u64) as usize
+        let h = reduce125(a as u128 * item as u128 + b as u128);
+        if self.width.is_power_of_two() {
+            (h & (self.width as u64 - 1)) as usize
+        } else {
+            self.width_recip.rem(h) as usize
+        }
     }
 
     /// Add one occurrence of `item`.
@@ -128,6 +144,53 @@ impl SpaceUsage for CountMin {
     }
 }
 
+/// The shared row-hash kernel of the batched paths: adds `w` occurrences
+/// of each `(item, w)` pair into every row, item-major. The registry's
+/// default shape (depth 4, power-of-two width) gets all four hashes
+/// unrolled with coefficients in registers and the bucket fold as a mask;
+/// other shapes take a generic loop. Both match [`CountMin::bucket`] bit
+/// for bit.
+fn apply_weighted(
+    seeds: &[(u64, u64)],
+    table: &mut [u64],
+    width: usize,
+    recip: Reciprocal,
+    pairs: impl Iterator<Item = (u64, u64)>,
+) {
+    if let ([s0, s1, s2, s3], true) = (seeds, width.is_power_of_two()) {
+        let mask = width as u64 - 1;
+        // Per-row slices of the arena: indexing each with `h & mask` where
+        // `mask = row.len() - 1` lets the compiler drop the bounds checks.
+        let (r0, rest) = table.split_at_mut(width);
+        let (r1, rest) = rest.split_at_mut(width);
+        let (r2, rest) = rest.split_at_mut(width);
+        let r3 = &mut rest[..width];
+        for (item, w) in pairs {
+            let x = item as u128;
+            let h0 = (reduce125(s0.0 as u128 * x + s0.1 as u128) & mask) as usize;
+            let h1 = (reduce125(s1.0 as u128 * x + s1.1 as u128) & mask) as usize;
+            let h2 = (reduce125(s2.0 as u128 * x + s2.1 as u128) & mask) as usize;
+            let h3 = (reduce125(s3.0 as u128 * x + s3.1 as u128) & mask) as usize;
+            r0[h0] += w;
+            r1[h1] += w;
+            r2[h2] += w;
+            r3[h3] += w;
+        }
+        return;
+    }
+    let pow2_mask = width.is_power_of_two().then(|| width as u64 - 1);
+    for (item, w) in pairs {
+        for (row, &(a, b)) in seeds.iter().enumerate() {
+            let h = reduce125(a as u128 * item as u128 + b as u128);
+            let bucket = match pow2_mask {
+                Some(mask) => (h & mask) as usize,
+                None => recip.rem(h) as usize,
+            };
+            table[row * width + bucket] += w;
+        }
+    }
+}
+
 impl StreamAlg for CountMin {
     type Update = InsertOnly;
     type Output = u64;
@@ -136,17 +199,40 @@ impl StreamAlg for CountMin {
         self.insert(update.0);
     }
 
-    /// Batched ingestion: occurrences are aggregated per item (sort +
-    /// run-length — cheaper than hashing every occurrence into a map), so
-    /// each distinct item's row hashes are evaluated once per batch instead
-    /// of once per occurrence. Counter additions commute, so the final
-    /// table is bit-identical to sequential processing.
+    /// Batched ingestion: a prefix of the batch is sampled into the
+    /// reusable [`RunAggregator`]; when the prefix is mostly distinct the
+    /// whole batch is hashed directly (aggregation would cost more than
+    /// the row-hash evaluations it saves), otherwise aggregation continues
+    /// over the rest and each distinct item's row hashes are evaluated
+    /// once. Either path adds the same per-item totals into the same
+    /// cells, and counter additions commute, so the final table is
+    /// bit-identical to sequential processing in stream order.
     fn process_batch(&mut self, updates: &[InsertOnly], _rng: &mut TranscriptRng) {
-        let mut items: Vec<u64> = updates.iter().map(|u| u.0).collect();
-        items.sort_unstable();
-        for_each_run(items.iter().copied(), |item, w| {
-            self.insert_weighted(item, w)
-        });
+        let CountMin {
+            width,
+            seeds,
+            table,
+            processed,
+            width_recip,
+            agg,
+            ..
+        } = self;
+        let (width, recip) = (*width, *width_recip);
+        *processed += updates.len() as u64;
+        const SAMPLE: usize = 512;
+        let sample = updates.len().min(SAMPLE);
+        agg.begin(updates.len());
+        for u in &updates[..sample] {
+            agg.add(u.0, 1);
+        }
+        if updates.len() > sample && agg.runs().len() * 2 >= sample {
+            apply_weighted(seeds, table, width, recip, updates.iter().map(|u| (u.0, 1)));
+            return;
+        }
+        for u in &updates[sample..] {
+            agg.add(u.0, 1);
+        }
+        apply_weighted(seeds, table, width, recip, agg.runs().iter().copied());
     }
 
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {

@@ -9,16 +9,25 @@
 //! `O(ε⁻¹ (log m + log n))` bits (counters grow with `m`), versus the
 //! robust randomized algorithm's `O(ε⁻¹ (log n + log ε⁻¹) + log log m)`.
 
-use std::collections::HashMap;
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
 
 /// Misra–Gries summary with `k` counters over a universe of size `n`.
+///
+/// The live counters are two flat parallel arrays rather than a hash map:
+/// `k` is small (`⌈2/ε⌉`), so a linear scan of the contiguous key array
+/// (one or two cache lines, autovectorizable) beats hashing, and the
+/// decrement-all step is a tight in-place compaction instead of a rehash —
+/// the observable state (the `(item, count)` set) is identical.
 #[derive(Debug, Clone)]
 pub struct MisraGries {
-    counters: HashMap<u64, u64>,
+    /// Live item keys, at most `k`; `counts[i]` is `keys[i]`'s counter.
+    /// Order is an unobservable implementation detail (queries sort,
+    /// estimates scan).
+    keys: Vec<u64>,
+    counts: Vec<u64>,
     k: usize,
     n: u64,
     processed: u64,
@@ -29,7 +38,8 @@ impl MisraGries {
     pub fn with_counters(k: usize, n: u64) -> Self {
         assert!(k >= 1, "need at least one counter");
         MisraGries {
-            counters: HashMap::with_capacity(k + 1),
+            keys: Vec::with_capacity(k),
+            counts: Vec::with_capacity(k),
             k,
             n,
             processed: 0,
@@ -46,19 +56,27 @@ impl MisraGries {
     /// Process one item occurrence.
     pub fn insert(&mut self, item: u64) {
         self.processed += 1;
-        if let Some(c) = self.counters.get_mut(&item) {
-            *c += 1;
+        if let Some(pos) = self.keys.iter().position(|&i| i == item) {
+            self.counts[pos] += 1;
             return;
         }
-        if self.counters.len() < self.k {
-            self.counters.insert(item, 1);
+        if self.keys.len() < self.k {
+            self.keys.push(item);
+            self.counts.push(1);
             return;
         }
-        // Decrement-all step; drop zeros.
-        self.counters.retain(|_, c| {
-            *c -= 1;
-            *c > 0
-        });
+        // Decrement-all step; drop zeros (in-place compaction).
+        let mut live = 0;
+        for r in 0..self.keys.len() {
+            let c = self.counts[r] - 1;
+            if c > 0 {
+                self.keys[live] = self.keys[r];
+                self.counts[live] = c;
+                live += 1;
+            }
+        }
+        self.keys.truncate(live);
+        self.counts.truncate(live);
     }
 
     /// Process a run of `w` consecutive occurrences of `item`.
@@ -70,13 +88,14 @@ impl MisraGries {
     /// one by one, since each may free slots and change the outcome.
     pub fn insert_run(&mut self, item: u64, mut w: u64) {
         while w > 0 {
-            if let Some(c) = self.counters.get_mut(&item) {
-                *c += w;
+            if let Some(pos) = self.keys.iter().position(|&i| i == item) {
+                self.counts[pos] += w;
                 self.processed += w;
                 return;
             }
-            if self.counters.len() < self.k {
-                self.counters.insert(item, w);
+            if self.keys.len() < self.k {
+                self.keys.push(item);
+                self.counts.push(w);
                 self.processed += w;
                 return;
             }
@@ -87,12 +106,20 @@ impl MisraGries {
 
     /// Lower-bound estimate `f̂_i ∈ [f_i − m/k, f_i]` of item `i`.
     pub fn estimate(&self, item: u64) -> u64 {
-        self.counters.get(&item).copied().unwrap_or(0)
+        self.keys
+            .iter()
+            .position(|&i| i == item)
+            .map_or(0, |pos| self.counts[pos])
     }
 
     /// All retained `(item, estimate)` pairs, item-ascending.
     pub fn entries(&self) -> Vec<(u64, u64)> {
-        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&i, &c)| (i, c)).collect();
+        let mut v: Vec<(u64, u64)> = self
+            .keys
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+            .collect();
         v.sort_unstable();
         v
     }
@@ -128,17 +155,30 @@ impl Mergeable for MisraGries {
                 self.k, self.n, other.k, other.n
             )));
         }
-        for (&item, &count) in &other.counters {
-            *self.counters.entry(item).or_insert(0) += count;
+        for (&item, &count) in other.keys.iter().zip(&other.counts) {
+            match self.keys.iter().position(|&i| i == item) {
+                Some(pos) => self.counts[pos] += count,
+                None => {
+                    self.keys.push(item);
+                    self.counts.push(count);
+                }
+            }
         }
-        if self.counters.len() > self.k {
-            let mut counts: Vec<u64> = self.counters.values().copied().collect();
-            counts.sort_unstable_by(|a, b| b.cmp(a));
-            let cut = counts[self.k];
-            self.counters.retain(|_, c| {
-                *c = c.saturating_sub(cut);
-                *c > 0
-            });
+        if self.keys.len() > self.k {
+            let mut order: Vec<u64> = self.counts.clone();
+            order.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = order[self.k];
+            let mut live = 0;
+            for r in 0..self.keys.len() {
+                let c = self.counts[r].saturating_sub(cut);
+                if c > 0 {
+                    self.keys[live] = self.keys[r];
+                    self.counts[live] = c;
+                    live += 1;
+                }
+            }
+            self.keys.truncate(live);
+            self.counts.truncate(live);
         }
         self.processed += other.processed;
         Ok(())
@@ -151,8 +191,8 @@ impl SpaceUsage for MisraGries {
     /// paper's randomized algorithm removes).
     fn space_bits(&self) -> u64 {
         let id_bits = bits_for_universe(self.n);
-        self.counters
-            .values()
+        self.counts
+            .iter()
             .map(|&c| id_bits + bits_for_count(c))
             .sum()
     }

@@ -123,6 +123,50 @@ proptest! {
     }
 }
 
+/// Large single batches (≥ 4096 updates, one `process_batch_dyn` call) pin
+/// the distinct-item aggregation kernels: CountMin's adaptive path samples
+/// the batch prefix and either run-aggregates or hashes per update, and
+/// AmsF2 folds per-item deltas before touching any counter. Both regimes —
+/// low-distinct (aggregation wins, taken) and high-distinct (direct
+/// hashing, taken) — must be bit-identical to per-update processing.
+#[test]
+fn large_batch_low_distinct_matches_sequential() {
+    // 8192 updates over 16 items: the sampled prefix is runs-dominated, so
+    // CountMin's aggregation path fires and AMS folds 16 signed sums.
+    let items: Vec<u64> = (0..8192u64).map(|t| (t * t + 3 * t) % 16).collect();
+    let updates = insert_updates(&items);
+    for name in ["count_min", "misra_gries", "ams_f2"] {
+        assert_equivalent(name, &updates, usize::MAX, 5);
+    }
+}
+
+#[test]
+fn large_batch_high_distinct_matches_sequential() {
+    // 4096 updates, nearly all distinct (multiplication by an odd constant
+    // permutes the 12-bit universe): CountMin's sample sees ~no runs and
+    // falls back to direct per-update hashing.
+    let items: Vec<u64> = (0..4096u64)
+        .map(|t| (t.wrapping_mul(2654435761)) % 4096)
+        .collect();
+    let updates = insert_updates(&items);
+    for name in ["count_min", "misra_gries", "ams_f2"] {
+        assert_equivalent(name, &updates, usize::MAX, 5);
+    }
+}
+
+#[test]
+fn large_batch_turnstile_matches_sequential() {
+    // 6144 signed updates over 48 items, deltas in [-3, 3] \ {0}: the
+    // turnstile aggregators must fold cancellations exactly.
+    let raw: Vec<(u64, i64)> = (0..6144u64)
+        .map(|t| (t % 48, ((t / 48) % 7) as i64 - 3))
+        .collect();
+    let updates = turnstile_updates(&raw);
+    for name in TURNSTILE {
+        assert_equivalent(name, &updates, usize::MAX, 5);
+    }
+}
+
 #[test]
 fn registry_names_cover_both_models() {
     let names = registry::names();

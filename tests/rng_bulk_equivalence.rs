@@ -1,0 +1,179 @@
+//! Bulk RNG / scalar equivalence: the amortized batch APIs added for the
+//! vectorized pipeline (`Xoshiro256StarStar::fill_u64`,
+//! `TranscriptRng::next_u64_many`, `TranscriptRng::below_many`, and the
+//! libdivide-style [`Reciprocal`] behind `below`) must be **draw-for-draw
+//! identical** to the historical scalar loops: same raw words, same items,
+//! and the same public transcript (`draws`, `recent`, `last`). This is the
+//! white-box model's non-negotiable: every optimization must leave the
+//! public random tape byte-identical.
+
+use proptest::prelude::*;
+use wbstream::core::rng::{Reciprocal, TranscriptRng, Xoshiro256StarStar};
+
+/// Batch sizes the ISSUE pins: a singleton, a non-round prime, and a batch
+/// larger than the transcript ring (4096 > 1024) so `record_many` has to
+/// wrap and drop non-surviving words.
+const BATCH_SIZES: &[usize] = &[1, 7, 4096];
+
+/// Moduli worth pinning: non-powers-of-two (the reciprocal path), a power
+/// of two (the mask path), `1` (degenerate), and a value above `2^63`
+/// where rejection sampling actually rejects ~half the raw words, forcing
+/// `below_many` through its redraw rounds.
+const MODULI: &[u64] = &[1, 3, 5, 100, 1_000_003, 1 << 16, (1 << 63) + 3];
+
+/// Asserts the two generators have identical public transcripts.
+fn assert_transcripts_eq(a: &TranscriptRng, b: &TranscriptRng, ctx: &str) {
+    assert_eq!(
+        a.transcript().draws(),
+        b.transcript().draws(),
+        "{ctx}: draws"
+    );
+    assert_eq!(a.transcript().last(), b.transcript().last(), "{ctx}: last");
+    assert_eq!(
+        a.transcript().recent(),
+        b.transcript().recent(),
+        "{ctx}: recent ring"
+    );
+}
+
+#[test]
+fn fill_u64_matches_scalar_next_u64() {
+    for &len in BATCH_SIZES {
+        let mut bulk = Xoshiro256StarStar::from_seed(0xFEED);
+        let mut scalar = Xoshiro256StarStar::from_seed(0xFEED);
+        let mut words = vec![0u64; len];
+        bulk.fill_u64(&mut words);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(w, scalar.next_u64(), "word {i} of {len}");
+        }
+        // The generators stay in lockstep after the batch.
+        assert_eq!(bulk.next_u64(), scalar.next_u64(), "post-batch word");
+    }
+}
+
+#[test]
+fn next_u64_many_matches_scalar_loop() {
+    for &len in BATCH_SIZES {
+        let mut bulk = TranscriptRng::from_seed(42);
+        let mut scalar = TranscriptRng::from_seed(42);
+        let mut words = vec![0u64; len];
+        bulk.next_u64_many(&mut words);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(w, scalar.next_u64(), "word {i} of batch {len}");
+        }
+        assert_transcripts_eq(&bulk, &scalar, &format!("batch {len}"));
+    }
+}
+
+#[test]
+fn below_many_matches_scalar_loop() {
+    for &n in MODULI {
+        for &len in BATCH_SIZES {
+            let mut bulk = TranscriptRng::from_seed(7);
+            let mut scalar = TranscriptRng::from_seed(7);
+            let mut items = vec![0u64; len];
+            bulk.below_many(n, &mut items);
+            for (i, &it) in items.iter().enumerate() {
+                assert_eq!(it, scalar.below(n), "item {i} of batch {len}, n={n}");
+            }
+            assert_transcripts_eq(&bulk, &scalar, &format!("n={n} batch {len}"));
+        }
+    }
+}
+
+#[test]
+fn reciprocal_edge_cases() {
+    for &n in &[1u64, 2, 3, (1 << 61) - 1, u64::MAX - 1, u64::MAX] {
+        let r = Reciprocal::new(n);
+        for &v in &[
+            0u64,
+            1,
+            n - 1,
+            n,
+            n.wrapping_add(1),
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(r.rem(v), v % n, "rem({v}) mod {n}");
+        }
+        // The acceptance zone is the largest multiple of n in u64 range.
+        assert_eq!(r.zone() % n, 0, "zone is a multiple of n={n}");
+        assert!(
+            u64::MAX - r.zone() < n,
+            "zone is the largest multiple, n={n}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Reciprocal::rem` is exactly `%` for every divisor and dividend.
+    #[test]
+    fn reciprocal_rem_is_exact(n in 1u64..=u64::MAX, v in any::<u64>()) {
+        prop_assert_eq!(Reciprocal::new(n).rem(v), v % n);
+    }
+
+    /// Bulk word fills agree with the scalar tape from any interior offset
+    /// (a scalar prefix desynchronizes any fill that assumed alignment).
+    #[test]
+    fn fill_u64_matches_from_any_offset(
+        seed in any::<u64>(),
+        prefix in 0usize..9,
+        len in 0usize..600,
+    ) {
+        let mut bulk = Xoshiro256StarStar::from_seed(seed);
+        let mut scalar = Xoshiro256StarStar::from_seed(seed);
+        for _ in 0..prefix {
+            prop_assert_eq!(bulk.next_u64(), scalar.next_u64());
+        }
+        let mut words = vec![0u64; len];
+        bulk.fill_u64(&mut words);
+        for &w in &words {
+            prop_assert_eq!(w, scalar.next_u64());
+        }
+        prop_assert_eq!(bulk.next_u64(), scalar.next_u64());
+    }
+
+    /// Interleaved bulk and scalar word draws keep the transcript (and the
+    /// tape) in lockstep — `record_many` ends in exactly the ring state the
+    /// per-word path produces, including wraps past the 1024-word ring.
+    #[test]
+    fn interleaved_next_u64_many_keeps_transcript(
+        seed in any::<u64>(),
+        batches in proptest::collection::vec(0usize..700, 1..6),
+    ) {
+        let mut bulk = TranscriptRng::from_seed(seed);
+        let mut scalar = TranscriptRng::from_seed(seed);
+        for (round, &len) in batches.iter().enumerate() {
+            let mut words = vec![0u64; len];
+            bulk.next_u64_many(&mut words);
+            for &w in &words {
+                prop_assert_eq!(w, scalar.next_u64());
+            }
+            // A scalar draw on both keeps them aligned between batches.
+            prop_assert_eq!(bulk.next_u64(), scalar.next_u64());
+            assert_transcripts_eq(&bulk, &scalar, &format!("round {round}"));
+        }
+    }
+
+    /// `below_many` equals the scalar rejection loop for arbitrary
+    /// (non-power-of-two included) moduli: same items, same number of raw
+    /// words burned, same transcript.
+    #[test]
+    fn below_many_matches_scalar_for_arbitrary_n(
+        seed in any::<u64>(),
+        n in 1u64..=u64::MAX,
+        len in 0usize..300,
+    ) {
+        let mut bulk = TranscriptRng::from_seed(seed);
+        let mut scalar = TranscriptRng::from_seed(seed);
+        let mut items = vec![0u64; len];
+        bulk.below_many(n, &mut items);
+        for &it in &items {
+            prop_assert_eq!(it, scalar.below(n));
+        }
+        assert_transcripts_eq(&bulk, &scalar, &format!("n={n} len={len}"));
+    }
+}
