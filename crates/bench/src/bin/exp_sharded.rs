@@ -7,9 +7,13 @@
 //! between the merged and single-stream states (zero for the linear
 //! sketches, within the merge error bound for the counter summaries) and
 //! whether the merged answer still satisfies the algorithm's referee
-//! guarantee. All cells are deterministic — throughput lives in the
-//! `bench_shard` criterion bench, not here — so the JSON report stays
-//! byte-identical across runs and thread counts.
+//! guarantee, plus the routing spread (max per-shard load and skew =
+//! max/mean) from the pipeline's [`wb_engine::shard::ShardStats`]. All
+//! cells are deterministic — throughput lives in the `bench_shard`
+//! criterion bench, not here — so the JSON report stays byte-identical
+//! across runs and thread counts; the scheduling-dependent queue-stall
+//! counters from the same stats are printed to stderr instead of the
+//! report.
 
 use wb_core::rng::TranscriptRng;
 use wb_engine::experiment::{run_cli, ExperimentSpec, Row, RunnerConfig, Section};
@@ -68,7 +72,7 @@ fn main() {
     let mut section = Section::new(
         "zipf workload; drift = max |merged estimate - single-stream estimate|; \
          ok = referee verdict on the merged answer",
-        &["alg x shards", "partition", "drift", "ok", "loads"],
+        &["alg x shards", "partition", "drift", "ok", "loads", "skew"],
         16,
     );
     for (alg, referee) in mergeable_algs(&params) {
@@ -108,12 +112,23 @@ fn main() {
                     let mut ref_ = referee.build();
                     ref_.observe_batch(&updates);
                     let ok = ref_.check(m, &merged_answer).is_correct();
-                    let max_load = out.shard_loads.iter().max().copied().unwrap_or(0);
+                    // Queue stalls are real backpressure data but depend on
+                    // scheduling, so they go to stderr as diagnostics — the
+                    // report itself stays byte-identical across runs.
+                    if out.stats.total_stalls() > 0 {
+                        eprintln!(
+                            "[backpressure] {alg} x{shards} {}: {} producer stalls {:?}",
+                            partition.label(),
+                            out.stats.total_stalls(),
+                            out.stats.queue_stalls,
+                        );
+                    }
                     vec![
                         partition.label().to_string(),
                         format!("{drift:.1}"),
                         ok.to_string(),
-                        format!("max {max_load}"),
+                        format!("max {}", out.stats.max_load()),
+                        format!("{:.2}", out.stats.skew()),
                     ]
                 }));
             }

@@ -1,0 +1,74 @@
+//! `wbd client`: a scripting-friendly client — protocol lines in on stdin,
+//! reply lines out on stdout.
+//!
+//! Every non-empty input line is sent verbatim (it must be one protocol
+//! JSON object) and the daemon's reply line is printed. Exit status:
+//!
+//! * `0` — every reply parsed as JSON (and, under `--strict`, none was
+//!   `"ok":false`);
+//! * `1` — connection failure, a malformed reply, or (`--strict`) an
+//!   error reply.
+//!
+//! Lines starting with `#` are comments; a leading `!` marks a request
+//! whose reply is *expected* to be an error (so `--strict` scripts can
+//! cover rejection paths: `!{"cmd":"ingest",...}` passes only if the
+//! daemon refuses it).
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Drive `input` against the daemon at `addr`, writing replies to `out`.
+/// Returns `Ok(())` when the script passed, `Err(reason)` otherwise.
+pub fn run_script(
+    addr: &str,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    strict: bool,
+) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match input.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("stdin: {e}")),
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (expect_error, request) = match trimmed.strip_prefix('!') {
+            Some(rest) => (true, rest),
+            None => (false, trimmed),
+        };
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) => return Err("daemon closed the connection mid-script".to_string()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("recv: {e}")),
+        }
+        let reply = reply.trim_end();
+        let parsed = Json::parse(reply).map_err(|e| format!("malformed reply {reply:?}: {e}"))?;
+        let ok = parsed.get("ok") == Some(&Json::Bool(true));
+        writeln!(out, "{reply}").map_err(|e| e.to_string())?;
+        if strict && ok == expect_error {
+            return Err(if expect_error {
+                format!("expected an error reply, got: {reply}")
+            } else {
+                format!("error reply: {reply}")
+            });
+        }
+        // `bye` ends the session server-side; stop reading stdin.
+        if parsed.get("ok").is_some() && request.contains("\"bye\"") {
+            return Ok(());
+        }
+    }
+}

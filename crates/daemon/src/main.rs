@@ -1,0 +1,122 @@
+//! `wbd` — the white-box streaming daemon binary.
+//!
+//! Server mode (default):
+//!
+//! ```text
+//! wbd [--listen ADDR] [--threads N] [--shards N] [--max-tenants N]
+//!     [--chunk N] [--seed N]
+//! ```
+//!
+//! Prints `{"event":"listening","addr":"..."}` once the socket is bound,
+//! runs until a client sends `shutdown` (or the process receives EOF-level
+//! drain via that request), then prints `{"event":"final_metrics",...}`
+//! after the graceful drain completes.
+//!
+//! Client mode:
+//!
+//! ```text
+//! wbd client --connect ADDR [--strict]
+//! ```
+//!
+//! forwards protocol lines from stdin and prints replies; see
+//! [`wb_daemon::client`] for the script conventions (`#` comments, `!`
+//! expected-error prefix).
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use wb_daemon::json::{obj, Json};
+use wb_daemon::{client, DaemonConfig, Server};
+
+fn die(msg: &str) -> ! {
+    eprintln!("wbd: {msg}");
+    eprintln!("usage: wbd [--listen ADDR] [--threads N] [--shards N] [--max-tenants N] [--chunk N] [--seed N]");
+    eprintln!("       wbd client --connect ADDR [--strict]");
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let raw = value.unwrap_or_else(|| die(&format!("{flag} requires a value")));
+    raw.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: invalid value {raw:?}")))
+}
+
+fn run_client(mut args: std::env::Args) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut strict = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                addr = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--connect requires an address")),
+                )
+            }
+            "--strict" => strict = true,
+            other => die(&format!("unknown client flag {other:?}")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| die("client mode requires --connect ADDR"));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match client::run_script(&addr, &mut stdin.lock(), &mut stdout.lock(), strict) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wbd client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let mut cfg = DaemonConfig::default();
+    let mut first = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "client" if first => return run_client(args),
+            "--listen" => {
+                cfg.listen = args
+                    .next()
+                    .unwrap_or_else(|| die("--listen requires an address"))
+            }
+            "--threads" => cfg.threads = parse_num("--threads", args.next()),
+            "--shards" => {
+                cfg.shards = parse_num("--shards", args.next());
+                if cfg.shards == 0 {
+                    die("--shards must be >= 1");
+                }
+            }
+            "--max-tenants" => cfg.max_tenants = parse_num("--max-tenants", args.next()),
+            "--chunk" => {
+                cfg.chunk = parse_num("--chunk", args.next());
+                if cfg.chunk == 0 {
+                    die("--chunk must be >= 1");
+                }
+            }
+            "--seed" => cfg.seed = parse_num("--seed", args.next()),
+            other => die(&format!("unknown flag {other:?}")),
+        }
+        first = false;
+    }
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wbd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listening = obj(vec![
+        ("event", Json::from("listening")),
+        ("addr", Json::from(server.addr().to_string().as_str())),
+    ]);
+    println!("{}", listening.to_line());
+    let _ = std::io::stdout().flush();
+    let final_metrics = server.wait();
+    let done = obj(vec![
+        ("event", Json::from("final_metrics")),
+        ("metrics", final_metrics),
+    ]);
+    println!("{}", done.to_line());
+    ExitCode::SUCCESS
+}

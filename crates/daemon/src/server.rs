@@ -1,0 +1,470 @@
+//! The `wbd` server: accept loop, session threads, tenant registry, and
+//! graceful drain.
+//!
+//! Each TCP connection gets a session thread speaking the newline-delimited
+//! JSON protocol (see [`crate::proto`]). Sessions are stateless beyond
+//! their socket: every request names its tenant, so one connection can
+//! drive many tenants and many connections can drive one (ingest batches
+//! for a tenant are serialized through its inbox wherever they arrive
+//! from). Ingestion runs on the shared [`WorkerPool`]; sessions block only
+//! on protocol I/O, inbox backpressure, and read-your-writes queries.
+//!
+//! **Graceful drain.** A `shutdown` request (or [`Server::begin_drain`])
+//! flips the draining flag: the accept loop stops, new `hello`/`ingest`
+//! requests get a typed `draining` refusal, in-flight queries still answer,
+//! idle sessions close, the pool finishes every accepted chunk, and the
+//! final metrics snapshot is returned from [`Server::wait`] — no accepted
+//! update is ever dropped.
+
+use crate::json::{obj, Json};
+use crate::metrics;
+use crate::proto::{self, ErrorKind, ProtoError, Request};
+use crate::tenant::{Tenant, TenantSlot, INBOX_CHUNKS};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use wb_engine::pool::WorkerPool;
+
+/// Server configuration — the `wbd` flags.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address (`--listen`), e.g. `127.0.0.1:7070`; port `0` binds
+    /// an ephemeral port (the loopback tests use this).
+    pub listen: String,
+    /// Ingest pool workers (`--threads`; `0` = one per core).
+    pub threads: usize,
+    /// Default per-tenant shard count (`--shards`); unmergeable algorithms
+    /// fall back to one flat instance regardless.
+    pub shards: usize,
+    /// Tenant cap (`--max-tenants`).
+    pub max_tenants: usize,
+    /// Ingest chunk size (`--chunk`): the unit of inbox queueing and of
+    /// the sharded pipelines' staging buffers.
+    pub chunk: usize,
+    /// Master seed (`--seed`); tenant seeds derive from it unless `hello`
+    /// carries its own.
+    pub seed: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen: "127.0.0.1:7070".to_string(),
+            threads: 0,
+            shards: 4,
+            max_tenants: 4096,
+            chunk: 1024,
+            seed: 42,
+        }
+    }
+}
+
+/// Shared daemon state: config, tenant registry, ingest pool, counters.
+pub struct Shared {
+    /// The launch configuration.
+    pub cfg: DaemonConfig,
+    /// Registered tenants (BTreeMap so metrics iterate deterministically).
+    pub tenants: Mutex<BTreeMap<String, Arc<TenantSlot>>>,
+    /// The ingest worker pool.
+    pub pool: WorkerPool,
+    /// Set once a drain begins; never cleared.
+    pub draining: AtomicBool,
+    /// Sessions ever opened.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed.
+    pub sessions_closed: AtomicU64,
+    /// Requests served (including error replies).
+    pub requests: AtomicU64,
+    /// Requests answered with a typed error.
+    pub protocol_errors: AtomicU64,
+    /// Server start time.
+    pub start: Instant,
+}
+
+/// Socket read timeout: the granularity at which idle sessions notice a
+/// drain. Short enough that shutdown completes promptly, long enough to
+/// stay off the scheduler's back.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// A running server: accept thread + session threads over a [`Shared`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `cfg.listen` and start accepting. Returns once the listener is
+    /// live (so callers can read [`Server::addr`] immediately).
+    pub fn start(cfg: DaemonConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = wb_engine::pool::effective_threads(cfg.threads);
+        let pool = WorkerPool::new(cfg.threads, (workers * 4).max(16));
+        let shared = Arc::new(Shared {
+            cfg,
+            tenants: Mutex::new(BTreeMap::new()),
+            pool,
+            draining: AtomicBool::new(false),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            start: Instant::now(),
+        });
+        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_sessions = Arc::clone(&sessions);
+        let accept_handle = std::thread::spawn(move || {
+            // Nonblocking accept + short sleep: the simplest loop that can
+            // notice the draining flag without a self-connect wakeup.
+            while !accept_shared.draining.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = Arc::clone(&accept_shared);
+                        shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                        let handle = std::thread::spawn(move || {
+                            let _ = serve_session(&shared, stream);
+                            shared.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                        });
+                        accept_sessions.lock().unwrap().push(handle);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        });
+        Ok(Server {
+            shared,
+            addr,
+            accept_handle: Some(accept_handle),
+            sessions,
+        })
+    }
+
+    /// The bound address (resolves `--listen` port `0`).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (metrics snapshots, tests).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Flip the draining flag from outside a session (signal handlers,
+    /// tests). Equivalent to a `shutdown` request.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the server has fully drained: accept loop stopped,
+    /// every session closed, every accepted chunk applied. Returns the
+    /// final metrics snapshot.
+    pub fn wait(mut self) -> Json {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Sessions keep being served while draining; each closes when its
+        // client disconnects or goes idle. Join whatever exists, then
+        // re-check (a session observed mid-join could not have spawned
+        // more — the accept loop is down).
+        loop {
+            let batch: Vec<_> = {
+                let mut guard = self.sessions.lock().unwrap();
+                guard.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            for handle in batch {
+                let _ = handle.join();
+            }
+        }
+        // No producers remain: flush every queued chunk, then snapshot.
+        self.shared.pool.drain();
+        metrics::snapshot(&self.shared)
+    }
+}
+
+/// Serve one connection until EOF, `bye`, or drain-idle.
+fn serve_session(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = LineReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match reader.next_line(&shared.draining)? {
+            Some(line) => line,
+            None => return Ok(()), // EOF or drain-idle
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (reply, end) = handle_line(shared, &line);
+        if reply.get("ok") == Some(&Json::Bool(false)) {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut out = reply.to_line();
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
+        if end {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatch one request line; returns the reply and whether the session
+/// ends after sending it.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (Json, bool) {
+    let request = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (e.to_json(), false),
+    };
+    match request {
+        Request::Hello {
+            tenant,
+            alg,
+            seed,
+            params,
+        } => {
+            let reply =
+                handle_hello(shared, &tenant, &alg, seed, &params).unwrap_or_else(|e| e.to_json());
+            (reply, false)
+        }
+        Request::Ingest { tenant, updates } => {
+            let reply = handle_ingest(shared, &tenant, updates).unwrap_or_else(|e| e.to_json());
+            (reply, false)
+        }
+        Request::Query { tenant } => {
+            let reply = with_slot(shared, &tenant, |slot| {
+                let mut st = slot.await_quiescent();
+                let answer = st.tenant.query()?;
+                Ok(obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("tenant", Json::from(tenant.as_str())),
+                    ("answer", proto::answer_to_json(&answer)),
+                    ("space_bits", Json::from(st.tenant.space_bits())),
+                    ("processed", Json::from(st.tenant.applied)),
+                ]))
+            })
+            .unwrap_or_else(|e| e.to_json());
+            (reply, false)
+        }
+        Request::SnapshotStats { tenant } => {
+            let reply = with_slot(shared, &tenant, |slot| {
+                let st = slot.await_quiescent();
+                Ok(obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("stats", metrics::tenant_json(&st)),
+                ]))
+            })
+            .unwrap_or_else(|e| e.to_json());
+            (reply, false)
+        }
+        Request::Metrics => (
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("metrics", metrics::snapshot(shared)),
+            ]),
+            false,
+        ),
+        Request::Top => (
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("text", Json::from(metrics::top_text(shared).as_str())),
+            ]),
+            false,
+        ),
+        Request::Bye => (obj(vec![("ok", Json::Bool(true))]), true),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("draining", Json::Bool(true)),
+                ]),
+                false,
+            )
+        }
+    }
+}
+
+/// Look up `tenant` and run `f` on its slot.
+fn with_slot<F>(shared: &Arc<Shared>, tenant: &str, f: F) -> Result<Json, ProtoError>
+where
+    F: FnOnce(&Arc<TenantSlot>) -> Result<Json, ProtoError>,
+{
+    let slot = shared
+        .tenants
+        .lock()
+        .unwrap()
+        .get(tenant)
+        .cloned()
+        .ok_or_else(|| {
+            ProtoError::new(
+                ErrorKind::UnknownTenant,
+                format!("tenant '{tenant}' has not said hello"),
+            )
+        })?;
+    f(&slot)
+}
+
+fn handle_hello(
+    shared: &Arc<Shared>,
+    tenant: &str,
+    alg: &str,
+    seed: Option<u64>,
+    params: &proto::HelloParams,
+) -> Result<Json, ProtoError> {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
+    let seed_base = seed.unwrap_or(shared.cfg.seed);
+    let mut tenants = shared.tenants.lock().unwrap();
+    if let Some(slot) = tenants.get(tenant) {
+        let st = slot.state.lock().unwrap();
+        st.tenant.check_hello_matches(alg, seed_base)?;
+        return Ok(hello_reply(&st.tenant));
+    }
+    if tenants.len() >= shared.cfg.max_tenants {
+        return Err(ProtoError::new(
+            ErrorKind::MaxTenants,
+            format!("tenant cap {} reached", shared.cfg.max_tenants),
+        ));
+    }
+    let created = Tenant::create(
+        tenant,
+        alg,
+        seed_base,
+        params,
+        shared.cfg.shards,
+        shared.cfg.chunk,
+    )?;
+    let reply = hello_reply(&created);
+    tenants.insert(tenant.to_string(), Arc::new(TenantSlot::new(created)));
+    Ok(reply)
+}
+
+fn hello_reply(t: &Tenant) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("tenant", Json::from(t.id.as_str())),
+        ("alg", Json::from(t.alg_name.as_str())),
+        ("model", Json::from(t.model.label())),
+        ("shards", Json::from(t.shards as u64)),
+        ("tenant_seed", Json::from(t.tenant_seed)),
+    ])
+}
+
+fn handle_ingest(
+    shared: &Arc<Shared>,
+    tenant: &str,
+    updates: Vec<wb_engine::Update>,
+) -> Result<Json, ProtoError> {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; ingest refused",
+        ));
+    }
+    with_slot(shared, tenant, |slot| {
+        let mut st = slot.state.lock().unwrap();
+        if let Err(e) = st.tenant.validate_batch(&updates) {
+            st.tenant.rejected += updates.len() as u64;
+            return Err(e);
+        }
+        // Accepted: all-or-nothing, counted before queueing so a drain
+        // that starts right now still applies every one of these updates.
+        st.tenant.accepted += updates.len() as u64;
+        st.tenant.batches += 1;
+        let chunk = shared.cfg.chunk.max(1);
+        let mut schedule = false;
+        for piece in updates.chunks(chunk) {
+            while st.inbox.len() >= INBOX_CHUNKS {
+                st.inbox_stalls += 1;
+                st = slot.cv.wait(st).unwrap();
+            }
+            st.inbox.push_back(piece.to_vec());
+            if !st.scheduled {
+                st.scheduled = true;
+                schedule = true;
+            }
+        }
+        let pending = st.inbox.len() as u64;
+        let accepted = updates.len() as u64;
+        drop(st);
+        if schedule {
+            // Submit outside the slot lock: the pool queue is bounded and
+            // submission may block (counted as a pool stall).
+            let slot = Arc::clone(slot);
+            shared.pool.submit(Box::new(move || slot.drain_inbox()));
+        }
+        Ok(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("accepted", Json::from(accepted)),
+            ("pending_chunks", Json::from(pending)),
+        ]))
+    })
+}
+
+/// A line reader over a read-timeout socket that never loses a partial
+/// line: bytes accumulate across timeouts, and only a full `\n`-terminated
+/// line is consumed. Returns `None` on EOF or when the daemon is draining
+/// and the connection has gone idle with no buffered partial request.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(None), // EOF (partial line discarded)
+                Ok(k) => self.buf.extend_from_slice(&tmp[..k]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Idle tick: during a drain, a quiet session closes
+                    // (its client got every reply it asked for); otherwise
+                    // keep waiting.
+                    if draining.load(Ordering::SeqCst) && self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Per-tenant state: one erased algorithm instance (sharded through a
+//! [`ShardPipeline`] when the algorithm merges), its derived random tape,
+//! a bounded ingest inbox, and the tenant-level counters the metrics layer
+//! exports.
+//!
+//! **Determinism.** A tenant's final state is a pure function of its own
+//! update sequence: ingest chunks are applied in arrival order by exactly
+//! one worker at a time (the `scheduled` flag hands the tenant to a single
+//! pool job; the inbox is FIFO), and all engine randomness derives from the
+//! tenant seed — `derive_seed(base, ["tenant", id])`, then `["ctor"]` for
+//! constructor randomness and `["game"]` for the ingest tape (the sharded
+//! path feeds `["game"]` to [`ShardConfig::master_seed`], which derives the
+//! per-shard tapes exactly as an offline run would). Chunk boundaries are
+//! pure transport by the engine's batching contract, so the daemon's state
+//! after any interleaving of sessions is byte-identical to an offline run
+//! of the concatenated per-tenant stream — the white-box model's adversary
+//! loses nothing by the engine being behind a socket.
+//!
+//! **Backpressure.** The inbox holds at most [`INBOX_CHUNKS`] chunks;
+//! sessions pushing faster than the pool drains block on the slot condvar
+//! (counted in `inbox_stalls`) so memory stays bounded per tenant and
+//! pressure propagates to the client socket instead of the heap.
+
+use crate::proto::{ErrorKind, HelloParams, ProtoError};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+use wb_core::rng::{derive_seed, TranscriptRng};
+use wb_core::WbError;
+use wb_engine::registry::{self, Params};
+use wb_engine::shard::{probe_mergeable, Partition, ShardConfig, ShardPipeline, ShardStats};
+use wb_engine::{Answer, DynStreamAlg, StreamModel, Update};
+
+/// Bounded inbox depth, in chunks. Small on purpose: the pool, not the
+/// inbox, is where throughput comes from; the inbox only decouples socket
+/// reads from sketch updates.
+pub const INBOX_CHUNKS: usize = 8;
+
+/// The engine half of a tenant.
+enum TenantEngine {
+    /// One flat instance — the only mode for unmergeable algorithms.
+    Flat {
+        alg: Box<dyn DynStreamAlg>,
+        rng: TranscriptRng,
+    },
+    /// A live sharded pipeline (mergeable algorithms, shards >= 2).
+    Sharded { pipeline: ShardPipeline },
+    /// The algorithm failed mid-stream (budget exhausted, …); the error is
+    /// replayed to every later request.
+    Failed { error: WbError },
+}
+
+/// A tenant: engine + identity + counters. Lives inside a
+/// [`TenantSlot`]'s mutex.
+pub struct Tenant {
+    /// Tenant id (protocol string).
+    pub id: String,
+    /// Registry algorithm name.
+    pub alg_name: String,
+    /// The seed base `hello` declared (daemon master if omitted) — echoed
+    /// so clients can reproduce the offline run.
+    pub seed_base: u64,
+    /// `derive_seed(seed_base, ["tenant", id])`.
+    pub tenant_seed: u64,
+    /// The algorithm's stream model, checked per update **before** a batch
+    /// is accepted (so an accepted batch can never fail on model grounds
+    /// inside the asynchronous ingest path).
+    pub model: StreamModel,
+    /// Constructor parameters (with the derived ctor seed) — kept so the
+    /// sharded query path can build fresh merge targets.
+    params: Params,
+    /// Shard count (1 = flat).
+    pub shards: usize,
+    engine: TenantEngine,
+    /// Updates accepted (whole batches; all-or-nothing).
+    pub accepted: u64,
+    /// Updates actually applied to the engine by workers. After a drain,
+    /// `applied == accepted` for every tenant — the no-loss guarantee.
+    pub applied: u64,
+    /// Updates rejected at the protocol layer (model/shape), summed over
+    /// rejected batches.
+    pub rejected: u64,
+    /// Accepted ingest batches.
+    pub batches: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Creation time, for the cumulative ingest rate.
+    pub created: Instant,
+}
+
+impl Tenant {
+    /// Build a tenant: construct the algorithm from the registry (typed
+    /// `invalid_parameter` errors for unknown names, `n == 0`, bad ε, …),
+    /// probe mergeability, and set up the sharded pipeline when it applies.
+    pub fn create(
+        id: &str,
+        alg_name: &str,
+        seed_base: u64,
+        hello: &HelloParams,
+        default_shards: usize,
+        batch: usize,
+    ) -> Result<Tenant, ProtoError> {
+        let tenant_seed = derive_seed(seed_base, &["tenant", id]);
+        let mut params = Params::default().with_seed(derive_seed(tenant_seed, &["ctor"]));
+        if let Some(n) = hello.n {
+            params = params.with_n(n);
+        }
+        if let Some(eps) = hello.eps {
+            params = params.with_eps(eps);
+        }
+        let invalid = |e: &WbError| ProtoError::new(ErrorKind::InvalidParameter, e.to_string());
+        // Construct once up front so every parameter error surfaces here,
+        // synchronously, as a typed reply — never inside the ingest path.
+        let flat = registry::get(alg_name, &params).map_err(|e| invalid(&e))?;
+        let model = flat.model_dyn();
+        let wanted_shards = hello.shards.unwrap_or(default_shards).max(1);
+        let ctor = |_: usize| registry::get(alg_name, &params);
+        let mergeable = wanted_shards > 1 && probe_mergeable(&ctor).map_err(|e| invalid(&e))?;
+        let shards = if mergeable { wanted_shards } else { 1 };
+        let game_seed = derive_seed(tenant_seed, &["game"]);
+        let engine = if shards > 1 {
+            let cfg = ShardConfig {
+                shards,
+                partition: Partition::Hash,
+                threads: 1,
+                batch,
+                master_seed: game_seed,
+            };
+            TenantEngine::Sharded {
+                pipeline: ShardPipeline::new(&ctor, &cfg).map_err(|e| invalid(&e))?,
+            }
+        } else {
+            TenantEngine::Flat {
+                alg: flat,
+                rng: TranscriptRng::from_seed(game_seed),
+            }
+        };
+        Ok(Tenant {
+            id: id.to_string(),
+            alg_name: alg_name.to_string(),
+            seed_base,
+            tenant_seed,
+            model,
+            params,
+            shards,
+            engine,
+            accepted: 0,
+            applied: 0,
+            rejected: 0,
+            batches: 0,
+            queries: 0,
+            created: Instant::now(),
+        })
+    }
+
+    /// `hello` to an existing tenant must re-declare the same algorithm
+    /// and seed base — a mismatch is a typed refusal, never a silent
+    /// re-seed.
+    pub fn check_hello_matches(&self, alg_name: &str, seed_base: u64) -> Result<(), ProtoError> {
+        if self.alg_name != alg_name || self.seed_base != seed_base {
+            return Err(ProtoError::new(
+                ErrorKind::TenantMismatch,
+                format!(
+                    "tenant '{}' exists with alg '{}' and seed {} (got alg '{}', seed {})",
+                    self.id, self.alg_name, self.seed_base, alg_name, seed_base
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate a batch against the tenant's stream model *before*
+    /// accepting it (all-or-nothing): the typed rejection carries the
+    /// first offending index, reusing the engine's per-update rule
+    /// ([`StreamModel::accepts`] mirrors `from_update_weighted`).
+    pub fn validate_batch(&self, updates: &[Update]) -> Result<(), ProtoError> {
+        if let TenantEngine::Failed { error } = &self.engine {
+            return Err(ProtoError::new(ErrorKind::TenantFailed, error.to_string()));
+        }
+        for (i, u) in updates.iter().enumerate() {
+            if !self.model.accepts(u) {
+                return Err(ProtoError::new(
+                    ErrorKind::WrongModel,
+                    format!(
+                        "updates[{i}] {u:?} is outside {}'s {} model",
+                        self.alg_name,
+                        self.model.label()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one accepted chunk (called by pool workers, in arrival
+    /// order). Unexpected mid-stream failures (budget exhaustion — model
+    /// errors were excluded at accept time) poison the tenant; the error
+    /// replays on every later request.
+    pub fn apply_chunk(&mut self, chunk: &[Update]) {
+        self.applied += chunk.len() as u64;
+        match &mut self.engine {
+            TenantEngine::Flat { alg, rng } => {
+                if let Err(error) = alg.process_batch_dyn(chunk, rng) {
+                    self.engine = TenantEngine::Failed { error };
+                }
+            }
+            TenantEngine::Sharded { pipeline } => {
+                pipeline.push(chunk);
+                if pipeline.all_failed() {
+                    let error = pipeline
+                        .first_failure()
+                        .cloned()
+                        .unwrap_or_else(|| WbError::invalid("sharded pipeline failed"));
+                    self.engine = TenantEngine::Failed { error };
+                }
+            }
+            TenantEngine::Failed { .. } => {}
+        }
+    }
+
+    /// Answer the tenant's fixed query. The sharded path flushes staging
+    /// and merges into fresh instances without consuming shard state, so
+    /// ingestion can continue afterwards.
+    pub fn query(&mut self) -> Result<Answer, ProtoError> {
+        self.queries += 1;
+        match &mut self.engine {
+            TenantEngine::Flat { alg, .. } => Ok(alg.query_dyn()),
+            TenantEngine::Sharded { pipeline } => {
+                let alg_name = self.alg_name.clone();
+                let params = self.params.clone();
+                let ctor = move |_: usize| registry::get(&alg_name, &params);
+                match pipeline.snapshot_merged(&ctor) {
+                    Ok(merged) => Ok(merged.query_dyn()),
+                    Err(error) => {
+                        let reply = ProtoError::new(ErrorKind::TenantFailed, error.to_string());
+                        self.engine = TenantEngine::Failed { error };
+                        Err(reply)
+                    }
+                }
+            }
+            TenantEngine::Failed { error } => {
+                Err(ProtoError::new(ErrorKind::TenantFailed, error.to_string()))
+            }
+        }
+    }
+
+    /// The failure poisoning this tenant, if any.
+    pub fn failure(&self) -> Option<&WbError> {
+        match &self.engine {
+            TenantEngine::Failed { error } => Some(error),
+            _ => None,
+        }
+    }
+
+    /// Current space usage in bits (merged cost for sharded tenants is the
+    /// sum of shard costs — that is what the node actually holds).
+    pub fn space_bits(&self) -> u64 {
+        match &self.engine {
+            TenantEngine::Flat { alg, .. } => alg.space_bits_dyn(),
+            TenantEngine::Sharded { pipeline } => pipeline.space_bits(),
+            TenantEngine::Failed { .. } => 0,
+        }
+    }
+
+    /// Per-shard routing stats (loads always; stalls stay zero inline).
+    /// `None` for flat tenants.
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        match &self.engine {
+            TenantEngine::Sharded { pipeline } => Some(pipeline.stats()),
+            _ => None,
+        }
+    }
+
+    /// Cumulative ingest rate in updates/second since creation.
+    pub fn ingest_rate(&self) -> f64 {
+        let secs = self.created.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.accepted as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What a session observes about a tenant while holding the slot lock.
+pub struct TenantState {
+    /// The tenant itself.
+    pub tenant: Tenant,
+    /// FIFO of accepted-but-unapplied chunks.
+    pub inbox: VecDeque<Vec<Update>>,
+    /// Whether a pool job currently owns this tenant's inbox.
+    pub scheduled: bool,
+    /// How often a session found the inbox full and had to wait.
+    pub inbox_stalls: u64,
+}
+
+/// A registered tenant behind its lock + condvar (the condvar signals
+/// "inbox drained a chunk" — both queries waiting for quiescence and
+/// sessions waiting for inbox space block on it).
+pub struct TenantSlot {
+    /// The guarded state.
+    pub state: Mutex<TenantState>,
+    /// Signalled on every applied chunk and on worker hand-back.
+    pub cv: Condvar,
+}
+
+impl TenantSlot {
+    /// Wrap a fresh tenant.
+    pub fn new(tenant: Tenant) -> Self {
+        TenantSlot {
+            state: Mutex::new(TenantState {
+                tenant,
+                inbox: VecDeque::new(),
+                scheduled: false,
+                inbox_stalls: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Run the worker half: apply inbox chunks in FIFO order until the
+    /// inbox is empty, then hand the tenant back (clear `scheduled`)
+    /// atomically with the emptiness check, so no chunk is ever left
+    /// behind without a worker owning it.
+    pub fn drain_inbox(&self) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match st.inbox.pop_front() {
+                Some(chunk) => {
+                    // Applied under the lock: per-tenant serialization is
+                    // what makes the daemon deterministic, and observers
+                    // (queries) must never see a popped-but-unapplied
+                    // chunk.
+                    st.tenant.apply_chunk(&chunk);
+                    self.cv.notify_all();
+                }
+                None => {
+                    st.scheduled = false;
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Block until every accepted chunk has been applied (read-your-writes
+    /// for queries and stats).
+    pub fn await_quiescent(&self) -> std::sync::MutexGuard<'_, TenantState> {
+        let mut st = self.state.lock().unwrap();
+        while !st.inbox.is_empty() || st.scheduled {
+            st = self.cv.wait(st).unwrap();
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello_defaults() -> HelloParams {
+        HelloParams {
+            n: Some(1 << 10),
+            eps: None,
+            shards: None,
+        }
+    }
+
+    #[test]
+    fn create_routes_mergeable_algs_to_shards() {
+        let t = Tenant::create("a", "misra_gries", 42, &hello_defaults(), 4, 64).unwrap();
+        assert_eq!(t.shards, 4);
+        assert!(t.shard_stats().is_some());
+        let t = Tenant::create("a", "morris", 42, &hello_defaults(), 4, 64).unwrap();
+        assert_eq!(t.shards, 1, "unmergeable algorithms stay flat");
+        assert!(t.shard_stats().is_none());
+    }
+
+    #[test]
+    fn create_rejects_bad_parameters_with_typed_errors() {
+        let err = match Tenant::create("a", "no_such_alg", 42, &hello_defaults(), 1, 64) {
+            Ok(_) => panic!("unknown algorithm must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind, ErrorKind::InvalidParameter);
+        let zero_n = HelloParams {
+            n: Some(0),
+            eps: None,
+            shards: None,
+        };
+        let err = match Tenant::create("a", "misra_gries", 42, &zero_n, 1, 64) {
+            Ok(_) => panic!("n == 0 must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind, ErrorKind::InvalidParameter);
+        assert!(err.message.contains("n"), "{}", err.message);
+    }
+
+    #[test]
+    fn model_validation_rejects_before_accepting() {
+        let t = Tenant::create("a", "misra_gries", 42, &hello_defaults(), 1, 64).unwrap();
+        let bad = vec![Update::Insert(1), Update::Turnstile { item: 2, delta: -1 }];
+        let err = t.validate_batch(&bad).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::WrongModel);
+        assert!(err.message.contains("updates[1]"), "{}", err.message);
+        // Turnstile tenants take everything.
+        let t = Tenant::create("a", "exact_l0", 42, &hello_defaults(), 1, 64).unwrap();
+        assert!(t.validate_batch(&bad).is_ok());
+    }
+
+    #[test]
+    fn tenant_state_matches_offline_run_flat_and_sharded() {
+        let updates: Vec<Update> = (0..500u64).map(|i| Update::Insert(i % 17)).collect();
+        for default_shards in [1usize, 4] {
+            let mut t = Tenant::create(
+                "tenant-x",
+                "misra_gries",
+                99,
+                &hello_defaults(),
+                default_shards,
+                64,
+            )
+            .unwrap();
+            for chunk in updates.chunks(33) {
+                t.apply_chunk(chunk);
+            }
+            let answer = t.query().unwrap();
+
+            // Offline replica with the same derived seeds.
+            let tenant_seed = derive_seed(99, &["tenant", "tenant-x"]);
+            let params = Params::default()
+                .with_seed(derive_seed(tenant_seed, &["ctor"]))
+                .with_n(1 << 10);
+            let game_seed = derive_seed(tenant_seed, &["game"]);
+            let offline = if default_shards > 1 {
+                let cfg = ShardConfig {
+                    shards: default_shards,
+                    partition: Partition::Hash,
+                    threads: 1,
+                    batch: 64,
+                    master_seed: game_seed,
+                };
+                wb_engine::shard::ingest_sharded(
+                    &|_| registry::get("misra_gries", &params),
+                    &updates,
+                    &cfg,
+                )
+                .unwrap()
+                .merged
+                .query_dyn()
+            } else {
+                let mut alg = registry::get("misra_gries", &params).unwrap();
+                let mut rng = TranscriptRng::from_seed(game_seed);
+                alg.process_batch_dyn(&updates, &mut rng).unwrap();
+                alg.query_dyn()
+            };
+            assert_eq!(answer, offline, "shards = {default_shards}");
+        }
+    }
+
+    #[test]
+    fn slot_drains_fifo_and_quiesces() {
+        let t = Tenant::create("a", "count_min", 1, &hello_defaults(), 1, 64).unwrap();
+        let slot = TenantSlot::new(t);
+        {
+            let mut st = slot.state.lock().unwrap();
+            st.inbox.push_back(vec![Update::Insert(1); 10]);
+            st.inbox.push_back(vec![Update::Insert(2); 5]);
+            st.scheduled = true;
+        }
+        slot.drain_inbox();
+        let st = slot.await_quiescent();
+        assert!(st.inbox.is_empty());
+        assert!(!st.scheduled);
+    }
+}

@@ -127,10 +127,54 @@ impl From<Turnstile> for Update {
     }
 }
 
+/// The stream model an algorithm's native update type lives in — the
+/// erased, queryable form of "which [`Update`]s does this algorithm
+/// accept?". Lets a server validate a batch *before* handing it to an
+/// asynchronous ingest path (where a model-mismatch [`WbError`] could no
+/// longer be reported to the request that caused it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamModel {
+    /// Insertion-only: deletions are out of model; positive multi-unit
+    /// deltas expand into repeated insertions up to
+    /// [`MAX_DELTA_EXPANSION`].
+    InsertOnly,
+    /// Turnstile: every signed update is in model.
+    Turnstile,
+}
+
+impl StreamModel {
+    /// Stable lowercase label for reports and protocol messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamModel::InsertOnly => "insert_only",
+            StreamModel::Turnstile => "turnstile",
+        }
+    }
+
+    /// Whether `u` is inside this model — exactly the updates
+    /// [`FromUpdate::from_update_weighted`] converts (asserted by the
+    /// erased-layer tests), so a caller can pre-validate without
+    /// constructing anything or touching algorithm state.
+    pub fn accepts(&self, u: &Update) -> bool {
+        match self {
+            StreamModel::Turnstile => true,
+            StreamModel::InsertOnly => match *u {
+                Update::Insert(_) => true,
+                Update::Turnstile { delta, .. } => {
+                    delta >= 1 && delta as u64 <= MAX_DELTA_EXPANSION
+                }
+            },
+        }
+    }
+}
+
 /// Conversion from the erased [`Update`] into an algorithm's native update
 /// type. Returns `None` when the update is outside the algorithm's model
 /// (e.g. a deletion offered to an insertion-only sketch).
 pub trait FromUpdate: Sized + Clone {
+    /// The model this update type accepts, as data.
+    fn model() -> StreamModel;
+
     /// Convert, or reject as model-incompatible.
     fn from_update(u: &Update) -> Option<Self>;
 
@@ -145,6 +189,10 @@ pub trait FromUpdate: Sized + Clone {
 }
 
 impl FromUpdate for InsertOnly {
+    fn model() -> StreamModel {
+        StreamModel::InsertOnly
+    }
+
     /// Strict single-unit conversion: only `Insert` and unit-delta
     /// turnstile updates map to one `InsertOnly`. A multi-unit delta is
     /// `None` here — it is *not* one insertion, and silently dropping its
@@ -172,6 +220,10 @@ impl FromUpdate for InsertOnly {
 }
 
 impl FromUpdate for Turnstile {
+    fn model() -> StreamModel {
+        StreamModel::Turnstile
+    }
+
     fn from_update(u: &Update) -> Option<Self> {
         match *u {
             Update::Insert(i) => Some(Turnstile::insert(i)),
@@ -295,6 +347,11 @@ pub trait DynStreamAlg: Send {
     /// Bare type name (see [`StreamAlg::name`]).
     fn name_dyn(&self) -> &'static str;
 
+    /// The stream model this algorithm's update type accepts — so callers
+    /// holding only the erased object (a registry-built server tenant) can
+    /// validate updates synchronously before an asynchronous ingest.
+    fn model_dyn(&self) -> StreamModel;
+
     /// Fold a sibling instance's state into this one — the erased mirror of
     /// [`wb_core::merge::Mergeable`]. Type equality is downcast-checked:
     /// offering a different concrete type is [`MergeError::TypeMismatch`],
@@ -374,6 +431,10 @@ where
 
     fn name_dyn(&self) -> &'static str {
         self.name()
+    }
+
+    fn model_dyn(&self) -> StreamModel {
+        A::Update::model()
     }
 
     fn merge_dyn(&mut self, other: &dyn DynStreamAlg) -> Result<(), MergeError> {
@@ -718,6 +779,44 @@ mod tests {
             Turnstile::from_update_weighted(&Update::Turnstile { item: 2, delta: 5 }),
             Some((Turnstile { item: 2, delta: 5 }, 1))
         );
+    }
+
+    #[test]
+    fn stream_model_accepts_mirrors_weighted_conversion() {
+        // model().accepts(u) must agree with from_update_weighted(u) on
+        // every update shape — it is the pre-validation servers rely on
+        // before handing a batch to an asynchronous ingest path.
+        let shapes = [
+            Update::Insert(3),
+            Update::Turnstile { item: 3, delta: 1 },
+            Update::Turnstile { item: 3, delta: 7 },
+            Update::Turnstile { item: 3, delta: 0 },
+            Update::Turnstile { item: 3, delta: -2 },
+            Update::Turnstile {
+                item: 3,
+                delta: MAX_DELTA_EXPANSION as i64,
+            },
+            Update::Turnstile {
+                item: 3,
+                delta: MAX_DELTA_EXPANSION as i64 + 1,
+            },
+        ];
+        for u in &shapes {
+            assert_eq!(
+                InsertOnly::model().accepts(u),
+                InsertOnly::from_update_weighted(u).is_some(),
+                "{u:?}"
+            );
+            assert_eq!(
+                Turnstile::model().accepts(u),
+                Turnstile::from_update_weighted(u).is_some(),
+                "{u:?}"
+            );
+        }
+        let mg: Box<dyn DynStreamAlg> = Box::new(MisraGries::with_counters(4, 1 << 10));
+        assert_eq!(mg.model_dyn(), StreamModel::InsertOnly);
+        assert_eq!(mg.model_dyn().label(), "insert_only");
+        assert_eq!(StreamModel::Turnstile.label(), "turnstile");
     }
 
     #[test]

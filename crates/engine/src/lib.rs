@@ -88,12 +88,14 @@ pub mod tournament;
 pub mod workload;
 
 pub use builder::{AcceptAll, Game, NoAdversary, NullObserver, Observer, RecordingObserver};
-pub use erased::{Answer, DynAdversary, DynStreamAlg, Update};
+pub use erased::{Answer, DynAdversary, DynStreamAlg, StreamModel, Update};
 pub use experiment::{ExperimentSpec, GameRow, Metric, Row, RunCtx, RunnerConfig, Section};
+pub use pool::{PoolStats, WorkerPool};
 pub use referee::{DynReferee, RefereeSpec};
 pub use report::GameReport;
 pub use shard::{
-    ingest_sharded, ingest_sharded_source, merge_reduce, Partition, ShardConfig, ShardedIngest,
+    ingest_sharded, ingest_sharded_source, merge_reduce, Partition, ShardConfig, ShardPipeline,
+    ShardStats, ShardedIngest,
 };
 pub use tournament::{
     run_tournament, AlgSummary, CellReport, CellVerdict, TournamentConfig, TournamentReport,

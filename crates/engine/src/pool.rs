@@ -17,7 +17,7 @@
 //! spawn overhead, and trivially the same results.
 
 use std::collections::VecDeque;
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// A boxed unit of pool work. The lifetime lets jobs borrow from the
 /// caller's stack (configs, specs) — workers are scoped threads.
@@ -102,6 +102,175 @@ pub fn run_ordered_with<'a, T: Send>(
         .collect()
 }
 
+/// A job for the long-lived [`WorkerPool`]: `'static` because the pool
+/// outlives any caller stack frame (unlike the scoped [`run_ordered`]
+/// batch).
+pub type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A point-in-time snapshot of a [`WorkerPool`]'s counters — the pool-level
+/// half of the daemon's backpressure instrumentation (the per-shard half is
+/// [`crate::shard::ShardStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Jobs accepted by [`WorkerPool::submit`] so far.
+    pub submitted: u64,
+    /// Jobs whose closure has returned (or panicked — a panic still
+    /// completes the job so the pool can never deadlock on a drain).
+    pub completed: u64,
+    /// Jobs that panicked. Nonzero means a bug in submitted work, never in
+    /// the pool.
+    pub panicked: u64,
+    /// Jobs currently queued or running (`submitted - completed`).
+    pub depth: u64,
+    /// High-water mark of `depth` over the pool's lifetime.
+    pub peak_depth: u64,
+    /// How often `submit` found the bounded queue full and had to block
+    /// until a worker freed a slot — the pool-is-the-bottleneck signal.
+    pub submit_stalls: u64,
+}
+
+struct PoolCounts {
+    submitted: u64,
+    completed: u64,
+    panicked: u64,
+    peak_depth: u64,
+    submit_stalls: u64,
+}
+
+struct PoolShared {
+    counts: Mutex<PoolCounts>,
+    /// Signalled whenever a job completes; [`WorkerPool::drain`] waits on
+    /// it until `completed == submitted`.
+    idle: Condvar,
+}
+
+/// A long-lived thread pool with a **bounded** submit queue, for servers
+/// that process work as it arrives instead of batching it up front (the
+/// one-shot ordered batch stays [`run_ordered`]). Submission blocks when
+/// the queue is full — backpressure propagates to the producer instead of
+/// queue depth growing without bound — and every stall is counted in
+/// [`PoolStats`], so "the pool can't keep up" is observable, not silent.
+///
+/// Jobs carry no result channel; a caller that needs an answer back owns
+/// its own reply path (the daemon's sessions block on a per-request
+/// condvar). Ordering across jobs is whatever the queue provides (FIFO
+/// hand-out, concurrent execution) — callers needing per-key ordering must
+/// serialize per key, as the daemon does per tenant.
+pub struct WorkerPool {
+    tx: Option<mpsc::SyncSender<PoolJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: std::sync::Arc<PoolShared>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (`0` = one per core) behind a bounded queue
+    /// of `queue_cap` waiting jobs (minimum 1).
+    pub fn new(threads: usize, queue_cap: usize) -> Self {
+        let threads = effective_threads(threads);
+        let shared = std::sync::Arc::new(PoolShared {
+            counts: Mutex::new(PoolCounts {
+                submitted: 0,
+                completed: 0,
+                panicked: 0,
+                peak_depth: 0,
+                submit_stalls: 0,
+            }),
+            idle: Condvar::new(),
+        });
+        let (tx, rx) = mpsc::sync_channel::<PoolJob>(queue_cap.max(1));
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    // Take the next job under the lock, run it outside.
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => break, // queue closed: pool shut down
+                    };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    let mut counts = shared.counts.lock().unwrap();
+                    counts.completed += 1;
+                    if outcome.is_err() {
+                        counts.panicked += 1;
+                    }
+                    shared.idle.notify_all();
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue `job`, blocking while the bounded queue is full (each such
+    /// wait increments [`PoolStats::submit_stalls`]).
+    pub fn submit(&self, job: PoolJob) {
+        let tx = self.tx.as_ref().expect("pool is shut down");
+        {
+            let mut counts = self.shared.counts.lock().unwrap();
+            counts.submitted += 1;
+            let depth = counts.submitted - counts.completed;
+            counts.peak_depth = counts.peak_depth.max(depth);
+        }
+        // Offer without blocking first so a full queue is observable.
+        if let Err(mpsc::TrySendError::Full(job)) = tx.try_send(job) {
+            self.shared.counts.lock().unwrap().submit_stalls += 1;
+            tx.send(job).expect("workers outlive the pool handle");
+        }
+    }
+
+    /// Block until every submitted job has completed. Jobs submitted by
+    /// other threads *while* draining extend the wait — the guarantee is
+    /// "no work outstanding at return", not a fence.
+    pub fn drain(&self) {
+        let mut counts = self.shared.counts.lock().unwrap();
+        while counts.completed < counts.submitted {
+            counts = self.shared.idle.wait(counts).unwrap();
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> PoolStats {
+        let counts = self.shared.counts.lock().unwrap();
+        PoolStats {
+            submitted: counts.submitted,
+            completed: counts.completed,
+            panicked: counts.panicked,
+            depth: counts.submitted - counts.completed,
+            peak_depth: counts.peak_depth,
+            submit_stalls: counts.submit_stalls,
+        }
+    }
+
+    /// Close the queue and join the workers (queued jobs still run; this
+    /// is the graceful half — call [`WorkerPool::drain`] first if you need
+    /// completion *before* teardown begins).
+    pub fn shutdown(mut self) {
+        self.tx = None; // close the channel: workers finish and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +322,60 @@ mod tests {
     fn effective_threads_resolves_auto() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_everything_and_counts() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::new(4, 2);
+        assert_eq!(pool.workers(), 4);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 0..100u64 {
+            let sum = Arc::clone(&sum);
+            pool.submit(Box::new(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }));
+        }
+        pool.drain();
+        let stats = pool.stats();
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.depth, 0);
+        assert_eq!(stats.panicked, 0);
+        assert!(stats.peak_depth >= 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_counts_submit_stalls_under_backpressure() {
+        // One slow worker, capacity-1 queue: fast submissions must stall.
+        let pool = WorkerPool::new(1, 1);
+        for _ in 0..8 {
+            pool.submit(Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }));
+        }
+        pool.drain();
+        let stats = pool.stats();
+        assert_eq!(stats.completed, 8);
+        assert!(stats.submit_stalls > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        let pool = WorkerPool::new(2, 4);
+        pool.submit(Box::new(|| panic!("job bug")));
+        pool.submit(Box::new(|| {}));
+        pool.drain();
+        let stats = pool.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.panicked, 1);
+        // The pool still works after a panic.
+        pool.submit(Box::new(|| {}));
+        pool.drain();
+        assert_eq!(pool.stats().completed, 3);
     }
 
     #[test]

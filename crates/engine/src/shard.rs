@@ -157,14 +157,65 @@ pub fn merge_reduce(
     Ok(instances.pop().expect("one instance remains"))
 }
 
+/// Per-shard ingestion statistics: routed-item counts and bounded-queue
+/// backpressure, exported so callers (the daemon's metrics layer,
+/// `exp_sharded`) can see what used to be invisible internal state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Updates routed to each shard; sums to the stream length.
+    pub loads: Vec<usize>,
+    /// Producer stalls per shard: how often a full `batch`-sized chunk
+    /// found the shard's bounded SPSC queue full and the producer had to
+    /// block until the consumer freed a slot. Always zero in inline mode
+    /// (there are no queues) — a nonzero count means that shard's consumer
+    /// is the pipeline's bottleneck.
+    pub queue_stalls: Vec<u64>,
+}
+
+impl ShardStats {
+    /// All-zero stats for `shards` shards.
+    pub fn zeroed(shards: usize) -> Self {
+        ShardStats {
+            loads: vec![0; shards],
+            queue_stalls: vec![0; shards],
+        }
+    }
+
+    /// Total updates routed across all shards.
+    pub fn total(&self) -> u64 {
+        self.loads.iter().map(|&l| l as u64).sum()
+    }
+
+    /// Largest per-shard load.
+    pub fn max_load(&self) -> usize {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total producer stalls across all queues.
+    pub fn total_stalls(&self) -> u64 {
+        self.queue_stalls.iter().sum()
+    }
+
+    /// Load skew: the largest shard's load divided by the mean load
+    /// (`1.0` = perfectly even; `S` = everything on one shard). `1.0` for
+    /// an empty stream.
+    pub fn skew(&self) -> f64 {
+        let total = self.total();
+        if total == 0 || self.loads.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.loads.len() as f64;
+        self.max_load() as f64 / mean
+    }
+}
+
 /// Outcome of [`ingest_sharded_source`]: the merged instance plus how the
 /// stream was spread.
 pub struct ShardedIngest {
     /// The merged algorithm holding the whole stream's summary.
     pub merged: Box<dyn DynStreamAlg>,
-    /// Updates routed to each shard (diagnostics; sums to the stream
-    /// length).
-    pub shard_loads: Vec<usize>,
+    /// How the stream was spread and how often the producer stalled.
+    pub stats: ShardStats,
 }
 
 /// How many in-flight chunks each shard's bounded queue may hold before
@@ -225,15 +276,12 @@ fn shard_failure(
 /// otherwise reduce the states.
 fn finish_sharded(
     results: Vec<Result<Box<dyn DynStreamAlg>, WbError>>,
-    shard_loads: Vec<usize>,
+    stats: ShardStats,
 ) -> Result<ShardedIngest, WbError> {
     let ingested: Result<Vec<Box<dyn DynStreamAlg>>, WbError> = results.into_iter().collect();
     let merged =
         merge_reduce(ingested?).map_err(|e| WbError::invalid(format!("sharded merge: {e}")))?;
-    Ok(ShardedIngest {
-        merged,
-        shard_loads,
-    })
+    Ok(ShardedIngest { merged, stats })
 }
 
 /// Ingest a pull-based stream across `cfg.shards` instances built by
@@ -283,81 +331,239 @@ pub fn ingest_sharded(
     ingest_sharded_source(ctor, &mut SliceSource::new(updates), cfg)
 }
 
-/// Single-threaded pipeline: route and ingest on the caller's thread.
+/// A long-lived inline sharded ingestion pipeline: the incremental form of
+/// [`ingest_sharded_source`] for callers that receive the stream in pieces
+/// over time instead of holding an [`UpdateSource`] — the daemon's tenant
+/// sessions push ingest batches as they arrive over the wire and query the
+/// merged answer whenever a client asks.
+///
+/// Routing, chunk staging, per-shard random tapes, failure bookkeeping, and
+/// the final reduction-tree merge are all identical to the one-shot inline
+/// path (which is now a thin loop over this type), so a pipeline fed the
+/// same updates in any request sizes ends in shard states byte-identical to
+/// an offline [`ingest_sharded_source`] run of the concatenated stream —
+/// chunk boundaries are pure transport by the batching contract.
+pub struct ShardPipeline {
+    algs: Vec<Box<dyn DynStreamAlg>>,
+    rngs: Vec<TranscriptRng>,
+    staging: Vec<Vec<Update>>,
+    failures: Vec<Option<WbError>>,
+    processed: Vec<u64>,
+    loads: Vec<usize>,
+    partition: Partition,
+    batch: usize,
+    /// Global stream position (drives round-robin routing).
+    pos: u64,
+    /// Cached "every shard has failed" flag: once set, pushes are no-ops
+    /// (each shard's *first* failure wins and is already fixed).
+    dead: bool,
+}
+
+impl ShardPipeline {
+    /// Build `cfg.shards` instances with `ctor` and an empty pipeline. The
+    /// same constructor contract as [`ingest_sharded_source`] applies:
+    /// seeded sketches must share their public seed across shards or the
+    /// eventual merge reports an incompatibility.
+    pub fn new(
+        ctor: &dyn Fn(usize) -> Result<Box<dyn DynStreamAlg>, WbError>,
+        cfg: &ShardConfig,
+    ) -> Result<Self, WbError> {
+        let shards = cfg.shards.max(1);
+        let algs: Result<Vec<Box<dyn DynStreamAlg>>, WbError> = (0..shards).map(ctor).collect();
+        Ok(Self::from_instances(algs?, cfg))
+    }
+
+    fn from_instances(instances: Vec<Box<dyn DynStreamAlg>>, cfg: &ShardConfig) -> Self {
+        let shards = instances.len();
+        let batch = cfg.batch.max(1);
+        ShardPipeline {
+            algs: instances,
+            rngs: (0..shards)
+                .map(|i| TranscriptRng::from_seed(cfg.shard_seed(i)))
+                .collect(),
+            staging: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
+            failures: (0..shards).map(|_| None).collect(),
+            processed: vec![0; shards],
+            loads: vec![0; shards],
+            partition: cfg.partition,
+            batch,
+            pos: 0,
+            dead: false,
+        }
+    }
+
+    /// Number of shard instances.
+    pub fn shards(&self) -> usize {
+        self.algs.len()
+    }
+
+    /// Updates routed so far (including ones staged but not yet delivered).
+    pub fn routed(&self) -> u64 {
+        self.pos
+    }
+
+    /// Current routed-load / stall statistics. Inline pipelines have no
+    /// queues, so stalls are always zero here.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            loads: self.loads.clone(),
+            queue_stalls: vec![0; self.algs.len()],
+        }
+    }
+
+    /// Total space held by the live shard states, in bits — what a node
+    /// running this pipeline actually pays.
+    pub fn space_bits(&self) -> u64 {
+        self.algs.iter().map(|a| a.space_bits_dyn()).sum()
+    }
+
+    /// The lowest-numbered shard's failure, if any shard has failed.
+    pub fn first_failure(&self) -> Option<&WbError> {
+        self.failures.iter().flatten().next()
+    }
+
+    /// `true` once every shard has recorded a failure — nothing pushed
+    /// after this can change the outcome.
+    pub fn all_failed(&self) -> bool {
+        self.dead
+    }
+
+    fn deliver(&mut self, s: usize, take_staging: bool) {
+        let chunk = std::mem::take(&mut self.staging[s]);
+        if self.failures[s].is_none() {
+            if let Err(e) = self.algs[s].process_batch_dyn(&chunk, &mut self.rngs[s]) {
+                self.failures[s] = Some(shard_failure(
+                    self.algs[s].as_mut(),
+                    &mut self.rngs[s],
+                    &chunk,
+                    self.processed[s],
+                    s,
+                    e,
+                ));
+                self.dead = self.failures.iter().all(Option::is_some);
+            }
+        }
+        self.processed[s] += chunk.len() as u64;
+        if take_staging {
+            self.staging[s] = chunk;
+            self.staging[s].clear();
+        }
+    }
+
+    /// Route one update into its shard's staging buffer, delivering the
+    /// buffer when it reaches the chunk size.
+    pub fn push_update(&mut self, u: &Update) {
+        if self.dead {
+            return;
+        }
+        let s = route(self.partition, u, self.pos, self.algs.len());
+        self.pos += 1;
+        self.loads[s] += 1;
+        self.staging[s].push(*u);
+        if self.staging[s].len() >= self.batch {
+            self.deliver(s, true);
+        }
+    }
+
+    /// Route a chunk of updates (stops early if every shard has failed).
+    pub fn push(&mut self, chunk: &[Update]) {
+        for u in chunk {
+            if self.dead {
+                return;
+            }
+            self.push_update(u);
+        }
+    }
+
+    /// Deliver every non-empty staging buffer to its shard. The one-shot
+    /// path calls this exactly once, at end of stream; a long-lived caller
+    /// calls it before each query so answers reflect every pushed update
+    /// (chunk boundaries never change the eventual state, so flushing
+    /// early costs nothing but the smaller batch).
+    pub fn flush(&mut self) {
+        for s in 0..self.algs.len() {
+            if !self.staging[s].is_empty() {
+                self.deliver(s, false);
+                self.staging[s] = Vec::with_capacity(self.batch);
+            }
+        }
+    }
+
+    /// Flush and merge the shard states **without consuming them**: each
+    /// reduction-tree node is a fresh `ctor` instance the children are
+    /// folded into (merging into an empty sibling reproduces the child's
+    /// state by the [`wb_core::merge::Mergeable`] contract — an empty
+    /// instance summarizes the empty stream). The shard states stay live,
+    /// so a long-running tenant can answer queries mid-stream and keep
+    /// ingesting; [`ShardPipeline::finish`] remains the end-of-stream
+    /// destructive form and the two agree on every answer.
+    pub fn snapshot_merged(
+        &mut self,
+        ctor: &dyn Fn(usize) -> Result<Box<dyn DynStreamAlg>, WbError>,
+    ) -> Result<Box<dyn DynStreamAlg>, WbError> {
+        self.flush();
+        if let Some(e) = self.first_failure() {
+            return Err(e.clone());
+        }
+        let snap = |shard: &dyn DynStreamAlg| -> Result<Box<dyn DynStreamAlg>, WbError> {
+            let mut fresh = ctor(0)?;
+            fresh
+                .merge_dyn(shard)
+                .map_err(|e| WbError::invalid(format!("sharded merge: {e}")))?;
+            Ok(fresh)
+        };
+        // First level pairs the live shard states into owned copies; the
+        // remaining levels reduce the owned copies exactly like
+        // merge_reduce (left.merge(right), level by level).
+        let mut level: Vec<Box<dyn DynStreamAlg>> = Vec::new();
+        for pair in self.algs.chunks(2) {
+            let mut left = snap(pair[0].as_ref())?;
+            if let Some(right) = pair.get(1) {
+                left.merge_dyn(right.as_ref())
+                    .map_err(|e| WbError::invalid(format!("sharded merge: {e}")))?;
+            }
+            level.push(left);
+        }
+        merge_reduce(level).map_err(|e| WbError::invalid(format!("sharded merge: {e}")))
+    }
+
+    /// Flush, then fold the shard states into one with the deterministic
+    /// reduction tree — the end-of-stream form ([`ingest_sharded_source`]'s
+    /// epilogue). The first failure in shard order wins.
+    pub fn finish(mut self) -> Result<ShardedIngest, WbError> {
+        self.flush();
+        let stats = self.stats();
+        let results = self
+            .algs
+            .into_iter()
+            .zip(self.failures)
+            .map(|(alg, failure)| match failure {
+                Some(e) => Err(e),
+                None => Ok(alg),
+            })
+            .collect();
+        finish_sharded(results, stats)
+    }
+}
+
+/// Single-threaded pipeline: route and ingest on the caller's thread — a
+/// pull loop over the incremental [`ShardPipeline`].
 fn ingest_inline(
     instances: Vec<Box<dyn DynStreamAlg>>,
     source: &mut dyn UpdateSource,
     cfg: &ShardConfig,
 ) -> Result<ShardedIngest, WbError> {
-    let shards = instances.len();
-    let batch = cfg.batch.max(1);
-    let mut algs = instances;
-    let mut rngs: Vec<TranscriptRng> = (0..shards)
-        .map(|i| TranscriptRng::from_seed(cfg.shard_seed(i)))
-        .collect();
-    let mut staging: Vec<Vec<Update>> = (0..shards).map(|_| Vec::with_capacity(batch)).collect();
-    let mut failures: Vec<Option<WbError>> = (0..shards).map(|_| None).collect();
-    let mut processed = vec![0u64; shards];
-    let mut loads = vec![0usize; shards];
-    let mut buf: Vec<Update> = Vec::with_capacity(batch);
-    let mut j = 0u64;
-
-    let mut deliver = |s: usize,
-                       chunk: &[Update],
-                       algs: &mut Vec<Box<dyn DynStreamAlg>>,
-                       rngs: &mut Vec<TranscriptRng>,
-                       failures: &mut Vec<Option<WbError>>| {
-        if failures[s].is_none() {
-            if let Err(e) = algs[s].process_batch_dyn(chunk, &mut rngs[s]) {
-                failures[s] = Some(shard_failure(
-                    algs[s].as_mut(),
-                    &mut rngs[s],
-                    chunk,
-                    processed[s],
-                    s,
-                    e,
-                ));
-            }
-        }
-        processed[s] += chunk.len() as u64;
-    };
-
-    'produce: while source.next_chunk(&mut buf) > 0 {
-        for u in &buf {
-            let s = route(cfg.partition, u, j, shards);
-            j += 1;
-            loads[s] += 1;
-            staging[s].push(*u);
-            if staging[s].len() >= batch {
-                let chunk = std::mem::take(&mut staging[s]);
-                deliver(s, &chunk, &mut algs, &mut rngs, &mut failures);
-                staging[s] = chunk;
-                staging[s].clear();
-                // Once every shard has recorded its failure nothing that
-                // follows can change the outcome (each shard's *first*
-                // failure wins and is already fixed) — stop generating.
-                if failures.iter().all(Option::is_some) {
-                    break 'produce;
-                }
-            }
+    let mut pipeline = ShardPipeline::from_instances(instances, cfg);
+    let mut buf: Vec<Update> = Vec::with_capacity(cfg.batch.max(1));
+    while source.next_chunk(&mut buf) > 0 {
+        pipeline.push(&buf);
+        // Once every shard has recorded its failure nothing that follows
+        // can change the outcome — stop generating.
+        if pipeline.all_failed() {
+            break;
         }
     }
-    let leftovers = std::mem::take(&mut staging);
-    for (s, chunk) in leftovers.into_iter().enumerate() {
-        if !chunk.is_empty() {
-            deliver(s, &chunk, &mut algs, &mut rngs, &mut failures);
-        }
-    }
-
-    let results = algs
-        .into_iter()
-        .zip(failures)
-        .map(|(alg, failure)| match failure {
-            Some(e) => Err(e),
-            None => Ok(alg),
-        })
-        .collect();
-    finish_sharded(results, loads)
+    pipeline.finish()
 }
 
 /// Multi-threaded pipeline: one consumer thread per shard behind a bounded
@@ -422,6 +628,7 @@ fn ingest_threaded(
         let mut staging: Vec<Vec<Update>> =
             (0..shards).map(|_| Vec::with_capacity(batch)).collect();
         let mut loads = vec![0usize; shards];
+        let mut queue_stalls = vec![0u64; shards];
         let mut buf: Vec<Update> = Vec::with_capacity(batch);
         let mut j = 0u64;
         fn flush(
@@ -429,14 +636,21 @@ fn ingest_threaded(
             full_tx: &mpsc::SyncSender<Vec<Update>>,
             empty_rx: &mpsc::Receiver<Vec<Update>>,
             batch: usize,
+            stalls: &mut u64,
         ) {
             let next = empty_rx
                 .try_recv()
                 .unwrap_or_else(|_| Vec::with_capacity(batch));
             let chunk = std::mem::replace(staging, next);
-            // Consumers never close their queue while the producer lives,
-            // so this only fails if a consumer panicked — surfaced at join.
-            let _ = full_tx.send(chunk);
+            // Offer without blocking first so a full queue is observable:
+            // when the consumer is the bottleneck, count the stall, then
+            // fall back to the blocking send. Consumers never close their
+            // queue while the producer lives, so send only fails if a
+            // consumer panicked — surfaced at join.
+            if let Err(mpsc::TrySendError::Full(chunk)) = full_tx.try_send(chunk) {
+                *stalls += 1;
+                let _ = full_tx.send(chunk);
+            }
         }
         while source.next_chunk(&mut buf) > 0 {
             for u in &buf {
@@ -445,7 +659,13 @@ fn ingest_threaded(
                 loads[s] += 1;
                 staging[s].push(*u);
                 if staging[s].len() >= batch {
-                    flush(&mut staging[s], &full_txs[s], &empty_rxs[s], batch);
+                    flush(
+                        &mut staging[s],
+                        &full_txs[s],
+                        &empty_rxs[s],
+                        batch,
+                        &mut queue_stalls[s],
+                    );
                 }
             }
             // Every shard has failed: the outcome (lowest shard's first
@@ -456,7 +676,13 @@ fn ingest_threaded(
         }
         for s in 0..shards {
             if !staging[s].is_empty() {
-                flush(&mut staging[s], &full_txs[s], &empty_rxs[s], batch);
+                flush(
+                    &mut staging[s],
+                    &full_txs[s],
+                    &empty_rxs[s],
+                    batch,
+                    &mut queue_stalls[s],
+                );
             }
         }
         drop(full_txs); // close the queues: consumers finish and return
@@ -468,7 +694,13 @@ fn ingest_threaded(
                     .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
             })
             .collect();
-        finish_sharded(results, loads)
+        finish_sharded(
+            results,
+            ShardStats {
+                loads,
+                queue_stalls,
+            },
+        )
     })
 }
 
@@ -560,7 +792,10 @@ mod tests {
                     "{partition:?} threads {threads}"
                 );
                 assert_eq!(out.merged.space_bits_dyn(), single.space_bits_dyn());
-                assert_eq!(out.shard_loads.iter().sum::<usize>(), 4000);
+                assert_eq!(out.stats.total(), 4000);
+                if threads == 1 {
+                    assert_eq!(out.stats.total_stalls(), 0, "inline mode has no queues");
+                }
             }
         }
     }
@@ -658,6 +893,104 @@ mod tests {
             single.process_batch_dyn(chunk, &mut rng).unwrap();
         }
         assert_eq!(out.merged.query_dyn(), single.query_dyn());
-        assert_eq!(out.shard_loads, vec![512]);
+        assert_eq!(out.stats.loads, vec![512]);
+        assert_eq!(out.stats.skew(), 1.0);
+    }
+
+    #[test]
+    fn pipeline_matches_one_shot_ingest_across_push_granularities() {
+        // Feeding the same stream through a long-lived ShardPipeline in
+        // arbitrary request sizes must end in exactly the one-shot state:
+        // chunk boundaries are pure transport.
+        let params = Params::default().with_n(1 << 10);
+        let updates = zipfish(3000, 1 << 10);
+        let cfg = ShardConfig {
+            shards: 4,
+            partition: Partition::Hash,
+            threads: 1,
+            batch: 128,
+            master_seed: 11,
+        };
+        let ctor = registry_ctor("misra_gries", params.clone());
+        let offline = ingest_sharded(&ctor, &updates, &cfg).unwrap();
+        for granularity in [1usize, 7, 128, 1000] {
+            let mut p = ShardPipeline::new(&ctor, &cfg).unwrap();
+            for piece in updates.chunks(granularity) {
+                p.push(piece);
+            }
+            assert_eq!(p.routed(), 3000);
+            let out = p.finish().unwrap();
+            assert_eq!(
+                out.merged.query_dyn(),
+                offline.merged.query_dyn(),
+                "granularity {granularity}"
+            );
+            assert_eq!(out.stats, offline.stats, "granularity {granularity}");
+        }
+    }
+
+    #[test]
+    fn pipeline_snapshot_is_non_destructive_and_matches_finish() {
+        let params = Params::default().with_n(1 << 10);
+        let updates = zipfish(2000, 1 << 10);
+        let cfg = ShardConfig {
+            shards: 4,
+            partition: Partition::Hash,
+            threads: 1,
+            batch: 64,
+            master_seed: 5,
+        };
+        for name in ["misra_gries", "count_min", "exact_l0"] {
+            let ctor = registry_ctor(name, params.clone());
+            let mut p = ShardPipeline::new(&ctor, &cfg).unwrap();
+            p.push(&updates[..1000]);
+            // A mid-stream snapshot answers like an offline run of the
+            // prefix...
+            let mid = p.snapshot_merged(&ctor).unwrap();
+            let mid_offline = ingest_sharded(&ctor, &updates[..1000], &cfg).unwrap();
+            assert_eq!(mid.query_dyn(), mid_offline.merged.query_dyn(), "{name}");
+            // ...and never perturbs the live shard states: keep ingesting
+            // and both the next snapshot and the destructive finish agree
+            // with the full offline run.
+            p.push(&updates[1000..]);
+            let full = p.snapshot_merged(&ctor).unwrap();
+            let offline = ingest_sharded(&ctor, &updates, &cfg).unwrap();
+            assert_eq!(full.query_dyn(), offline.merged.query_dyn(), "{name}");
+            let out = p.finish().unwrap();
+            assert_eq!(out.merged.query_dyn(), offline.merged.query_dyn(), "{name}");
+        }
+    }
+
+    #[test]
+    fn pipeline_reports_shard_annotated_failures() {
+        // Deletions offered to an insertion-only summary must surface the
+        // lowest shard's first failure, annotated with shard and offset —
+        // exactly as the one-shot path reports it — and pushes after every
+        // shard has failed must be harmless no-ops.
+        let params = Params::default().with_n(1 << 10);
+        let ctor = registry_ctor("misra_gries", params);
+        let cfg = ShardConfig {
+            shards: 2,
+            partition: Partition::RoundRobin,
+            threads: 1,
+            batch: 4,
+            master_seed: 9,
+        };
+        let mut p = ShardPipeline::new(&ctor, &cfg).unwrap();
+        let deletions: Vec<Update> = (0..32)
+            .map(|i| Update::Turnstile { item: i, delta: -1 })
+            .collect();
+        p.push(&deletions);
+        assert!(p.all_failed());
+        assert!(p.first_failure().is_some());
+        let routed = p.routed();
+        assert!(routed < 32, "routing must stop once every shard failed");
+        p.push(&deletions); // no-op past the point of total failure
+        assert_eq!(p.routed(), routed);
+        let err = match p.finish() {
+            Ok(_) => panic!("finish must report the failure"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("shard 0"), "{err}");
     }
 }

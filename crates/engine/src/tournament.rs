@@ -622,7 +622,7 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
         match ingested {
             Ok(out) => {
                 alg = out.merged;
-                t = out.shard_loads.iter().map(|&l| l as u64).sum();
+                t = out.stats.total();
                 let space = alg.space_bits_dyn();
                 let answer = alg.query_dyn();
                 let verdict = referee.check(t, &answer);

@@ -1,0 +1,305 @@
+//! Loopback integration: `wbd`'s server core under real concurrency.
+//!
+//! * 64 concurrent tenants (mixed algorithms, sharded and flat) driven by
+//!   8 sessions that each multiplex 8 tenants;
+//! * graceful drain loses nothing: the final metrics snapshot shows
+//!   `applied == accepted` for every tenant and globally;
+//! * the `metrics` payload exposes the new instrumentation — per-tenant
+//!   ingest rates and accepted/rejected counters, per-shard loads + skew,
+//!   queue-stall counters, pool depth, session lifecycle counts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use wb_daemon::json::Json;
+use wb_daemon::{DaemonConfig, Server};
+
+struct Session {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Session {
+    fn connect(addr: SocketAddr) -> Session {
+        let stream = TcpStream::connect(addr).expect("connect to wbd");
+        Session {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    /// Send one request line, read and parse the one reply line.
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .expect("send request");
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).expect("read reply");
+        assert!(n > 0, "daemon closed the connection after {line:?}");
+        Json::parse(reply.trim_end()).unwrap_or_else(|e| panic!("malformed reply {reply:?}: {e}"))
+    }
+
+    fn read_reply(&mut self) -> Json {
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).expect("read reply");
+        assert!(n > 0, "daemon closed the connection");
+        Json::parse(reply.trim_end()).unwrap_or_else(|e| panic!("malformed reply {reply:?}: {e}"))
+    }
+
+    fn expect_ok(&mut self, line: &str) -> Json {
+        let reply = self.roundtrip(line);
+        assert_eq!(
+            reply.get("ok"),
+            Some(&Json::Bool(true)),
+            "expected ok reply to {line:?}, got {}",
+            reply.to_line()
+        );
+        reply
+    }
+}
+
+/// A mixed bag: mergeable (sharded) and unmergeable (flat), insert-only
+/// and turnstile.
+const ALGS: &[&str] = &[
+    "misra_gries",
+    "space_saving",
+    "count_min",
+    "ams_f2",
+    "exact_l0",
+    "morris",
+    "median_morris",
+    "robust_hh",
+];
+
+fn is_turnstile(alg: &str) -> bool {
+    matches!(alg, "ams_f2" | "exact_l0")
+}
+
+/// The updates tenant `t` ingests: `per_batch` updates per batch,
+/// `batches` batches, deterministic in `t` only.
+fn batch_line(tenant: &str, t: u64, batch: u64, per_batch: u64, turnstile: bool) -> String {
+    let mut updates = Vec::with_capacity(per_batch as usize);
+    for i in 0..per_batch {
+        let x = (t * 1_000_003 + batch * 10_007 + i * 101) % 997;
+        if turnstile {
+            // Mostly inserts with a sprinkle of deletions, well inside the
+            // delta budget.
+            let delta = if i % 7 == 3 { -1i64 } else { 2 };
+            updates.push(format!("[{x},{delta}]"));
+        } else {
+            updates.push(x.to_string());
+        }
+    }
+    format!(
+        "{{\"cmd\":\"ingest\",\"tenant\":\"{tenant}\",\"updates\":[{}]}}",
+        updates.join(",")
+    )
+}
+
+const BATCHES: u64 = 3;
+const PER_BATCH: u64 = 200;
+
+#[test]
+fn sixty_four_tenants_graceful_drain_loses_nothing() {
+    let server = Server::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 4,
+        shards: 4,
+        chunk: 128,
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon");
+    let addr = server.addr();
+
+    // 8 sessions x 8 tenants each = 64 concurrent tenants; each session
+    // interleaves its tenants' batches to exercise multiplexing.
+    let handles: Vec<_> = (0..8u64)
+        .map(|s| {
+            std::thread::spawn(move || {
+                let mut sess = Session::connect(addr);
+                let ids: Vec<(String, &str, u64)> = (0..8u64)
+                    .map(|k| {
+                        let t = s * 8 + k;
+                        let alg = ALGS[(t % ALGS.len() as u64) as usize];
+                        (format!("tenant-{t:02}"), alg, t)
+                    })
+                    .collect();
+                for (id, alg, _) in &ids {
+                    let hello = format!(
+                        "{{\"cmd\":\"hello\",\"tenant\":\"{id}\",\"alg\":\"{alg}\",\"seed\":7}}"
+                    );
+                    let reply = sess.expect_ok(&hello);
+                    assert_eq!(reply.get("alg").and_then(Json::as_str), Some(*alg));
+                    let shards = reply.get("shards").and_then(Json::as_u64).unwrap();
+                    // Mergeable algorithms shard to the daemon default;
+                    // unmergeable ones must stay flat.
+                    match *alg {
+                        "morris" | "median_morris" | "robust_hh" => assert_eq!(shards, 1),
+                        _ => assert_eq!(shards, 4, "{alg} should shard"),
+                    }
+                }
+                // Interleave: batch 0 for all tenants, then batch 1, ...
+                for b in 0..BATCHES {
+                    for (id, alg, t) in &ids {
+                        let line = batch_line(id, *t, b, PER_BATCH, is_turnstile(alg));
+                        let reply = sess.expect_ok(&line);
+                        assert_eq!(
+                            reply.get("accepted").and_then(Json::as_u64),
+                            Some(PER_BATCH)
+                        );
+                    }
+                    // A mid-stream query per tenant: must see exactly the
+                    // updates accepted so far (read-your-writes).
+                    for (id, _, _) in &ids {
+                        let reply =
+                            sess.expect_ok(&format!("{{\"cmd\":\"query\",\"tenant\":\"{id}\"}}"));
+                        assert_eq!(
+                            reply.get("processed").and_then(Json::as_u64),
+                            Some((b + 1) * PER_BATCH),
+                            "query must be quiescent for {id}"
+                        );
+                        assert!(reply.get("answer").is_some());
+                        assert!(reply.get("space_bits").and_then(Json::as_u64).is_some());
+                    }
+                }
+                sess.expect_ok("{\"cmd\":\"bye\"}");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+
+    // Live metrics before the drain: shape-check the new instrumentation.
+    // (`closed` bumps just after the bye reply is written, so poll briefly
+    // for the 8 session threads to finish bookkeeping.)
+    let mut sess = Session::connect(addr);
+    let mut metrics = sess.expect_ok("{\"cmd\":\"metrics\"}");
+    for _ in 0..200 {
+        let closed = metrics
+            .get("metrics")
+            .and_then(|m| m.get("sessions"))
+            .and_then(|s| s.get("closed"))
+            .and_then(Json::as_u64);
+        if closed == Some(8) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        metrics = sess.expect_ok("{\"cmd\":\"metrics\"}");
+    }
+    let m = metrics.get("metrics").expect("metrics payload");
+    let tenants = m.get("tenants").expect("tenants rollup");
+    assert_eq!(tenants.get("count").and_then(Json::as_u64), Some(64));
+    let per_tenant = m.get("per_tenant").and_then(Json::as_arr).unwrap();
+    assert_eq!(per_tenant.len(), 64);
+    for t in per_tenant {
+        assert!(t.get("ingest_rate_ups").is_some(), "per-tenant ingest rate");
+        assert!(t.get("inbox_stalls").and_then(Json::as_u64).is_some());
+        let shards = t.get("shards").and_then(Json::as_u64).unwrap();
+        if shards > 1 {
+            let loads = t.get("shard_loads").and_then(Json::as_arr).unwrap();
+            assert_eq!(loads.len(), shards as usize);
+            let routed: u64 = loads.iter().map(|l| l.as_u64().unwrap()).sum();
+            assert_eq!(routed, BATCHES * PER_BATCH, "all updates routed");
+            assert!(t.get("shard_skew").is_some(), "per-shard skew exported");
+            assert!(t.get("shard_queue_stalls").is_some());
+        } else {
+            assert!(
+                t.get("shard_loads").is_none(),
+                "flat tenants have no shards"
+            );
+        }
+    }
+    let pool = m.get("pool").expect("pool stats");
+    assert_eq!(pool.get("workers").and_then(Json::as_u64), Some(4));
+    assert!(pool.get("submit_stalls").and_then(Json::as_u64).is_some());
+    assert_eq!(pool.get("panicked").and_then(Json::as_u64), Some(0));
+    let sessions = m.get("sessions").expect("session stats");
+    assert_eq!(sessions.get("opened").and_then(Json::as_u64), Some(9));
+    assert_eq!(sessions.get("closed").and_then(Json::as_u64), Some(8));
+
+    // The top view renders.
+    let top = sess.expect_ok("{\"cmd\":\"top\"}");
+    let text = top.get("text").and_then(Json::as_str).unwrap();
+    assert!(text.starts_with("wbd  uptime"), "top header: {text:?}");
+    assert!(text.contains("TENANT") && text.contains("SKEW"), "{text:?}");
+
+    // Graceful drain via the protocol. The late `hello` is pipelined in
+    // the same write as `shutdown` so it deterministically reaches the
+    // session before the drain-idle close, and must be a typed refusal —
+    // never a disconnect.
+    sess.writer
+        .write_all(
+            b"{\"cmd\":\"shutdown\"}\n\
+              {\"cmd\":\"hello\",\"tenant\":\"late\",\"alg\":\"morris\",\"seed\":1}\n",
+        )
+        .expect("send shutdown + late hello");
+    let shutdown_reply = sess.read_reply();
+    assert_eq!(shutdown_reply.get("draining"), Some(&Json::Bool(true)));
+    let hello_refused = sess.read_reply();
+    assert_eq!(
+        hello_refused
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("draining"),
+        "hello during drain must be a typed refusal: {}",
+        hello_refused.to_line()
+    );
+    let finals = server.wait();
+    assert_eq!(finals.get("draining"), Some(&Json::Bool(true)));
+    let tenants = finals.get("tenants").expect("tenants rollup");
+    let expected_total = 64 * BATCHES * PER_BATCH;
+    assert_eq!(
+        tenants.get("accepted").and_then(Json::as_u64),
+        Some(expected_total)
+    );
+    assert_eq!(
+        tenants.get("applied").and_then(Json::as_u64),
+        Some(expected_total),
+        "graceful drain must apply every accepted update"
+    );
+    for t in finals.get("per_tenant").and_then(Json::as_arr).unwrap() {
+        assert_eq!(
+            t.get("applied"),
+            t.get("accepted"),
+            "no-loss drain for {}",
+            t.to_line()
+        );
+        assert_eq!(t.get("pending_chunks").and_then(Json::as_u64), Some(0));
+        assert_eq!(t.get("failed"), Some(&Json::Bool(false)));
+    }
+    let sessions = finals.get("sessions").expect("session stats");
+    assert_eq!(sessions.get("opened"), sessions.get("closed"));
+    let pool = finals.get("pool").expect("pool stats");
+    assert_eq!(pool.get("submitted"), pool.get("completed"));
+    assert_eq!(pool.get("depth").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn max_tenants_is_enforced_with_a_typed_error() {
+    let server = Server::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 1,
+        max_tenants: 2,
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon");
+    let mut sess = Session::connect(server.addr());
+    sess.expect_ok("{\"cmd\":\"hello\",\"tenant\":\"a\",\"alg\":\"morris\",\"seed\":1}");
+    sess.expect_ok("{\"cmd\":\"hello\",\"tenant\":\"b\",\"alg\":\"morris\",\"seed\":1}");
+    let reply =
+        sess.roundtrip("{\"cmd\":\"hello\",\"tenant\":\"c\",\"alg\":\"morris\",\"seed\":1}");
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("max_tenants")
+    );
+    // Re-hello to an existing tenant is idempotent, not a new tenant.
+    sess.expect_ok("{\"cmd\":\"hello\",\"tenant\":\"a\",\"alg\":\"morris\",\"seed\":1}");
+    sess.expect_ok("{\"cmd\":\"bye\"}");
+    server.begin_drain();
+    server.wait();
+}

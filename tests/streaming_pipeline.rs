@@ -141,10 +141,7 @@ proptest! {
                         out.merged.space_bits_dyn(),
                         reference.space_bits_dyn()
                     );
-                    prop_assert_eq!(
-                        out.shard_loads.iter().sum::<usize>(),
-                        updates.len()
-                    );
+                    prop_assert_eq!(out.stats.total() as usize, updates.len());
                 }
             }
         }
