@@ -66,8 +66,14 @@ pub fn run_script(
                 format!("error reply: {reply}")
             });
         }
-        // `bye` ends the session server-side; stop reading stdin.
-        if parsed.get("ok").is_some() && request.contains("\"bye\"") {
+        // `bye` ends the session server-side; stop reading stdin. Decide
+        // from the request's parsed `cmd` — a substring match would end
+        // the script early on any request merely mentioning "bye" (e.g.
+        // a tenant named so).
+        let is_bye = Json::parse(request)
+            .ok()
+            .is_some_and(|req| req.get("cmd").and_then(Json::as_str) == Some("bye"));
+        if is_bye {
             return Ok(());
         }
     }

@@ -203,8 +203,23 @@ fn serve_session(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()>
     let mut writer = stream;
     loop {
         let line = match reader.next_line(&shared.draining)? {
-            Some(line) => line,
-            None => return Ok(()), // EOF or drain-idle
+            NextLine::Line(line) => line,
+            NextLine::Closed => return Ok(()), // EOF or drain-idle
+            NextLine::TooLong => {
+                // One unbounded line must not exhaust daemon memory: reply
+                // with a typed refusal and close this session (the buffer
+                // no longer frames requests, so it cannot keep serving).
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = ProtoError::new(
+                    ErrorKind::BadRequest,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let mut out = reply.to_json().to_line();
+                out.push('\n');
+                writer.write_all(out.as_bytes())?;
+                return Ok(());
+            }
         };
         if line.trim().is_empty() {
             continue;
@@ -333,18 +348,34 @@ fn handle_hello(
         ));
     }
     let seed_base = seed.unwrap_or(shared.cfg.seed);
-    let mut tenants = shared.tenants.lock().unwrap();
-    if let Some(slot) = tenants.get(tenant) {
-        let st = slot.state.lock().unwrap();
-        st.tenant.check_hello_matches(alg, seed_base)?;
-        return Ok(hello_reply(&st.tenant));
+    let check_existing =
+        |tenants: &BTreeMap<String, Arc<TenantSlot>>| -> Option<Result<Json, ProtoError>> {
+            tenants.get(tenant).map(|slot| {
+                let st = slot.state.lock().unwrap();
+                st.tenant.check_hello_matches(alg, seed_base)?;
+                Ok(hello_reply(&st.tenant))
+            })
+        };
+    let over_cap = |tenants: &BTreeMap<String, Arc<TenantSlot>>| -> Result<(), ProtoError> {
+        if tenants.len() >= shared.cfg.max_tenants {
+            return Err(ProtoError::new(
+                ErrorKind::MaxTenants,
+                format!("tenant cap {} reached", shared.cfg.max_tenants),
+            ));
+        }
+        Ok(())
+    };
+    {
+        let tenants = shared.tenants.lock().unwrap();
+        if let Some(existing) = check_existing(&tenants) {
+            return existing;
+        }
+        over_cap(&tenants)?;
     }
-    if tenants.len() >= shared.cfg.max_tenants {
-        return Err(ProtoError::new(
-            ErrorKind::MaxTenants,
-            format!("tenant cap {} reached", shared.cfg.max_tenants),
-        ));
-    }
+    // Construct outside the tenants lock: building an algorithm (ctor +
+    // probe_mergeable + shard instances) can be slow, and holding the map
+    // mutex would stall every request that needs a tenant lookup across
+    // all tenants for the duration.
     let created = Tenant::create(
         tenant,
         alg,
@@ -353,6 +384,13 @@ fn handle_hello(
         shared.cfg.shards,
         shared.cfg.chunk,
     )?;
+    let mut tenants = shared.tenants.lock().unwrap();
+    if let Some(existing) = check_existing(&tenants) {
+        // Lost a create race with another session. Both constructions are
+        // byte-identical (the same derived seeds), so adopt the winner.
+        return existing;
+    }
+    over_cap(&tenants)?;
     let reply = hello_reply(&created);
     tenants.insert(tenant.to_string(), Arc::new(TenantSlot::new(created)));
     Ok(reply)
@@ -391,7 +429,7 @@ fn handle_ingest(
         st.tenant.accepted += updates.len() as u64;
         st.tenant.batches += 1;
         let chunk = shared.cfg.chunk.max(1);
-        let mut schedule = false;
+        let accepted = updates.len() as u64;
         for piece in updates.chunks(chunk) {
             while st.inbox.len() >= INBOX_CHUNKS {
                 st.inbox_stalls += 1;
@@ -399,19 +437,20 @@ fn handle_ingest(
             }
             st.inbox.push_back(piece.to_vec());
             if !st.scheduled {
+                // Hand the inbox to a worker *now*, before any later piece
+                // can hit a full inbox: the drain job is the only thing
+                // that frees space, so a batch longer than INBOX_CHUNKS
+                // chunks would otherwise wait on a job never submitted.
+                // Submit outside the slot lock — the pool queue is bounded
+                // and submission may block (counted as a pool stall).
                 st.scheduled = true;
-                schedule = true;
+                drop(st);
+                let job = Arc::clone(slot);
+                shared.pool.submit(Box::new(move || job.drain_inbox()));
+                st = slot.state.lock().unwrap();
             }
         }
         let pending = st.inbox.len() as u64;
-        let accepted = updates.len() as u64;
-        drop(st);
-        if schedule {
-            // Submit outside the slot lock: the pool queue is bounded and
-            // submission may block (counted as a pool stall).
-            let slot = Arc::clone(slot);
-            shared.pool.submit(Box::new(move || slot.drain_inbox()));
-        }
         Ok(obj(vec![
             ("ok", Json::Bool(true)),
             ("accepted", Json::from(accepted)),
@@ -420,10 +459,26 @@ fn handle_ingest(
     })
 }
 
+/// Maximum request-line size. Generous — an ingest batch of ~400k
+/// turnstile updates still fits — but bounded, so one newline-less client
+/// cannot grow a session buffer without limit.
+const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// One [`LineReader::next_line`] outcome.
+enum NextLine {
+    /// A full request line (newline stripped).
+    Line(String),
+    /// EOF, or the daemon is draining and the connection went idle.
+    Closed,
+    /// The client exceeded [`MAX_LINE_BYTES`] without a newline.
+    TooLong,
+}
+
 /// A line reader over a read-timeout socket that never loses a partial
 /// line: bytes accumulate across timeouts, and only a full `\n`-terminated
-/// line is consumed. Returns `None` on EOF or when the daemon is draining
-/// and the connection has gone idle with no buffered partial request.
+/// line is consumed. Returns [`NextLine::Closed`] on EOF or when the
+/// daemon is draining and the connection has gone idle with no buffered
+/// partial request.
 struct LineReader {
     stream: TcpStream,
     buf: Vec<u8>,
@@ -437,7 +492,7 @@ impl LineReader {
         }
     }
 
-    fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<Option<String>> {
+    fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<NextLine> {
         loop {
             if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
                 let rest = self.buf.split_off(pos + 1);
@@ -446,11 +501,14 @@ impl LineReader {
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                return Ok(NextLine::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Ok(NextLine::TooLong);
             }
             let mut tmp = [0u8; 4096];
             match self.stream.read(&mut tmp) {
-                Ok(0) => return Ok(None), // EOF (partial line discarded)
+                Ok(0) => return Ok(NextLine::Closed), // EOF (partial line discarded)
                 Ok(k) => self.buf.extend_from_slice(&tmp[..k]),
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -460,7 +518,7 @@ impl LineReader {
                     // (its client got every reply it asked for); otherwise
                     // keep waiting.
                     if draining.load(Ordering::SeqCst) && self.buf.is_empty() {
-                        return Ok(None);
+                        return Ok(NextLine::Closed);
                     }
                 }
                 Err(e) => return Err(e),

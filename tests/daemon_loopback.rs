@@ -276,6 +276,115 @@ fn sixty_four_tenants_graceful_drain_loses_nothing() {
     assert_eq!(pool.get("depth").and_then(Json::as_u64), Some(0));
 }
 
+/// Regression: a single ingest batch longer than the inbox can hold
+/// (INBOX_CHUNKS = 8 chunks) must not deadlock — the drain job has to be
+/// running before the session can block on inbox backpressure.
+#[test]
+fn ingest_batch_larger_than_the_inbox_completes() {
+    let server = Server::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 1,
+        shards: 1,
+        chunk: 8, // 1000 updates = 125 chunks >> 8 inbox slots
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon");
+    let mut sess = Session::connect(server.addr());
+    sess.expect_ok("{\"cmd\":\"hello\",\"tenant\":\"big\",\"alg\":\"count_min\",\"seed\":3}");
+    let updates: Vec<String> = (0..1000u64).map(|i| (i % 31).to_string()).collect();
+    let reply = sess.expect_ok(&format!(
+        "{{\"cmd\":\"ingest\",\"tenant\":\"big\",\"updates\":[{}]}}",
+        updates.join(",")
+    ));
+    assert_eq!(reply.get("accepted").and_then(Json::as_u64), Some(1000));
+    let reply = sess.expect_ok("{\"cmd\":\"query\",\"tenant\":\"big\"}");
+    assert_eq!(reply.get("processed").and_then(Json::as_u64), Some(1000));
+    sess.expect_ok("{\"cmd\":\"bye\"}");
+    server.begin_drain();
+    let finals = server.wait();
+    let tenants = finals.get("tenants").expect("tenants rollup");
+    assert_eq!(tenants.get("applied").and_then(Json::as_u64), Some(1000));
+}
+
+/// A request line with no newline must hit a bounded buffer: the daemon
+/// replies with a typed `bad_request` and closes the session instead of
+/// growing memory without limit.
+#[test]
+fn overlong_request_line_is_refused_not_buffered_forever() {
+    let server = Server::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 1,
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon");
+    let mut sess = Session::connect(server.addr());
+    // Stream ~9 MB without a newline (cap is 8 MiB). The daemon may
+    // refuse and close while we are still writing, so later writes are
+    // allowed to fail.
+    let blob = vec![b'['; 1 << 20];
+    for _ in 0..9 {
+        if sess.writer.write_all(&blob).is_err() {
+            break;
+        }
+    }
+    let reply = sess.read_reply();
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{}",
+        reply.to_line()
+    );
+    // The daemon closed this session (clean EOF or a reset, depending on
+    // how much of the blob it left unread) but keeps serving new ones.
+    let mut rest = String::new();
+    assert!(
+        matches!(sess.reader.read_line(&mut rest), Ok(0) | Err(_)),
+        "session must end after the refusal"
+    );
+    let mut sess = Session::connect(server.addr());
+    sess.expect_ok("{\"cmd\":\"metrics\"}");
+    sess.expect_ok("{\"cmd\":\"bye\"}");
+    server.begin_drain();
+    server.wait();
+}
+
+/// The scripted client must end only on an actual `bye` command, not on
+/// any request that merely contains the text "bye" (e.g. a tenant id).
+#[test]
+fn client_script_survives_a_tenant_named_bye() {
+    let server = Server::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 1,
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon");
+    let script = "{\"cmd\":\"hello\",\"tenant\":\"bye\",\"alg\":\"morris\",\"seed\":1}\n\
+                  {\"cmd\":\"ingest\",\"tenant\":\"bye\",\"updates\":[1,2,3]}\n\
+                  {\"cmd\":\"query\",\"tenant\":\"bye\"}\n\
+                  {\"cmd\":\"bye\"}\n\
+                  # never sent: the session ended on the real bye above\n";
+    let mut input = std::io::Cursor::new(script.as_bytes());
+    let mut out = Vec::new();
+    wb_daemon::client::run_script(
+        &server.addr().to_string(),
+        &mut input,
+        &mut out,
+        /* strict */ true,
+    )
+    .expect("script passes");
+    let replies: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(
+        replies.len(),
+        4,
+        "all four requests must run (no early exit on the 'bye' tenant id): {replies:?}"
+    );
+    server.begin_drain();
+    server.wait();
+}
+
 #[test]
 fn max_tenants_is_enforced_with_a_typed_error() {
     let server = Server::start(DaemonConfig {
