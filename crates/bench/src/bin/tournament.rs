@@ -4,6 +4,7 @@
 //! ```text
 //! tournament [--threads N] [--shards S] [--prelude-m M] [--chunk C]
 //!            [--quick] [--seed S] [--json <path|->] [--cells]
+//!            [--resume PATH] [--checkpoint-every N]
 //!            [--alg KEY]... [--adversary KEY]... [--workload KEY]...
 //! ```
 //!
@@ -26,11 +27,22 @@
 //!   `(S, alg, adversary, workload, role)` and can be replayed alone.
 //! * `--json <path|->` — write the sorted JSON-lines report (timing-free).
 //! * `--cells` — print every cell, not just the per-algorithm summary.
+//! * `--resume PATH` — checkpoint file. Completed cells found in the file
+//!   are reused; in-flight cells continue from their latest mid-prelude
+//!   frame; progress is persisted back to PATH (atomic tmp+rename) as
+//!   cells finish. A killed run restarted with the same flags produces a
+//!   report byte-identical to an uninterrupted one.
+//! * `--checkpoint-every N` — also capture a mid-prelude frame every `N`
+//!   prelude updates per cell (flat ingestion only), so even a single
+//!   giant cell survives a kill without restarting its prelude. Requires
+//!   `--resume`. Frames are chunk-invariant: `--chunk` never changes them.
 //! * `--alg/--adversary/--workload` — restrict a dimension (repeatable).
 
 use std::io::Write as _;
 use wb_engine::registry;
-use wb_engine::tournament::{run_tournament, TournamentConfig, WORKLOADS};
+use wb_engine::tournament::{
+    run_tournament, run_tournament_checkpointed, CheckpointConfig, TournamentConfig, WORKLOADS,
+};
 
 fn main() {
     let mut quick = false;
@@ -41,6 +53,8 @@ fn main() {
     let mut prelude_m: Option<u64> = None;
     let mut chunk: Option<usize> = None;
     let mut seed = 42u64;
+    let mut resume: Option<String> = None;
+    let mut checkpoint_every = 0u64;
     let mut algs: Vec<String> = Vec::new();
     let mut adversaries: Vec<String> = Vec::new();
     let mut workloads: Vec<String> = Vec::new();
@@ -79,13 +93,18 @@ fn main() {
                 }
             }
             "--seed" => seed = parse(&value("--seed"), "--seed"),
+            "--resume" => resume = Some(value("--resume")),
+            "--checkpoint-every" => {
+                checkpoint_every = parse(&value("--checkpoint-every"), "--checkpoint-every");
+            }
             "--alg" => algs.push(value("--alg")),
             "--adversary" => adversaries.push(value("--adversary")),
             "--workload" => workloads.push(value("--workload")),
             other => {
                 eprintln!(
                     "unknown flag '{other}' (known: --quick, --cells, --json, --threads, \
-                     --shards, --prelude-m, --chunk, --seed, --alg, --adversary, --workload)"
+                     --shards, --prelude-m, --chunk, --seed, --resume, --checkpoint-every, \
+                     --alg, --adversary, --workload)"
                 );
                 std::process::exit(2);
             }
@@ -117,6 +136,10 @@ fn main() {
         validate(&workloads, WORKLOADS, "workload");
         cfg.workloads = workloads;
     }
+    if checkpoint_every > 0 && resume.is_none() {
+        eprintln!("--checkpoint-every requires --resume PATH (the checkpoint file)");
+        std::process::exit(2);
+    }
 
     println!(
         "tournament: {} algorithms x {} adversaries x {} workloads = {} cells, \
@@ -140,7 +163,23 @@ fn main() {
     // the default hook so worker backtraces don't interleave with tables.
     // (Binary-only: the library never touches process-global panic state.)
     std::panic::set_hook(Box::new(|_| {}));
-    let report = run_tournament(&cfg);
+    let report = match &resume {
+        Some(path) => {
+            let ckpt = CheckpointConfig {
+                path: path.into(),
+                every: checkpoint_every,
+            };
+            match run_tournament_checkpointed(&cfg, &ckpt) {
+                Ok(report) => report,
+                Err(e) => {
+                    let _ = std::panic::take_hook();
+                    eprintln!("could not resume from {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => run_tournament(&cfg),
+    };
     let _ = std::panic::take_hook();
     report.print_summary();
     if show_cells {

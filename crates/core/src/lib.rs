@@ -35,6 +35,9 @@
 //! * [`merge`] — the [`merge::Mergeable`] trait and typed [`MergeError`]s
 //!   behind sharded ingestion (`wb_engine::shard`): which summaries can
 //!   absorb a sibling instance, and why the rest refuse;
+//! * [`snap`] — the versioned, length-prefixed snapshot codec
+//!   ([`snap::Snapshot`]) behind checkpoint/resume: white-box state is
+//!   public by definition, so persisting it verbatim is model-faithful;
 //! * [`referee`] — reusable correctness referees for common query types.
 //!
 //! # Quick example
@@ -97,6 +100,7 @@ pub mod game;
 pub mod merge;
 pub mod referee;
 pub mod rng;
+pub mod snap;
 pub mod space;
 pub mod stream;
 
@@ -106,5 +110,6 @@ pub use game::run_game;
 pub use game::{GameResult, Referee, Verdict, WhiteBoxAdversary};
 pub use merge::{MergeError, Mergeable};
 pub use rng::{RandTranscript, TranscriptRng};
+pub use snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 pub use space::SpaceUsage;
 pub use stream::{FrequencyVector, InsertOnly, StreamAlg, Turnstile};

@@ -11,6 +11,7 @@
 //!   Theorem 1.5 (`answer ≤ L0 ≤ answer · factor`).
 
 use crate::game::{Referee, Verdict};
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::stream::{FrequencyVector, InsertOnly, StreamAlg, Turnstile};
 
 /// Answer type for heavy-hitter queries: `(item, estimated frequency)`.
@@ -127,6 +128,18 @@ impl HeavyHitterReferee {
     }
 }
 
+impl Snapshot for HeavyHitterReferee {
+    /// Only the ground truth evolves; `eps`/`estimate_tol`/`phi`/`grace`
+    /// are construction parameters the restoring instance already carries.
+    fn snap(&self, w: &mut SnapWriter) {
+        self.truth.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.truth.restore(r)
+    }
+}
+
 impl<A> Referee<A> for HeavyHitterReferee
 where
     A: StreamAlg<Update = InsertOnly, Output = HhAnswer>,
@@ -181,6 +194,17 @@ impl ApproxCountReferee {
         } else {
             Verdict::Correct
         }
+    }
+}
+
+impl Snapshot for ApproxCountReferee {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.count);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.count = r.take_u64()?;
+        Ok(())
     }
 }
 
@@ -243,6 +267,16 @@ impl L0SandwichReferee {
         } else {
             Verdict::Correct
         }
+    }
+}
+
+impl Snapshot for L0SandwichReferee {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.truth.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.truth.restore(r)
     }
 }
 

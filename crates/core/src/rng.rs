@@ -15,6 +15,14 @@
 //! here rather than taken from an external crate so that the exact bit
 //! stream is pinned by this repository and the adversary-side replay in
 //! attacks is byte-for-byte identical.
+//!
+//! All generator state here implements [`Snapshot`]: the model makes every
+//! drawn word public anyway, so a checkpoint of the RNG (xoshiro state,
+//! draw count, transcript ring) reveals nothing the adversary did not
+//! already have, and a restored generator continues the tape draw for
+//! draw.
+
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Number of most recent draws retained verbatim in the transcript ring
 /// buffer. Older draws are still *knowable* by the adversary (the seed is
@@ -125,6 +133,21 @@ impl Xoshiro256StarStar {
             *w = xoshiro_step(&mut s);
         }
         self.s = s;
+    }
+}
+
+impl Snapshot for Xoshiro256StarStar {
+    fn snap(&self, w: &mut SnapWriter) {
+        for &word in &self.s {
+            w.put_u64(word);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for word in &mut self.s {
+            *word = r.take_u64()?;
+        }
+        Ok(())
     }
 }
 
@@ -310,6 +333,46 @@ impl RandTranscript {
     }
 }
 
+impl Snapshot for RandTranscript {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.seed);
+        w.put_u64(self.draws);
+        w.put_u64_seq(&self.ring);
+        w.put_usize(self.ring_next);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let seed = r.take_u64()?;
+        let draws = r.take_u64()?;
+        let ring = r.take_u64_seq()?;
+        let ring_next = r.take_usize()?;
+        if ring.len() > TRANSCRIPT_RING {
+            return Err(SnapError::corrupt(format!(
+                "transcript ring of {} words exceeds capacity {TRANSCRIPT_RING}",
+                ring.len()
+            )));
+        }
+        // `ring_next` only steers writes once the ring is full; a partially
+        // filled ring always appends at the end (ring_next stays 0).
+        if ring.len() == TRANSCRIPT_RING {
+            if ring_next >= TRANSCRIPT_RING {
+                return Err(SnapError::corrupt(format!(
+                    "ring_next {ring_next} out of range for a full ring"
+                )));
+            }
+        } else if ring_next != 0 {
+            return Err(SnapError::corrupt(format!(
+                "ring_next {ring_next} nonzero on a partially filled ring"
+            )));
+        }
+        self.seed = seed;
+        self.draws = draws;
+        self.ring = ring;
+        self.ring_next = ring_next;
+        Ok(())
+    }
+}
+
 /// The only randomness source handed to streaming algorithms.
 ///
 /// Every draw is recorded in the public [`RandTranscript`]. All helpers are
@@ -452,6 +515,22 @@ impl TranscriptRng {
     /// The public transcript (seed, draw count, recent draws).
     pub fn transcript(&self) -> &RandTranscript {
         &self.transcript
+    }
+}
+
+impl Snapshot for TranscriptRng {
+    fn snap(&self, w: &mut SnapWriter) {
+        // The reciprocal cache is a pure function of the last modulus and
+        // is rebuilt on first use; only generator + transcript persist.
+        self.rng.snap(w);
+        self.transcript.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng.restore(r)?;
+        self.transcript.restore(r)?;
+        self.recip = None;
+        Ok(())
     }
 }
 
@@ -687,6 +766,58 @@ mod tests {
             assert_eq!(bulk.transcript().recent(), scalar.transcript().recent());
             assert_eq!(bulk.transcript().last(), scalar.transcript().last());
         }
+    }
+
+    #[test]
+    fn snapshot_resumes_tape_draw_for_draw() {
+        use crate::snap;
+        // Before, straddling, and after a full ring lap: the restored
+        // generator must continue word-for-word and keep an identical
+        // transcript (draws, ring contents, ring cursor).
+        for warmup in [
+            0u64,
+            17,
+            TRANSCRIPT_RING as u64,
+            3 * TRANSCRIPT_RING as u64 + 5,
+        ] {
+            let mut rng = TranscriptRng::from_seed(123);
+            for _ in 0..warmup {
+                rng.next_u64();
+            }
+            let bytes = snap::to_bytes(&rng);
+            let mut restored = TranscriptRng::from_seed(0);
+            snap::from_bytes(&mut restored, &bytes).unwrap();
+            assert_eq!(restored.transcript().seed(), 123, "warmup {warmup}");
+            assert_eq!(restored.transcript().draws(), warmup);
+            assert_eq!(restored.transcript().recent(), rng.transcript().recent());
+            for i in 0..2 * TRANSCRIPT_RING {
+                assert_eq!(restored.next_u64(), rng.next_u64(), "warmup {warmup} +{i}");
+            }
+            assert_eq!(restored.transcript().recent(), rng.transcript().recent());
+            // Mixed draw kinds (rejection sampling included) also agree.
+            assert_eq!(restored.below(1000), rng.below(1000));
+            assert_eq!(restored.next_f64(), rng.next_f64());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_transcripts() {
+        use crate::snap;
+        let mut rng = TranscriptRng::from_seed(5);
+        for _ in 0..10 {
+            rng.next_u64();
+        }
+        // A partially filled ring must carry ring_next == 0.
+        let mut w = crate::snap::SnapWriter::new();
+        rng.snap(&mut w);
+        let mut bytes = w.finish();
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(&3u64.to_le_bytes());
+        let mut victim = TranscriptRng::from_seed(0);
+        assert!(matches!(
+            snap::from_bytes(&mut victim, &bytes),
+            Err(crate::snap::SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::merge::{MergeError, Mergeable};
 use crate::rng::TranscriptRng;
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use std::collections::HashMap;
 
 /// An insertion-only update: one occurrence of item `0` (an element of the
@@ -244,6 +245,36 @@ pub trait StreamAlg {
         Err(MergeError::unmergeable(self.name()))
     }
 
+    /// Serialize the algorithm's full mutable state into `w` (see
+    /// [`crate::snap`]). The default declares the algorithm
+    /// unsnapshotable — mirroring [`StreamAlg::merge_from`] — and
+    /// algorithms implement [`Snapshot`] and override this to delegate:
+    ///
+    /// ```ignore
+    /// fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+    ///     Snapshot::snap(self, w);
+    ///     Ok(())
+    /// }
+    /// ```
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError>
+    where
+        Self: Sized,
+    {
+        let _ = w;
+        Err(SnapError::unsupported(self.name()))
+    }
+
+    /// Overwrite the algorithm's mutable state from `r` — the restore half
+    /// of [`StreamAlg::snapshot_state`], applied to an instance constructed
+    /// with the same parameters (and ctor seed) as the snapshotted one.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>
+    where
+        Self: Sized,
+    {
+        let _ = r;
+        Err(SnapError::unsupported(self.name()))
+    }
+
     /// Answer the fixed query for the stream seen so far.
     fn query(&self) -> Self::Output;
 }
@@ -370,6 +401,35 @@ impl FrequencyVector {
     /// Iterate over `(item, frequency)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
         self.freqs.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl Snapshot for FrequencyVector {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_map_u64_i64(&self.freqs);
+        w.put_u64(self.l1);
+        w.put_u64(self.updates);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let freqs = r.take_map_u64_i64()?;
+        let l1 = r.take_u64()?;
+        let updates = r.take_u64()?;
+        if freqs.values().any(|&f| f == 0) {
+            return Err(SnapError::corrupt(
+                "frequency vector stores a zero coordinate",
+            ));
+        }
+        let want_l1: u64 = freqs.values().map(|&f| f.unsigned_abs()).sum();
+        if want_l1 != l1 {
+            return Err(SnapError::corrupt(format!(
+                "frequency vector L1 {l1} does not match coordinates ({want_l1})"
+            )));
+        }
+        self.freqs = freqs;
+        self.l1 = l1;
+        self.updates = updates;
+        Ok(())
     }
 }
 
@@ -532,6 +592,51 @@ mod tests {
         assert_eq!(
             a.merge_from(&Opaque),
             Err(MergeError::unmergeable("Opaque"))
+        );
+    }
+
+    #[test]
+    fn frequency_vector_snapshot_roundtrip() {
+        let mut f = FrequencyVector::new();
+        for &(i, d) in &[(1u64, 3i64), (2, -2), (9, 5), (1, -3)] {
+            f.update(i, d);
+        }
+        let bytes = crate::snap::to_bytes(&f);
+        let mut g = FrequencyVector::new();
+        crate::snap::from_bytes(&mut g, &bytes).unwrap();
+        assert_eq!(g.l0(), f.l0());
+        assert_eq!(g.l1(), f.l1());
+        assert_eq!(g.updates(), f.updates());
+        for item in [1u64, 2, 9, 77] {
+            assert_eq!(g.get(item), f.get(item));
+        }
+        // Restored vectors keep evolving identically.
+        f.update(2, 7);
+        g.update(2, 7);
+        assert_eq!(g.l1(), f.l1());
+    }
+
+    #[test]
+    fn default_snapshot_state_is_unsupported() {
+        struct Opaque;
+        impl StreamAlg for Opaque {
+            type Update = InsertOnly;
+            type Output = u64;
+            fn process(&mut self, _u: &InsertOnly, _rng: &mut TranscriptRng) {}
+            fn query(&self) -> u64 {
+                0
+            }
+        }
+        let mut w = SnapWriter::new();
+        assert_eq!(
+            Opaque.snapshot_state(&mut w),
+            Err(SnapError::unsupported("Opaque"))
+        );
+        let bytes = SnapWriter::new().finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert_eq!(
+            Opaque.restore_state(&mut r),
+            Err(SnapError::unsupported("Opaque"))
         );
     }
 

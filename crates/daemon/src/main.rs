@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! wbd [--listen ADDR] [--threads N] [--shards N] [--max-tenants N]
-//!     [--chunk N] [--seed N]
+//!     [--chunk N] [--seed N] [--state-dir DIR]
 //! ```
+//!
+//! With `--state-dir DIR`, every `*.wbsnap` tenant snapshot found in DIR
+//! is restored before the socket opens, every tenant is snapshotted back
+//! to DIR after the graceful drain, and `snapshot` requests may omit
+//! their `path` — so a `shutdown` + restart round-trips all tenant state.
 //!
 //! Prints `{"event":"listening","addr":"..."}` once the socket is bound,
 //! runs until a client sends `shutdown` (or the process receives EOF-level
@@ -29,7 +34,7 @@ use wb_daemon::{client, DaemonConfig, Server};
 
 fn die(msg: &str) -> ! {
     eprintln!("wbd: {msg}");
-    eprintln!("usage: wbd [--listen ADDR] [--threads N] [--shards N] [--max-tenants N] [--chunk N] [--seed N]");
+    eprintln!("usage: wbd [--listen ADDR] [--threads N] [--shards N] [--max-tenants N] [--chunk N] [--seed N] [--state-dir DIR]");
     eprintln!("       wbd client --connect ADDR [--strict]");
     std::process::exit(2);
 }
@@ -95,6 +100,12 @@ fn main() -> ExitCode {
                 }
             }
             "--seed" => cfg.seed = parse_num("--seed", args.next()),
+            "--state-dir" => {
+                cfg.state_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--state-dir requires a directory")),
+                )
+            }
             other => die(&format!("unknown flag {other:?}")),
         }
         first = false;

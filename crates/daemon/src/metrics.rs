@@ -18,6 +18,22 @@ use crate::tenant::TenantState;
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
+/// Read the session lifecycle counters: `(opened, closed, active)`. The
+/// active gauge is its own transition-tracked counter, not
+/// `opened - closed` — deriving it by subtraction would mask lifecycle
+/// drift (a double-close pushes the difference silently toward zero). The
+/// debug assertion catches that drift at the source in test builds.
+fn session_gauges(shared: &Shared) -> (u64, u64, u64) {
+    let opened = shared.sessions_opened.load(Ordering::Relaxed);
+    let closed = shared.sessions_closed.load(Ordering::Relaxed);
+    let active = shared.sessions_active.load(Ordering::Relaxed);
+    debug_assert!(
+        closed <= opened,
+        "session lifecycle drift: {closed} closed but only {opened} opened"
+    );
+    (opened, closed, active)
+}
+
 /// The per-tenant stats object (also the `snapshot-stats` payload).
 pub fn tenant_json(st: &TenantState) -> Json {
     let t = &st.tenant;
@@ -55,8 +71,7 @@ pub fn tenant_json(st: &TenantState) -> Json {
 /// drain snapshot).
 pub fn snapshot(shared: &Shared) -> Json {
     let pool = shared.pool.stats();
-    let opened = shared.sessions_opened.load(Ordering::Relaxed);
-    let closed = shared.sessions_closed.load(Ordering::Relaxed);
+    let (opened, closed, active) = session_gauges(shared);
     let tenants = shared.tenants.lock().unwrap();
     let mut per_tenant = Vec::with_capacity(tenants.len());
     let (mut accepted, mut applied, mut rejected, mut inbox_stalls) = (0u64, 0u64, 0u64, 0u64);
@@ -86,7 +101,7 @@ pub fn snapshot(shared: &Shared) -> Json {
             obj(vec![
                 ("opened", Json::from(opened)),
                 ("closed", Json::from(closed)),
-                ("active", Json::from(opened.saturating_sub(closed))),
+                ("active", Json::from(active)),
                 (
                     "requests",
                     Json::from(shared.requests.load(Ordering::Relaxed)),
@@ -131,8 +146,7 @@ const TOP_ROWS: usize = 32;
 /// tenants by accepted updates.
 pub fn top_text(shared: &Shared) -> String {
     let pool = shared.pool.stats();
-    let opened = shared.sessions_opened.load(Ordering::Relaxed);
-    let closed = shared.sessions_closed.load(Ordering::Relaxed);
+    let (opened, _closed, active) = session_gauges(shared);
     let tenants = shared.tenants.lock().unwrap();
     let mut rows: Vec<(u64, String)> = Vec::with_capacity(tenants.len());
     for slot in tenants.values() {
@@ -170,7 +184,7 @@ pub fn top_text(shared: &Shared) -> String {
          pool {} workers depth {} peak {} stalls {}",
         shared.start.elapsed().as_secs_f64(),
         tenants.len(),
-        opened.saturating_sub(closed),
+        active,
         opened,
         shared.pool.workers(),
         pool.depth,

@@ -2,19 +2,27 @@
 //! reply per line.
 //!
 //! ```text
-//! request  = hello | ingest | query | snapshot-stats | metrics | top
-//!          | bye | shutdown
+//! request  = hello | ingest | query | snapshot-stats | snapshot | restore
+//!          | metrics | top | bye | shutdown
 //! hello    = {"cmd":"hello","tenant":ID,"alg":NAME,
 //!             "seed"?:U64,"n"?:U64,"eps"?:F64,"shards"?:N}
 //! ingest   = {"cmd":"ingest","tenant":ID,"updates":[U, ...]}
 //! U        = ITEM | [ITEM, DELTA]          ; bare int = insert, pair = turnstile
 //! query    = {"cmd":"query","tenant":ID}
 //! snapshot-stats = {"cmd":"snapshot-stats","tenant":ID}
+//! snapshot = {"cmd":"snapshot","tenant":ID,"path"?:PATH}
+//! restore  = {"cmd":"restore","path":PATH}
 //! metrics  = {"cmd":"metrics"}
 //! top      = {"cmd":"top"}
 //! bye      = {"cmd":"bye"}
 //! shutdown = {"cmd":"shutdown"}
 //! ```
+//!
+//! `snapshot` quiesces the tenant and writes its full engine state (sketch,
+//! transcript RNG, counters) to `path` — or to the daemon's `--state-dir`
+//! when the path is omitted — using the versioned `wb_core::snap` codec.
+//! `restore` reads such a file and registers the tenant it holds; later
+//! ingest continues draw-for-draw as if the daemon had never restarted.
 //!
 //! Every reply is `{"ok":true, ...}` or a **typed error**
 //! `{"ok":false,"error":{"kind":KIND,"message":TEXT}}` — protocol-level bad
@@ -48,6 +56,9 @@ pub enum ErrorKind {
     TenantFailed,
     /// The daemon is draining and no longer accepts this request.
     Draining,
+    /// A `snapshot`/`restore` could not complete (I/O failure, corrupt or
+    /// mismatched snapshot file, failed tenant).
+    SnapshotFailed,
 }
 
 impl ErrorKind {
@@ -62,6 +73,7 @@ impl ErrorKind {
             ErrorKind::WrongModel => "wrong_model",
             ErrorKind::TenantFailed => "tenant_failed",
             ErrorKind::Draining => "draining",
+            ErrorKind::SnapshotFailed => "snapshot_failed",
         }
     }
 }
@@ -145,6 +157,18 @@ pub enum Request {
     SnapshotStats {
         /// Target tenant.
         tenant: String,
+    },
+    /// Persist a tenant's full engine state to disk.
+    Snapshot {
+        /// Target tenant.
+        tenant: String,
+        /// Destination file; `None` uses the daemon's `--state-dir`.
+        path: Option<String>,
+    },
+    /// Register the tenant stored in a snapshot file.
+    Restore {
+        /// Source file written by a prior `snapshot`.
+        path: String,
     },
     /// Whole-daemon metrics (JSON).
     Metrics,
@@ -234,13 +258,34 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "snapshot-stats" => Ok(Request::SnapshotStats {
             tenant: tenant_of(&v)?,
         }),
+        "snapshot" => {
+            let tenant = tenant_of(&v)?;
+            let path = match v.get("path") {
+                None => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .filter(|p| !p.is_empty())
+                        .ok_or_else(|| bad("'path' must be a non-empty string".to_string()))?
+                        .to_string(),
+                ),
+            };
+            Ok(Request::Snapshot { tenant, path })
+        }
+        "restore" => match v.get("path").and_then(Json::as_str) {
+            Some(p) if !p.is_empty() => Ok(Request::Restore {
+                path: p.to_string(),
+            }),
+            _ => Err(bad(
+                "restore needs a non-empty string field 'path'".to_string()
+            )),
+        },
         "metrics" => Ok(Request::Metrics),
         "top" => Ok(Request::Top),
         "bye" => Ok(Request::Bye),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!(
             "unknown command '{other}' (known: hello, ingest, query, snapshot-stats, \
-             metrics, top, bye, shutdown)"
+             snapshot, restore, metrics, top, bye, shutdown)"
         ))),
     }
 }
@@ -340,6 +385,26 @@ mod tests {
             parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
             Request::Metrics
         );
+        assert_eq!(
+            parse_request(r#"{"cmd":"snapshot","tenant":"t1","path":"/tmp/t1.wbsnap"}"#).unwrap(),
+            Request::Snapshot {
+                tenant: "t1".into(),
+                path: Some("/tmp/t1.wbsnap".into()),
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"snapshot","tenant":"t1"}"#).unwrap(),
+            Request::Snapshot {
+                tenant: "t1".into(),
+                path: None,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"restore","path":"/tmp/t1.wbsnap"}"#).unwrap(),
+            Request::Restore {
+                path: "/tmp/t1.wbsnap".into(),
+            }
+        );
         assert_eq!(parse_request(r#"{"cmd":"top"}"#).unwrap(), Request::Top);
         assert_eq!(parse_request(r#"{"cmd":"bye"}"#).unwrap(), Request::Bye);
         assert_eq!(
@@ -360,6 +425,9 @@ mod tests {
             r#"{"cmd":"ingest","tenant":"t","updates":["five"]}"#,
             r#"{"cmd":"ingest","tenant":"t","updates":[-4]}"#,
             r#"{"cmd":"hello","tenant":"t","alg":"x","seed":-1}"#,
+            r#"{"cmd":"snapshot","tenant":"t","path":""}"#,
+            r#"{"cmd":"restore"}"#,
+            r#"{"cmd":"restore","path":17}"#,
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.kind, ErrorKind::BadRequest, "{line}");

@@ -47,6 +47,11 @@ pub struct DaemonConfig {
     /// Master seed (`--seed`); tenant seeds derive from it unless `hello`
     /// carries its own.
     pub seed: u64,
+    /// Tenant persistence directory (`--state-dir`). When set, every
+    /// tenant is snapshotted here after the graceful drain, every
+    /// `*.wbsnap` file found here is restored at startup, and `snapshot`
+    /// requests may omit their `path`. `None` disables persistence.
+    pub state_dir: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -58,6 +63,7 @@ impl Default for DaemonConfig {
             max_tenants: 4096,
             chunk: 1024,
             seed: 42,
+            state_dir: None,
         }
     }
 }
@@ -76,6 +82,12 @@ pub struct Shared {
     pub sessions_opened: AtomicU64,
     /// Sessions closed.
     pub sessions_closed: AtomicU64,
+    /// Sessions currently live — maintained by explicit open/close
+    /// transitions, not derived by subtracting the two counters above (a
+    /// derived gauge masks lifecycle bugs: a double-close would push the
+    /// subtraction silently toward zero instead of tripping the
+    /// `closed <= opened` debug assertion).
+    pub sessions_active: AtomicU64,
     /// Requests served (including error replies).
     pub requests: AtomicU64,
     /// Requests answered with a typed error.
@@ -113,10 +125,14 @@ impl Server {
             draining: AtomicBool::new(false),
             sessions_opened: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
+            sessions_active: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             start: Instant::now(),
         });
+        if let Err(e) = restore_state_dir(&shared) {
+            eprintln!("wbd: state-dir restore failed: {e}");
+        }
         let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
@@ -129,9 +145,11 @@ impl Server {
                     Ok((stream, _peer)) => {
                         let shared = Arc::clone(&accept_shared);
                         shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                        shared.sessions_active.fetch_add(1, Ordering::Relaxed);
                         let handle = std::thread::spawn(move || {
                             let _ = serve_session(&shared, stream);
                             shared.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                            shared.sessions_active.fetch_sub(1, Ordering::Relaxed);
                         });
                         accept_sessions.lock().unwrap().push(handle);
                     }
@@ -191,6 +209,9 @@ impl Server {
         }
         // No producers remain: flush every queued chunk, then snapshot.
         self.shared.pool.drain();
+        if let Err(e) = persist_state_dir(&self.shared) {
+            eprintln!("wbd: state-dir persist failed: {e}");
+        }
         metrics::snapshot(&self.shared)
     }
 }
@@ -284,6 +305,15 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (Json, bool) {
                 ]))
             })
             .unwrap_or_else(|e| e.to_json());
+            (reply, false)
+        }
+        Request::Snapshot { tenant, path } => {
+            let reply =
+                handle_snapshot(shared, &tenant, path.as_deref()).unwrap_or_else(|e| e.to_json());
+            (reply, false)
+        }
+        Request::Restore { path } => {
+            let reply = handle_restore(shared, &path).unwrap_or_else(|e| e.to_json());
             (reply, false)
         }
         Request::Metrics => (
@@ -391,9 +421,181 @@ fn handle_hello(
         return existing;
     }
     over_cap(&tenants)?;
+    // Re-check the drain flag under the same lock as the insert: a drain
+    // that began while we were constructing (after the entry check above)
+    // must not gain a tenant it will never flush — the drain path snapshots
+    // and reports over the registry as it stood when the flag flipped.
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
     let reply = hello_reply(&created);
     tenants.insert(tenant.to_string(), Arc::new(TenantSlot::new(created)));
     Ok(reply)
+}
+
+/// Resolve where a `snapshot` writes: the request's explicit path, else
+/// the daemon's `--state-dir` (with the tenant id hex-encoded so arbitrary
+/// id strings stay filesystem-safe).
+fn snapshot_path(shared: &Shared, tenant: &str, path: Option<&str>) -> Result<String, ProtoError> {
+    match (path, &shared.cfg.state_dir) {
+        (Some(p), _) => Ok(p.to_string()),
+        (None, Some(dir)) => Ok(format!("{dir}/{}.wbsnap", hex_id(tenant))),
+        (None, None) => Err(ProtoError::new(
+            ErrorKind::BadRequest,
+            "snapshot needs a 'path' (or start wbd with --state-dir)",
+        )),
+    }
+}
+
+fn hex_id(id: &str) -> String {
+    id.bytes().fold(String::new(), |mut s, b| {
+        let _ = std::fmt::Write::write_fmt(&mut s, format_args!("{b:02x}"));
+        s
+    })
+}
+
+fn handle_snapshot(
+    shared: &Arc<Shared>,
+    tenant: &str,
+    path: Option<&str>,
+) -> Result<Json, ProtoError> {
+    let path = snapshot_path(shared, tenant, path)?;
+    with_slot(shared, tenant, |slot| {
+        let mut st = slot.await_quiescent();
+        let frame = st
+            .tenant
+            .snapshot_bytes()
+            .map_err(|e| ProtoError::new(ErrorKind::SnapshotFailed, e.to_string()))?;
+        write_atomic(std::path::Path::new(&path), &frame).map_err(|e| {
+            ProtoError::new(
+                ErrorKind::SnapshotFailed,
+                format!("could not write {path}: {e}"),
+            )
+        })?;
+        Ok(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("tenant", Json::from(tenant)),
+            ("path", Json::from(path.as_str())),
+            ("bytes", Json::from(frame.len() as u64)),
+            ("applied", Json::from(st.tenant.applied)),
+        ]))
+    })
+}
+
+fn handle_restore(shared: &Arc<Shared>, path: &str) -> Result<Json, ProtoError> {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
+    let bytes = std::fs::read(path).map_err(|e| {
+        ProtoError::new(
+            ErrorKind::SnapshotFailed,
+            format!("could not read {path}: {e}"),
+        )
+    })?;
+    let restored = Tenant::restore_bytes(&bytes).map_err(|e| {
+        ProtoError::new(
+            ErrorKind::SnapshotFailed,
+            format!("could not restore {path}: {e}"),
+        )
+    })?;
+    let mut tenants = shared.tenants.lock().unwrap();
+    if tenants.contains_key(&restored.id) {
+        return Err(ProtoError::new(
+            ErrorKind::TenantMismatch,
+            format!(
+                "tenant '{}' already exists; restore refuses to replace live state",
+                restored.id
+            ),
+        ));
+    }
+    if tenants.len() >= shared.cfg.max_tenants {
+        return Err(ProtoError::new(
+            ErrorKind::MaxTenants,
+            format!("tenant cap {} reached", shared.cfg.max_tenants),
+        ));
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
+    let mut reply = hello_reply(&restored);
+    if let Json::Obj(members) = &mut reply {
+        members.push(("applied".to_string(), Json::from(restored.applied)));
+    }
+    let id = restored.id.clone();
+    tenants.insert(id, Arc::new(TenantSlot::new(restored)));
+    Ok(reply)
+}
+
+/// Write `bytes` to `path` atomically (tmp + rename): a crash mid-write
+/// leaves either the previous snapshot or none, never a torn frame.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Startup half of `--state-dir`: restore every `*.wbsnap` file present.
+/// Individual corrupt files are reported and skipped — one bad snapshot
+/// must not keep the daemon from serving the rest.
+fn restore_state_dir(shared: &Arc<Shared>) -> std::io::Result<()> {
+    let Some(dir) = shared.cfg.state_dir.clone() else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(&dir)?;
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "wbsnap"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        match std::fs::read(&p)
+            .map_err(|e| e.to_string())
+            .and_then(|b| Tenant::restore_bytes(&b).map_err(|e| e.to_string()))
+        {
+            Ok(t) => {
+                shared
+                    .tenants
+                    .lock()
+                    .unwrap()
+                    .insert(t.id.clone(), Arc::new(TenantSlot::new(t)));
+            }
+            Err(e) => eprintln!("wbd: skipping {}: {e}", p.display()),
+        }
+    }
+    Ok(())
+}
+
+/// Drain half of `--state-dir`: snapshot every live tenant. Failed tenants
+/// cannot snapshot; they are reported and skipped.
+fn persist_state_dir(shared: &Arc<Shared>) -> std::io::Result<()> {
+    let Some(dir) = shared.cfg.state_dir.clone() else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(&dir)?;
+    let tenants = shared.tenants.lock().unwrap();
+    for (id, slot) in tenants.iter() {
+        let mut st = slot.state.lock().unwrap();
+        debug_assert!(st.inbox.is_empty(), "persist ran before the pool drained");
+        match st.tenant.snapshot_bytes() {
+            Ok(frame) => {
+                let path = format!("{dir}/{}.wbsnap", hex_id(id));
+                if let Err(e) = write_atomic(std::path::Path::new(&path), &frame) {
+                    eprintln!("wbd: could not persist tenant '{id}': {e}");
+                }
+            }
+            Err(e) => eprintln!("wbd: could not persist tenant '{id}': {e}"),
+        }
+    }
+    Ok(())
 }
 
 fn hello_reply(t: &Tenant) -> Json {

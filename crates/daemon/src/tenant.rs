@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 use wb_core::rng::{derive_seed, TranscriptRng};
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::WbError;
 use wb_engine::registry::{self, Params};
 use wb_engine::shard::{probe_mergeable, Partition, ShardConfig, ShardPipeline, ShardStats};
@@ -71,6 +72,10 @@ pub struct Tenant {
     params: Params,
     /// Shard count (1 = flat).
     pub shards: usize,
+    /// Ingest chunk size the engine was built with (the sharded pipeline's
+    /// staging unit) — recorded in snapshots so a restored twin rebuilds
+    /// the identical pipeline even under a different daemon `--chunk`.
+    batch: usize,
     engine: TenantEngine,
     /// Updates accepted (whole batches; all-or-nothing).
     pub accepted: u64,
@@ -143,6 +148,7 @@ impl Tenant {
             model,
             params,
             shards,
+            batch,
             engine,
             accepted: 0,
             applied: 0,
@@ -269,6 +275,129 @@ impl Tenant {
             TenantEngine::Sharded { pipeline } => Some(pipeline.stats()),
             _ => None,
         }
+    }
+
+    /// Serialize this tenant's full state — identity, counters, and the
+    /// live engine (sketch + transcript RNG, or the sharded pipeline) —
+    /// into one `wb_core::snap` frame. Callers must quiesce first (empty
+    /// inbox), so `applied == accepted` holds inside every frame. Failed
+    /// tenants refuse: their error chains are not serializable and a
+    /// restored twin could not honour the replay contract.
+    pub fn snapshot_bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        if self.failure().is_some() {
+            return Err(SnapError::unsupported(format!(
+                "tenant '{}' has failed and cannot be snapshotted",
+                self.id
+            )));
+        }
+        let mut w = SnapWriter::new();
+        w.put_str("wbd-tenant");
+        w.put_str(&self.id);
+        w.put_str(&self.alg_name);
+        w.put_u64(self.seed_base);
+        w.put_u64(self.tenant_seed);
+        w.put_u64(self.params.n);
+        w.put_f64(self.params.eps);
+        w.put_usize(self.shards);
+        w.put_usize(self.batch);
+        w.put_u64(self.accepted);
+        w.put_u64(self.applied);
+        w.put_u64(self.rejected);
+        w.put_u64(self.batches);
+        w.put_u64(self.queries);
+        match &mut self.engine {
+            TenantEngine::Flat { alg, rng } => {
+                w.put_bool(false);
+                w.put_bytes(&alg.snapshot_dyn()?);
+                rng.snap(&mut w);
+            }
+            TenantEngine::Sharded { pipeline } => {
+                w.put_bool(true);
+                w.put_bytes(&pipeline.checkpoint()?);
+            }
+            TenantEngine::Failed { .. } => unreachable!("checked above"),
+        }
+        Ok(w.finish())
+    }
+
+    /// Rebuild a tenant from a [`Self::snapshot_bytes`] frame: construct a
+    /// twin through the normal [`Self::create`] path (same derived seeds,
+    /// same shard routing), then overwrite its mutable engine state and
+    /// counters. The embedded `tenant_seed` and shard count cross-validate
+    /// the reconstruction — a registry or seed-derivation drift surfaces as
+    /// a typed error instead of a silently different tenant.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Tenant, SnapError> {
+        let mut r = SnapReader::new(bytes)?;
+        let label = r.take_str()?;
+        if label != "wbd-tenant" {
+            return Err(SnapError::mismatch("wbd-tenant", label));
+        }
+        let id = r.take_str()?;
+        let alg_name = r.take_str()?;
+        let seed_base = r.take_u64()?;
+        let tenant_seed = r.take_u64()?;
+        let n = r.take_u64()?;
+        let eps = r.take_f64()?;
+        let shards = r.take_usize()?;
+        let batch = r.take_usize()?;
+        let accepted = r.take_u64()?;
+        let applied = r.take_u64()?;
+        let rejected = r.take_u64()?;
+        let batches = r.take_u64()?;
+        let queries = r.take_u64()?;
+        if applied != accepted {
+            return Err(SnapError::corrupt(format!(
+                "tenant snapshot holds {applied} applied of {accepted} accepted updates; \
+                 snapshots are only taken at quiescence"
+            )));
+        }
+        let hello = HelloParams {
+            n: Some(n),
+            eps: Some(eps),
+            shards: Some(shards.max(1)),
+        };
+        let mut t = Tenant::create(
+            &id,
+            &alg_name,
+            seed_base,
+            &hello,
+            shards.max(1),
+            batch.max(1),
+        )
+        .map_err(|e| SnapError::corrupt(format!("cannot rebuild tenant '{id}': {}", e.message)))?;
+        if t.tenant_seed != tenant_seed {
+            return Err(SnapError::corrupt(format!(
+                "tenant '{id}' derives seed {} but the snapshot recorded {tenant_seed}",
+                t.tenant_seed
+            )));
+        }
+        if t.shards != shards {
+            return Err(SnapError::corrupt(format!(
+                "tenant '{id}' rebuilds with {} shards but the snapshot recorded {shards}",
+                t.shards
+            )));
+        }
+        let sharded = r.take_bool()?;
+        let engine_bytes = r.take_bytes()?;
+        match (&mut t.engine, sharded) {
+            (TenantEngine::Flat { alg, rng }, false) => {
+                alg.restore_dyn(&engine_bytes)?;
+                rng.restore(&mut r)?;
+            }
+            (TenantEngine::Sharded { pipeline }, true) => pipeline.resume(&engine_bytes)?,
+            _ => {
+                return Err(SnapError::corrupt(format!(
+                    "tenant '{id}' snapshot engine mode disagrees with its shard count"
+                )))
+            }
+        }
+        r.finish()?;
+        t.accepted = accepted;
+        t.applied = applied;
+        t.rejected = rejected;
+        t.batches = batches;
+        t.queries = queries;
+        Ok(t)
     }
 
     /// Cumulative ingest rate in updates/second since creation.
@@ -456,6 +585,56 @@ mod tests {
             };
             assert_eq!(answer, offline, "shards = {default_shards}");
         }
+    }
+
+    #[test]
+    fn tenant_snapshot_restore_continues_draw_for_draw() {
+        // Flat (morris: unmergeable, RNG-hungry) and sharded (misra_gries)
+        // tenants, snapshotted mid-stream: the restored twin must end in
+        // exactly the state of an uninterrupted tenant fed the same stream.
+        let updates: Vec<Update> = (0..900u64).map(|i| Update::Insert(i % 23)).collect();
+        for (alg, default_shards) in [("morris", 1usize), ("misra_gries", 4)] {
+            let mut reference = Tenant::create("t", alg, 7, &hello_defaults(), default_shards, 64)
+                .expect("reference tenant");
+            for chunk in updates.chunks(50) {
+                reference.apply_chunk(chunk);
+            }
+            let want = reference.query().unwrap();
+
+            let mut live = Tenant::create("t", alg, 7, &hello_defaults(), default_shards, 64)
+                .expect("live tenant");
+            for chunk in updates[..450].chunks(50) {
+                live.apply_chunk(chunk);
+            }
+            // `apply_chunk` is the worker half; the session half counts
+            // acceptance. Mirror it so the quiescence invariant holds.
+            live.accepted = live.applied;
+            let frame = live.snapshot_bytes().expect("snapshot");
+            let mut resumed = Tenant::restore_bytes(&frame).expect("restore");
+            assert_eq!(resumed.accepted, live.accepted);
+            assert_eq!(resumed.applied, live.applied);
+            assert_eq!(resumed.shards, live.shards);
+            for chunk in updates[450..].chunks(50) {
+                resumed.apply_chunk(chunk);
+            }
+            assert_eq!(resumed.query().unwrap(), want, "alg = {alg}");
+        }
+    }
+
+    #[test]
+    fn tenant_restore_rejects_tampered_frames() {
+        let mut t = Tenant::create("t", "count_min", 3, &hello_defaults(), 1, 64).unwrap();
+        t.apply_chunk(&[Update::Insert(5); 20]);
+        t.accepted = t.applied;
+        let frame = t.snapshot_bytes().unwrap();
+        // Truncation and bit-flips both surface as typed errors, never as a
+        // silently different tenant.
+        assert!(Tenant::restore_bytes(&frame[..frame.len() - 3]).is_err());
+        let mut flipped = frame.clone();
+        flipped[0] ^= 0xff; // magic
+        assert!(Tenant::restore_bytes(&flipped).is_err());
+        // The untampered frame still restores.
+        assert!(Tenant::restore_bytes(&frame).is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::workload::{SliceSource, UpdateSource};
 use std::any::Any;
 use wb_core::merge::MergeError;
 use wb_core::rng::{RandTranscript, Reciprocal, TranscriptRng};
+use wb_core::snap::{SnapError, SnapReader, SnapWriter};
 use wb_core::space::SpaceUsage;
 use wb_core::stream::{InsertOnly, StreamAlg, Turnstile};
 use wb_core::WbError;
@@ -361,6 +362,21 @@ pub trait DynStreamAlg: Send {
     /// ([`crate::shard`]) is built on this method.
     fn merge_dyn(&mut self, other: &dyn DynStreamAlg) -> Result<(), MergeError>;
 
+    /// Serialize the algorithm's mutable state into a self-describing
+    /// snapshot frame: `magic | version | name | state`. The embedded name
+    /// lets [`DynStreamAlg::restore_dyn`] reject a frame taken from a
+    /// different algorithm before touching any state. Algorithms without a
+    /// snapshot implementation report [`SnapError::Unsupported`].
+    fn snapshot_dyn(&self) -> Result<Vec<u8>, SnapError>;
+
+    /// Restore state from a frame produced by [`DynStreamAlg::snapshot_dyn`]
+    /// on an instance constructed with the same parameters and construction
+    /// seed. Validates the embedded algorithm name, delegates payload
+    /// validation to the concrete [`StreamAlg::restore_state`], and rejects
+    /// trailing bytes. On error the state may be partially overwritten;
+    /// callers discard the instance.
+    fn restore_dyn(&mut self, bytes: &[u8]) -> Result<(), SnapError>;
+
     /// The concrete algorithm, for white-box adversaries that downcast to
     /// inspect internal state through the erased interface.
     fn as_any(&self) -> &dyn Any;
@@ -446,6 +462,23 @@ where
                 right: other.name_dyn(),
             })?;
         self.merge_from(other)
+    }
+
+    fn snapshot_dyn(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapWriter::new();
+        w.put_str(self.name());
+        self.snapshot_state(&mut w)?;
+        Ok(w.finish())
+    }
+
+    fn restore_dyn(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes)?;
+        let found = r.take_str()?;
+        if found != self.name() {
+            return Err(SnapError::mismatch(self.name(), found));
+        }
+        self.restore_state(&mut r)?;
+        r.finish()
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,6 +1,7 @@
 //! Structured game reports and experiment-table formatting.
 
 use wb_core::game::{Failure, GameResult, Verdict};
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// How many `(round, space_bits)` samples a report retains at most; the
 /// recording stride is chosen so long games stay within this budget.
@@ -102,6 +103,86 @@ impl GameReport {
     /// `true` iff every checked answer was correct.
     pub fn survived(&self) -> bool {
         self.result.survived()
+    }
+}
+
+impl Snapshot for GameReport {
+    /// Layout: `result | checks | space timeline | verdict timeline |
+    /// stride`. The whole report is mutable in-game state, so everything is
+    /// captured and overwritten on restore — a resumed game's timelines
+    /// (and with them the report artifacts) continue exactly where the
+    /// snapshotted game stopped.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.result.rounds);
+        match &self.result.failure {
+            Some(f) => {
+                w.put_bool(true);
+                w.put_u64(f.round);
+                w.put_str(&f.description);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.result.peak_space_bits);
+        w.put_u64(self.result.final_space_bits);
+        w.put_u64(self.checks);
+        w.put_u64(self.space_timeline.len() as u64);
+        for &(t, space) in &self.space_timeline {
+            w.put_u64(t);
+            w.put_u64(space);
+        }
+        w.put_u64(self.verdict_timeline.len() as u64);
+        for &(t, ok) in &self.verdict_timeline {
+            w.put_u64(t);
+            w.put_bool(ok);
+        }
+        w.put_u64(self.stride);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.result.rounds = r.take_u64()?;
+        self.result.failure = if r.take_bool()? {
+            Some(Failure {
+                round: r.take_u64()?,
+                description: r.take_str()?,
+            })
+        } else {
+            None
+        };
+        self.result.peak_space_bits = r.take_u64()?;
+        self.result.final_space_bits = r.take_u64()?;
+        self.checks = r.take_u64()?;
+        let spaces = r.take_usize()?;
+        if spaces > 4 * TIMELINE_POINTS {
+            return Err(SnapError::corrupt(format!(
+                "space timeline of {spaces} samples exceeds the {} bound",
+                4 * TIMELINE_POINTS
+            )));
+        }
+        self.space_timeline.clear();
+        for _ in 0..spaces {
+            let t = r.take_u64()?;
+            let space = r.take_u64()?;
+            self.space_timeline.push((t, space));
+        }
+        let verdicts = r.take_usize()?;
+        if verdicts > 4 * TIMELINE_POINTS {
+            return Err(SnapError::corrupt(format!(
+                "verdict timeline of {verdicts} samples exceeds the {} bound",
+                4 * TIMELINE_POINTS
+            )));
+        }
+        self.verdict_timeline.clear();
+        for _ in 0..verdicts {
+            let t = r.take_u64()?;
+            let ok = r.take_bool()?;
+            self.verdict_timeline.push((t, ok));
+        }
+        let stride = r.take_u64()?;
+        if stride == 0 {
+            return Err(SnapError::corrupt("timeline stride must be >= 1"));
+        }
+        self.stride = stride;
+        Ok(())
     }
 }
 

@@ -40,6 +40,7 @@ use crate::workload::{SliceSource, UpdateSource};
 use std::sync::mpsc;
 use wb_core::merge::MergeError;
 use wb_core::rng::{derive_seed, SplitMix64, TranscriptRng};
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::WbError;
 
 /// How updates are routed to shards.
@@ -527,6 +528,124 @@ impl ShardPipeline {
         merge_reduce(level).map_err(|e| WbError::invalid(format!("sharded merge: {e}")))
     }
 
+    /// Serialize the whole pipeline — every shard's algorithm state,
+    /// random tape, and the routing bookkeeping — into one checkpoint
+    /// frame, so warm sketch state can migrate to another pipeline (or
+    /// survive a process kill) and resume ingestion mid-stream.
+    ///
+    /// Staged updates are flushed first: chunk boundaries are pure
+    /// transport by the batching contract, so the early delivery changes
+    /// nothing, and the frame then captures a state where
+    /// `processed == loads` shard by shard (validated on
+    /// [`ShardPipeline::resume`]). A pipeline with failed shards refuses to
+    /// checkpoint — a failure is terminal for its run and carries a
+    /// non-serializable error chain; callers surface the failure instead.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, SnapError> {
+        self.flush();
+        if self.first_failure().is_some() {
+            return Err(SnapError::unsupported(
+                "ShardPipeline with failed shards (surface the failure instead)",
+            ));
+        }
+        let mut w = SnapWriter::new();
+        w.put_usize(self.algs.len());
+        w.put_u8(match self.partition {
+            Partition::Hash => 0,
+            Partition::RoundRobin => 1,
+        });
+        w.put_usize(self.batch);
+        w.put_u64(self.pos);
+        let loads: Vec<u64> = self.loads.iter().map(|&l| l as u64).collect();
+        w.put_u64_seq(&loads);
+        w.put_u64_seq(&self.processed);
+        for rng in &self.rngs {
+            rng.snap(&mut w);
+        }
+        for alg in &self.algs {
+            w.put_bytes(&alg.snapshot_dyn()?);
+        }
+        Ok(w.finish())
+    }
+
+    /// Restore a [`ShardPipeline::checkpoint`] frame into this pipeline,
+    /// which must be a twin: built by [`ShardPipeline::new`] with the same
+    /// constructor and the same [`ShardConfig`] (shard count, partition,
+    /// batch, master seed). Configuration mismatches are rejected before
+    /// any state is touched; a frame whose bookkeeping is internally
+    /// inconsistent (loads that don't sum to the stream position, staged
+    /// updates that were never delivered) is [`SnapError::Corrupt`].
+    pub fn resume(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes)?;
+        let shards = r.take_usize()?;
+        if shards != self.algs.len() {
+            return Err(SnapError::mismatch(
+                format!("{} shards", self.algs.len()),
+                format!("{shards} shards"),
+            ));
+        }
+        let partition = r.take_u8()?;
+        let own = match self.partition {
+            Partition::Hash => 0,
+            Partition::RoundRobin => 1,
+        };
+        if partition != own {
+            return Err(SnapError::mismatch(
+                self.partition.label(),
+                format!("partition tag {partition}"),
+            ));
+        }
+        let batch = r.take_usize()?;
+        if batch != self.batch {
+            return Err(SnapError::mismatch(
+                format!("batch {}", self.batch),
+                format!("batch {batch}"),
+            ));
+        }
+        let pos = r.take_u64()?;
+        let loads = r.take_u64_seq()?;
+        let processed = r.take_u64_seq()?;
+        if loads.len() != shards || processed.len() != shards {
+            return Err(SnapError::corrupt(format!(
+                "per-shard bookkeeping for {} shards in a {shards}-shard frame",
+                loads.len().max(processed.len())
+            )));
+        }
+        if loads.iter().sum::<u64>() != pos {
+            return Err(SnapError::corrupt(format!(
+                "shard loads sum to {}, stream position is {pos}",
+                loads.iter().sum::<u64>()
+            )));
+        }
+        // checkpoint() flushes, so every routed update was delivered.
+        if loads != processed {
+            return Err(SnapError::corrupt(
+                "checkpoint holds undelivered staged updates",
+            ));
+        }
+        for rng in &mut self.rngs {
+            rng.restore(&mut r)?;
+        }
+        for alg in &mut self.algs {
+            let frame = r.take_bytes()?;
+            alg.restore_dyn(&frame)?;
+        }
+        r.finish()?;
+        self.pos = pos;
+        self.loads = loads
+            .into_iter()
+            .map(|l| usize::try_from(l).expect("load fits usize: it was a usize when captured"))
+            .collect();
+        self.processed = processed;
+        for s in &mut self.staging {
+            s.clear();
+        }
+        for f in &mut self.failures {
+            *f = None;
+        }
+        self.dead = false;
+        Ok(())
+    }
+
     /// Flush, then fold the shard states into one with the deterministic
     /// reduction tree — the end-of-stream form ([`ingest_sharded_source`]'s
     /// epilogue). The first failure in shard order wins.
@@ -959,6 +1078,88 @@ mod tests {
             let out = p.finish().unwrap();
             assert_eq!(out.merged.query_dyn(), offline.merged.query_dyn(), "{name}");
         }
+    }
+
+    #[test]
+    fn pipeline_checkpoint_resume_matches_uninterrupted() {
+        // Kill-and-resume fidelity: checkpoint mid-stream at an offset that
+        // is not batch-aligned, restore into a twin, continue with the rest
+        // of the stream, and the final merged answer (and stats) must be
+        // identical to the uninterrupted pipeline.
+        let params = Params::default().with_n(1 << 10);
+        let updates = zipfish(3000, 1 << 10);
+        let cfg = ShardConfig {
+            shards: 4,
+            partition: Partition::Hash,
+            threads: 1,
+            batch: 128,
+            master_seed: 13,
+        };
+        for name in ["misra_gries", "count_min", "exact_l0", "ams_f2"] {
+            let ctor = registry_ctor(name, params.clone());
+            let mut uninterrupted = ShardPipeline::new(&ctor, &cfg).unwrap();
+            uninterrupted.push(&updates);
+            let expected = uninterrupted.finish().unwrap();
+
+            let mut first = ShardPipeline::new(&ctor, &cfg).unwrap();
+            first.push(&updates[..1357]);
+            let frame = first.checkpoint().unwrap();
+            drop(first); // the "killed" process
+
+            let mut resumed = ShardPipeline::new(&ctor, &cfg).unwrap();
+            resumed.resume(&frame).unwrap();
+            assert_eq!(resumed.routed(), 1357, "{name}");
+            resumed.push(&updates[1357..]);
+            let out = resumed.finish().unwrap();
+            assert_eq!(
+                out.merged.query_dyn(),
+                expected.merged.query_dyn(),
+                "{name}"
+            );
+            assert_eq!(out.stats, expected.stats, "{name}");
+        }
+    }
+
+    #[test]
+    fn pipeline_resume_rejects_config_mismatches() {
+        let params = Params::default().with_n(1 << 10);
+        let ctor = registry_ctor("count_min", params);
+        let cfg = ShardConfig {
+            shards: 4,
+            partition: Partition::Hash,
+            threads: 1,
+            batch: 128,
+            master_seed: 13,
+        };
+        let mut p = ShardPipeline::new(&ctor, &cfg).unwrap();
+        p.push(&zipfish(500, 1 << 10));
+        let frame = p.checkpoint().unwrap();
+        for wrong in [
+            ShardConfig {
+                shards: 2,
+                ..cfg.clone()
+            },
+            ShardConfig {
+                partition: Partition::RoundRobin,
+                ..cfg.clone()
+            },
+            ShardConfig {
+                batch: 64,
+                ..cfg.clone()
+            },
+        ] {
+            let mut twin = ShardPipeline::new(&ctor, &wrong).unwrap();
+            assert!(
+                matches!(twin.resume(&frame), Err(SnapError::Mismatch { .. })),
+                "shards={} partition={} batch={}",
+                wrong.shards,
+                wrong.partition.label(),
+                wrong.batch
+            );
+        }
+        // Truncated frames are Truncated, not panics.
+        let mut twin = ShardPipeline::new(&ctor, &cfg).unwrap();
+        assert!(twin.resume(&frame[..frame.len() / 2]).is_err());
     }
 
     #[test]

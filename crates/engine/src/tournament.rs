@@ -48,16 +48,20 @@
 //! deterministic and applied identically to referee and algorithm, so
 //! ground truth stays exact.
 
-use crate::erased::Update;
+use crate::erased::{DynStreamAlg, Update};
 use crate::experiment::json_escape;
 use crate::pool::{self, Job};
-use crate::referee::RefereeSpec;
+use crate::referee::{DynReferee, RefereeSpec};
 use crate::registry::{self, Params};
 use crate::report::{header, row, GameReport};
 use crate::shard::{self, Partition, ShardConfig};
-use crate::workload::{FoldSource, InspectSource, UpdateSource, WorkloadSpec};
+use crate::workload::{FoldSource, InspectSource, UpdateSource, WorkloadSpec, WorkloadStream};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Instant;
 use wb_core::rng::{derive_seed, TranscriptRng};
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::WbError;
 
 /// The workload dimensions of the cross-product: every named generator in
@@ -486,12 +490,284 @@ pub fn run_tournament(cfg: &TournamentConfig) -> TournamentReport {
     }
 }
 
+/// Checkpointing policy for a tournament run (`--checkpoint-every` /
+/// `--resume` in the `tournament` binary).
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file. Written atomically (tmp + rename) after every cell
+    /// completion and every mid-prelude frame, so a SIGKILL at any moment
+    /// leaves either the previous or the next consistent checkpoint.
+    pub path: PathBuf,
+    /// Updates between mid-prelude frames within each cell (`0` =
+    /// cell-granular only: finished cells persist, a killed cell restarts
+    /// from its beginning).
+    pub every: u64,
+}
+
+/// The semantic identity of a tournament run: everything that shapes the
+/// report. `batch` and `threads` are deliberately excluded — they are pure
+/// transport, and a checkpoint taken at `--chunk 1024 --threads 4` must
+/// resume under `--chunk 4096 --threads 1` with a byte-identical report.
+fn config_fingerprint(cfg: &TournamentConfig) -> String {
+    format!(
+        "v1;seed={};n={};prelude_m={};rounds={};shards={};algs={};adversaries={};workloads={}",
+        cfg.master_seed,
+        cfg.n,
+        cfg.prelude_m,
+        cfg.rounds,
+        cfg.shards.max(1),
+        cfg.algs.join(","),
+        cfg.adversaries.join(","),
+        cfg.workloads.join(","),
+    )
+}
+
+type CellKey = (String, String, String);
+
+/// On-disk checkpoint state: which cells finished (their full reports) and
+/// the latest mid-prelude frame of each in-flight cell.
+struct CkptStore {
+    fingerprint: String,
+    path: PathBuf,
+    completed: BTreeMap<CellKey, CellReport>,
+    inflight: BTreeMap<CellKey, Vec<u8>>,
+}
+
+fn snap_cell_report(w: &mut SnapWriter, c: &CellReport) {
+    w.put_str(&c.alg);
+    w.put_str(&c.adversary);
+    w.put_str(&c.workload);
+    w.put_usize(c.shards);
+    w.put_u64(c.seed);
+    match c.verdict {
+        CellVerdict::Survived => w.put_u8(0),
+        CellVerdict::Violated { round } => {
+            w.put_u8(1);
+            w.put_u64(round);
+        }
+        CellVerdict::Incompatible => w.put_u8(2),
+        CellVerdict::Error => w.put_u8(3),
+    }
+    w.put_str(&c.detail);
+    w.put_u64(c.rounds);
+    w.put_u64(c.checks);
+    w.put_u64(c.peak_space_bits);
+    w.put_u64(c.final_space_bits);
+}
+
+fn take_cell_report(r: &mut SnapReader<'_>) -> Result<CellReport, SnapError> {
+    let (alg, adversary, workload) = (r.take_str()?, r.take_str()?, r.take_str()?);
+    let shards = r.take_usize()?;
+    let seed = r.take_u64()?;
+    let verdict = match r.take_u8()? {
+        0 => CellVerdict::Survived,
+        1 => CellVerdict::Violated {
+            round: r.take_u64()?,
+        },
+        2 => CellVerdict::Incompatible,
+        3 => CellVerdict::Error,
+        other => return Err(SnapError::corrupt(format!("unknown cell verdict {other}"))),
+    };
+    Ok(CellReport {
+        alg,
+        adversary,
+        workload,
+        shards,
+        seed,
+        verdict,
+        detail: r.take_str()?,
+        rounds: r.take_u64()?,
+        checks: r.take_u64()?,
+        peak_space_bits: r.take_u64()?,
+        final_space_bits: r.take_u64()?,
+        // Wall time is not reproducible and not part of the JSON artifact;
+        // restored cells report zero.
+        millis: 0,
+    })
+}
+
+impl CkptStore {
+    fn serialize(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_str(&self.fingerprint);
+        w.put_usize(self.completed.len());
+        for report in self.completed.values() {
+            snap_cell_report(&mut w, report);
+        }
+        w.put_usize(self.inflight.len());
+        for ((alg, adv, wl), frame) in &self.inflight {
+            w.put_str(alg);
+            w.put_str(adv);
+            w.put_str(wl);
+            w.put_bytes(frame);
+        }
+        w.finish()
+    }
+
+    fn parse(bytes: &[u8], expected_fingerprint: &str, path: &Path) -> Result<Self, WbError> {
+        let corrupt =
+            |e: SnapError| WbError::invalid(format!("checkpoint {}: {e}", path.display()));
+        let mut r = SnapReader::new(bytes).map_err(corrupt)?;
+        let fingerprint = r.take_str().map_err(corrupt)?;
+        if fingerprint != expected_fingerprint {
+            return Err(WbError::invalid(format!(
+                "checkpoint {} was taken under a different configuration\n  checkpoint: {fingerprint}\n  requested:  {expected_fingerprint}",
+                path.display()
+            )));
+        }
+        let mut completed = BTreeMap::new();
+        for _ in 0..r.take_usize().map_err(corrupt)? {
+            let report = take_cell_report(&mut r).map_err(corrupt)?;
+            let key = (
+                report.alg.clone(),
+                report.adversary.clone(),
+                report.workload.clone(),
+            );
+            completed.insert(key, report);
+        }
+        let mut inflight = BTreeMap::new();
+        for _ in 0..r.take_usize().map_err(corrupt)? {
+            let key = (
+                r.take_str().map_err(corrupt)?,
+                r.take_str().map_err(corrupt)?,
+                r.take_str().map_err(corrupt)?,
+            );
+            inflight.insert(key, r.take_bytes().map_err(corrupt)?);
+        }
+        r.finish().map_err(corrupt)?;
+        Ok(CkptStore {
+            fingerprint,
+            path: path.to_path_buf(),
+            completed,
+            inflight,
+        })
+    }
+
+    /// Atomic persist: write to `<path>.tmp`, then rename over `path` — a
+    /// kill mid-write leaves the previous checkpoint intact.
+    fn persist(&self) {
+        let tmp = self.path.with_extension("tmp");
+        if std::fs::write(&tmp, self.serialize()).is_ok() {
+            let _ = std::fs::rename(&tmp, &self.path);
+        }
+    }
+}
+
+/// [`run_tournament`] with kill-safe progress: completed cells and
+/// mid-prelude frames of in-flight cells persist to `ckpt.path`, and a rerun
+/// pointed at the same file continues where the killed run stopped. The
+/// final report is **byte-identical** to an uninterrupted run of the same
+/// configuration (each cell is a pure function of its coordinates, and
+/// mid-prelude frames capture the full cell state at chunk-invariant
+/// offsets), so checkpointing never perturbs the artifact — only the
+/// wall-clock cost of getting there.
+pub fn run_tournament_checkpointed(
+    cfg: &TournamentConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<TournamentReport, WbError> {
+    let start = Instant::now();
+    let fingerprint = config_fingerprint(cfg);
+    let store = if ckpt.path.exists() {
+        let bytes = std::fs::read(&ckpt.path)
+            .map_err(|e| WbError::invalid(format!("read {}: {e}", ckpt.path.display())))?;
+        CkptStore::parse(&bytes, &fingerprint, &ckpt.path)?
+    } else {
+        CkptStore {
+            fingerprint,
+            path: ckpt.path.clone(),
+            completed: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+        }
+    };
+    let store = Mutex::new(store);
+
+    let mut coords: Vec<CellKey> = Vec::with_capacity(cfg.cell_count());
+    for alg in &cfg.algs {
+        for adversary in &cfg.adversaries {
+            for workload in &cfg.workloads {
+                coords.push((alg.clone(), adversary.clone(), workload.clone()));
+            }
+        }
+    }
+    let jobs: Vec<Job<CellReport>> = coords
+        .iter()
+        .filter(|key| !store.lock().unwrap().completed.contains_key(*key))
+        .cloned()
+        .map(|key| -> Job<CellReport> {
+            let store = &store;
+            Box::new(move || {
+                let (alg, adversary, workload) = &key;
+                let resume_frame = store.lock().unwrap().inflight.get(&key).cloned();
+                let sink = |frame: Vec<u8>| {
+                    let mut s = store.lock().unwrap();
+                    s.inflight.insert(key.clone(), frame);
+                    s.persist();
+                };
+                let ctx = CellCkptCtx {
+                    every: ckpt.every,
+                    resume: resume_frame.as_deref(),
+                    sink: &sink,
+                };
+                let report = run_cell_resumable(cfg, alg, adversary, workload, Some(&ctx));
+                let mut s = store.lock().unwrap();
+                s.inflight.remove(&key);
+                s.completed.insert(key.clone(), report.clone());
+                s.persist();
+                report
+            })
+        })
+        .collect();
+    let threads = pool::effective_threads(cfg.threads);
+    pool::run_ordered(jobs, threads);
+
+    // Assemble in enumeration order from the (now complete) store.
+    let store = store.into_inner().unwrap();
+    let cells = coords
+        .iter()
+        .map(|key| {
+            store
+                .completed
+                .get(key)
+                .expect("every enumerated cell completed")
+                .clone()
+        })
+        .collect();
+    Ok(TournamentReport {
+        master_seed: cfg.master_seed,
+        threads,
+        cells,
+        wall_millis: start.elapsed().as_millis(),
+    })
+}
+
 /// Run one cell, converting panics into an [`CellVerdict::Error`] report so
 /// a single misbehaving pairing cannot take down the whole tournament.
 pub fn run_cell(cfg: &TournamentConfig, alg: &str, adversary: &str, workload: &str) -> CellReport {
+    run_cell_resumable(cfg, alg, adversary, workload, None)
+}
+
+/// Mid-prelude checkpoint hookup for one cell: how often to cut a frame,
+/// an optional frame to resume from, and where finished frames go.
+struct CellCkptCtx<'a> {
+    /// Updates between mid-prelude frames (`0` = no mid-cell frames; the
+    /// cell still checkpoints at completion via the tournament store).
+    every: u64,
+    /// Frame from a previous (killed) run of this exact cell.
+    resume: Option<&'a [u8]>,
+    /// Receives each newly cut frame.
+    sink: &'a (dyn Fn(Vec<u8>) + Sync),
+}
+
+fn run_cell_resumable(
+    cfg: &TournamentConfig,
+    alg: &str,
+    adversary: &str,
+    workload: &str,
+    ckpt: Option<&CellCkptCtx<'_>>,
+) -> CellReport {
     let start = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        play_cell(cfg, alg, adversary, workload)
+        play_cell(cfg, alg, adversary, workload, ckpt)
     }));
     let mut report = outcome.unwrap_or_else(|panic| {
         let msg = panic
@@ -525,7 +801,56 @@ fn blank_cell(cfg: &TournamentConfig, alg: &str, adversary: &str, workload: &str
     }
 }
 
-fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &str) -> CellReport {
+/// Serialize one in-flight cell: stream position, algorithm, game tape,
+/// referee ground truth, prelude generator, and the report accumulator.
+/// Everything a resumed cell needs to continue draw-for-draw.
+fn capture_cell_frame(
+    t: u64,
+    alg: &dyn DynStreamAlg,
+    rng: &TranscriptRng,
+    referee: &dyn DynReferee,
+    source: &FoldSource<WorkloadStream>,
+    game: &GameReport,
+) -> Result<Vec<u8>, SnapError> {
+    let mut w = SnapWriter::new();
+    w.put_u64(t);
+    w.put_bytes(&alg.snapshot_dyn()?);
+    rng.snap(&mut w);
+    w.put_bytes(&referee.snapshot_dyn()?);
+    source.snap(&mut w);
+    game.snap(&mut w);
+    Ok(w.finish())
+}
+
+/// Restore a [`capture_cell_frame`] frame into a freshly constructed cell
+/// (same config, same coordinates). Returns the stream position to resume
+/// from.
+fn restore_cell_frame(
+    frame: &[u8],
+    alg: &mut dyn DynStreamAlg,
+    rng: &mut TranscriptRng,
+    referee: &mut dyn DynReferee,
+    source: &mut FoldSource<WorkloadStream>,
+    game: &mut GameReport,
+) -> Result<u64, SnapError> {
+    let mut r = SnapReader::new(frame)?;
+    let t = r.take_u64()?;
+    alg.restore_dyn(&r.take_bytes()?)?;
+    rng.restore(&mut r)?;
+    referee.restore_dyn(&r.take_bytes()?)?;
+    source.restore(&mut r)?;
+    game.restore(&mut r)?;
+    r.finish()?;
+    Ok(t)
+}
+
+fn play_cell(
+    cfg: &TournamentConfig,
+    alg_name: &str,
+    adv_name: &str,
+    wl_name: &str,
+    ckpt: Option<&CellCkptCtx<'_>>,
+) -> CellReport {
     let mut cell = blank_cell(cfg, alg_name, adv_name, wl_name);
     let error = |mut cell: CellReport, detail: String| {
         cell.verdict = CellVerdict::Error;
@@ -634,8 +959,37 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
         // Phase 1: oblivious workload prelude, streamed chunk by chunk
         // through one reused buffer — O(batch) memory for any prelude_m.
         let mut source = FoldSource::new(spec.stream(), n);
+        if let Some(frame) = ckpt.and_then(|c| c.resume) {
+            match restore_cell_frame(
+                frame,
+                alg.as_mut(),
+                &mut rng,
+                referee.as_mut(),
+                &mut source,
+                &mut game,
+            ) {
+                Ok(resumed) => t = resumed,
+                Err(e) => return error(cell, format!("corrupt cell checkpoint: {e}")),
+            }
+        }
+        let every = ckpt.and_then(|c| (c.every > 0).then_some(c.every));
         let mut buf: Vec<Update> = Vec::with_capacity(batch);
-        while source.next_chunk(&mut buf) > 0 {
+        loop {
+            if let Some(every) = every {
+                // Cut pulls at checkpoint boundaries so frames land at
+                // exact multiples of `every` regardless of --chunk. The
+                // state at update t is chunk-invariant by the batching
+                // contract, so the extra cut changes nothing else — and
+                // the frames themselves are chunk-invariant too.
+                let next = (t / every + 1) * every;
+                let want = batch.min(usize::try_from(next - t).unwrap_or(batch)).max(1);
+                if buf.capacity() != want {
+                    buf = Vec::with_capacity(want);
+                }
+            }
+            if source.next_chunk(&mut buf) == 0 {
+                break;
+            }
             referee.observe_batch(&buf);
             if let Err(e) = alg.process_batch_dyn(&buf, &mut rng) {
                 let off = shard::locate_failure(alg.as_mut(), &buf, &mut rng, t);
@@ -648,6 +1002,17 @@ fn play_cell(cfg: &TournamentConfig, alg_name: &str, adv_name: &str, wl_name: &s
                 break;
             }
             t += buf.len() as u64;
+            if every.is_some_and(|every| t.is_multiple_of(every)) {
+                if let Some(c) = ckpt {
+                    // Algorithms without snapshot support simply skip
+                    // mid-cell frames; the cell still resumes from scratch.
+                    if let Ok(frame) =
+                        capture_cell_frame(t, alg.as_ref(), &rng, referee.as_ref(), &source, &game)
+                    {
+                        (c.sink)(frame);
+                    }
+                }
+            }
         }
         if incompatible.is_none() {
             let space = alg.space_bits_dyn();
@@ -865,6 +1230,118 @@ mod tests {
         let c = run_cell(&cfg, "misra_gries", "hh_evader", "uniform").seed;
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mid_prelude_frames_resume_byte_identically_and_are_chunk_invariant() {
+        // Cut frames every 48 updates (not a multiple of the 32-update
+        // batch) across a 128-update prelude; a cell resumed from any
+        // frame must produce the same JSON as the uninterrupted cell, and
+        // the frames themselves must not depend on the transport chunk.
+        let with_batch = |batch: usize| {
+            let mut cfg = tiny(1);
+            cfg.batch = batch;
+            cfg
+        };
+        let noop = |_: Vec<u8>| {};
+        for (alg, adv, wl) in [
+            ("misra_gries", "cycle", "uniform"),
+            ("count_min", "hh_evader", "uniform"),
+            ("exact_l0", "cycle", "churn"),
+        ] {
+            let frames_a = Mutex::new(Vec::<Vec<u8>>::new());
+            let cfg_a = with_batch(32);
+            let full = run_cell_resumable(
+                &cfg_a,
+                alg,
+                adv,
+                wl,
+                Some(&CellCkptCtx {
+                    every: 48,
+                    resume: None,
+                    sink: &|f| frames_a.lock().unwrap().push(f),
+                }),
+            );
+            let frames_a = frames_a.into_inner().unwrap();
+            assert!(!frames_a.is_empty(), "{alg}: no frames cut");
+
+            let frames_b = Mutex::new(Vec::<Vec<u8>>::new());
+            run_cell_resumable(
+                &with_batch(128),
+                alg,
+                adv,
+                wl,
+                Some(&CellCkptCtx {
+                    every: 48,
+                    resume: None,
+                    sink: &|f| frames_b.lock().unwrap().push(f),
+                }),
+            );
+            assert_eq!(
+                frames_a,
+                frames_b.into_inner().unwrap(),
+                "{alg}: frames depend on the chunk size"
+            );
+
+            for frame in &frames_a {
+                let resumed = run_cell_resumable(
+                    &cfg_a,
+                    alg,
+                    adv,
+                    wl,
+                    Some(&CellCkptCtx {
+                        every: 48,
+                        resume: Some(frame),
+                        sink: &noop,
+                    }),
+                );
+                assert_eq!(resumed.json_line(), full.json_line(), "{alg} resumed");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_tournament_matches_and_resumes_partial_files() {
+        let dir = std::env::temp_dir().join(format!("wb_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tournament.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = tiny(2);
+        let uninterrupted = run_tournament(&cfg).json_lines();
+        let ck = CheckpointConfig {
+            path: path.clone(),
+            every: 50,
+        };
+        let fresh = run_tournament_checkpointed(&cfg, &ck).unwrap();
+        assert_eq!(fresh.json_lines(), uninterrupted);
+        assert!(path.exists(), "checkpoint file written");
+
+        // A rerun over the finished file serves everything from cache.
+        let cached = run_tournament_checkpointed(&cfg, &ck).unwrap();
+        assert_eq!(cached.json_lines(), uninterrupted);
+
+        // Simulate a kill: drop half the completed cells from the file and
+        // resume — the rerun replays only the dropped cells and the report
+        // stays byte-identical.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut store = CkptStore::parse(&bytes, &config_fingerprint(&cfg), &path).unwrap();
+        let keys: Vec<CellKey> = store.completed.keys().cloned().collect();
+        for key in keys.iter().step_by(2) {
+            store.completed.remove(key);
+        }
+        store.persist();
+        let resumed = run_tournament_checkpointed(&cfg, &ck).unwrap();
+        assert_eq!(resumed.json_lines(), uninterrupted);
+
+        // A different configuration refuses the file.
+        let mut other = cfg.clone();
+        other.master_seed += 1;
+        let err = run_tournament_checkpointed(&other, &ck);
+        assert!(err.is_err(), "fingerprint mismatch must be rejected");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::erased::Update;
 use wb_core::rng::{Reciprocal, TranscriptRng, Xoshiro256StarStar};
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::stream::Turnstile;
 
 /// Default chunk size of the streaming pipeline: the buffer length
@@ -127,6 +128,18 @@ impl<S: UpdateSource> FoldSource<S> {
             inner,
             recip: Reciprocal::new(n),
         }
+    }
+}
+
+impl<S: Snapshot> Snapshot for FoldSource<S> {
+    /// Pure delegation: the fold modulus (and its reciprocal) is
+    /// construction config the restoring twin already holds.
+    fn snap(&self, w: &mut SnapWriter) {
+        self.inner.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.inner.restore(r)
     }
 }
 
@@ -330,6 +343,33 @@ impl WordTape {
         self.fill_words(&mut s);
         self.scratch = s;
         &self.scratch
+    }
+}
+
+impl Snapshot for WordTape {
+    /// Layout: `rng | unconsumed buffered words`. Only the words not yet
+    /// consumed (`buf[pos..]`) are captured — together with the generator
+    /// state they pin the exact tape position, so a restored tape emits the
+    /// same word sequence draw for draw. `scratch` and `recip` are pure
+    /// caches and are rebuilt on demand.
+    fn snap(&self, w: &mut SnapWriter) {
+        self.rng.snap(w);
+        w.put_u64_seq(&self.buf[self.pos..]);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng.restore(r)?;
+        let buffered = r.take_u64_seq()?;
+        if buffered.len() > WORD_TAPE_BUF {
+            return Err(SnapError::corrupt(format!(
+                "WordTape buffer holds {} words, max is {WORD_TAPE_BUF}",
+                buffered.len()
+            )));
+        }
+        self.buf = buffered;
+        self.pos = 0;
+        self.recip = None;
+        Ok(())
     }
 }
 
@@ -760,6 +800,240 @@ impl WorkloadStream {
     }
 }
 
+/// Variant tag used in [`WorkloadStream`] snapshot frames.
+fn stream_tag(state: &StreamState) -> u8 {
+    match state {
+        StreamState::Zipf { .. } => 0,
+        StreamState::Ddos { .. } => 1,
+        StreamState::Churn { .. } => 2,
+        StreamState::Uniform { .. } => 3,
+        StreamState::Cycle { .. } => 4,
+        StreamState::Script { .. } => 5,
+    }
+}
+
+/// Human label for a variant tag, for mismatch diagnostics.
+fn tag_label(tag: u8) -> &'static str {
+    match tag {
+        0 => "zipf",
+        1 => "ddos",
+        2 => "churn",
+        3 => "uniform",
+        4 => "cycle",
+        5 => "script",
+        _ => "unknown",
+    }
+}
+
+impl Snapshot for WorkloadStream {
+    /// Layout: `variant tag | config params | position state | tape`.
+    ///
+    /// Restore targets a twin built from the **same [`WorkloadSpec`]**:
+    /// configuration parameters are validated (wrong spec ⇒
+    /// [`SnapError::Mismatch`]), position state and the word tape are
+    /// overwritten, so the resumed stream emits exactly the updates the
+    /// snapshotted one had left — draw for draw, independent of how either
+    /// side chunked its pulls.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(stream_tag(&self.state));
+        match &self.state {
+            StreamState::Zipf {
+                tape,
+                n,
+                heavy,
+                remaining,
+                ..
+            } => {
+                w.put_u64(*n);
+                w.put_u64(*heavy);
+                w.put_u64(*remaining);
+                tape.snap(w);
+            }
+            StreamState::Ddos { tape, t, m } => {
+                w.put_u64(*m);
+                w.put_u64(*t);
+                tape.snap(w);
+            }
+            StreamState::Churn {
+                tape,
+                n,
+                wave,
+                waves_left,
+                base,
+                phase,
+                ..
+            } => {
+                w.put_u64(*n);
+                w.put_u64(*wave);
+                w.put_u64(*waves_left);
+                w.put_u64(*base);
+                match *phase {
+                    ChurnPhase::NextWave => w.put_u8(0),
+                    ChurnPhase::Insert(i, cur) => {
+                        w.put_u8(1);
+                        w.put_u64(i);
+                        w.put_u64(cur);
+                    }
+                    ChurnPhase::Delete(i, cur) => {
+                        w.put_u8(2);
+                        w.put_u64(i);
+                        w.put_u64(cur);
+                    }
+                }
+                tape.snap(w);
+            }
+            StreamState::Uniform { tape, n, remaining } => {
+                w.put_u64(*n);
+                w.put_u64(*remaining);
+                tape.snap(w);
+            }
+            StreamState::Cycle { items, t, m, cur } => {
+                w.put_u64(*items);
+                w.put_u64(*m);
+                w.put_u64(*t);
+                w.put_u64(*cur);
+            }
+            StreamState::Script { script, pos } => {
+                w.put_u64(script.len() as u64);
+                w.put_usize(*pos);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.take_u8()?;
+        let own = stream_tag(&self.state);
+        if tag != own {
+            return Err(SnapError::mismatch(tag_label(own), tag_label(tag)));
+        }
+        match &mut self.state {
+            StreamState::Zipf {
+                tape,
+                n,
+                heavy,
+                remaining,
+                ..
+            } => {
+                let (sn, sheavy) = (r.take_u64()?, r.take_u64()?);
+                if sn != *n || sheavy != *heavy {
+                    return Err(SnapError::mismatch(
+                        format!("zipf(n={n}, heavy={heavy})"),
+                        format!("zipf(n={sn}, heavy={sheavy})"),
+                    ));
+                }
+                *remaining = r.take_u64()?;
+                tape.restore(r)
+            }
+            StreamState::Ddos { tape, t, m } => {
+                let sm = r.take_u64()?;
+                if sm != *m {
+                    return Err(SnapError::mismatch(
+                        format!("ddos(m={m})"),
+                        format!("ddos(m={sm})"),
+                    ));
+                }
+                let st = r.take_u64()?;
+                if st > *m {
+                    return Err(SnapError::corrupt(format!("ddos position {st} > m {m}")));
+                }
+                *t = st;
+                tape.restore(r)
+            }
+            StreamState::Churn {
+                tape,
+                n,
+                wave,
+                waves_left,
+                base,
+                phase,
+                ..
+            } => {
+                let (sn, swave) = (r.take_u64()?, r.take_u64()?);
+                if sn != *n || swave != *wave {
+                    return Err(SnapError::mismatch(
+                        format!("churn(n={n}, wave={wave})"),
+                        format!("churn(n={sn}, wave={swave})"),
+                    ));
+                }
+                *waves_left = r.take_u64()?;
+                let sbase = r.take_u64()?;
+                if sbase >= *n {
+                    return Err(SnapError::corrupt(format!("churn base {sbase} >= n {n}")));
+                }
+                *base = sbase;
+                *phase = match r.take_u8()? {
+                    0 => ChurnPhase::NextWave,
+                    ptag @ (1 | 2) => {
+                        let (i, cur) = (r.take_u64()?, r.take_u64()?);
+                        let bound = if ptag == 1 { *wave } else { *wave / 2 };
+                        if i > bound || cur >= *n {
+                            return Err(SnapError::corrupt(format!(
+                                "churn phase {ptag} position (i={i}, cur={cur}) out of range"
+                            )));
+                        }
+                        if ptag == 1 {
+                            ChurnPhase::Insert(i, cur)
+                        } else {
+                            ChurnPhase::Delete(i, cur)
+                        }
+                    }
+                    other => {
+                        return Err(SnapError::corrupt(format!("unknown churn phase {other}")))
+                    }
+                };
+                tape.restore(r)
+            }
+            StreamState::Uniform { tape, n, remaining } => {
+                let sn = r.take_u64()?;
+                if sn != *n {
+                    return Err(SnapError::mismatch(
+                        format!("uniform(n={n})"),
+                        format!("uniform(n={sn})"),
+                    ));
+                }
+                *remaining = r.take_u64()?;
+                tape.restore(r)
+            }
+            StreamState::Cycle { items, t, m, cur } => {
+                let (sitems, sm) = (r.take_u64()?, r.take_u64()?);
+                if sitems != *items || sm != *m {
+                    return Err(SnapError::mismatch(
+                        format!("cycle(items={items}, m={m})"),
+                        format!("cycle(items={sitems}, m={sm})"),
+                    ));
+                }
+                let (st, scur) = (r.take_u64()?, r.take_u64()?);
+                if st > *m || scur >= *items {
+                    return Err(SnapError::corrupt(format!(
+                        "cycle position (t={st}, cur={scur}) out of range"
+                    )));
+                }
+                *t = st;
+                *cur = scur;
+                Ok(())
+            }
+            StreamState::Script { script, pos } => {
+                let slen = r.take_u64()?;
+                if slen != script.len() as u64 {
+                    return Err(SnapError::mismatch(
+                        format!("script(len={})", script.len()),
+                        format!("script(len={slen})"),
+                    ));
+                }
+                let spos = r.take_usize()?;
+                if spos > script.len() {
+                    return Err(SnapError::corrupt(format!(
+                        "script position {spos} > len {}",
+                        script.len()
+                    )));
+                }
+                *pos = spos;
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Chunk budget left for a generator with `left` updates remaining.
 #[inline]
 fn take_of(cap: usize, len: usize, left: u64) -> usize {
@@ -1064,6 +1338,137 @@ mod tests {
         assert_eq!(source.next_chunk(&mut buf), DEFAULT_CHUNK);
         assert_eq!(source.next_chunk(&mut buf), 10);
         assert_eq!(source.next_chunk(&mut buf), 0);
+    }
+
+    /// All workload variants at a small, draw-heavy size, for cross-variant
+    /// snapshot and len_hint sweeps.
+    fn all_specs() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::Zipf {
+                n: 1 << 10,
+                m: 500,
+                heavy: 8,
+                seed: 21,
+            },
+            WorkloadSpec::Ddos { m: 500, seed: 22 },
+            WorkloadSpec::Churn {
+                n: 300,
+                waves: 5,
+                wave: 64,
+                seed: 23,
+            },
+            WorkloadSpec::Uniform {
+                n: 1000,
+                m: 500,
+                seed: 24,
+            },
+            WorkloadSpec::Cycle { items: 7, m: 500 },
+            WorkloadSpec::Script((0..500).map(Update::Insert).collect()),
+        ]
+    }
+
+    #[test]
+    fn len_hint_tracks_remaining_after_partial_consumption() {
+        // The satellite-3 audit contract: len_hint is the count REMAINING,
+        // not the original total, at every point of a partially consumed
+        // stream — including streams produced by resized().
+        for spec in all_specs() {
+            let total = spec.len();
+            let mut source = spec.stream();
+            assert_eq!(source.len_hint(), Some(total), "{} fresh", spec.label());
+            let mut buf = Vec::with_capacity(64);
+            let mut consumed = 0u64;
+            while source.next_chunk(&mut buf) > 0 {
+                consumed += buf.len() as u64;
+                assert_eq!(
+                    source.len_hint(),
+                    Some(total - consumed),
+                    "{} after {consumed} updates",
+                    spec.label()
+                );
+            }
+            assert_eq!(source.len_hint(), Some(0), "{} drained", spec.label());
+        }
+    }
+
+    #[test]
+    fn len_hint_on_resized_streams_reports_new_total_minus_consumed() {
+        let spec = WorkloadSpec::Uniform {
+            n: 1 << 10,
+            m: 100,
+            seed: 5,
+        };
+        let resized = spec.resized(1000);
+        let mut source = resized.stream();
+        assert_eq!(source.len_hint(), Some(1000), "resized total, not original");
+        let mut buf = Vec::with_capacity(64);
+        source.next_chunk(&mut buf);
+        assert_eq!(
+            source.len_hint(),
+            Some(1000 - buf.len() as u64),
+            "resized remaining after a pull"
+        );
+    }
+
+    #[test]
+    fn stream_snapshot_resumes_draw_for_draw() {
+        // Snapshot mid-stream at an offset that is NOT chunk-aligned (so
+        // the word tape holds buffered words), restore into a twin built
+        // from the same spec, and check the twin emits exactly the updates
+        // the original had left — including a correct len_hint.
+        for spec in all_specs() {
+            let reference = spec.generate();
+            let mut source = spec.stream();
+            let mut buf = Vec::with_capacity(13);
+            let mut consumed = 0usize;
+            while consumed < 200 {
+                let wrote = source.next_chunk(&mut buf);
+                assert!(wrote > 0);
+                consumed += wrote;
+            }
+            let frame = wb_core::snap::to_bytes(&source);
+            let mut twin = spec.stream();
+            wb_core::snap::from_bytes(&mut twin, &frame).unwrap();
+            assert_eq!(
+                twin.len_hint(),
+                Some(reference.len() as u64 - consumed as u64),
+                "{} resumed len_hint",
+                spec.label()
+            );
+            let mut got = Vec::new();
+            let mut buf2 = Vec::with_capacity(31);
+            while twin.next_chunk(&mut buf2) > 0 {
+                got.extend_from_slice(&buf2);
+            }
+            assert_eq!(got, reference[consumed..], "{} resumed tail", spec.label());
+        }
+    }
+
+    #[test]
+    fn stream_snapshot_rejects_wrong_spec() {
+        let uniform = WorkloadSpec::Uniform {
+            n: 1000,
+            m: 100,
+            seed: 1,
+        };
+        let frame = wb_core::snap::to_bytes(&uniform.stream());
+        // Wrong variant.
+        let mut cycle = WorkloadSpec::Cycle { items: 3, m: 100 }.stream();
+        assert!(matches!(
+            wb_core::snap::from_bytes(&mut cycle, &frame),
+            Err(SnapError::Mismatch { .. })
+        ));
+        // Same variant, different universe.
+        let mut other = WorkloadSpec::Uniform {
+            n: 2000,
+            m: 100,
+            seed: 1,
+        }
+        .stream();
+        assert!(matches!(
+            wb_core::snap::from_bytes(&mut other, &frame),
+            Err(SnapError::Mismatch { .. })
+        ));
     }
 
     #[test]

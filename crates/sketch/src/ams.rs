@@ -15,6 +15,7 @@
 
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_signed, SpaceUsage};
 use wb_core::stream::{RunAggregator, StreamAlg, Turnstile};
 use wb_crypto::mersenne::{add61, mul61, reduce64};
@@ -50,6 +51,33 @@ impl AmsCopy {
     /// Current inner product (white-box view).
     pub fn counter(&self) -> i64 {
         self.counter
+    }
+}
+
+impl Snapshot for AmsCopy {
+    /// Layout: `coeffs[4] | counter`. The public sign coefficients are
+    /// serialized and overwritten — restoring them exactly keeps every
+    /// post-restore sign evaluation bit-identical.
+    fn snap(&self, w: &mut SnapWriter) {
+        for &c in &self.coeffs {
+            w.put_u64(c);
+        }
+        w.put_i64(self.counter);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut coeffs = [0u64; 4];
+        for c in &mut coeffs {
+            *c = r.take_u64()?;
+            if *c >= P {
+                return Err(SnapError::corrupt(format!(
+                    "AmsCopy coefficient {c} exceeds the field"
+                )));
+            }
+        }
+        self.coeffs = coeffs;
+        self.counter = r.take_i64()?;
+        Ok(())
     }
 }
 
@@ -149,6 +177,31 @@ impl Mergeable for AmsF2 {
     }
 }
 
+impl Snapshot for AmsF2 {
+    /// Layout: `len | copies…`. The copy count is a construction parameter;
+    /// the batch aggregator is per-batch scratch — skipped.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.copies.len());
+        for c in &self.copies {
+            c.snap(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let len = r.take_usize()?;
+        if len != self.copies.len() {
+            return Err(SnapError::mismatch(
+                format!("AmsF2({} copies)", self.copies.len()),
+                format!("AmsF2({len} copies)"),
+            ));
+        }
+        for c in &mut self.copies {
+            c.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 impl SpaceUsage for AmsF2 {
     fn space_bits(&self) -> u64 {
         self.copies
@@ -198,6 +251,15 @@ impl StreamAlg for AmsF2 {
 
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         Mergeable::merge(self, other)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> f64 {

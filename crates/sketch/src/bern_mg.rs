@@ -12,6 +12,7 @@
 use crate::misra_gries::MisraGries;
 use crate::sampling::bernoulli_rate;
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
 
@@ -91,6 +92,32 @@ impl BernMG {
     }
 }
 
+impl Snapshot for BernMG {
+    /// Layout: `p | m_guess | sampled | mg`. `p` and `m_guess` are derived
+    /// from construction parameters — validated bit-for-bit, which is also
+    /// what lets [`crate::epochs::GuessLadder`] verify a factory-rebuilt
+    /// instance matches the snapshot epoch.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.p);
+        w.put_u64(self.m_guess);
+        w.put_u64(self.sampled);
+        self.mg.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let p = r.take_f64()?;
+        let m_guess = r.take_u64()?;
+        if p.to_bits() != self.p.to_bits() || m_guess != self.m_guess {
+            return Err(SnapError::mismatch(
+                format!("BernMG(p={}, m_guess={})", self.p, self.m_guess),
+                format!("BernMG(p={p}, m_guess={m_guess})"),
+            ));
+        }
+        self.sampled = r.take_u64()?;
+        self.mg.restore(r)
+    }
+}
+
 impl SpaceUsage for BernMG {
     /// MG over sampled counts plus the sample counter. The guess `m` is
     /// represented by its epoch index upstream (Algorithm 2), so it is not
@@ -106,6 +133,15 @@ impl StreamAlg for BernMG {
 
     fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
         self.insert(update.0, rng);
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> Vec<(u64, f64)> {

@@ -10,6 +10,7 @@
 
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::{Reciprocal, TranscriptRng};
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_core::stream::{InsertOnly, RunAggregator, StreamAlg};
 use wb_crypto::mersenne::reduce125;
@@ -138,6 +139,57 @@ impl Mergeable for CountMin {
     }
 }
 
+impl Snapshot for CountMin {
+    /// Layout: `depth | width | (a, b)… | table | processed`. Dimensions
+    /// are validated; the public hash coefficients are serialized and
+    /// overwritten (they are state drawn at construction, and restoring
+    /// them exactly is what makes post-restore bucketing bit-identical).
+    /// The width reciprocal and batch aggregator are pure caches — skipped.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.depth);
+        w.put_usize(self.width);
+        for &(a, b) in &self.seeds {
+            w.put_u64(a);
+            w.put_u64(b);
+        }
+        w.put_u64_seq(&self.table);
+        w.put_u64(self.processed);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let depth = r.take_usize()?;
+        let width = r.take_usize()?;
+        if depth != self.depth || width != self.width {
+            return Err(SnapError::mismatch(
+                format!("CountMin {}x{}", self.depth, self.width),
+                format!("CountMin {depth}x{width}"),
+            ));
+        }
+        let mut seeds = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            let a = r.take_u64()?;
+            let b = r.take_u64()?;
+            if a == 0 || a >= P || b >= P {
+                return Err(SnapError::corrupt(format!(
+                    "CountMin hash coefficients ({a}, {b}) out of range"
+                )));
+            }
+            seeds.push((a, b));
+        }
+        let table = r.take_u64_seq()?;
+        if table.len() != depth * width {
+            return Err(SnapError::corrupt(format!(
+                "CountMin table holds {} cells for {depth}x{width}",
+                table.len()
+            )));
+        }
+        self.seeds = seeds;
+        self.table = table;
+        self.processed = r.take_u64()?;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for CountMin {
     fn space_bits(&self) -> u64 {
         self.table.iter().map(|&c| bits_for_count(c)).sum::<u64>() + self.seeds.len() as u64 * 128
@@ -237,6 +289,15 @@ impl StreamAlg for CountMin {
 
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         Mergeable::merge(self, other)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     /// The fixed query in attack experiments: the victim item `0`'s

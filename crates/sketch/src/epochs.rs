@@ -11,6 +11,7 @@
 //! Tracking the epoch index `c` costs `O(log log m / log R)` bits — the
 //! ladder never stores the stream length itself.
 
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, SpaceUsage};
 
 /// Epoch ladder over instances of type `T`, built by `factory(guess)`.
@@ -83,6 +84,34 @@ where
             }
         }
         promotions
+    }
+}
+
+impl<T, F> Snapshot for GuessLadder<T, F>
+where
+    T: Snapshot,
+    F: Fn(u64) -> T,
+{
+    /// Layout: `c | answering | warming`. The factory and ratio are
+    /// construction parameters; if the snapshot was taken at a later epoch
+    /// than the restoring twin's, both live instances are rebuilt through
+    /// the factory at the snapshot epoch's guesses before restoring their
+    /// state in place.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.c);
+        self.answering.snap(w);
+        self.warming.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let c = r.take_u32()?;
+        if c != self.c {
+            self.answering = (self.factory)(guess_at(self.ratio, c + 1));
+            self.warming = (self.factory)(guess_at(self.ratio, c + 2));
+            self.c = c;
+        }
+        self.answering.restore(r)?;
+        self.warming.restore(r)
     }
 }
 

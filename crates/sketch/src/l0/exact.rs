@@ -7,6 +7,7 @@
 
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_signed, bits_for_universe, SpaceUsage};
 use wb_core::stream::{FrequencyVector, StreamAlg, Turnstile};
 
@@ -56,6 +57,25 @@ impl Mergeable for ExactL0 {
     }
 }
 
+impl Snapshot for ExactL0 {
+    /// Layout: `n | freqs`.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.n);
+        self.freqs.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_u64()?;
+        if n != self.n {
+            return Err(SnapError::mismatch(
+                format!("ExactL0(n={})", self.n),
+                format!("ExactL0(n={n})"),
+            ));
+        }
+        self.freqs.restore(r)
+    }
+}
+
 impl SpaceUsage for ExactL0 {
     fn space_bits(&self) -> u64 {
         let id_bits = bits_for_universe(self.n);
@@ -86,6 +106,15 @@ impl StreamAlg for ExactL0 {
 
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         Mergeable::merge(self, other)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> u64 {

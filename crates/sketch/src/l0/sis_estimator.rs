@@ -17,6 +17,7 @@
 //! storing `A` explicitly adds the `Õ(n^{(1+c)ε})` term.
 
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{StreamAlg, Turnstile};
 use wb_crypto::prime::is_prime;
@@ -184,6 +185,81 @@ fn next_prime_at_least(mut x: u64) -> u64 {
     x
 }
 
+impl Snapshot for SisL0Estimator {
+    /// Layout: `n | chunk_w | d | q | beta_inf | sketches | nonzero_entries
+    /// | nonzero_chunks`. The SIS matrix is a large public immutable —
+    /// regenerated by the twin's constructor, validated here through its
+    /// parameters; sketch contents and the nonzero bookkeeping are
+    /// cross-checked so a corrupt snapshot cannot smuggle in an
+    /// inconsistent answer.
+    fn snap(&self, w: &mut SnapWriter) {
+        let p = self.matrix.params();
+        w.put_u64(self.n);
+        w.put_usize(self.chunk_w);
+        w.put_usize(p.d);
+        w.put_u64(p.q);
+        w.put_u64(p.beta_inf);
+        w.put_u64_seq(&self.sketches);
+        w.put_u32_seq(&self.nonzero_entries);
+        w.put_u64(self.nonzero_chunks);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_u64()?;
+        let chunk_w = r.take_usize()?;
+        let d = r.take_usize()?;
+        let q = r.take_u64()?;
+        let beta_inf = r.take_u64()?;
+        let p = *self.matrix.params();
+        if n != self.n || chunk_w != self.chunk_w || d != p.d || q != p.q || beta_inf != p.beta_inf
+        {
+            return Err(SnapError::mismatch(
+                format!(
+                    "SisL0Estimator(n={}, chunk_w={}, d={}, q={}, beta_inf={})",
+                    self.n, self.chunk_w, p.d, p.q, p.beta_inf
+                ),
+                format!(
+                    "SisL0Estimator(n={n}, chunk_w={chunk_w}, d={d}, q={q}, beta_inf={beta_inf})"
+                ),
+            ));
+        }
+        let sketches = r.take_u64_seq()?;
+        let nonzero_entries = r.take_u32_seq()?;
+        let nonzero_chunks = r.take_u64()?;
+        if sketches.len() != self.num_chunks * d || nonzero_entries.len() != self.num_chunks {
+            return Err(SnapError::corrupt(format!(
+                "SisL0Estimator sketch sizes {}x{} do not match {} chunks",
+                sketches.len(),
+                nonzero_entries.len(),
+                self.num_chunks
+            )));
+        }
+        if sketches.iter().any(|&v| v >= q) {
+            return Err(SnapError::corrupt("SisL0Estimator sketch entry ≥ q"));
+        }
+        for (chunk, &nz) in nonzero_entries.iter().enumerate() {
+            let recount = sketches[chunk * d..(chunk + 1) * d]
+                .iter()
+                .filter(|&&v| v != 0)
+                .count() as u32;
+            if recount != nz {
+                return Err(SnapError::corrupt(format!(
+                    "SisL0Estimator chunk {chunk}: {nz} recorded nonzeros, {recount} present"
+                )));
+            }
+        }
+        if nonzero_entries.iter().filter(|&&nz| nz > 0).count() as u64 != nonzero_chunks {
+            return Err(SnapError::corrupt(
+                "SisL0Estimator nonzero-chunk total inconsistent",
+            ));
+        }
+        self.sketches = sketches;
+        self.nonzero_entries = nonzero_entries;
+        self.nonzero_chunks = nonzero_chunks;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for SisL0Estimator {
     /// Sketch storage (`n^{1−ε}·n^{cε}·log q`) plus matrix storage
     /// (zero in random-oracle mode) plus the nonzero bookkeeping.
@@ -201,6 +277,15 @@ impl StreamAlg for SisL0Estimator {
 
     fn process(&mut self, update: &Turnstile, _rng: &mut TranscriptRng) {
         self.update(update.item, update.delta);
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> u64 {

@@ -11,6 +11,7 @@
 
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
 
@@ -185,6 +186,55 @@ impl Mergeable for MisraGries {
     }
 }
 
+impl Snapshot for MisraGries {
+    /// Layout: `k | n | processed | keys | counts`. `k` and `n` are
+    /// construction parameters — validated against the restoring twin, not
+    /// overwritten.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.k);
+        w.put_u64(self.n);
+        w.put_u64(self.processed);
+        w.put_u64_seq(&self.keys);
+        w.put_u64_seq(&self.counts);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let k = r.take_usize()?;
+        let n = r.take_u64()?;
+        if k != self.k || n != self.n {
+            return Err(SnapError::mismatch(
+                format!("MisraGries(k={}, n={})", self.k, self.n),
+                format!("MisraGries(k={k}, n={n})"),
+            ));
+        }
+        let processed = r.take_u64()?;
+        let keys = r.take_u64_seq()?;
+        let counts = r.take_u64_seq()?;
+        if keys.len() != counts.len() || keys.len() > k {
+            return Err(SnapError::corrupt(format!(
+                "MisraGries snapshot holds {} keys / {} counts for k={k}",
+                keys.len(),
+                counts.len()
+            )));
+        }
+        if counts.contains(&0) {
+            return Err(SnapError::corrupt("MisraGries zero counter"));
+        }
+        // k is small; a quadratic scan beats allocating a sort buffer.
+        if keys
+            .iter()
+            .enumerate()
+            .any(|(i, key)| keys[..i].contains(key))
+        {
+            return Err(SnapError::corrupt("MisraGries duplicate key"));
+        }
+        self.keys = keys;
+        self.counts = counts;
+        self.processed = processed;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for MisraGries {
     /// Each live counter stores an id (`⌈log₂ n⌉` bits) and a count
     /// (`O(log m)` bits — this is the `log m` term of Theorem 2.2 that the
@@ -217,6 +267,15 @@ impl StreamAlg for MisraGries {
 
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         Mergeable::merge(self, other)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> Vec<(u64, f64)> {

@@ -15,6 +15,7 @@
 //! stop at unlucky moments and measures the failure rate.
 
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
 
@@ -76,6 +77,28 @@ impl MorrisCounter {
     }
 }
 
+impl Snapshot for MorrisCounter {
+    /// Layout: `x | a`. The base offset `a` is a construction parameter —
+    /// validated bit-for-bit, not overwritten.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.x);
+        w.put_f64(self.a);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let x = r.take_u64()?;
+        let a = r.take_f64()?;
+        if a.to_bits() != self.a.to_bits() {
+            return Err(SnapError::mismatch(
+                format!("MorrisCounter(a={})", self.a),
+                format!("MorrisCounter(a={a})"),
+            ));
+        }
+        self.x = x;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for MorrisCounter {
     /// Only the exponent is state: `O(log X) = O(log log m + log 1/a)` bits.
     fn space_bits(&self) -> u64 {
@@ -93,6 +116,15 @@ impl StreamAlg for MorrisCounter {
 
     fn query(&self) -> f64 {
         self.estimate()
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn name(&self) -> &'static str {
@@ -139,6 +171,31 @@ impl MedianMorris {
     }
 }
 
+impl Snapshot for MedianMorris {
+    /// Layout: `len | counters…` — the copy count is a construction
+    /// parameter; each copy restores in place.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.counters.len());
+        for c in &self.counters {
+            c.snap(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let len = r.take_usize()?;
+        if len != self.counters.len() {
+            return Err(SnapError::mismatch(
+                format!("MedianMorris({} counters)", self.counters.len()),
+                format!("MedianMorris({len} counters)"),
+            ));
+        }
+        for c in &mut self.counters {
+            c.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 impl SpaceUsage for MedianMorris {
     fn space_bits(&self) -> u64 {
         self.counters.iter().map(SpaceUsage::space_bits).sum()
@@ -155,6 +212,15 @@ impl StreamAlg for MedianMorris {
 
     fn query(&self) -> f64 {
         self.estimate()
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn name(&self) -> &'static str {

@@ -21,6 +21,7 @@ use crate::morris::MedianMorris;
 use crate::sampling::bernoulli_rate;
 use std::collections::HashMap;
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
 use wb_crypto::crhf::PedersenMd;
@@ -112,6 +113,53 @@ impl HashedBernMG {
             .collect();
         out.sort_unstable_by_key(|&(i, _)| i);
         out
+    }
+}
+
+impl Snapshot for HashedBernMG {
+    /// Layout: `hash_bits | p | n | names_cap | sampled | mg | names`.
+    /// The CRHF itself is not serialized — it is drawn from the public
+    /// construction RNG, so the restoring twin already holds it (the
+    /// enclosing [`PhiEpsHeavyHitters`] snapshot fingerprints it).
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.hash_bits);
+        w.put_f64(self.p);
+        w.put_u64(self.n);
+        w.put_usize(self.names_cap);
+        w.put_u64(self.sampled);
+        self.mg.snap(w);
+        w.put_map_u64_u64(&self.names);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let hash_bits = r.take_u32()?;
+        let p = r.take_f64()?;
+        let n = r.take_u64()?;
+        let names_cap = r.take_usize()?;
+        if hash_bits != self.hash_bits
+            || p.to_bits() != self.p.to_bits()
+            || n != self.n
+            || names_cap != self.names_cap
+        {
+            return Err(SnapError::mismatch(
+                format!(
+                    "HashedBernMG(hash_bits={}, p={}, n={}, names_cap={})",
+                    self.hash_bits, self.p, self.n, self.names_cap
+                ),
+                format!("HashedBernMG(hash_bits={hash_bits}, p={p}, n={n}, names_cap={names_cap})"),
+            ));
+        }
+        self.sampled = r.take_u64()?;
+        self.mg.restore(r)?;
+        let names = r.take_map_u64_u64()?;
+        if names.len() > names_cap {
+            return Err(SnapError::corrupt(format!(
+                "HashedBernMG snapshot holds {} names for cap {names_cap}",
+                names.len()
+            )));
+        }
+        self.names = names;
+        Ok(())
     }
 }
 
@@ -222,6 +270,47 @@ impl PhiEpsHeavyHitters {
     }
 }
 
+impl Snapshot for PhiEpsHeavyHitters {
+    /// Layout: `phi | eps | hash_bits | crhf fingerprint | morris | ladder`.
+    /// The CRHF key is a large public immutable drawn at construction; a
+    /// digest of a fixed probe input stands in for it, so restoring into a
+    /// twin built from a different seed fails loudly instead of silently
+    /// diverging.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.phi);
+        w.put_f64(self.eps);
+        w.put_u32(self.hash_bits);
+        w.put_u64(self.crhf.hash_bytes(b"wbsn-crhf"));
+        self.morris.snap(w);
+        self.ladder.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let phi = r.take_f64()?;
+        let eps = r.take_f64()?;
+        let hash_bits = r.take_u32()?;
+        let fp = r.take_u64()?;
+        let own_fp = self.crhf.hash_bytes(b"wbsn-crhf");
+        if phi.to_bits() != self.phi.to_bits()
+            || eps.to_bits() != self.eps.to_bits()
+            || hash_bits != self.hash_bits
+            || fp != own_fp
+        {
+            return Err(SnapError::mismatch(
+                format!(
+                    "PhiEpsHeavyHitters(phi={}, eps={}, hash_bits={}, crhf={own_fp:#x})",
+                    self.phi, self.eps, self.hash_bits
+                ),
+                format!(
+                    "PhiEpsHeavyHitters(phi={phi}, eps={eps}, hash_bits={hash_bits}, crhf={fp:#x})"
+                ),
+            ));
+        }
+        self.morris.restore(r)?;
+        self.ladder.restore(r)
+    }
+}
+
 impl SpaceUsage for PhiEpsHeavyHitters {
     fn space_bits(&self) -> u64 {
         self.morris.space_bits() + self.ladder.space_bits() + self.crhf.space_bits()
@@ -234,6 +323,15 @@ impl StreamAlg for PhiEpsHeavyHitters {
 
     fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
         self.insert(update.0, rng);
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> Vec<(u64, f64)> {

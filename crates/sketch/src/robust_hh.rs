@@ -22,6 +22,7 @@ use crate::bern_mg::BernMG;
 use crate::epochs::GuessLadder;
 use crate::morris::MedianMorris;
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::SpaceUsage;
 use wb_core::stream::{InsertOnly, StreamAlg};
 
@@ -106,6 +107,31 @@ impl RobustL1HeavyHitters {
     }
 }
 
+impl Snapshot for RobustL1HeavyHitters {
+    /// Layout: `eps | n | morris | ladder`. The ladder carries its epoch
+    /// and both live [`BernMG`] instances; the factory in the restoring
+    /// twin rebuilds instances at the snapshot epoch's guesses.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.eps);
+        w.put_u64(self.n);
+        self.morris.snap(w);
+        self.ladder.snap(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let eps = r.take_f64()?;
+        let n = r.take_u64()?;
+        if eps.to_bits() != self.eps.to_bits() || n != self.n {
+            return Err(SnapError::mismatch(
+                format!("RobustL1HeavyHitters(eps={}, n={})", self.eps, self.n),
+                format!("RobustL1HeavyHitters(eps={eps}, n={n})"),
+            ));
+        }
+        self.morris.restore(r)?;
+        self.ladder.restore(r)
+    }
+}
+
 impl SpaceUsage for RobustL1HeavyHitters {
     fn space_bits(&self) -> u64 {
         self.morris.space_bits() + self.ladder.space_bits()
@@ -118,6 +144,15 @@ impl StreamAlg for RobustL1HeavyHitters {
 
     fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
         self.insert(update.0, rng);
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> Vec<(u64, f64)> {

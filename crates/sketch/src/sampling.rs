@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
 
@@ -94,6 +95,44 @@ impl BernoulliHeavyHitters {
     }
 }
 
+impl Snapshot for BernoulliHeavyHitters {
+    /// Layout: `p | n | processed | sampled | counts`. `p` and `n` are
+    /// construction parameters — validated, not overwritten.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.p);
+        w.put_u64(self.n);
+        w.put_u64(self.processed);
+        w.put_u64(self.sampled);
+        w.put_map_u64_u64(&self.counts);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let p = r.take_f64()?;
+        let n = r.take_u64()?;
+        if p.to_bits() != self.p.to_bits() || n != self.n {
+            return Err(SnapError::mismatch(
+                format!("BernoulliHeavyHitters(p={}, n={})", self.p, self.n),
+                format!("BernoulliHeavyHitters(p={p}, n={n})"),
+            ));
+        }
+        let processed = r.take_u64()?;
+        let sampled = r.take_u64()?;
+        let counts = r.take_map_u64_u64()?;
+        if counts.values().any(|&c| c == 0) {
+            return Err(SnapError::corrupt("BernoulliHeavyHitters zero count"));
+        }
+        if counts.values().sum::<u64>() != sampled {
+            return Err(SnapError::corrupt(
+                "BernoulliHeavyHitters counts do not sum to the sample total",
+            ));
+        }
+        self.counts = counts;
+        self.sampled = sampled;
+        self.processed = processed;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for BernoulliHeavyHitters {
     fn space_bits(&self) -> u64 {
         let id_bits = bits_for_universe(self.n);
@@ -110,6 +149,15 @@ impl StreamAlg for BernoulliHeavyHitters {
 
     fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
         self.insert(update.0, rng);
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> Vec<(u64, f64)> {

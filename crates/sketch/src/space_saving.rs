@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
+use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{for_each_run, InsertOnly, StreamAlg};
 
@@ -176,6 +177,61 @@ impl Mergeable for SpaceSaving {
     }
 }
 
+impl Snapshot for SpaceSaving {
+    /// Layout: `k | n | processed | len | (item, count, err)…` with entries
+    /// item-ascending for deterministic bytes.
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_usize(self.k);
+        w.put_u64(self.n);
+        w.put_u64(self.processed);
+        let entries = self.entries();
+        w.put_u64(entries.len() as u64);
+        for (item, e) in entries {
+            w.put_u64(item);
+            w.put_u64(e.count);
+            w.put_u64(e.err);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let k = r.take_usize()?;
+        let n = r.take_u64()?;
+        if k != self.k || n != self.n {
+            return Err(SnapError::mismatch(
+                format!("SpaceSaving(k={}, n={})", self.k, self.n),
+                format!("SpaceSaving(k={k}, n={n})"),
+            ));
+        }
+        let processed = r.take_u64()?;
+        let len = r.take_usize()?;
+        if len > k {
+            return Err(SnapError::corrupt(format!(
+                "SpaceSaving snapshot holds {len} entries for k={k}"
+            )));
+        }
+        let mut entries = HashMap::with_capacity(k + 1);
+        for _ in 0..len {
+            let item = r.take_u64()?;
+            let count = r.take_u64()?;
+            let err = r.take_u64()?;
+            // count ≥ 1 always holds; err ≤ count keeps under_estimate sound.
+            if count == 0 || err > count {
+                return Err(SnapError::corrupt(format!(
+                    "SpaceSaving entry {item}: count {count}, err {err}"
+                )));
+            }
+            if entries.insert(item, SsEntry { count, err }).is_some() {
+                return Err(SnapError::corrupt(format!(
+                    "SpaceSaving duplicate entry {item}"
+                )));
+            }
+        }
+        self.entries = entries;
+        self.processed = processed;
+        Ok(())
+    }
+}
+
 impl SpaceUsage for SpaceSaving {
     fn space_bits(&self) -> u64 {
         let id_bits = bits_for_universe(self.n);
@@ -208,6 +264,15 @@ impl StreamAlg for SpaceSaving {
 
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         Mergeable::merge(self, other)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        Snapshot::snap(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
     }
 
     fn query(&self) -> Vec<(u64, f64)> {

@@ -412,3 +412,270 @@ fn max_tenants_is_enforced_with_a_typed_error() {
     server.begin_drain();
     server.wait();
 }
+
+/// Regression: a `hello` racing a concurrent drain must not register a
+/// tenant after the drain flag flips. The old code checked `draining` only
+/// on entry; a drain beginning while the tenant was under construction
+/// (outside the registry lock) still inserted it — a tenant the drain
+/// would never have flushed. The fix re-checks the flag under the same
+/// lock as the insert, so the outcome is a typed `draining` refusal.
+///
+/// The interleave is forced, not hoped for: the test holds the tenant
+/// registry lock, lets the `hello` pass its entry check and block on that
+/// lock, flips the drain flag, then releases the lock.
+#[test]
+fn hello_racing_a_drain_cannot_create_a_tenant() {
+    let server = Server::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 1,
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon");
+    let addr = server.addr();
+    let shared = std::sync::Arc::clone(server.shared());
+
+    let guard = shared.tenants.lock().unwrap();
+    let hello = std::thread::spawn(move || {
+        let mut sess = Session::connect(addr);
+        sess.roundtrip("{\"cmd\":\"hello\",\"tenant\":\"racer\",\"alg\":\"morris\",\"seed\":1}")
+    });
+    // Give the hello time to pass its entry-point draining check and block
+    // on the registry lock we hold; then the drain begins.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    server.begin_drain();
+    drop(guard);
+
+    let reply = hello.join().expect("hello session");
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("draining"),
+        "hello past the drain flip must be refused, got {}",
+        reply.to_line()
+    );
+    assert!(
+        shared.tenants.lock().unwrap().is_empty(),
+        "no tenant may be registered after the drain flag flips"
+    );
+    let finals = server.wait();
+    let tenants = finals.get("tenants").expect("tenants rollup");
+    assert_eq!(tenants.get("count").and_then(Json::as_u64), Some(0));
+}
+
+/// Ingest deterministically per test: `count` inserts over a small
+/// universe, offset so separate halves concatenate to one fixed stream.
+fn insert_line(tenant: &str, from: u64, count: u64) -> String {
+    let updates: Vec<String> = (from..from + count).map(|i| (i % 97).to_string()).collect();
+    format!(
+        "{{\"cmd\":\"ingest\",\"tenant\":\"{tenant}\",\"updates\":[{}]}}",
+        updates.join(",")
+    )
+}
+
+/// The tentpole end-to-end: `snapshot` a mid-stream tenant to disk over
+/// the protocol, `restore` it into a *different* daemon process (fresh
+/// `Server`), continue the stream there, and land on exactly the answer an
+/// uninterrupted run produces. Both a flat (morris — RNG per update) and a
+/// sharded (misra_gries) tenant cross the restart.
+#[test]
+fn protocol_snapshot_restore_continues_across_daemons() {
+    let dir = std::env::temp_dir().join(format!("wbd-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let algs = [("flat_t", "morris"), ("shard_t", "misra_gries")];
+
+    // Uninterrupted reference: the full 600-update stream in one daemon.
+    let mut reference = std::collections::BTreeMap::new();
+    {
+        let server = Server::start(DaemonConfig {
+            listen: "127.0.0.1:0".into(),
+            threads: 2,
+            shards: 4,
+            chunk: 64,
+            ..DaemonConfig::default()
+        })
+        .expect("start reference daemon");
+        let mut sess = Session::connect(server.addr());
+        for (tenant, alg) in algs {
+            sess.expect_ok(&format!(
+                "{{\"cmd\":\"hello\",\"tenant\":\"{tenant}\",\"alg\":\"{alg}\",\"seed\":7,\"n\":1024}}"
+            ));
+            sess.expect_ok(&insert_line(tenant, 0, 600));
+            let reply = sess.expect_ok(&format!("{{\"cmd\":\"query\",\"tenant\":\"{tenant}\"}}"));
+            reference.insert(tenant, reply.get("answer").unwrap().to_line());
+        }
+        sess.expect_ok("{\"cmd\":\"bye\"}");
+        server.begin_drain();
+        server.wait();
+    }
+
+    // First daemon: half the stream, then snapshot each tenant to disk.
+    {
+        let server = Server::start(DaemonConfig {
+            listen: "127.0.0.1:0".into(),
+            threads: 2,
+            shards: 4,
+            chunk: 64,
+            ..DaemonConfig::default()
+        })
+        .expect("start first daemon");
+        let mut sess = Session::connect(server.addr());
+        for (tenant, alg) in algs {
+            sess.expect_ok(&format!(
+                "{{\"cmd\":\"hello\",\"tenant\":\"{tenant}\",\"alg\":\"{alg}\",\"seed\":7,\"n\":1024}}"
+            ));
+            sess.expect_ok(&insert_line(tenant, 0, 250));
+            let reply = sess.expect_ok(&format!(
+                "{{\"cmd\":\"snapshot\",\"tenant\":\"{tenant}\",\"path\":\"{}/{tenant}.wbsnap\"}}",
+                dir.display()
+            ));
+            assert_eq!(reply.get("applied").and_then(Json::as_u64), Some(250));
+            assert!(reply.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+        }
+        sess.expect_ok("{\"cmd\":\"bye\"}");
+        server.begin_drain();
+        server.wait();
+    }
+
+    // Second daemon (different chunk — transport must not matter): restore
+    // from disk, finish the stream, compare answers byte-for-byte.
+    {
+        let server = Server::start(DaemonConfig {
+            listen: "127.0.0.1:0".into(),
+            threads: 1,
+            shards: 4,
+            chunk: 17,
+            ..DaemonConfig::default()
+        })
+        .expect("start second daemon");
+        let mut sess = Session::connect(server.addr());
+        for (tenant, _alg) in algs {
+            let reply = sess.expect_ok(&format!(
+                "{{\"cmd\":\"restore\",\"path\":\"{}/{tenant}.wbsnap\"}}",
+                dir.display()
+            ));
+            assert_eq!(reply.get("applied").and_then(Json::as_u64), Some(250));
+            // Restoring over a live tenant is refused, typed.
+            let dup = sess.roundtrip(&format!(
+                "{{\"cmd\":\"restore\",\"path\":\"{}/{tenant}.wbsnap\"}}",
+                dir.display()
+            ));
+            assert_eq!(
+                dup.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str),
+                Some("tenant_mismatch")
+            );
+            sess.expect_ok(&insert_line(tenant, 250, 350));
+            let reply = sess.expect_ok(&format!("{{\"cmd\":\"query\",\"tenant\":\"{tenant}\"}}"));
+            assert_eq!(reply.get("processed").and_then(Json::as_u64), Some(600));
+            assert_eq!(
+                reply.get("answer").unwrap().to_line(),
+                reference[tenant],
+                "restored {tenant} must answer exactly as the uninterrupted run"
+            );
+        }
+        // A missing file is a typed snapshot_failed, not a disconnect.
+        let missing = sess.roundtrip(&format!(
+            "{{\"cmd\":\"restore\",\"path\":\"{}/nope.wbsnap\"}}",
+            dir.display()
+        ));
+        assert_eq!(
+            missing
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("snapshot_failed")
+        );
+        sess.expect_ok("{\"cmd\":\"bye\"}");
+        server.begin_drain();
+        server.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--state-dir` persistence: a drained daemon writes every tenant to its
+/// state directory and a fresh daemon pointed at the same directory picks
+/// them up before accepting — a full restart with no client-side snapshot
+/// choreography. The continued stream must again match an uninterrupted
+/// run byte-for-byte.
+#[test]
+fn state_dir_round_trips_tenants_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("wbd-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 2,
+        shards: 4,
+        chunk: 64,
+        state_dir: Some(dir.display().to_string()),
+        ..DaemonConfig::default()
+    };
+
+    // Uninterrupted reference (no persistence involved).
+    let reference = {
+        let server = Server::start(DaemonConfig {
+            state_dir: None,
+            ..cfg()
+        })
+        .expect("start reference daemon");
+        let mut sess = Session::connect(server.addr());
+        sess.expect_ok(
+            "{\"cmd\":\"hello\",\"tenant\":\"durable\",\"alg\":\"space_saving\",\"seed\":11,\"n\":2048}",
+        );
+        sess.expect_ok(&insert_line("durable", 0, 700));
+        let reply = sess.expect_ok("{\"cmd\":\"query\",\"tenant\":\"durable\"}");
+        sess.expect_ok("{\"cmd\":\"bye\"}");
+        server.begin_drain();
+        server.wait();
+        reply.get("answer").unwrap().to_line()
+    };
+
+    {
+        let server = Server::start(cfg()).expect("start persisted daemon");
+        let mut sess = Session::connect(server.addr());
+        sess.expect_ok(
+            "{\"cmd\":\"hello\",\"tenant\":\"durable\",\"alg\":\"space_saving\",\"seed\":11,\"n\":2048}",
+        );
+        sess.expect_ok(&insert_line("durable", 0, 300));
+        sess.expect_ok("{\"cmd\":\"bye\"}");
+        server.begin_drain();
+        server.wait(); // drain persists to the state dir
+    }
+    assert!(
+        std::fs::read_dir(&dir).unwrap().count() >= 1,
+        "drain must leave a snapshot file behind"
+    );
+
+    {
+        let server = Server::start(cfg()).expect("restart persisted daemon");
+        let mut sess = Session::connect(server.addr());
+        // The restored tenant answers hello idempotently (same alg + seed)
+        // with its state intact — no re-creation.
+        sess.expect_ok(
+            "{\"cmd\":\"hello\",\"tenant\":\"durable\",\"alg\":\"space_saving\",\"seed\":11,\"n\":2048}",
+        );
+        let stats = sess.expect_ok("{\"cmd\":\"snapshot-stats\",\"tenant\":\"durable\"}");
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("applied"))
+                .and_then(Json::as_u64),
+            Some(300),
+            "restart must restore mid-stream state: {}",
+            stats.to_line()
+        );
+        sess.expect_ok(&insert_line("durable", 300, 400));
+        let reply = sess.expect_ok("{\"cmd\":\"query\",\"tenant\":\"durable\"}");
+        assert_eq!(
+            reply.get("answer").unwrap().to_line(),
+            reference,
+            "stream continued across a restart must answer as uninterrupted"
+        );
+        sess.expect_ok("{\"cmd\":\"bye\"}");
+        server.begin_drain();
+        server.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

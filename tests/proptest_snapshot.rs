@@ -1,0 +1,146 @@
+//! Satellite of the snapshot tentpole, property-tested: for **every**
+//! registry algorithm, `snapshot → restore → continue` is indistinguishable
+//! from never having stopped — on arbitrary streams, at arbitrary split
+//! points, under chunk sizes {1, 7, 4096} (single-update, ragged, and
+//! bulk ingestion), with the algorithm's transcript RNG crossing the
+//! snapshot alongside the sketch. A dedicated case exercises a
+//! [`TranscriptRng`] that has wrapped its 1024-word transcript ring, the
+//! regime where a naive "replay from the start" restore would diverge.
+
+use proptest::prelude::*;
+use wb_core::rng::TranscriptRng;
+use wb_core::snap;
+use wb_engine::registry::{self, Params};
+use wb_engine::{DynStreamAlg, StreamModel, Update};
+
+/// Chunk sizes the round-trip must be invariant under: one update at a
+/// time, a ragged prime, and a bulk batch larger than any test stream.
+const CHUNKS: [usize; 3] = [1, 7, 4096];
+
+fn params_for_test(ctor_seed: u64) -> Params {
+    Params::default().with_n(1 << 10).with_seed(ctor_seed)
+}
+
+/// Map raw `(item, delta)` pairs into the algorithm's model: turnstile
+/// algorithms see mixed inserts and deletions, insert-only algorithms see
+/// pure inserts over the same item sequence.
+fn shape_stream(raw: &[(u64, i64)], model: StreamModel) -> Vec<Update> {
+    raw.iter()
+        .map(|&(item, delta)| {
+            let u = if delta == 0 {
+                Update::Insert(item)
+            } else {
+                Update::Turnstile { item, delta }
+            };
+            if model.accepts(&u) {
+                u
+            } else {
+                Update::Insert(item)
+            }
+        })
+        .collect()
+}
+
+/// Feed `updates` in `chunk`-sized batches.
+fn feed(
+    alg: &mut dyn DynStreamAlg,
+    rng: &mut TranscriptRng,
+    updates: &[Update],
+    chunk: usize,
+) -> Result<(), wb_core::WbError> {
+    for batch in updates.chunks(chunk.max(1)) {
+        alg.process_batch_dyn(batch, rng)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The exhaustive round-trip: every algorithm × every chunk size.
+    #[test]
+    fn snapshot_restore_continue_matches_uninterrupted_for_every_algorithm(
+        raw in proptest::collection::vec((0u64..512, -2i64..=3), 40..400),
+        split_pct in 5u64..95,
+        ctor_seed in 0u64..1000,
+        game_seed in 0u64..1000,
+    ) {
+        for name in registry::names() {
+            let params = params_for_test(ctor_seed);
+            let reference = registry::get(name, &params).unwrap();
+            let updates = shape_stream(&raw, reference.model_dyn());
+            let split =
+                ((updates.len() as u64 * split_pct / 100) as usize).clamp(1, updates.len() - 1);
+            for chunk in CHUNKS {
+                // Uninterrupted run.
+                let mut a = registry::get(name, &params).unwrap();
+                let mut rng_a = TranscriptRng::from_seed(game_seed);
+                feed(a.as_mut(), &mut rng_a, &updates, chunk).unwrap();
+
+                // Run to the split, snapshot sketch + RNG, drop everything.
+                let (alg_bytes, rng_bytes) = {
+                    let mut b = registry::get(name, &params).unwrap();
+                    let mut rng_b = TranscriptRng::from_seed(game_seed);
+                    feed(b.as_mut(), &mut rng_b, &updates[..split], chunk).unwrap();
+                    (b.snapshot_dyn().unwrap(), snap::to_bytes(&rng_b))
+                };
+
+                // Restore into a twin and continue.
+                let mut c = registry::get(name, &params).unwrap();
+                let mut rng_c = TranscriptRng::from_seed(game_seed);
+                c.restore_dyn(&alg_bytes).unwrap();
+                snap::from_bytes(&mut rng_c, &rng_bytes).unwrap();
+                feed(c.as_mut(), &mut rng_c, &updates[split..], chunk).unwrap();
+
+                prop_assert_eq!(
+                    c.query_dyn(),
+                    a.query_dyn(),
+                    "{} diverged after restore (chunk {}, split {})",
+                    name, chunk, split
+                );
+                prop_assert_eq!(
+                    c.space_bits_dyn(),
+                    a.space_bits_dyn(),
+                    "{} space diverged after restore (chunk {})",
+                    name, chunk
+                );
+            }
+        }
+    }
+
+    /// A transcript RNG that has wrapped its 1024-word ring must cross a
+    /// snapshot losslessly: the post-restore draw sequence (and the
+    /// transcript the white-box adversary reads) continues draw-for-draw.
+    #[test]
+    fn wrapped_transcript_ring_survives_snapshot(
+        seed in 0u64..5000,
+        warmup in 1500usize..4000,
+        tail in 1usize..600,
+    ) {
+        let mut uninterrupted = TranscriptRng::from_seed(seed);
+        for _ in 0..warmup {
+            uninterrupted.next_u64();
+        }
+
+        let mut live = TranscriptRng::from_seed(seed);
+        for _ in 0..warmup {
+            live.next_u64();
+        }
+        let bytes = snap::to_bytes(&live);
+        let mut resumed = TranscriptRng::from_seed(seed ^ 0xdead_beef); // twin, wrong seed state
+        snap::from_bytes(&mut resumed, &bytes).unwrap();
+
+        for i in 0..tail {
+            prop_assert_eq!(
+                resumed.next_u64(),
+                uninterrupted.next_u64(),
+                "draw {} diverged after a wrapped-ring restore", i
+            );
+        }
+        prop_assert_eq!(
+            resumed.transcript().recent(),
+            uninterrupted.transcript().recent(),
+            "the adversary-visible transcript must match after restore"
+        );
+    }
+}
