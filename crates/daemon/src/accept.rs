@@ -1,0 +1,160 @@
+//! The thread-per-session backend: a blocking accept loop spawning one
+//! thread per TCP connection. This is the portable fallback (`--backend
+//! thread`, and the only backend off Linux); the epoll reactor in
+//! [`crate::reactor`] serves the same protocol through
+//! [`crate::dispatch`], so replies are byte-identical between the two.
+
+use crate::dispatch::{self, Blocking, Outcome};
+use crate::json::Json;
+use crate::proto::{ErrorKind, ProtoError};
+use crate::server::{Shared, MAX_LINE_BYTES};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Socket read timeout: the granularity at which idle sessions notice a
+/// drain. Short enough that shutdown completes promptly, long enough to
+/// stay off the scheduler's back.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Run the accept loop until the daemon drains, spawning a session thread
+/// per connection and parking its handle in `sessions` for
+/// [`crate::Server::wait`] to join.
+pub fn accept_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    // Nonblocking accept + short sleep: the simplest loop that can
+    // notice the draining flag without a self-connect wakeup.
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                shared.sessions_active.fetch_add(1, Ordering::Relaxed);
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_session(&shared, stream);
+                    shared.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                    shared.sessions_active.fetch_sub(1, Ordering::Relaxed);
+                });
+                sessions.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Serve one connection until EOF, `bye`, or drain-idle.
+fn serve_session(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = LineReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match reader.next_line(&shared.draining)? {
+            NextLine::Line(line) => line,
+            NextLine::Closed => return Ok(()), // EOF or drain-idle
+            NextLine::TooLong => {
+                // One unbounded line must not exhaust daemon memory: reply
+                // with a typed refusal and close this session (the buffer
+                // no longer frames requests, so it cannot keep serving).
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = ProtoError::new(
+                    ErrorKind::BadRequest,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let mut out = reply.to_json().to_line();
+                out.push('\n');
+                writer.write_all(out.as_bytes())?;
+                return Ok(());
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (reply, end) = match dispatch::handle_line(shared, &mut Blocking, &line) {
+            Outcome::Reply { reply, end } => (reply, end),
+            Outcome::Pending(_) => unreachable!("blocking mode waits instead of parking"),
+        };
+        if reply.get("ok") == Some(&Json::Bool(false)) {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut out = reply.to_line();
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
+        if end {
+            return Ok(());
+        }
+    }
+}
+
+/// One [`LineReader::next_line`] outcome.
+enum NextLine {
+    /// A full request line (newline stripped).
+    Line(String),
+    /// EOF, or the daemon is draining and the connection went idle.
+    Closed,
+    /// The client exceeded [`MAX_LINE_BYTES`] without a newline.
+    TooLong,
+}
+
+/// A line reader over a read-timeout socket that never loses a partial
+/// line: bytes accumulate across timeouts, and only a full `\n`-terminated
+/// line is consumed. Returns [`NextLine::Closed`] on EOF or when the
+/// daemon is draining and the connection has gone idle with no buffered
+/// partial request.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<NextLine> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(NextLine::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Ok(NextLine::TooLong);
+            }
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(NextLine::Closed), // EOF (partial line discarded)
+                Ok(k) => self.buf.extend_from_slice(&tmp[..k]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Idle tick: during a drain, a quiet session closes
+                    // (its client got every reply it asked for); otherwise
+                    // keep waiting.
+                    if draining.load(Ordering::SeqCst) && self.buf.is_empty() {
+                        return Ok(NextLine::Closed);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -2,7 +2,10 @@
 //! reply lines out on stdout.
 //!
 //! Every non-empty input line is sent verbatim (it must be one protocol
-//! JSON object) and the daemon's reply line is printed. Exit status:
+//! JSON object) and the daemon's reply line is printed. With `--pipeline
+//! N`, up to N requests stay in flight before the client reads a reply —
+//! the daemon answers strictly in request order per session, so replies
+//! are matched to requests positionally. Exit status:
 //!
 //! * `0` — every reply parsed as JSON (and, under `--strict`, none was
 //!   `"ok":false`);
@@ -15,25 +18,34 @@
 //! daemon refuses it).
 
 use crate::json::Json;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-/// Drive `input` against the daemon at `addr`, writing replies to `out`.
-/// Returns `Ok(())` when the script passed, `Err(reason)` otherwise.
+/// Drive `input` against the daemon at `addr`, writing replies to `out`,
+/// keeping up to `pipeline` requests in flight (`0` and `1` both mean
+/// stop-and-wait). Returns `Ok(())` when the script passed,
+/// `Err(reason)` otherwise.
 pub fn run_script(
     addr: &str,
     input: &mut dyn BufRead,
     out: &mut dyn Write,
     strict: bool,
+    pipeline: usize,
 ) -> Result<(), String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = stream;
+    let window = pipeline.max(1);
+    // Expected-error flags of in-flight requests, oldest first: the
+    // daemon replies in request order per session, so matching is
+    // positional.
+    let mut inflight: VecDeque<bool> = VecDeque::new();
     let mut line = String::new();
     loop {
         line.clear();
         match input.read_line(&mut line) {
-            Ok(0) => return Ok(()),
+            Ok(0) => break,
             Ok(_) => {}
             Err(e) => return Err(format!("stdin: {e}")),
         }
@@ -45,36 +57,55 @@ pub fn run_script(
             Some(rest) => (true, rest),
             None => (false, trimmed),
         };
+        while inflight.len() >= window {
+            pull_reply(&mut reader, &mut inflight, out, strict)?;
+        }
         writer
             .write_all(request.as_bytes())
             .and_then(|_| writer.write_all(b"\n"))
             .map_err(|e| format!("send: {e}"))?;
-        let mut reply = String::new();
-        match reader.read_line(&mut reply) {
-            Ok(0) => return Err("daemon closed the connection mid-script".to_string()),
-            Ok(_) => {}
-            Err(e) => return Err(format!("recv: {e}")),
-        }
-        let reply = reply.trim_end();
-        let parsed = Json::parse(reply).map_err(|e| format!("malformed reply {reply:?}: {e}"))?;
-        let ok = parsed.get("ok") == Some(&Json::Bool(true));
-        writeln!(out, "{reply}").map_err(|e| e.to_string())?;
-        if strict && ok == expect_error {
-            return Err(if expect_error {
-                format!("expected an error reply, got: {reply}")
-            } else {
-                format!("error reply: {reply}")
-            });
-        }
-        // `bye` ends the session server-side; stop reading stdin. Decide
-        // from the request's parsed `cmd` — a substring match would end
-        // the script early on any request merely mentioning "bye" (e.g.
-        // a tenant named so).
+        inflight.push_back(expect_error);
+        // `bye` ends the session server-side; stop reading stdin and
+        // drain the outstanding replies. Decide from the request's parsed
+        // `cmd` — a substring match would end the script early on any
+        // request merely mentioning "bye" (e.g. a tenant named so).
         let is_bye = Json::parse(request)
             .ok()
             .is_some_and(|req| req.get("cmd").and_then(Json::as_str) == Some("bye"));
         if is_bye {
-            return Ok(());
+            break;
         }
     }
+    while !inflight.is_empty() {
+        pull_reply(&mut reader, &mut inflight, out, strict)?;
+    }
+    Ok(())
+}
+
+/// Read one reply line and check it against the oldest in-flight request.
+fn pull_reply(
+    reader: &mut BufReader<TcpStream>,
+    inflight: &mut VecDeque<bool>,
+    out: &mut dyn Write,
+    strict: bool,
+) -> Result<(), String> {
+    let expect_error = inflight.pop_front().expect("no request in flight");
+    let mut reply = String::new();
+    match reader.read_line(&mut reply) {
+        Ok(0) => return Err("daemon closed the connection mid-script".to_string()),
+        Ok(_) => {}
+        Err(e) => return Err(format!("recv: {e}")),
+    }
+    let reply = reply.trim_end();
+    let parsed = Json::parse(reply).map_err(|e| format!("malformed reply {reply:?}: {e}"))?;
+    let ok = parsed.get("ok") == Some(&Json::Bool(true));
+    writeln!(out, "{reply}").map_err(|e| e.to_string())?;
+    if strict && ok == expect_error {
+        return Err(if expect_error {
+            format!("expected an error reply, got: {reply}")
+        } else {
+            format!("error reply: {reply}")
+        });
+    }
+    Ok(())
 }

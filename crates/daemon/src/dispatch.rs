@@ -1,0 +1,570 @@
+//! Re-entrant request dispatch, shared by both session backends.
+//!
+//! The thread backend ([`crate::accept`]) and the epoll reactor
+//! ([`crate::reactor`]) speak the same protocol over very different
+//! session shapes: a thread can park inside a handler (condvar waits,
+//! blocking pool submits), a reactor session must never block its event
+//! loop. This module factors the difference into a [`DispatchMode`]:
+//! handlers ask the mode for a [`Waiter`] when they hit a blocking
+//! condition — `None` means "wait here" (thread backend), `Some` means
+//! "register the waiter and return a [`PendingOp`]" (reactor). Everything
+//! else — admission checks, typed errors, reply shapes, counter updates —
+//! is written once, so the two backends cannot drift.
+//!
+//! A session has at most one [`PendingOp`] in flight: requests behind it
+//! stay unread in the session buffer, which preserves per-session reply
+//! order without any reply-slot bookkeeping (pipelined clients still get
+//! their replies in request order).
+
+use crate::json::{obj, Json};
+use crate::metrics;
+use crate::proto::{self, ErrorKind, ProtoError, Request};
+use crate::server::{hex_id, write_atomic, Shared};
+use crate::tenant::{Tenant, TenantSlot, TenantState, Waiter, INBOX_CHUNKS};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use wb_engine::Update;
+
+/// How a session backend waits and schedules. The thread backend blocks
+/// in place; the reactor registers wakeups and defers full-queue pool
+/// submissions back to its event loop.
+pub trait DispatchMode {
+    /// A waiter for the current session, or `None` to block inline.
+    /// Handlers call this exactly when a blocking condition holds under
+    /// the slot lock; returning `Some` converts the request into a
+    /// [`PendingOp`].
+    fn waiter(&self) -> Option<Waiter>;
+
+    /// Hand `slot`'s freshly-scheduled inbox to a pool worker. Called with
+    /// the slot lock released and `scheduled` already set.
+    fn schedule(&mut self, shared: &Arc<Shared>, slot: &Arc<TenantSlot>);
+}
+
+/// Blocking mode: condvar waits, blocking pool submission. The thread
+/// backend's mode, and the teardown mode the reactor uses to finish a
+/// pending ingest whose client vanished.
+pub struct Blocking;
+
+impl DispatchMode for Blocking {
+    fn waiter(&self) -> Option<Waiter> {
+        None
+    }
+
+    fn schedule(&mut self, shared: &Arc<Shared>, slot: &Arc<TenantSlot>) {
+        let job = Arc::clone(slot);
+        shared.pool.submit(Box::new(move || job.drain_inbox()));
+    }
+}
+
+/// One dispatched request: either a finished reply or a parked operation.
+pub enum Outcome {
+    /// The reply is ready; `end` closes the session after it is sent.
+    Reply {
+        /// The reply line object.
+        reply: Json,
+        /// `true` for `bye`: flush the reply, then close.
+        end: bool,
+    },
+    /// The request blocked (only under a mode whose [`DispatchMode::waiter`]
+    /// returns `Some`); the owning reactor resumes it on wakeup.
+    Pending(PendingOp),
+}
+
+impl Outcome {
+    fn reply(reply: Json) -> Outcome {
+        Outcome::Reply { reply, end: false }
+    }
+}
+
+/// A request parked on a tenant, waiting for inbox space or quiescence.
+pub struct PendingOp {
+    /// The tenant the op is parked on.
+    pub slot: Arc<TenantSlot>,
+    /// What remains to be done.
+    pub kind: PendingKind,
+}
+
+/// The resumable half of each blocking request.
+pub enum PendingKind {
+    /// An admitted ingest with chunks still to enqueue. The whole batch
+    /// was counted `accepted` at admission — these chunks are owed to the
+    /// tenant even if the client disconnects (see
+    /// [`finish_ingest_blocking`]).
+    Ingest {
+        /// The admitted batch size, echoed in the reply.
+        accepted: u64,
+        /// Chunks not yet in the inbox.
+        remaining: VecDeque<Vec<Update>>,
+    },
+    /// A `query` waiting for read-your-writes quiescence.
+    Query,
+    /// A `snapshot-stats` waiting for quiescence.
+    SnapshotStats,
+    /// A `snapshot` waiting for quiescence; the destination was resolved
+    /// at dispatch time.
+    Snapshot {
+        /// Resolved destination file.
+        path: String,
+    },
+}
+
+/// A [`resume`] outcome.
+pub enum Resumed {
+    /// The op completed; here is its reply.
+    Done(Json),
+    /// Still blocked; a fresh waiter was registered.
+    Still(PendingOp),
+}
+
+/// Dispatch one request line.
+pub fn handle_line(shared: &Arc<Shared>, mode: &mut dyn DispatchMode, line: &str) -> Outcome {
+    let request = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return Outcome::reply(e.to_json()),
+    };
+    match request {
+        Request::Hello {
+            tenant,
+            alg,
+            seed,
+            params,
+        } => Outcome::reply(
+            handle_hello(shared, &tenant, &alg, seed, &params).unwrap_or_else(|e| e.to_json()),
+        ),
+        Request::Ingest { tenant, updates } => handle_ingest(shared, mode, &tenant, updates)
+            .unwrap_or_else(|e| Outcome::reply(e.to_json())),
+        Request::Query { tenant } => handle_quiescent(shared, mode, &tenant, PendingKind::Query),
+        Request::SnapshotStats { tenant } => {
+            handle_quiescent(shared, mode, &tenant, PendingKind::SnapshotStats)
+        }
+        Request::Snapshot { tenant, path } => match snapshot_path(shared, &tenant, path.as_deref())
+        {
+            Ok(path) => handle_quiescent(shared, mode, &tenant, PendingKind::Snapshot { path }),
+            Err(e) => Outcome::reply(e.to_json()),
+        },
+        Request::Restore { path } => {
+            Outcome::reply(handle_restore(shared, &path).unwrap_or_else(|e| e.to_json()))
+        }
+        Request::Metrics => Outcome::reply(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("metrics", metrics::snapshot(shared)),
+        ])),
+        Request::Top => Outcome::reply(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("text", Json::from(metrics::top_text(shared).as_str())),
+        ])),
+        Request::Bye => Outcome::Reply {
+            reply: obj(vec![("ok", Json::Bool(true))]),
+            end: true,
+        },
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            Outcome::reply(obj(vec![
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
+            ]))
+        }
+    }
+}
+
+/// Retry a parked op after a tenant wakeup. Spurious wakes re-register:
+/// the op either completes now or parks again with a fresh waiter.
+pub fn resume(shared: &Arc<Shared>, mode: &mut dyn DispatchMode, op: PendingOp) -> Resumed {
+    let PendingOp { slot, kind } = op;
+    match kind {
+        PendingKind::Ingest {
+            accepted,
+            mut remaining,
+        } => match push_chunks(shared, mode, &slot, &mut remaining) {
+            Pushed::Complete { pending } => Resumed::Done(ingest_reply(accepted, pending)),
+            Pushed::Blocked => Resumed::Still(PendingOp {
+                slot,
+                kind: PendingKind::Ingest {
+                    accepted,
+                    remaining,
+                },
+            }),
+        },
+        kind => {
+            let mut st = slot.state.lock().unwrap();
+            if st.inbox.is_empty() && !st.scheduled {
+                let reply = finish_quiescent(&mut st, &kind).unwrap_or_else(|e| e.to_json());
+                drop(st);
+                Resumed::Done(reply)
+            } else {
+                let waiter = mode
+                    .waiter()
+                    .expect("resume is only reached from a waiter-capable mode");
+                st.waiters.push(waiter);
+                drop(st);
+                Resumed::Still(PendingOp { slot, kind })
+            }
+        }
+    }
+}
+
+/// Finish a pending ingest synchronously. Session teardown path: the
+/// client is gone and its reply undeliverable, but the batch was admitted
+/// (`accepted` counted), so every remaining chunk must still reach the
+/// inbox — the no-loss drain invariant (`applied == accepted`) does not
+/// care who was listening. Callers must ensure any deferred pool submit
+/// for this slot has been flushed first, or the condvar wait below would
+/// wait on a drain job that was never handed to a worker.
+pub fn finish_ingest_blocking(shared: &Arc<Shared>, op: PendingOp) {
+    if let PendingKind::Ingest { mut remaining, .. } = op.kind {
+        let mut mode = Blocking;
+        match push_chunks(shared, &mut mode, &op.slot, &mut remaining) {
+            Pushed::Complete { .. } => {}
+            Pushed::Blocked => unreachable!("blocking mode waits instead of parking"),
+        }
+    }
+}
+
+fn handle_hello(
+    shared: &Arc<Shared>,
+    tenant: &str,
+    alg: &str,
+    seed: Option<u64>,
+    params: &proto::HelloParams,
+) -> Result<Json, ProtoError> {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
+    let seed_base = seed.unwrap_or(shared.cfg.seed);
+    let check_existing =
+        |tenants: &BTreeMap<String, Arc<TenantSlot>>| -> Option<Result<Json, ProtoError>> {
+            tenants.get(tenant).map(|slot| {
+                let st = slot.state.lock().unwrap();
+                st.tenant.check_hello_matches(alg, seed_base)?;
+                Ok(hello_reply(&st.tenant))
+            })
+        };
+    let over_cap = |tenants: &BTreeMap<String, Arc<TenantSlot>>| -> Result<(), ProtoError> {
+        if tenants.len() >= shared.cfg.max_tenants {
+            return Err(ProtoError::new(
+                ErrorKind::MaxTenants,
+                format!("tenant cap {} reached", shared.cfg.max_tenants),
+            ));
+        }
+        Ok(())
+    };
+    {
+        let tenants = shared.tenants.lock().unwrap();
+        if let Some(existing) = check_existing(&tenants) {
+            return existing;
+        }
+        over_cap(&tenants)?;
+    }
+    // Construct outside the tenants lock: building an algorithm (ctor +
+    // probe_mergeable + shard instances) can be slow, and holding the map
+    // mutex would stall every request that needs a tenant lookup across
+    // all tenants for the duration. (On the reactor this construction
+    // happens on the event-loop thread — a deliberate tradeoff: `hello`
+    // is rare next to ingest, and a CPU-bound ctor delays other sessions
+    // by the construction time but never deadlocks them.)
+    let created = Tenant::create(
+        tenant,
+        alg,
+        seed_base,
+        params,
+        shared.cfg.shards,
+        shared.cfg.chunk,
+    )?;
+    let mut tenants = shared.tenants.lock().unwrap();
+    if let Some(existing) = check_existing(&tenants) {
+        // Lost a create race with another session. Both constructions are
+        // byte-identical (the same derived seeds), so adopt the winner.
+        return existing;
+    }
+    over_cap(&tenants)?;
+    // Re-check the drain flag under the same lock as the insert: a drain
+    // that began while we were constructing (after the entry check above)
+    // must not gain a tenant it will never flush — the drain path snapshots
+    // and reports over the registry as it stood when the flag flipped.
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
+    let reply = hello_reply(&created);
+    tenants.insert(tenant.to_string(), Arc::new(TenantSlot::new(created)));
+    Ok(reply)
+}
+
+fn handle_ingest(
+    shared: &Arc<Shared>,
+    mode: &mut dyn DispatchMode,
+    tenant: &str,
+    updates: Vec<Update>,
+) -> Result<Outcome, ProtoError> {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; ingest refused",
+        ));
+    }
+    let slot = lookup(shared, tenant)?;
+    let accepted = updates.len() as u64;
+    {
+        let mut st = slot.state.lock().unwrap();
+        if let Err(e) = st.tenant.validate_batch(&updates) {
+            st.tenant.rejected += accepted;
+            return Err(e);
+        }
+        let quota = shared.cfg.max_updates_per_tenant;
+        if quota > 0 && st.tenant.accepted.saturating_add(accepted) > quota {
+            st.tenant.rejected += accepted;
+            return Err(ProtoError::new(
+                ErrorKind::QuotaExceeded,
+                format!(
+                    "tenant '{tenant}' has accepted {} of its {quota}-update quota; \
+                     a batch of {accepted} does not fit",
+                    st.tenant.accepted
+                ),
+            ));
+        }
+        // Accepted: all-or-nothing, counted before queueing so a drain
+        // that starts right now still applies every one of these updates.
+        st.tenant.accepted += accepted;
+        st.tenant.batches += 1;
+    }
+    let chunk = shared.cfg.chunk.max(1);
+    let mut remaining: VecDeque<Vec<Update>> =
+        updates.chunks(chunk).map(|piece| piece.to_vec()).collect();
+    match push_chunks(shared, mode, &slot, &mut remaining) {
+        Pushed::Complete { pending } => Ok(Outcome::reply(ingest_reply(accepted, pending))),
+        Pushed::Blocked => Ok(Outcome::Pending(PendingOp {
+            slot,
+            kind: PendingKind::Ingest {
+                accepted,
+                remaining,
+            },
+        })),
+    }
+}
+
+/// A [`push_chunks`] outcome.
+enum Pushed {
+    /// Every chunk reached the inbox; `pending` is the inbox depth at
+    /// completion (the reply's `pending_chunks`).
+    Complete {
+        /// Inbox depth when the last chunk landed.
+        pending: u64,
+    },
+    /// The inbox filled and the mode parks instead of waiting; a waiter
+    /// was registered.
+    Blocked,
+}
+
+/// Move chunks from `remaining` into the slot inbox, scheduling a drain
+/// job the moment the inbox goes from unowned to owned (before any later
+/// chunk can hit a full inbox — the drain job is the only thing that
+/// frees space, so a batch longer than `INBOX_CHUNKS` chunks would
+/// otherwise wait on a job never submitted).
+fn push_chunks(
+    shared: &Arc<Shared>,
+    mode: &mut dyn DispatchMode,
+    slot: &Arc<TenantSlot>,
+    remaining: &mut VecDeque<Vec<Update>>,
+) -> Pushed {
+    let mut st = slot.state.lock().unwrap();
+    loop {
+        if remaining.is_empty() {
+            return Pushed::Complete {
+                pending: st.inbox.len() as u64,
+            };
+        }
+        while st.inbox.len() >= INBOX_CHUNKS {
+            st.inbox_stalls += 1;
+            match mode.waiter() {
+                None => st = slot.cv.wait(st).unwrap(),
+                Some(waiter) => {
+                    st.waiters.push(waiter);
+                    return Pushed::Blocked;
+                }
+            }
+        }
+        let piece = remaining.pop_front().expect("checked non-empty");
+        st.inbox.push_back(piece);
+        if !st.scheduled {
+            // Submit outside the slot lock — the pool queue is bounded and
+            // blocking-mode submission may park (counted as a pool stall).
+            st.scheduled = true;
+            drop(st);
+            mode.schedule(shared, slot);
+            st = slot.state.lock().unwrap();
+        }
+    }
+}
+
+fn ingest_reply(accepted: u64, pending: u64) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("accepted", Json::from(accepted)),
+        ("pending_chunks", Json::from(pending)),
+    ])
+}
+
+/// Serve a read op that needs quiescence (`query`, `snapshot-stats`,
+/// `snapshot`): wait for it in blocking mode, park on it otherwise.
+fn handle_quiescent(
+    shared: &Arc<Shared>,
+    mode: &mut dyn DispatchMode,
+    tenant: &str,
+    kind: PendingKind,
+) -> Outcome {
+    let slot = match lookup(shared, tenant) {
+        Ok(slot) => slot,
+        Err(e) => return Outcome::reply(e.to_json()),
+    };
+    let mut st = slot.state.lock().unwrap();
+    while !st.inbox.is_empty() || st.scheduled {
+        match mode.waiter() {
+            None => st = slot.cv.wait(st).unwrap(),
+            Some(waiter) => {
+                st.waiters.push(waiter);
+                drop(st);
+                return Outcome::Pending(PendingOp { slot, kind });
+            }
+        }
+    }
+    let reply = finish_quiescent(&mut st, &kind).unwrap_or_else(|e| e.to_json());
+    Outcome::reply(reply)
+}
+
+/// Complete a quiescent read op under the slot lock (inbox empty, no
+/// worker owns the tenant).
+fn finish_quiescent(st: &mut TenantState, kind: &PendingKind) -> Result<Json, ProtoError> {
+    match kind {
+        PendingKind::Query => {
+            let answer = st.tenant.query()?;
+            Ok(obj(vec![
+                ("ok", Json::Bool(true)),
+                ("tenant", Json::from(st.tenant.id.as_str())),
+                ("answer", proto::answer_to_json(&answer)),
+                ("space_bits", Json::from(st.tenant.space_bits())),
+                ("processed", Json::from(st.tenant.applied)),
+            ]))
+        }
+        PendingKind::SnapshotStats => Ok(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("stats", metrics::tenant_json(st)),
+        ])),
+        PendingKind::Snapshot { path } => {
+            let frame = st
+                .tenant
+                .snapshot_bytes()
+                .map_err(|e| ProtoError::new(ErrorKind::SnapshotFailed, e.to_string()))?;
+            write_atomic(std::path::Path::new(path), &frame).map_err(|e| {
+                ProtoError::new(
+                    ErrorKind::SnapshotFailed,
+                    format!("could not write {path}: {e}"),
+                )
+            })?;
+            Ok(obj(vec![
+                ("ok", Json::Bool(true)),
+                ("tenant", Json::from(st.tenant.id.as_str())),
+                ("path", Json::from(path.as_str())),
+                ("bytes", Json::from(frame.len() as u64)),
+                ("applied", Json::from(st.tenant.applied)),
+            ]))
+        }
+        PendingKind::Ingest { .. } => unreachable!("ingest resumes through push_chunks"),
+    }
+}
+
+/// Resolve where a `snapshot` writes: the request's explicit path, else
+/// the daemon's `--state-dir` (with the tenant id hex-encoded so arbitrary
+/// id strings stay filesystem-safe).
+fn snapshot_path(shared: &Shared, tenant: &str, path: Option<&str>) -> Result<String, ProtoError> {
+    match (path, &shared.cfg.state_dir) {
+        (Some(p), _) => Ok(p.to_string()),
+        (None, Some(dir)) => Ok(format!("{dir}/{}.wbsnap", hex_id(tenant))),
+        (None, None) => Err(ProtoError::new(
+            ErrorKind::BadRequest,
+            "snapshot needs a 'path' (or start wbd with --state-dir)",
+        )),
+    }
+}
+
+fn handle_restore(shared: &Arc<Shared>, path: &str) -> Result<Json, ProtoError> {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
+    let bytes = std::fs::read(path).map_err(|e| {
+        ProtoError::new(
+            ErrorKind::SnapshotFailed,
+            format!("could not read {path}: {e}"),
+        )
+    })?;
+    let restored = Tenant::restore_bytes(&bytes).map_err(|e| {
+        ProtoError::new(
+            ErrorKind::SnapshotFailed,
+            format!("could not restore {path}: {e}"),
+        )
+    })?;
+    let mut tenants = shared.tenants.lock().unwrap();
+    if tenants.contains_key(&restored.id) {
+        return Err(ProtoError::new(
+            ErrorKind::TenantMismatch,
+            format!(
+                "tenant '{}' already exists; restore refuses to replace live state",
+                restored.id
+            ),
+        ));
+    }
+    if tenants.len() >= shared.cfg.max_tenants {
+        return Err(ProtoError::new(
+            ErrorKind::MaxTenants,
+            format!("tenant cap {} reached", shared.cfg.max_tenants),
+        ));
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorKind::Draining,
+            "daemon is draining; no new tenants",
+        ));
+    }
+    let mut reply = hello_reply(&restored);
+    if let Json::Obj(members) = &mut reply {
+        members.push(("applied".to_string(), Json::from(restored.applied)));
+    }
+    let id = restored.id.clone();
+    tenants.insert(id, Arc::new(TenantSlot::new(restored)));
+    Ok(reply)
+}
+
+/// Look up `tenant`, typed-erroring when it has not said `hello`.
+fn lookup(shared: &Arc<Shared>, tenant: &str) -> Result<Arc<TenantSlot>, ProtoError> {
+    shared
+        .tenants
+        .lock()
+        .unwrap()
+        .get(tenant)
+        .cloned()
+        .ok_or_else(|| {
+            ProtoError::new(
+                ErrorKind::UnknownTenant,
+                format!("tenant '{tenant}' has not said hello"),
+            )
+        })
+}
+
+pub(crate) fn hello_reply(t: &Tenant) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("tenant", Json::from(t.id.as_str())),
+        ("alg", Json::from(t.alg_name.as_str())),
+        ("model", Json::from(t.model.label())),
+        ("shards", Json::from(t.shards as u64)),
+        ("tenant_seed", Json::from(t.tenant_seed)),
+    ])
+}

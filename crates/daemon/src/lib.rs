@@ -25,17 +25,23 @@
 //! under full exposure should be deployed multi-tenant.
 //!
 //! Modules: [`json`] (hand-rolled reader/writer), [`proto`] (wire types +
-//! typed errors), [`tenant`] (per-tenant engine + inbox), [`server`]
-//! (accept loop, sessions, graceful drain), [`metrics`] (snapshots and the
-//! `top` view), [`client`] (the scripting client).
+//! typed errors), [`tenant`] (per-tenant engine + inbox), [`dispatch`]
+//! (re-entrant request handling shared by both backends), [`accept`]
+//! (thread-per-session backend), [`reactor`] (the Linux epoll backend),
+//! [`server`] (listener, backend selection, graceful drain), [`metrics`]
+//! (snapshots and the `top` view), [`client`] (the scripting client).
 
+pub mod accept;
 pub mod client;
+pub mod dispatch;
 pub mod json;
 pub mod metrics;
 pub mod proto;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod tenant;
 
 pub use json::Json;
 pub use proto::{ErrorKind, ProtoError, Request};
-pub use server::{DaemonConfig, Server};
+pub use server::{Backend, DaemonConfig, Server};

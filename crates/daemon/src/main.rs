@@ -34,8 +34,11 @@ use wb_daemon::{client, DaemonConfig, Server};
 
 fn die(msg: &str) -> ! {
     eprintln!("wbd: {msg}");
-    eprintln!("usage: wbd [--listen ADDR] [--threads N] [--shards N] [--max-tenants N] [--chunk N] [--seed N] [--state-dir DIR]");
-    eprintln!("       wbd client --connect ADDR [--strict]");
+    eprintln!(
+        "usage: wbd [--listen ADDR] [--backend epoll|thread] [--threads N] [--shards N] \
+         [--max-tenants N] [--max-updates-per-tenant N] [--chunk N] [--seed N] [--state-dir DIR]"
+    );
+    eprintln!("       wbd client --connect ADDR [--strict] [--pipeline N]");
     std::process::exit(2);
 }
 
@@ -48,6 +51,7 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn run_client(mut args: std::env::Args) -> ExitCode {
     let mut addr: Option<String> = None;
     let mut strict = false;
+    let mut pipeline = 1usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--connect" => {
@@ -57,13 +61,25 @@ fn run_client(mut args: std::env::Args) -> ExitCode {
                 )
             }
             "--strict" => strict = true,
+            "--pipeline" => {
+                pipeline = parse_num("--pipeline", args.next());
+                if pipeline == 0 {
+                    die("--pipeline must be >= 1");
+                }
+            }
             other => die(&format!("unknown client flag {other:?}")),
         }
     }
     let addr = addr.unwrap_or_else(|| die("client mode requires --connect ADDR"));
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    match client::run_script(&addr, &mut stdin.lock(), &mut stdout.lock(), strict) {
+    match client::run_script(
+        &addr,
+        &mut stdin.lock(),
+        &mut stdout.lock(),
+        strict,
+        pipeline,
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("wbd client: {e}");
@@ -92,7 +108,17 @@ fn main() -> ExitCode {
                     die("--shards must be >= 1");
                 }
             }
+            "--backend" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| die("--backend requires 'epoll' or 'thread'"));
+                cfg.backend = wb_daemon::Backend::parse(&raw)
+                    .unwrap_or_else(|| die(&format!("--backend: unknown backend {raw:?}")));
+            }
             "--max-tenants" => cfg.max_tenants = parse_num("--max-tenants", args.next()),
+            "--max-updates-per-tenant" => {
+                cfg.max_updates_per_tenant = parse_num("--max-updates-per-tenant", args.next())
+            }
             "--chunk" => {
                 cfg.chunk = parse_num("--chunk", args.next());
                 if cfg.chunk == 0 {

@@ -87,11 +87,13 @@ pub fn snapshot(shared: &Shared) -> Json {
         }
         per_tenant.push(tenant_json(&st));
     }
+    let reactor = &shared.reactor;
     obj(vec![
         (
             "uptime_ms",
             Json::from(shared.start.elapsed().as_millis() as u64),
         ),
+        ("backend", Json::from(shared.backend.label())),
         (
             "draining",
             Json::Bool(shared.draining.load(Ordering::SeqCst)),
@@ -122,6 +124,43 @@ pub fn snapshot(shared: &Shared) -> Json {
                 ("peak_depth", Json::from(pool.peak_depth)),
                 ("submit_stalls", Json::from(pool.submit_stalls)),
                 ("panicked", Json::from(pool.panicked)),
+            ]),
+        ),
+        (
+            "reactor",
+            obj(vec![
+                (
+                    "registered",
+                    Json::from(reactor.registered.load(Ordering::Relaxed)),
+                ),
+                (
+                    "sessions_peak",
+                    Json::from(reactor.sessions_peak.load(Ordering::Relaxed)),
+                ),
+                (
+                    "ready_events",
+                    Json::from(reactor.ready_events.load(Ordering::Relaxed)),
+                ),
+                (
+                    "wakeups",
+                    Json::from(reactor.wakeups.load(Ordering::Relaxed)),
+                ),
+                (
+                    "pending_ops",
+                    Json::from(reactor.pending_ops.load(Ordering::Relaxed)),
+                ),
+                (
+                    "deferred_submits",
+                    Json::from(reactor.deferred_submits.load(Ordering::Relaxed)),
+                ),
+                (
+                    "write_queue_bytes",
+                    Json::from(reactor.write_queue_bytes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "write_stalls",
+                    Json::from(reactor.write_stalls.load(Ordering::Relaxed)),
+                ),
             ]),
         ),
         (

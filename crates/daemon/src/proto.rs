@@ -54,6 +54,11 @@ pub enum ErrorKind {
     WrongModel,
     /// The tenant's algorithm previously failed and can no longer serve.
     TenantFailed,
+    /// The batch would push the tenant past the daemon's
+    /// `--max-updates-per-tenant` admission quota. All-or-nothing like
+    /// every admission check: the whole batch is rejected, the tenant
+    /// keeps serving queries and stays under quota.
+    QuotaExceeded,
     /// The daemon is draining and no longer accepts this request.
     Draining,
     /// A `snapshot`/`restore` could not complete (I/O failure, corrupt or
@@ -72,6 +77,7 @@ impl ErrorKind {
             ErrorKind::MaxTenants => "max_tenants",
             ErrorKind::WrongModel => "wrong_model",
             ErrorKind::TenantFailed => "tenant_failed",
+            ErrorKind::QuotaExceeded => "quota_exceeded",
             ErrorKind::Draining => "draining",
             ErrorKind::SnapshotFailed => "snapshot_failed",
         }

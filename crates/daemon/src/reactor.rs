@@ -1,0 +1,825 @@
+//! The epoll session reactor: every TCP session multiplexed onto one
+//! event-loop thread (`--backend epoll`, Linux only — the default there).
+//!
+//! Each session is a nonblocking state machine: a read buffer with
+//! incremental line framing, a dispatch step through [`crate::dispatch`],
+//! and a write queue with backpressure. A session has at most one parked
+//! [`PendingOp`]; requests pipelined behind it wait in the read buffer, so
+//! per-session reply order is the request order by construction.
+//!
+//! **Wakeups.** Handlers never block the loop: when a request hits inbox
+//! backpressure or needs quiescence, it registers a [`Waiter`] carrying
+//! the session's token and returns. Pool workers complete the condition
+//! and poke the [`WakeHub`] — a token list plus a self-pipe whose read end
+//! is registered in epoll — and the loop resumes the op. Tokens carry a
+//! generation so a wakeup for a closed (possibly reused) session slot is
+//! ignored.
+//!
+//! **Bounded submits.** The pool queue is bounded and blocking submission
+//! would stall every session, so the reactor uses
+//! `WorkerPool::try_submit`; a full queue defers the drain job to a retry
+//! list flushed every loop tick (and flushed blockingly before the loop
+//! exits, so the no-loss drain invariant survives).
+//!
+//! The syscall surface is three `extern "C"` declarations plus a pipe —
+//! no new dependencies; non-Linux builds compile the thread backend only.
+
+use crate::dispatch::{self, Outcome, PendingKind, PendingOp, Resumed};
+use crate::json::Json;
+use crate::proto::{ErrorKind, ProtoError};
+use crate::server::{Shared, MAX_LINE_BYTES};
+use crate::tenant::{TenantSlot, Waiter, WakeSink};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Raw epoll/pipe syscall surface (std-only: direct libc symbol imports).
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86-64 (12 bytes);
+    /// other architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Thin safe wrapper over one epoll instance.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness, retrying on EINTR. Fills `events` and returns
+    /// the ready count.
+    fn wait(&self, events: &mut Vec<sys::EpollEvent>, timeout_ms: i32) -> usize {
+        events.clear();
+        let cap = events.capacity().max(1);
+        loop {
+            let rc =
+                unsafe { sys::epoll_wait(self.epfd, events.as_mut_ptr(), cap as i32, timeout_ms) };
+            if rc >= 0 {
+                unsafe { events.set_len(rc as usize) };
+                return rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                panic!("epoll_wait failed: {err}");
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        let _ = unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// The reactor's wakeup sink: pool workers push the tokens of sessions
+/// whose blocking condition changed, then poke a nonblocking self-pipe so
+/// the sleeping `epoll_wait` returns. A full pipe is fine — a wakeup is
+/// already pending and the token list carries the payload.
+pub struct WakeHub {
+    tokens: Mutex<Vec<u64>>,
+    pipe_r: RawFd,
+    pipe_w: RawFd,
+}
+
+impl WakeHub {
+    fn new() -> io::Result<Arc<WakeHub>> {
+        let mut fds = [0i32; 2];
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Arc::new(WakeHub {
+            tokens: Mutex::new(Vec::new()),
+            pipe_r: fds[0],
+            pipe_w: fds[1],
+        }))
+    }
+
+    fn take_tokens(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.tokens.lock().unwrap())
+    }
+
+    fn drain_pipe(&self) {
+        let mut buf = [0u8; 256];
+        loop {
+            let n = unsafe { sys::read(self.pipe_r, buf.as_mut_ptr().cast(), buf.len()) };
+            if n < buf.len() as isize {
+                return;
+            }
+        }
+    }
+}
+
+impl WakeSink for WakeHub {
+    fn wake(&self, token: u64) {
+        self.tokens.lock().unwrap().push(token);
+        let byte = 1u8;
+        // EAGAIN (pipe full) means a wakeup is already queued; any other
+        // failure only costs latency — the loop's timeout re-checks.
+        let _ = unsafe { sys::write(self.pipe_w, (&byte as *const u8).cast(), 1) };
+    }
+}
+
+impl Drop for WakeHub {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = sys::close(self.pipe_r);
+            let _ = sys::close(self.pipe_w);
+        }
+    }
+}
+
+/// A token that never resolves to a session: pokes the loop awake (drain
+/// notification from [`crate::Server::begin_drain`]) without any resume.
+pub const TOKEN_NOOP: u64 = 0;
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+/// Session tokens start here; the low 32 bits are `slab index + BASE`,
+/// the high 32 bits the slot generation.
+const TOKEN_BASE: u64 = 2;
+
+fn token_of(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | (idx as u64 + TOKEN_BASE)
+}
+
+/// Per-pump read budget. Level-triggered epoll re-delivers readiness, so
+/// capping one session's read keeps the loop fair without losing data.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Write-queue high-water mark: above this backlog the session stops
+/// dispatching (and reading), so a client that pipelines requests but
+/// never reads replies stalls its own socket instead of growing daemon
+/// memory.
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// How long a drain-idle session stays registered before it is reaped —
+/// the reactor's analogue of the thread backend's 200ms read timeout. A
+/// stop-and-wait client that reads the `shutdown` reply and then sends
+/// `bye` needs this window; without it the reply-then-send round trip
+/// races the close and the client sees a broken pipe.
+const DRAIN_GRACE: Duration = Duration::from_millis(200);
+
+/// One nonblocking session state machine.
+struct Session {
+    stream: TcpStream,
+    token: u64,
+    gen: u32,
+    /// Read buffer; `rpos` is the consumed prefix, `scan` the newline
+    /// scan frontier (never rescan bytes known line-free).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    scan: usize,
+    /// Write queue; `wpos` is the flushed prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// The one parked op; requests behind it wait in `rbuf`.
+    pending: Option<PendingOp>,
+    /// Close once the write queue flushes (`bye`, oversized line).
+    closing: bool,
+    /// Peer closed its write half.
+    eof: bool,
+    /// Currently registered epoll interest.
+    interest: u32,
+    /// When the session first went idle under a drain; reset by any
+    /// dispatched request. [`Reactor::close_idle`] reaps the session once
+    /// this is [`DRAIN_GRACE`] old.
+    drain_idle_since: Option<Instant>,
+}
+
+impl Session {
+    fn new(stream: TcpStream, token: u64, gen: u32) -> Session {
+        Session {
+            stream,
+            token,
+            gen,
+            rbuf: Vec::with_capacity(4096),
+            rpos: 0,
+            scan: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: None,
+            closing: false,
+            eof: false,
+            interest: sys::EPOLLIN | sys::EPOLLRDHUP,
+            drain_idle_since: None,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    fn buffered(&self) -> usize {
+        self.rbuf.len() - self.rpos
+    }
+
+    fn has_full_line(&self) -> bool {
+        self.rbuf[self.rpos..].contains(&b'\n')
+    }
+
+    /// Pull socket bytes into the read buffer until `WouldBlock`, EOF, or
+    /// the fairness budget.
+    fn fill(&mut self) -> io::Result<()> {
+        let mut budget = READ_BUDGET;
+        let mut tmp = [0u8; 16 * 1024];
+        while budget > 0 && !self.eof {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => self.eof = true,
+                Ok(k) => {
+                    self.rbuf.extend_from_slice(&tmp[..k]);
+                    budget = budget.saturating_sub(k);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the next complete line (newline and any `\r` stripped).
+    fn take_line(&mut self) -> Option<String> {
+        match self.rbuf[self.scan..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let end = self.scan + rel;
+                let mut line: &[u8] = &self.rbuf[self.rpos..end];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                let s = String::from_utf8_lossy(line).into_owned();
+                self.rpos = end + 1;
+                self.scan = self.rpos;
+                if self.rpos == self.rbuf.len() {
+                    self.rbuf.clear();
+                    self.rpos = 0;
+                    self.scan = 0;
+                } else if self.rpos >= 64 * 1024 {
+                    self.rbuf.drain(..self.rpos);
+                    self.scan -= self.rpos;
+                    self.rpos = 0;
+                }
+                Some(s)
+            }
+            None => {
+                self.scan = self.rbuf.len();
+                None
+            }
+        }
+    }
+
+    /// Flush the write queue until `WouldBlock` or empty.
+    fn flush(&mut self, shared: &Shared) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(k) => {
+                    self.wpos += k;
+                    shared
+                        .reactor
+                        .write_queue_bytes
+                        .fetch_sub(k as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    shared.reactor.write_stalls.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= 64 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    fn desired_interest(&self) -> u32 {
+        let mut ev = 0;
+        if self.pending.is_none() && !self.closing && !self.eof && self.backlog() < WRITE_HIGH_WATER
+        {
+            ev |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.backlog() > 0 {
+            ev |= sys::EPOLLOUT;
+        }
+        ev
+    }
+}
+
+/// The reactor's [`dispatch::DispatchMode`]: park via [`Waiter`]s, submit
+/// via [`WorkerPool::try_submit`](wb_engine::pool::WorkerPool::try_submit)
+/// with a deferral list for a full queue.
+struct ReactorMode<'a> {
+    hub: &'a Arc<WakeHub>,
+    token: u64,
+    deferred: &'a mut VecDeque<Arc<TenantSlot>>,
+}
+
+impl dispatch::DispatchMode for ReactorMode<'_> {
+    fn waiter(&self) -> Option<Waiter> {
+        Some(Waiter {
+            token: self.token,
+            sink: Arc::clone(self.hub) as Arc<dyn WakeSink>,
+        })
+    }
+
+    fn schedule(&mut self, shared: &Arc<Shared>, slot: &Arc<TenantSlot>) {
+        let job = Arc::clone(slot);
+        match shared.pool.try_submit(Box::new(move || job.drain_inbox())) {
+            Ok(()) => {}
+            Err(_job) => {
+                shared
+                    .reactor
+                    .deferred_submits
+                    .fetch_add(1, Ordering::Relaxed);
+                self.deferred.push_back(Arc::clone(slot));
+            }
+        }
+    }
+}
+
+/// Create the epoll instance and wakeup hub. Called by
+/// [`crate::Server::start`] so setup failures surface there, not inside
+/// the reactor thread.
+pub fn init() -> io::Result<(Poller, Arc<WakeHub>)> {
+    Ok((Poller::new()?, WakeHub::new()?))
+}
+
+/// Poke the hub with a no-op token (drain notification).
+pub fn poke(hub: &Arc<WakeHub>) {
+    hub.wake(TOKEN_NOOP);
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    hub: Arc<WakeHub>,
+    sessions: Vec<Option<Session>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+    /// Tenant drain jobs the bounded pool queue refused; retried every
+    /// tick and flushed blockingly before the loop exits.
+    deferred: VecDeque<Arc<TenantSlot>>,
+}
+
+/// Run the reactor until the daemon drains and every session closes.
+pub fn run(shared: Arc<Shared>, listener: TcpListener, poller: Poller, hub: Arc<WakeHub>) {
+    let listener_fd = listener.as_raw_fd();
+    if let Err(e) = poller.add(listener_fd, TOKEN_LISTENER, sys::EPOLLIN) {
+        eprintln!("wbd: reactor could not register the listener: {e}");
+        return;
+    }
+    if let Err(e) = poller.add(hub.pipe_r, TOKEN_WAKE, sys::EPOLLIN) {
+        eprintln!("wbd: reactor could not register the wake pipe: {e}");
+        return;
+    }
+    let mut r = Reactor {
+        shared,
+        poller,
+        hub,
+        sessions: Vec::new(),
+        gens: Vec::new(),
+        free: Vec::new(),
+        live: 0,
+        deferred: VecDeque::new(),
+    };
+    let mut events: Vec<sys::EpollEvent> = Vec::with_capacity(256);
+    let mut accepting = true;
+    loop {
+        let draining = r.shared.draining.load(Ordering::SeqCst);
+        if draining && accepting {
+            let _ = r.poller.delete(listener_fd);
+            accepting = false;
+        }
+        if draining && r.live == 0 {
+            break;
+        }
+        r.flush_deferred();
+        // Short timeout while drain jobs wait on pool space; otherwise a
+        // lazy tick that bounds drain-notice latency (like the thread
+        // backend's read timeout).
+        let timeout = if r.deferred.is_empty() { 200 } else { 5 };
+        let n = r.poller.wait(&mut events, timeout);
+        r.shared
+            .reactor
+            .ready_events
+            .fetch_add(n as u64, Ordering::Relaxed);
+        for e in events.iter().take(n) {
+            // Copy out of the (packed) event before touching `r`.
+            let (evs, token) = (e.events, e.data);
+            match token {
+                TOKEN_LISTENER => {
+                    if accepting {
+                        r.accept_ready(&listener);
+                    }
+                }
+                TOKEN_WAKE => r.hub.drain_pipe(),
+                token => r.pump_event(token, evs),
+            }
+        }
+        let tokens = r.hub.take_tokens();
+        r.shared
+            .reactor
+            .wakeups
+            .fetch_add(tokens.len() as u64, Ordering::Relaxed);
+        for token in tokens {
+            r.pump_wake(token);
+        }
+        if draining {
+            r.close_idle();
+        }
+    }
+    // No sessions remain, but refused drain jobs may: hand every one to
+    // the pool (blocking is fine now) so `Server::wait`'s `pool.drain()`
+    // sees the full obligation — the no-loss invariant.
+    r.flush_deferred_blocking();
+}
+
+impl Reactor {
+    fn resolve(&self, token: u64) -> Option<usize> {
+        let low = (token & 0xffff_ffff) as usize;
+        if (low as u64) < TOKEN_BASE {
+            return None;
+        }
+        let idx = low - TOKEN_BASE as usize;
+        let gen = (token >> 32) as u32;
+        match self.sessions.get(idx) {
+            Some(Some(sess)) if sess.gen == gen => Some(idx),
+            _ => None,
+        }
+    }
+
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => self.register(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.sessions.push(None);
+                self.gens.push(0);
+                self.sessions.len() - 1
+            }
+        };
+        let gen = self.gens[idx];
+        let token = token_of(idx, gen);
+        let sess = Session::new(stream, token, gen);
+        if self
+            .poller
+            .add(sess.stream.as_raw_fd(), token, sess.interest)
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.live += 1;
+        let stats = &self.shared.reactor;
+        stats.registered.fetch_add(1, Ordering::Relaxed);
+        stats
+            .sessions_peak
+            .fetch_max(self.live as u64, Ordering::Relaxed);
+        self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.shared.sessions_active.fetch_add(1, Ordering::Relaxed);
+        self.sessions[idx] = Some(sess);
+    }
+
+    fn pump_event(&mut self, token: u64, _events: u32) {
+        let Some(idx) = self.resolve(token) else {
+            return;
+        };
+        let mut sess = self.sessions[idx].take().expect("resolved");
+        let mut dead = false;
+        if sess.pending.is_none() && !sess.closing && sess.fill().is_err() {
+            dead = true;
+        }
+        if !dead {
+            dead = self.advance(&mut sess);
+        }
+        if dead {
+            self.finish_session(idx, sess);
+        } else {
+            self.sessions[idx] = Some(sess);
+        }
+    }
+
+    fn pump_wake(&mut self, token: u64) {
+        let Some(idx) = self.resolve(token) else {
+            return;
+        };
+        let mut sess = self.sessions[idx].take().expect("resolved");
+        let mut dead = false;
+        if let Some(op) = sess.pending.take() {
+            let mut mode = ReactorMode {
+                hub: &self.hub,
+                token: sess.token,
+                deferred: &mut self.deferred,
+            };
+            match dispatch::resume(&self.shared, &mut mode, op) {
+                Resumed::Done(reply) => {
+                    self.queue_reply(&mut sess, &reply);
+                    dead = self.advance(&mut sess);
+                }
+                Resumed::Still(op) => sess.pending = Some(op),
+            }
+        }
+        if dead {
+            self.finish_session(idx, sess);
+        } else {
+            self.sessions[idx] = Some(sess);
+        }
+    }
+
+    /// Dispatch buffered lines, flush writes, refresh epoll interest, and
+    /// decide whether the session closes now.
+    fn advance(&mut self, sess: &mut Session) -> bool {
+        loop {
+            while sess.pending.is_none() && !sess.closing && sess.backlog() < WRITE_HIGH_WATER {
+                match sess.take_line() {
+                    Some(line) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                        sess.drain_idle_since = None;
+                        let mut mode = ReactorMode {
+                            hub: &self.hub,
+                            token: sess.token,
+                            deferred: &mut self.deferred,
+                        };
+                        match dispatch::handle_line(&self.shared, &mut mode, &line) {
+                            Outcome::Reply { reply, end } => {
+                                self.queue_reply(sess, &reply);
+                                if end {
+                                    sess.closing = true;
+                                }
+                            }
+                            Outcome::Pending(op) => {
+                                self.shared
+                                    .reactor
+                                    .pending_ops
+                                    .fetch_add(1, Ordering::Relaxed);
+                                sess.pending = Some(op);
+                            }
+                        }
+                    }
+                    None => {
+                        if sess.buffered() > MAX_LINE_BYTES {
+                            // Same refusal as the thread backend: a typed
+                            // error, then close — the buffer no longer frames
+                            // requests.
+                            self.shared.requests.fetch_add(1, Ordering::Relaxed);
+                            let reply = ProtoError::new(
+                                ErrorKind::BadRequest,
+                                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                            );
+                            self.queue_reply(sess, &reply.to_json());
+                            sess.closing = true;
+                        }
+                        break;
+                    }
+                }
+            }
+            if sess.flush(&self.shared).is_err() {
+                return true;
+            }
+            let flushed = sess.backlog() == 0;
+            if sess.closing {
+                return flushed && sess.pending.is_none();
+            }
+            if sess.eof && sess.pending.is_none() && !sess.has_full_line() {
+                // Mirror the thread backend's EOF rule: serve every complete
+                // buffered line, discard a trailing partial one. Unflushed
+                // replies are written best-effort (the peer may only have
+                // closed its write half).
+                return true;
+            }
+            if self.shared.draining.load(Ordering::SeqCst)
+                && sess.pending.is_none()
+                && sess.buffered() == 0
+                && flushed
+            {
+                // EPOLLIN is off while an op is parked, so a pipelined request
+                // (typically a trailing `bye`) may already sit unread in the
+                // kernel buffer. The thread backend's pre-close read serves it;
+                // match that with one nonblocking fill before declaring idle.
+                if sess.eof || sess.fill().is_err() {
+                    return true;
+                }
+                if sess.buffered() > 0 {
+                    continue;
+                }
+                // Truly idle: stay registered (EPOLLIN re-armed below) so a
+                // stop-and-wait client's trailing request still lands;
+                // `close_idle` reaps the session after DRAIN_GRACE.
+                if sess.drain_idle_since.is_none() {
+                    sess.drain_idle_since = Some(Instant::now());
+                }
+            }
+            let want = sess.desired_interest();
+            if want != sess.interest
+                && self
+                    .poller
+                    .modify(sess.stream.as_raw_fd(), sess.token, want)
+                    .is_ok()
+            {
+                sess.interest = want;
+            }
+            return false;
+        }
+    }
+
+    fn queue_reply(&self, sess: &mut Session, reply: &Json) {
+        if reply.get("ok") == Some(&Json::Bool(false)) {
+            self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut out = reply.to_line();
+        out.push('\n');
+        sess.wbuf.extend_from_slice(out.as_bytes());
+        self.shared
+            .reactor
+            .write_queue_bytes
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Tear a session down. A parked ingest is finished synchronously —
+    /// the batch was admitted, so its chunks are owed to the tenant even
+    /// though nobody reads the reply; parked reads are simply dropped.
+    fn finish_session(&mut self, idx: usize, sess: Session) {
+        let _ = self.poller.delete(sess.stream.as_raw_fd());
+        let backlog = sess.backlog() as u64;
+        if backlog > 0 {
+            self.shared
+                .reactor
+                .write_queue_bytes
+                .fetch_sub(backlog, Ordering::Relaxed);
+        }
+        if let Some(op) = sess.pending {
+            if matches!(op.kind, PendingKind::Ingest { .. }) {
+                // The parked ingest may be waiting on a drain job that the
+                // full pool queue pushed to the deferral list; hand those
+                // over first or the blocking finish below waits forever.
+                self.flush_deferred_blocking();
+                dispatch::finish_ingest_blocking(&self.shared, op);
+            }
+        }
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        self.shared
+            .reactor
+            .registered
+            .fetch_sub(1, Ordering::Relaxed);
+        self.shared.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        self.shared.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Drain sweep: close sessions that have been fully idle (no parked
+    /// op, no buffered bytes, flushed) for [`DRAIN_GRACE`] — the
+    /// reactor's version of the thread backend's drain-on-read-timeout.
+    /// The grace window keeps EPOLLIN armed, so a stop-and-wait client
+    /// that reads the `shutdown` reply and only then sends `bye` is
+    /// served instead of hitting a closed socket.
+    fn close_idle(&mut self) {
+        for idx in 0..self.sessions.len() {
+            let idle = match &self.sessions[idx] {
+                Some(s) => s.pending.is_none() && s.buffered() == 0 && s.backlog() == 0,
+                None => false,
+            };
+            if !idle {
+                continue;
+            }
+            let mut sess = self.sessions[idx].take().expect("checked");
+            let expired = match sess.drain_idle_since {
+                Some(since) => since.elapsed() >= DRAIN_GRACE,
+                None => {
+                    sess.drain_idle_since = Some(Instant::now());
+                    false
+                }
+            };
+            if !expired && !sess.eof {
+                self.sessions[idx] = Some(sess);
+                continue;
+            }
+            // Same final nonblocking read as advance()'s drain rule: a
+            // request that raced the drain may sit unread in the kernel
+            // buffer; serve it instead of cutting the session off.
+            if !sess.eof && sess.fill().is_ok() && sess.buffered() > 0 {
+                if self.advance(&mut sess) {
+                    self.finish_session(idx, sess);
+                } else {
+                    self.sessions[idx] = Some(sess);
+                }
+                continue;
+            }
+            self.finish_session(idx, sess);
+        }
+    }
+
+    fn flush_deferred(&mut self) {
+        while let Some(slot) = self.deferred.pop_front() {
+            let job = Arc::clone(&slot);
+            if self
+                .shared
+                .pool
+                .try_submit(Box::new(move || job.drain_inbox()))
+                .is_err()
+            {
+                self.deferred.push_front(slot);
+                return;
+            }
+        }
+    }
+
+    fn flush_deferred_blocking(&mut self) {
+        for slot in self.deferred.drain(..) {
+            let job = Arc::clone(&slot);
+            self.shared.pool.submit(Box::new(move || job.drain_inbox()));
+        }
+    }
+}

@@ -1,32 +1,82 @@
-//! The `wbd` server: accept loop, session threads, tenant registry, and
-//! graceful drain.
+//! The `wbd` server: listener setup, backend selection, tenant registry,
+//! and graceful drain.
 //!
-//! Each TCP connection gets a session thread speaking the newline-delimited
-//! JSON protocol (see [`crate::proto`]). Sessions are stateless beyond
-//! their socket: every request names its tenant, so one connection can
-//! drive many tenants and many connections can drive one (ingest batches
-//! for a tenant are serialized through its inbox wherever they arrive
-//! from). Ingestion runs on the shared [`WorkerPool`]; sessions block only
-//! on protocol I/O, inbox backpressure, and read-your-writes queries.
+//! Two session backends serve the same protocol through
+//! [`crate::dispatch`]:
+//!
+//! * **epoll reactor** ([`crate::reactor`], Linux, the default there) —
+//!   every session multiplexed as a nonblocking state machine on one
+//!   event-loop thread; blocking conditions park as pending ops resumed
+//!   by pool-worker wakeups.
+//! * **thread-per-session** ([`crate::accept`], `--backend thread` and
+//!   every non-Linux platform) — one OS thread per connection, blocking
+//!   inside handlers.
+//!
+//! Sessions are stateless beyond their socket: every request names its
+//! tenant, so one connection can drive many tenants and many connections
+//! can drive one (ingest batches for a tenant are serialized through its
+//! inbox wherever they arrive from). Ingestion runs on the shared
+//! [`WorkerPool`].
 //!
 //! **Graceful drain.** A `shutdown` request (or [`Server::begin_drain`])
-//! flips the draining flag: the accept loop stops, new `hello`/`ingest`
+//! flips the draining flag: accepting stops, new `hello`/`ingest`
 //! requests get a typed `draining` refusal, in-flight queries still answer,
 //! idle sessions close, the pool finishes every accepted chunk, and the
 //! final metrics snapshot is returned from [`Server::wait`] — no accepted
-//! update is ever dropped.
+//! update is ever dropped, on either backend.
 
-use crate::json::{obj, Json};
+use crate::json::Json;
 use crate::metrics;
-use crate::proto::{self, ErrorKind, ProtoError, Request};
-use crate::tenant::{Tenant, TenantSlot, INBOX_CHUNKS};
+use crate::tenant::{Tenant, TenantSlot};
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 use wb_engine::pool::WorkerPool;
+
+/// Maximum request-line size. Generous — an ingest batch of ~400k
+/// turnstile updates still fits — but bounded, so one newline-less client
+/// cannot grow a session buffer without limit.
+pub(crate) const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Which session backend serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The Linux epoll reactor: all sessions on one event-loop thread.
+    Epoll,
+    /// Thread-per-session: the portable fallback.
+    Thread,
+}
+
+impl Backend {
+    /// Stable label (metrics, `--backend` values).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Epoll => "epoll",
+            Backend::Thread => "thread",
+        }
+    }
+
+    /// Parse a `--backend` value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "epoll" => Some(Backend::Epoll),
+            "thread" => Some(Backend::Thread),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Backend {
+        if cfg!(target_os = "linux") {
+            Backend::Epoll
+        } else {
+            Backend::Thread
+        }
+    }
+}
 
 /// Server configuration — the `wbd` flags.
 #[derive(Debug, Clone)]
@@ -34,6 +84,10 @@ pub struct DaemonConfig {
     /// Listen address (`--listen`), e.g. `127.0.0.1:7070`; port `0` binds
     /// an ephemeral port (the loopback tests use this).
     pub listen: String,
+    /// Session backend (`--backend epoll|thread`). Defaults to the epoll
+    /// reactor on Linux; requesting `epoll` elsewhere falls back to
+    /// `thread` with a warning.
+    pub backend: Backend,
     /// Ingest pool workers (`--threads`; `0` = one per core).
     pub threads: usize,
     /// Default per-tenant shard count (`--shards`); unmergeable algorithms
@@ -41,6 +95,11 @@ pub struct DaemonConfig {
     pub shards: usize,
     /// Tenant cap (`--max-tenants`).
     pub max_tenants: usize,
+    /// Per-tenant admission quota (`--max-updates-per-tenant`): an ingest
+    /// batch that would push a tenant's lifetime `accepted` past this is
+    /// refused whole with a typed `quota_exceeded` reply. `0` disables the
+    /// quota.
+    pub max_updates_per_tenant: u64,
     /// Ingest chunk size (`--chunk`): the unit of inbox queueing and of
     /// the sharded pipelines' staging buffers.
     pub chunk: usize,
@@ -58,9 +117,11 @@ impl Default for DaemonConfig {
     fn default() -> Self {
         DaemonConfig {
             listen: "127.0.0.1:7070".to_string(),
+            backend: Backend::default(),
             threads: 0,
             shards: 4,
             max_tenants: 4096,
+            max_updates_per_tenant: 0,
             chunk: 1024,
             seed: 42,
             state_dir: None,
@@ -68,10 +129,38 @@ impl Default for DaemonConfig {
     }
 }
 
+/// Reactor-backend counters and gauges (all zero under `--backend
+/// thread`). Cheap relaxed atomics — the reactor thread is the only
+/// writer for most of them.
+#[derive(Default)]
+pub struct ReactorStats {
+    /// Session fds currently registered in epoll.
+    pub registered: AtomicU64,
+    /// Peak concurrently registered sessions.
+    pub sessions_peak: AtomicU64,
+    /// Ready events delivered by `epoll_wait`, cumulative.
+    pub ready_events: AtomicU64,
+    /// Wakeup tokens delivered through the hub, cumulative.
+    pub wakeups: AtomicU64,
+    /// Requests that parked as pending ops, cumulative.
+    pub pending_ops: AtomicU64,
+    /// Pool submissions refused by the bounded queue and deferred to the
+    /// reactor's retry list, cumulative.
+    pub deferred_submits: AtomicU64,
+    /// Bytes currently queued in session write buffers.
+    pub write_queue_bytes: AtomicU64,
+    /// Socket writes that hit `WouldBlock` (client slow to read),
+    /// cumulative.
+    pub write_stalls: AtomicU64,
+}
+
 /// Shared daemon state: config, tenant registry, ingest pool, counters.
 pub struct Shared {
     /// The launch configuration.
     pub cfg: DaemonConfig,
+    /// The backend actually serving (resolved from `cfg.backend`; `epoll`
+    /// off Linux falls back to `thread`).
+    pub backend: Backend,
     /// Registered tenants (BTreeMap so metrics iterate deterministically).
     pub tenants: Mutex<BTreeMap<String, Arc<TenantSlot>>>,
     /// The ingest worker pool.
@@ -92,21 +181,32 @@ pub struct Shared {
     pub requests: AtomicU64,
     /// Requests answered with a typed error.
     pub protocol_errors: AtomicU64,
+    /// Reactor-backend gauges.
+    pub reactor: ReactorStats,
     /// Server start time.
     pub start: Instant,
 }
 
-/// Socket read timeout: the granularity at which idle sessions notice a
-/// drain. Short enough that shutdown completes promptly, long enough to
-/// stay off the scheduler's back.
-const READ_TIMEOUT: Duration = Duration::from_millis(200);
+/// The backend-specific running half of a [`Server`].
+enum Runtime {
+    /// Accept thread + per-session threads.
+    Thread {
+        accept: Option<std::thread::JoinHandle<()>>,
+        sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    },
+    /// The reactor thread and its wakeup hub.
+    #[cfg(target_os = "linux")]
+    Reactor {
+        handle: Option<std::thread::JoinHandle<()>>,
+        hub: Arc<crate::reactor::WakeHub>,
+    },
+}
 
-/// A running server: accept thread + session threads over a [`Shared`].
+/// A running server over a [`Shared`].
 pub struct Server {
     shared: Arc<Shared>,
     addr: std::net::SocketAddr,
-    accept_handle: Option<std::thread::JoinHandle<()>>,
-    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    runtime: Runtime,
 }
 
 impl Server {
@@ -116,10 +216,12 @@ impl Server {
         let listener = TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let backend = resolve_backend(cfg.backend);
         let workers = wb_engine::pool::effective_threads(cfg.threads);
         let pool = WorkerPool::new(cfg.threads, (workers * 4).max(16));
         let shared = Arc::new(Shared {
             cfg,
+            backend,
             tenants: Mutex::new(BTreeMap::new()),
             pool,
             draining: AtomicBool::new(false),
@@ -128,43 +230,17 @@ impl Server {
             sessions_active: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            reactor: ReactorStats::default(),
             start: Instant::now(),
         });
         if let Err(e) = restore_state_dir(&shared) {
             eprintln!("wbd: state-dir restore failed: {e}");
         }
-        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_sessions = Arc::clone(&sessions);
-        let accept_handle = std::thread::spawn(move || {
-            // Nonblocking accept + short sleep: the simplest loop that can
-            // notice the draining flag without a self-connect wakeup.
-            while !accept_shared.draining.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let shared = Arc::clone(&accept_shared);
-                        shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
-                        shared.sessions_active.fetch_add(1, Ordering::Relaxed);
-                        let handle = std::thread::spawn(move || {
-                            let _ = serve_session(&shared, stream);
-                            shared.sessions_closed.fetch_add(1, Ordering::Relaxed);
-                            shared.sessions_active.fetch_sub(1, Ordering::Relaxed);
-                        });
-                        accept_sessions.lock().unwrap().push(handle);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
-                }
-            }
-        });
+        let runtime = spawn_backend(&shared, listener, backend)?;
         Ok(Server {
             shared,
             addr,
-            accept_handle: Some(accept_handle),
-            sessions,
+            runtime,
         })
     }
 
@@ -182,29 +258,46 @@ impl Server {
     /// tests). Equivalent to a `shutdown` request.
     pub fn begin_drain(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if let Runtime::Reactor { hub, .. } = &self.runtime {
+            crate::reactor::poke(hub);
+        }
     }
 
-    /// Block until the server has fully drained: accept loop stopped,
-    /// every session closed, every accepted chunk applied. Returns the
-    /// final metrics snapshot.
+    /// Block until the server has fully drained: accepting stopped, every
+    /// session closed, every accepted chunk applied. Returns the final
+    /// metrics snapshot.
     pub fn wait(mut self) -> Json {
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        // Sessions keep being served while draining; each closes when its
-        // client disconnects or goes idle. Join whatever exists, then
-        // re-check (a session observed mid-join could not have spawned
-        // more — the accept loop is down).
-        loop {
-            let batch: Vec<_> = {
-                let mut guard = self.sessions.lock().unwrap();
-                guard.drain(..).collect()
-            };
-            if batch.is_empty() {
-                break;
+        match &mut self.runtime {
+            Runtime::Thread { accept, sessions } => {
+                if let Some(handle) = accept.take() {
+                    let _ = handle.join();
+                }
+                // Sessions keep being served while draining; each closes
+                // when its client disconnects or goes idle. Join whatever
+                // exists, then re-check (a session observed mid-join could
+                // not have spawned more — the accept loop is down).
+                loop {
+                    let batch: Vec<_> = {
+                        let mut guard = sessions.lock().unwrap();
+                        guard.drain(..).collect()
+                    };
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for handle in batch {
+                        let _ = handle.join();
+                    }
+                }
             }
-            for handle in batch {
-                let _ = handle.join();
+            #[cfg(target_os = "linux")]
+            Runtime::Reactor { handle, hub } => {
+                // Poke the loop so it notices the drain flag without
+                // waiting out its poll timeout.
+                crate::reactor::poke(hub);
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
             }
         }
         // No producers remain: flush every queued chunk, then snapshot.
@@ -216,328 +309,67 @@ impl Server {
     }
 }
 
-/// Serve one connection until EOF, `bye`, or drain-idle.
-fn serve_session(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = LineReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    loop {
-        let line = match reader.next_line(&shared.draining)? {
-            NextLine::Line(line) => line,
-            NextLine::Closed => return Ok(()), // EOF or drain-idle
-            NextLine::TooLong => {
-                // One unbounded line must not exhaust daemon memory: reply
-                // with a typed refusal and close this session (the buffer
-                // no longer frames requests, so it cannot keep serving).
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let reply = ProtoError::new(
-                    ErrorKind::BadRequest,
-                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                );
-                let mut out = reply.to_json().to_line();
-                out.push('\n');
-                writer.write_all(out.as_bytes())?;
-                return Ok(());
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (reply, end) = handle_line(shared, &line);
-        if reply.get("ok") == Some(&Json::Bool(false)) {
-            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        }
-        let mut out = reply.to_line();
-        out.push('\n');
-        writer.write_all(out.as_bytes())?;
-        if end {
-            return Ok(());
-        }
+#[cfg(target_os = "linux")]
+fn resolve_backend(requested: Backend) -> Backend {
+    requested
+}
+
+#[cfg(not(target_os = "linux"))]
+fn resolve_backend(requested: Backend) -> Backend {
+    if requested == Backend::Epoll {
+        eprintln!("wbd: epoll backend is Linux-only; falling back to thread-per-session");
     }
+    Backend::Thread
 }
 
-/// Dispatch one request line; returns the reply and whether the session
-/// ends after sending it.
-fn handle_line(shared: &Arc<Shared>, line: &str) -> (Json, bool) {
-    let request = match proto::parse_request(line) {
-        Ok(r) => r,
-        Err(e) => return (e.to_json(), false),
-    };
-    match request {
-        Request::Hello {
-            tenant,
-            alg,
-            seed,
-            params,
-        } => {
-            let reply =
-                handle_hello(shared, &tenant, &alg, seed, &params).unwrap_or_else(|e| e.to_json());
-            (reply, false)
-        }
-        Request::Ingest { tenant, updates } => {
-            let reply = handle_ingest(shared, &tenant, updates).unwrap_or_else(|e| e.to_json());
-            (reply, false)
-        }
-        Request::Query { tenant } => {
-            let reply = with_slot(shared, &tenant, |slot| {
-                let mut st = slot.await_quiescent();
-                let answer = st.tenant.query()?;
-                Ok(obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("tenant", Json::from(tenant.as_str())),
-                    ("answer", proto::answer_to_json(&answer)),
-                    ("space_bits", Json::from(st.tenant.space_bits())),
-                    ("processed", Json::from(st.tenant.applied)),
-                ]))
-            })
-            .unwrap_or_else(|e| e.to_json());
-            (reply, false)
-        }
-        Request::SnapshotStats { tenant } => {
-            let reply = with_slot(shared, &tenant, |slot| {
-                let st = slot.await_quiescent();
-                Ok(obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("stats", metrics::tenant_json(&st)),
-                ]))
-            })
-            .unwrap_or_else(|e| e.to_json());
-            (reply, false)
-        }
-        Request::Snapshot { tenant, path } => {
-            let reply =
-                handle_snapshot(shared, &tenant, path.as_deref()).unwrap_or_else(|e| e.to_json());
-            (reply, false)
-        }
-        Request::Restore { path } => {
-            let reply = handle_restore(shared, &path).unwrap_or_else(|e| e.to_json());
-            (reply, false)
-        }
-        Request::Metrics => (
-            obj(vec![
-                ("ok", Json::Bool(true)),
-                ("metrics", metrics::snapshot(shared)),
-            ]),
-            false,
-        ),
-        Request::Top => (
-            obj(vec![
-                ("ok", Json::Bool(true)),
-                ("text", Json::from(metrics::top_text(shared).as_str())),
-            ]),
-            false,
-        ),
-        Request::Bye => (obj(vec![("ok", Json::Bool(true))]), true),
-        Request::Shutdown => {
-            shared.draining.store(true, Ordering::SeqCst);
-            (
-                obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("draining", Json::Bool(true)),
-                ]),
-                false,
-            )
-        }
-    }
-}
-
-/// Look up `tenant` and run `f` on its slot.
-fn with_slot<F>(shared: &Arc<Shared>, tenant: &str, f: F) -> Result<Json, ProtoError>
-where
-    F: FnOnce(&Arc<TenantSlot>) -> Result<Json, ProtoError>,
-{
-    let slot = shared
-        .tenants
-        .lock()
-        .unwrap()
-        .get(tenant)
-        .cloned()
-        .ok_or_else(|| {
-            ProtoError::new(
-                ErrorKind::UnknownTenant,
-                format!("tenant '{tenant}' has not said hello"),
-            )
-        })?;
-    f(&slot)
-}
-
-fn handle_hello(
+fn spawn_backend(
     shared: &Arc<Shared>,
-    tenant: &str,
-    alg: &str,
-    seed: Option<u64>,
-    params: &proto::HelloParams,
-) -> Result<Json, ProtoError> {
-    if shared.draining.load(Ordering::SeqCst) {
-        return Err(ProtoError::new(
-            ErrorKind::Draining,
-            "daemon is draining; no new tenants",
-        ));
-    }
-    let seed_base = seed.unwrap_or(shared.cfg.seed);
-    let check_existing =
-        |tenants: &BTreeMap<String, Arc<TenantSlot>>| -> Option<Result<Json, ProtoError>> {
-            tenants.get(tenant).map(|slot| {
-                let st = slot.state.lock().unwrap();
-                st.tenant.check_hello_matches(alg, seed_base)?;
-                Ok(hello_reply(&st.tenant))
+    listener: TcpListener,
+    backend: Backend,
+) -> std::io::Result<Runtime> {
+    match backend {
+        Backend::Thread => {
+            let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+                Arc::new(Mutex::new(Vec::new()));
+            let accept_shared = Arc::clone(shared);
+            let accept_sessions = Arc::clone(&sessions);
+            let accept = std::thread::spawn(move || {
+                crate::accept::accept_loop(accept_shared, listener, accept_sessions);
+            });
+            Ok(Runtime::Thread {
+                accept: Some(accept),
+                sessions,
             })
-        };
-    let over_cap = |tenants: &BTreeMap<String, Arc<TenantSlot>>| -> Result<(), ProtoError> {
-        if tenants.len() >= shared.cfg.max_tenants {
-            return Err(ProtoError::new(
-                ErrorKind::MaxTenants,
-                format!("tenant cap {} reached", shared.cfg.max_tenants),
-            ));
         }
-        Ok(())
-    };
-    {
-        let tenants = shared.tenants.lock().unwrap();
-        if let Some(existing) = check_existing(&tenants) {
-            return existing;
+        #[cfg(target_os = "linux")]
+        Backend::Epoll => {
+            let (poller, hub) = crate::reactor::init()?;
+            let run_shared = Arc::clone(shared);
+            let run_hub = Arc::clone(&hub);
+            let handle = std::thread::spawn(move || {
+                crate::reactor::run(run_shared, listener, poller, run_hub);
+            });
+            Ok(Runtime::Reactor {
+                handle: Some(handle),
+                hub,
+            })
         }
-        over_cap(&tenants)?;
-    }
-    // Construct outside the tenants lock: building an algorithm (ctor +
-    // probe_mergeable + shard instances) can be slow, and holding the map
-    // mutex would stall every request that needs a tenant lookup across
-    // all tenants for the duration.
-    let created = Tenant::create(
-        tenant,
-        alg,
-        seed_base,
-        params,
-        shared.cfg.shards,
-        shared.cfg.chunk,
-    )?;
-    let mut tenants = shared.tenants.lock().unwrap();
-    if let Some(existing) = check_existing(&tenants) {
-        // Lost a create race with another session. Both constructions are
-        // byte-identical (the same derived seeds), so adopt the winner.
-        return existing;
-    }
-    over_cap(&tenants)?;
-    // Re-check the drain flag under the same lock as the insert: a drain
-    // that began while we were constructing (after the entry check above)
-    // must not gain a tenant it will never flush — the drain path snapshots
-    // and reports over the registry as it stood when the flag flipped.
-    if shared.draining.load(Ordering::SeqCst) {
-        return Err(ProtoError::new(
-            ErrorKind::Draining,
-            "daemon is draining; no new tenants",
-        ));
-    }
-    let reply = hello_reply(&created);
-    tenants.insert(tenant.to_string(), Arc::new(TenantSlot::new(created)));
-    Ok(reply)
-}
-
-/// Resolve where a `snapshot` writes: the request's explicit path, else
-/// the daemon's `--state-dir` (with the tenant id hex-encoded so arbitrary
-/// id strings stay filesystem-safe).
-fn snapshot_path(shared: &Shared, tenant: &str, path: Option<&str>) -> Result<String, ProtoError> {
-    match (path, &shared.cfg.state_dir) {
-        (Some(p), _) => Ok(p.to_string()),
-        (None, Some(dir)) => Ok(format!("{dir}/{}.wbsnap", hex_id(tenant))),
-        (None, None) => Err(ProtoError::new(
-            ErrorKind::BadRequest,
-            "snapshot needs a 'path' (or start wbd with --state-dir)",
-        )),
+        #[cfg(not(target_os = "linux"))]
+        Backend::Epoll => unreachable!("resolve_backend rewrites epoll off Linux"),
     }
 }
 
-fn hex_id(id: &str) -> String {
+/// Hex-encode a tenant id so arbitrary id strings stay filesystem-safe.
+pub(crate) fn hex_id(id: &str) -> String {
     id.bytes().fold(String::new(), |mut s, b| {
         let _ = std::fmt::Write::write_fmt(&mut s, format_args!("{b:02x}"));
         s
     })
 }
 
-fn handle_snapshot(
-    shared: &Arc<Shared>,
-    tenant: &str,
-    path: Option<&str>,
-) -> Result<Json, ProtoError> {
-    let path = snapshot_path(shared, tenant, path)?;
-    with_slot(shared, tenant, |slot| {
-        let mut st = slot.await_quiescent();
-        let frame = st
-            .tenant
-            .snapshot_bytes()
-            .map_err(|e| ProtoError::new(ErrorKind::SnapshotFailed, e.to_string()))?;
-        write_atomic(std::path::Path::new(&path), &frame).map_err(|e| {
-            ProtoError::new(
-                ErrorKind::SnapshotFailed,
-                format!("could not write {path}: {e}"),
-            )
-        })?;
-        Ok(obj(vec![
-            ("ok", Json::Bool(true)),
-            ("tenant", Json::from(tenant)),
-            ("path", Json::from(path.as_str())),
-            ("bytes", Json::from(frame.len() as u64)),
-            ("applied", Json::from(st.tenant.applied)),
-        ]))
-    })
-}
-
-fn handle_restore(shared: &Arc<Shared>, path: &str) -> Result<Json, ProtoError> {
-    if shared.draining.load(Ordering::SeqCst) {
-        return Err(ProtoError::new(
-            ErrorKind::Draining,
-            "daemon is draining; no new tenants",
-        ));
-    }
-    let bytes = std::fs::read(path).map_err(|e| {
-        ProtoError::new(
-            ErrorKind::SnapshotFailed,
-            format!("could not read {path}: {e}"),
-        )
-    })?;
-    let restored = Tenant::restore_bytes(&bytes).map_err(|e| {
-        ProtoError::new(
-            ErrorKind::SnapshotFailed,
-            format!("could not restore {path}: {e}"),
-        )
-    })?;
-    let mut tenants = shared.tenants.lock().unwrap();
-    if tenants.contains_key(&restored.id) {
-        return Err(ProtoError::new(
-            ErrorKind::TenantMismatch,
-            format!(
-                "tenant '{}' already exists; restore refuses to replace live state",
-                restored.id
-            ),
-        ));
-    }
-    if tenants.len() >= shared.cfg.max_tenants {
-        return Err(ProtoError::new(
-            ErrorKind::MaxTenants,
-            format!("tenant cap {} reached", shared.cfg.max_tenants),
-        ));
-    }
-    if shared.draining.load(Ordering::SeqCst) {
-        return Err(ProtoError::new(
-            ErrorKind::Draining,
-            "daemon is draining; no new tenants",
-        ));
-    }
-    let mut reply = hello_reply(&restored);
-    if let Json::Obj(members) = &mut reply {
-        members.push(("applied".to_string(), Json::from(restored.applied)));
-    }
-    let id = restored.id.clone();
-    tenants.insert(id, Arc::new(TenantSlot::new(restored)));
-    Ok(reply)
-}
-
 /// Write `bytes` to `path` atomically (tmp + rename): a crash mid-write
 /// leaves either the previous snapshot or none, never a torn frame.
-fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)
@@ -596,135 +428,4 @@ fn persist_state_dir(shared: &Arc<Shared>) -> std::io::Result<()> {
         }
     }
     Ok(())
-}
-
-fn hello_reply(t: &Tenant) -> Json {
-    obj(vec![
-        ("ok", Json::Bool(true)),
-        ("tenant", Json::from(t.id.as_str())),
-        ("alg", Json::from(t.alg_name.as_str())),
-        ("model", Json::from(t.model.label())),
-        ("shards", Json::from(t.shards as u64)),
-        ("tenant_seed", Json::from(t.tenant_seed)),
-    ])
-}
-
-fn handle_ingest(
-    shared: &Arc<Shared>,
-    tenant: &str,
-    updates: Vec<wb_engine::Update>,
-) -> Result<Json, ProtoError> {
-    if shared.draining.load(Ordering::SeqCst) {
-        return Err(ProtoError::new(
-            ErrorKind::Draining,
-            "daemon is draining; ingest refused",
-        ));
-    }
-    with_slot(shared, tenant, |slot| {
-        let mut st = slot.state.lock().unwrap();
-        if let Err(e) = st.tenant.validate_batch(&updates) {
-            st.tenant.rejected += updates.len() as u64;
-            return Err(e);
-        }
-        // Accepted: all-or-nothing, counted before queueing so a drain
-        // that starts right now still applies every one of these updates.
-        st.tenant.accepted += updates.len() as u64;
-        st.tenant.batches += 1;
-        let chunk = shared.cfg.chunk.max(1);
-        let accepted = updates.len() as u64;
-        for piece in updates.chunks(chunk) {
-            while st.inbox.len() >= INBOX_CHUNKS {
-                st.inbox_stalls += 1;
-                st = slot.cv.wait(st).unwrap();
-            }
-            st.inbox.push_back(piece.to_vec());
-            if !st.scheduled {
-                // Hand the inbox to a worker *now*, before any later piece
-                // can hit a full inbox: the drain job is the only thing
-                // that frees space, so a batch longer than INBOX_CHUNKS
-                // chunks would otherwise wait on a job never submitted.
-                // Submit outside the slot lock — the pool queue is bounded
-                // and submission may block (counted as a pool stall).
-                st.scheduled = true;
-                drop(st);
-                let job = Arc::clone(slot);
-                shared.pool.submit(Box::new(move || job.drain_inbox()));
-                st = slot.state.lock().unwrap();
-            }
-        }
-        let pending = st.inbox.len() as u64;
-        Ok(obj(vec![
-            ("ok", Json::Bool(true)),
-            ("accepted", Json::from(accepted)),
-            ("pending_chunks", Json::from(pending)),
-        ]))
-    })
-}
-
-/// Maximum request-line size. Generous — an ingest batch of ~400k
-/// turnstile updates still fits — but bounded, so one newline-less client
-/// cannot grow a session buffer without limit.
-const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
-
-/// One [`LineReader::next_line`] outcome.
-enum NextLine {
-    /// A full request line (newline stripped).
-    Line(String),
-    /// EOF, or the daemon is draining and the connection went idle.
-    Closed,
-    /// The client exceeded [`MAX_LINE_BYTES`] without a newline.
-    TooLong,
-}
-
-/// A line reader over a read-timeout socket that never loses a partial
-/// line: bytes accumulate across timeouts, and only a full `\n`-terminated
-/// line is consumed. Returns [`NextLine::Closed`] on EOF or when the
-/// daemon is draining and the connection has gone idle with no buffered
-/// partial request.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> Self {
-        LineReader {
-            stream,
-            buf: Vec::with_capacity(4096),
-        }
-    }
-
-    fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<NextLine> {
-        loop {
-            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                let rest = self.buf.split_off(pos + 1);
-                let mut line = std::mem::replace(&mut self.buf, rest);
-                line.pop(); // the newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return Ok(NextLine::Line(String::from_utf8_lossy(&line).into_owned()));
-            }
-            if self.buf.len() > MAX_LINE_BYTES {
-                return Ok(NextLine::TooLong);
-            }
-            let mut tmp = [0u8; 4096];
-            match self.stream.read(&mut tmp) {
-                Ok(0) => return Ok(NextLine::Closed), // EOF (partial line discarded)
-                Ok(k) => self.buf.extend_from_slice(&tmp[..k]),
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    // Idle tick: during a drain, a quiet session closes
-                    // (its client got every reply it asked for); otherwise
-                    // keep waiting.
-                    if draining.load(Ordering::SeqCst) && self.buf.is_empty() {
-                        return Ok(NextLine::Closed);
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
 }

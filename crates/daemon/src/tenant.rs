@@ -411,6 +411,26 @@ impl Tenant {
     }
 }
 
+/// Where a reactor session asks to be poked when a tenant's inbox makes
+/// progress. The trait keeps `tenant.rs` portable: the Linux reactor
+/// implements it over its wakeup pipe; the thread backend never registers
+/// one (it blocks on [`TenantSlot::cv`] instead).
+pub trait WakeSink: Send + Sync {
+    /// Record `token` as runnable and wake the event loop that owns it.
+    fn wake(&self, token: u64);
+}
+
+/// One parked reactor session: its token and the sink that reaches its
+/// reactor. Registered under the slot lock while the blocking condition
+/// holds, drained (woken) by the worker that changes the condition — the
+/// classic no-lost-wakeup shape, with re-registration on spurious wakes.
+pub struct Waiter {
+    /// The session token the reactor resolves back to a pending op.
+    pub token: u64,
+    /// The owning reactor's wakeup sink.
+    pub sink: std::sync::Arc<dyn WakeSink>,
+}
+
 /// What a session observes about a tenant while holding the slot lock.
 pub struct TenantState {
     /// The tenant itself.
@@ -421,6 +441,10 @@ pub struct TenantState {
     pub scheduled: bool,
     /// How often a session found the inbox full and had to wait.
     pub inbox_stalls: u64,
+    /// Reactor sessions parked on this tenant (inbox space or quiescence).
+    /// Every applied chunk and every worker hand-back drains the list;
+    /// still-blocked sessions re-register after re-checking.
+    pub waiters: Vec<Waiter>,
 }
 
 /// A registered tenant behind its lock + condvar (the condvar signals
@@ -442,6 +466,7 @@ impl TenantSlot {
                 inbox: VecDeque::new(),
                 scheduled: false,
                 inbox_stalls: 0,
+                waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -450,7 +475,9 @@ impl TenantSlot {
     /// Run the worker half: apply inbox chunks in FIFO order until the
     /// inbox is empty, then hand the tenant back (clear `scheduled`)
     /// atomically with the emptiness check, so no chunk is ever left
-    /// behind without a worker owning it.
+    /// behind without a worker owning it. Both wait mechanisms are
+    /// notified at every progress point: the condvar for blocking
+    /// sessions, the registered [`Waiter`]s for reactor sessions.
     pub fn drain_inbox(&self) {
         let mut st = self.state.lock().unwrap();
         loop {
@@ -462,10 +489,12 @@ impl TenantSlot {
                     // chunk.
                     st.tenant.apply_chunk(&chunk);
                     self.cv.notify_all();
+                    wake_waiters(&mut st);
                 }
                 None => {
                     st.scheduled = false;
                     self.cv.notify_all();
+                    wake_waiters(&mut st);
                     return;
                 }
             }
@@ -480,6 +509,16 @@ impl TenantSlot {
             st = self.cv.wait(st).unwrap();
         }
         st
+    }
+}
+
+/// Drain the waiter list, poking each sink. Spurious wakes are fine — the
+/// reactor re-checks its pending condition and re-registers — so a single
+/// list serves both "inbox space" and "quiescence" waiters without the
+/// worker distinguishing them.
+fn wake_waiters(st: &mut TenantState) {
+    for w in st.waiters.drain(..) {
+        w.sink.wake(w.token);
     }
 }
 

@@ -228,6 +228,31 @@ impl WorkerPool {
         }
     }
 
+    /// Queue `job` only if a slot is free; a full queue returns the job to
+    /// the caller instead of blocking (and counts a submit stall). This is
+    /// the event-loop submission path: a reactor thread must never park on
+    /// the pool queue, so it re-offers returned jobs from its own deferral
+    /// list once workers catch up.
+    pub fn try_submit(&self, job: PoolJob) -> Result<(), PoolJob> {
+        let tx = self.tx.as_ref().expect("pool is shut down");
+        match tx.try_send(job) {
+            Ok(()) => {
+                let mut counts = self.shared.counts.lock().unwrap();
+                counts.submitted += 1;
+                let depth = counts.submitted - counts.completed;
+                counts.peak_depth = counts.peak_depth.max(depth);
+                Ok(())
+            }
+            Err(mpsc::TrySendError::Full(job)) => {
+                self.shared.counts.lock().unwrap().submit_stalls += 1;
+                Err(job)
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                panic!("workers outlive the pool handle")
+            }
+        }
+    }
+
     /// Block until every submitted job has completed. Jobs submitted by
     /// other threads *while* draining extend the wait — the guarantee is
     /// "no work outstanding at return", not a fence.

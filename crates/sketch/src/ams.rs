@@ -99,12 +99,70 @@ fn sign_of(coeffs: &[u64; 4], x: u64) -> i64 {
     }
 }
 
+/// Log2 of the sign-cache slot count (a 4096-entry direct-mapped table:
+/// 64 KiB — scratch, not sketch state).
+const SIGN_CACHE_BITS: u32 = 12;
+
+/// Sentinel for an empty cache slot (reduced points are always `< P`).
+const SIGN_CACHE_EMPTY: u64 = u64::MAX;
+
+/// Cross-batch sign cache: a direct-mapped table from a reduced point `x`
+/// to the packed signs of **every** copy at `x` (bit `j` set ⇔ copy `j`'s
+/// sign is `+1`). The sign functions are fixed at construction, so an
+/// entry stays valid for the sketch's lifetime (cleared on restore, where
+/// the coefficients are overwritten); a churn-style stream that revisits
+/// items across batches pays the `copies` Horner evaluations once per
+/// distinct point instead of once per batch. Pure scratch: identical
+/// signs come out either way, so estimates stay bit-identical, and the
+/// table is skipped by snapshots.
+#[derive(Debug, Clone, Default)]
+struct SignCache {
+    keys: Vec<u64>,
+    bits: Vec<u64>,
+}
+
+impl SignCache {
+    /// The packed signs for `x`, computing and caching them on a miss.
+    /// Only callable when `copies.len() <= 64` (one bit per copy).
+    fn lookup(&mut self, x: u64, copies: &[AmsCopy]) -> u64 {
+        if self.keys.is_empty() {
+            self.keys = vec![SIGN_CACHE_EMPTY; 1 << SIGN_CACHE_BITS];
+            self.bits = vec![0; 1 << SIGN_CACHE_BITS];
+        }
+        // Fibonacci hashing: the multiplier spreads consecutive item ids
+        // across slots; the top bits index the table.
+        let slot = (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SIGN_CACHE_BITS)) as usize;
+        if self.keys[slot] == x {
+            return self.bits[slot];
+        }
+        let mut packed = 0u64;
+        for (j, c) in copies.iter().enumerate() {
+            if sign_of(&c.coeffs, x) == 1 {
+                packed |= 1 << j;
+            }
+        }
+        self.keys[slot] = x;
+        self.bits[slot] = packed;
+        packed
+    }
+
+    /// Drop every entry (the coefficients changed under us — restore).
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.bits.clear();
+    }
+}
+
 /// AMS F2 estimator: median over `copies` independent atoms of `⟨Z, f⟩²`.
 #[derive(Debug, Clone)]
 pub struct AmsF2 {
     copies: Vec<AmsCopy>,
     /// Reusable batch scratch: distinct-point delta aggregation table.
     agg: RunAggregator<i64>,
+    /// Cross-batch scratch: packed signs per reduced point.
+    sign_cache: SignCache,
+    /// Per-batch scratch: one packed-sign word per aggregated run.
+    sign_scratch: Vec<u64>,
 }
 
 impl AmsF2 {
@@ -118,6 +176,8 @@ impl AmsF2 {
         AmsF2 {
             copies: (0..copies).map(|_| AmsCopy::new(rng)).collect(),
             agg: RunAggregator::new(),
+            sign_cache: SignCache::default(),
+            sign_scratch: Vec::new(),
         }
     }
 
@@ -179,7 +239,7 @@ impl Mergeable for AmsF2 {
 
 impl Snapshot for AmsF2 {
     /// Layout: `len | copies…`. The copy count is a construction parameter;
-    /// the batch aggregator is per-batch scratch — skipped.
+    /// the batch aggregator and sign cache are scratch — skipped.
     fn snap(&self, w: &mut SnapWriter) {
         w.put_usize(self.copies.len());
         for c in &self.copies {
@@ -198,6 +258,10 @@ impl Snapshot for AmsF2 {
         for c in &mut self.copies {
             c.restore(r)?;
         }
+        // The restored coefficients need not match the ones the cache was
+        // filled under; stale signs would silently corrupt every later
+        // batch.
+        self.sign_cache.clear();
         Ok(())
     }
 }
@@ -228,24 +292,57 @@ impl StreamAlg for AmsF2 {
     /// to sequential processing (items whose deltas cancel contribute 0
     /// either way). Aggregation is by the reduced point `x = item mod P`
     /// (reduced once per update; the sign depends only on `x`), via the
-    /// reusable [`RunAggregator`] — O(len), no sort. The runs are then
-    /// consumed copy-major: each copy's coefficients stay in registers
-    /// while a local accumulator sums `Z(x)·δ` over the whole batch,
-    /// touching the stored counter once.
+    /// reusable [`RunAggregator`] — O(len), no sort.
+    ///
+    /// Sign evaluations are then resolved through the cross-batch
+    /// [`SignCache`] (when the copies fit one packed word, the common
+    /// case): each run looks up — or fills, Horner-evaluating every copy
+    /// once — the packed signs for its point, and the copy-major
+    /// accumulation loop turns into a bit test plus signed add per run.
+    /// A churn stream revisiting its items pays zero field arithmetic on
+    /// cache hits; the cached signs are the very values `sign_of` would
+    /// return, and runs are consumed in the same order, so the counters
+    /// stay bit-identical either way.
     fn process_batch(&mut self, updates: &[Turnstile], _rng: &mut TranscriptRng) {
         let runs = self.agg.aggregate(
             updates.iter().map(|u| (reduce64(u.item), u.delta)),
             updates.len(),
         );
-        for copy in &mut self.copies {
-            let coeffs = copy.coeffs;
-            let mut acc = 0i64;
-            for &(x, delta) in runs {
-                if delta != 0 {
-                    acc += delta * sign_of(&coeffs, x);
+        if self.copies.len() <= 64 {
+            let mut signs = std::mem::take(&mut self.sign_scratch);
+            signs.clear();
+            signs.extend(
+                runs.iter()
+                    .map(|&(x, _)| self.sign_cache.lookup(x, &self.copies)),
+            );
+            for (j, copy) in self.copies.iter_mut().enumerate() {
+                let mut acc = 0i64;
+                for (packed, &(_, delta)) in signs.iter().zip(runs) {
+                    if delta != 0 {
+                        acc += if (packed >> j) & 1 == 1 {
+                            delta
+                        } else {
+                            -delta
+                        };
+                    }
                 }
+                copy.counter += acc;
             }
-            copy.counter += acc;
+            self.sign_scratch = signs;
+        } else {
+            // Too many copies for one packed word: the copy-major loop
+            // keeps each copy's coefficients in registers while a local
+            // accumulator sums `Z(x)·δ` over the whole batch.
+            for copy in &mut self.copies {
+                let coeffs = copy.coeffs;
+                let mut acc = 0i64;
+                for &(x, delta) in runs {
+                    if delta != 0 {
+                        acc += delta * sign_of(&coeffs, x);
+                    }
+                }
+                copy.counter += acc;
+            }
         }
     }
 

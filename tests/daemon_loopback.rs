@@ -373,6 +373,7 @@ fn client_script_survives_a_tenant_named_bye() {
         &mut input,
         &mut out,
         /* strict */ true,
+        /* pipeline */ 1,
     )
     .expect("script passes");
     let replies: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
@@ -678,4 +679,98 @@ fn state_dir_round_trips_tenants_across_restarts() {
         server.wait();
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Requests that trail a `shutdown` must still be served during the
+/// drain, in both orderings a real client produces: pipelined (the whole
+/// tail — ingest, query, shutdown, bye — goes out in one write, so the
+/// trailing requests can sit unread in the kernel buffer behind the
+/// parked ingest when the drain begins) and stop-and-wait (an idle
+/// session sends `bye` only after the drain has already started). The
+/// epoll reactor takes a final nonblocking read before a drain-idle
+/// close and keeps idle sessions registered for a grace window; without
+/// either, these clients see a broken pipe.
+#[test]
+fn requests_trailing_a_shutdown_are_served_during_drain() {
+    let server = Server::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon");
+    let addr = server.addr();
+
+    // Opened (and hello'd) before the drain; it goes idle and must still
+    // be answerable after the drain begins.
+    let mut stopwait = Session::connect(addr);
+    stopwait
+        .expect_ok("{\"cmd\":\"hello\",\"tenant\":\"tail-wait\",\"alg\":\"morris\",\"seed\":3}");
+
+    let mut pipelined = Session::connect(addr);
+    pipelined
+        .expect_ok("{\"cmd\":\"hello\",\"tenant\":\"tail-pipe\",\"alg\":\"morris\",\"seed\":3}");
+    // One write for the whole tail: the ingest parks on the pool, so the
+    // requests behind it — including the shutdown that starts the drain
+    // and the bye behind *that* — arrive while read interest is off. The
+    // drain-idle close must read them out instead of discarding them.
+    pipelined
+        .writer
+        .write_all(
+            b"{\"cmd\":\"ingest\",\"tenant\":\"tail-pipe\",\"updates\":[1,2,3,4,5]}\n\
+              {\"cmd\":\"query\",\"tenant\":\"tail-pipe\"}\n\
+              {\"cmd\":\"shutdown\"}\n\
+              {\"cmd\":\"bye\"}\n",
+        )
+        .expect("send pipelined tail");
+    let r1 = pipelined.read_reply();
+    assert_eq!(
+        r1.get("accepted").and_then(Json::as_u64),
+        Some(5),
+        "{}",
+        r1.to_line()
+    );
+    let r2 = pipelined.read_reply();
+    assert_eq!(
+        r2.get("processed").and_then(Json::as_u64),
+        Some(5),
+        "query pipelined behind the ingest must still be answered: {}",
+        r2.to_line()
+    );
+    let r3 = pipelined.read_reply();
+    assert_eq!(
+        r3.get("draining"),
+        Some(&Json::Bool(true)),
+        "shutdown must acknowledge the drain: {}",
+        r3.to_line()
+    );
+    let r4 = pipelined.read_reply();
+    assert_eq!(r4.get("ok"), Some(&Json::Bool(true)), "{}", r4.to_line());
+    let mut rest = String::new();
+    assert_eq!(
+        pipelined
+            .reader
+            .read_line(&mut rest)
+            .expect("post-bye read"),
+        0,
+        "session must close cleanly after bye"
+    );
+
+    // Stop-and-wait: the daemon is now draining and this session has been
+    // idle the whole time; the grace window must keep it open long enough
+    // to answer the bye.
+    stopwait.expect_ok("{\"cmd\":\"bye\"}");
+    let mut rest = String::new();
+    assert_eq!(
+        stopwait.reader.read_line(&mut rest).expect("post-bye read"),
+        0,
+        "session must close cleanly after bye"
+    );
+
+    let finals = server.wait();
+    let tenants = finals.get("tenants").expect("tenants rollup");
+    assert_eq!(tenants.get("accepted").and_then(Json::as_u64), Some(5));
+    assert_eq!(
+        tenants.get("applied").and_then(Json::as_u64),
+        Some(5),
+        "the drain must apply the batch accepted before it began"
+    );
 }
