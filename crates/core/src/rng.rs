@@ -80,6 +80,14 @@ pub fn derive_seed(master: u64, labels: &[&str]) -> u64 {
     SplitMix64::new(h).next_u64()
 }
 
+/// The exact word→`[0, 1)` mapping of [`TranscriptRng::next_f64`] (top 53
+/// bits, scaled), exposed so bulk kernels can convert words prefetched via
+/// [`TranscriptRng::next_u64_many`] precisely as the scalar draw would.
+#[inline]
+pub fn f64_from_word(w: u64) -> f64 {
+    (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// xoshiro256\*\* (Blackman & Vigna 2018): fast, high-quality, 256-bit state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Xoshiro256StarStar {
@@ -432,7 +440,7 @@ impl TranscriptRng {
 
     /// Uniform `f64` in `[0, 1)` using 53 random bits.
     pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        f64_from_word(self.next_u64())
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).

@@ -290,6 +290,9 @@ pub struct FrequencyVector {
     freqs: HashMap<u64, i64>,
     l1: u64,
     updates: u64,
+    /// Batch scratch (see [`FrequencyVector::update_batch`]); not part of
+    /// the observable state, skipped by snapshots.
+    agg: RunAggregator<i64>,
 }
 
 impl FrequencyVector {
@@ -312,38 +315,44 @@ impl FrequencyVector {
     /// Apply a batch of signed updates at once.
     ///
     /// Equivalent to calling [`FrequencyVector::update`] per element, but
-    /// deltas are pre-aggregated per item (sort + run-length, cheaper than
-    /// hashing every update) so each touched coordinate is looked up once
-    /// — the fast path the engine's batched ingestion uses for referee
-    /// ground truth.
+    /// deltas are pre-aggregated per item through the resident
+    /// [`RunAggregator`] scratch (O(len), no allocation or sort once the
+    /// scratch is warm) so each touched coordinate is looked up once — the
+    /// fast path the engine's batched ingestion uses for referee ground
+    /// truth. Coordinate addition commutes, so the final state is
+    /// bit-identical to per-element updates.
     pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
         self.updates += updates.len() as u64;
-        let mut sorted: Vec<(u64, i64)> = updates.to_vec();
-        sorted.sort_unstable_by_key(|&(item, _)| item);
-        let mut i = 0;
-        while i < sorted.len() {
-            let item = sorted[i].0;
-            let mut delta = sorted[i].1;
-            let mut j = i + 1;
-            while j < sorted.len() && sorted[j].0 == item {
-                delta += sorted[j].1;
-                j += 1;
+        let mut agg = std::mem::take(&mut self.agg);
+        // Segmented to respect the aggregator's 2^24-pair batch cap.
+        for part in updates.chunks(1 << 20) {
+            agg.begin(part.len());
+            for &(item, delta) in part {
+                agg.add(item, delta);
             }
-            if delta != 0 {
-                self.apply(item, delta);
+            for &(item, delta) in agg.runs() {
+                if delta != 0 {
+                    self.apply(item, delta);
+                }
             }
-            i = j;
         }
+        self.agg = agg;
     }
 
     /// Apply a batch of insertions at once (see [`FrequencyVector::update_batch`]).
     pub fn insert_batch(&mut self, items: &[u64]) {
         self.updates += items.len() as u64;
-        let mut sorted: Vec<u64> = items.to_vec();
-        sorted.sort_unstable();
-        for_each_run(sorted.iter().copied(), |item, count| {
-            self.apply(item, count as i64)
-        });
+        let mut agg = std::mem::take(&mut self.agg);
+        for part in items.chunks(1 << 20) {
+            agg.begin(part.len());
+            for &item in part {
+                agg.add(item, 1i64);
+            }
+            for &(item, count) in agg.runs() {
+                self.apply(item, count);
+            }
+        }
+        self.agg = agg;
     }
 
     /// Core coordinate update, without touching the stream-length counter.

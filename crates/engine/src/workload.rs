@@ -411,16 +411,13 @@ impl DrawSource for WordTape {
 /// noise over `[n]`.
 pub fn zipf_stream(n: u64, m: u64, heavy_items: u64, seed: u64) -> Vec<u64> {
     let mut rng = TranscriptRng::from_seed(seed);
-    let weights: Vec<f64> = (0..heavy_items).map(|i| 1.0 / (i + 1) as f64).collect();
-    let total: f64 = weights.iter().sum();
-    (0..m)
-        .map(|_| zipf_next(&mut rng, n, heavy_items, &weights, total))
-        .collect()
+    let sampler = ZipfSampler::new(n, heavy_items);
+    (0..m).map(|_| sampler.next(&mut rng)).collect()
 }
 
-/// One Zipf draw — shared by the materialized and streaming generators
-/// (via [`DrawSource`]) so their draw sequences are identical by
-/// construction.
+/// One Zipf draw by the historical per-draw linear CDF walk — kept as the
+/// reference the precomputed [`ZipfSampler`] is pinned against (and its
+/// fallback for heads too large to tabulate).
 fn zipf_next<R: DrawSource>(
     rng: &mut R,
     n: u64,
@@ -429,16 +426,297 @@ fn zipf_next<R: DrawSource>(
     total: f64,
 ) -> u64 {
     if rng.bernoulli(0.7) {
-        let mut u = rng.next_f64() * total;
-        for (i, w) in weights.iter().enumerate() {
-            if u < *w {
-                return i as u64;
-            }
-            u -= w;
-        }
-        heavy_items - 1
+        zipf_head_walk(rng.next_f64() * total, heavy_items, weights)
     } else {
         heavy_items + rng.below(n - heavy_items)
+    }
+}
+
+/// The sequential head walk: subtract weights until the residual drops
+/// below the next weight. Every `u -= w` rounds, so the walk's item is a
+/// function of the *floating-point* trajectory, not the real-valued CDF —
+/// any replacement structure must reproduce these exact roundings.
+fn zipf_head_walk(mut u: f64, heavy_items: u64, weights: &[f64]) -> u64 {
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i as u64;
+        }
+        u -= w;
+    }
+    heavy_items - 1
+}
+
+/// Largest Zipf head for which the exact threshold table is precomputed;
+/// construction is O(heavy²) ulp-refined float inversions, so oversized
+/// heads keep the linear walk instead.
+const ZIPF_TABLE_MAX_HEAVY: u64 = 2048;
+/// First-level bucket count of the threshold lookup (indexed by the top
+/// bits of the 53-bit draw), a power of two.
+const ZIPF_BUCKETS: usize = 1024;
+/// Bits to shift a 53-bit draw right to get its bucket index.
+const ZIPF_BUCKET_SHIFT: u32 = 53 - ZIPF_BUCKETS.trailing_zeros();
+/// The draw grid: `next_f64` yields `k / 2^53` for a 53-bit integer `k`.
+const ZIPF_GRID: f64 = (1u64 << 53) as f64;
+/// The Bernoulli(0.7) coin cutoff on the draw grid: `fl(0.7)·2^53` is
+/// exact (same binade, power-of-two scale), so `(word >> 11) < CUT` is
+/// bit-identical to `next_f64() < 0.7`.
+const ZIPF_COIN_CUT: u64 = (0.7 * ZIPF_GRID) as u64;
+
+/// Precomputed inverse CDF of the Zipf head walk, mapping each
+/// `TranscriptRng` draw to the **identical** item the linear walk returns.
+///
+/// Why draw-identity constrains the structure: the walk's comparisons run
+/// on rounded partial sums (`u -= w` after every miss), so item boundaries
+/// sit on floating-point values that differ from the real-valued CDF by
+/// accumulated rounding. The table therefore stores, per head item `i`,
+/// the *exact* smallest draw whose walk survives stages `0..=i` — computed
+/// by inverting each `fl(x − w)` step backward with ulp refinement, taking
+/// the running max across stages (the walk is monotone in its start
+/// value), and snapping the result onto the 53-bit draw grid. A draw's
+/// item is then the number of thresholds ≤ it: one bucket lookup (top 10
+/// draw bits) plus a binary search over the rare bucket straddling more
+/// than one item — O(1) typical, O(log heavy) worst case, byte-identical
+/// to the walk by construction.
+#[derive(Debug, Clone)]
+struct ZipfSampler {
+    n: u64,
+    heavy: u64,
+    weights: Vec<f64>,
+    total: f64,
+    /// `thresholds[i]` = smallest grid draw (as its 53-bit integer `k`,
+    /// the draw being `k·2⁻⁵³`) with `item(k) > i`, non-decreasing;
+    /// entries of `u64::MAX` mark unreachable stages. Storing the grid
+    /// *integer* rather than the float keeps the per-draw lookup in pure
+    /// integer compares (a draw word maps to its grid point by one shift).
+    thresholds: Vec<u64>,
+    /// Per-bucket `[start, end)` index range into `thresholds` that can
+    /// still straddle the bucket; empty when the table is not built.
+    buckets: Vec<(u32, u32)>,
+}
+
+/// Next representable `f64` above positive finite `x`.
+fn ulp_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
+}
+
+/// Next representable `f64` below positive finite `x`.
+fn ulp_down(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() - 1)
+}
+
+/// Smallest `x` with `fl(x − w) ≥ t`, for positive finite `t`, `w`. The
+/// candidate `fl(t + w)` is within a couple of ulps of the answer; refine
+/// by stepping, relying on the monotonicity of float subtraction.
+fn min_x_sub_ge(t: f64, w: f64) -> f64 {
+    let mut x = t + w;
+    let mut steps = 0u32;
+    while x - w < t {
+        x = ulp_up(x);
+        steps += 1;
+        assert!(steps < 1024, "min_x_sub_ge: candidate too far below");
+    }
+    while x > w && ulp_down(x) - w >= t {
+        x = ulp_down(x);
+        steps += 1;
+        assert!(steps < 1024, "min_x_sub_ge: candidate too far above");
+    }
+    x
+}
+
+impl ZipfSampler {
+    fn new(n: u64, heavy: u64) -> Self {
+        let weights: Vec<f64> = (0..heavy).map(|i| 1.0 / (i + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut sampler = ZipfSampler {
+            n,
+            heavy,
+            weights,
+            total,
+            thresholds: Vec::new(),
+            buckets: Vec::new(),
+        };
+        if (1..=ZIPF_TABLE_MAX_HEAVY).contains(&heavy) {
+            sampler.build_table();
+        }
+        sampler
+    }
+
+    /// Precompute the stop thresholds and the bucket index (see the type
+    /// docs for the invariants).
+    fn build_table(&mut self) {
+        let k = self.weights.len();
+        let mut running = 0.0f64;
+        let mut thresholds = Vec::with_capacity(k - 1);
+        for j in 0..k - 1 {
+            // Smallest start value u whose walk survives stage j
+            // (`u_j ≥ w_j`), by inverting stages j−1..0 backward.
+            let mut t = self.weights[j];
+            for m in (0..j).rev() {
+                t = min_x_sub_ge(t, self.weights[m]);
+            }
+            // The walk survives stages 0..=j iff it survives each; the
+            // binding constraint is the running max.
+            running = running.max(t);
+            thresholds.push(Self::min_grid_draw(running, self.total));
+        }
+        let mut buckets = Vec::with_capacity(ZIPF_BUCKETS);
+        for b in 0..ZIPF_BUCKETS {
+            // Bucket boundaries are grid-aligned: `b/1024 = (b·2⁴³)·2⁻⁵³`.
+            let left = (b as u64) << ZIPF_BUCKET_SHIFT;
+            let right = (b as u64 + 1) << ZIPF_BUCKET_SHIFT;
+            let s = thresholds.partition_point(|&t| t < left);
+            let e = thresholds.partition_point(|&t| t < right);
+            buckets.push((s as u32, e as u32));
+        }
+        self.thresholds = thresholds;
+        self.buckets = buckets;
+    }
+
+    /// Smallest grid draw `k` (the draw being `k·2⁻⁵³`) with
+    /// `fl(k·2⁻⁵³ · total) ≥ rec`, or the sentinel `u64::MAX` when no
+    /// draw reaches `rec`.
+    fn min_grid_draw(rec: f64, total: f64) -> u64 {
+        let grid = |k: u64| k as f64 * (1.0 / ZIPF_GRID);
+        let cond = |k: u64| grid(k) * total >= rec;
+        let max_k = 1u64 << 53;
+        let mut k = ((rec / total) * ZIPF_GRID).min(max_k as f64).max(0.0) as u64;
+        let mut steps = 0u32;
+        while k < max_k && !cond(k) {
+            k += 1;
+            steps += 1;
+            assert!(steps < 1024, "min_grid_draw: guess too far below");
+        }
+        while k > 0 && cond(k - 1) {
+            k -= 1;
+            steps += 1;
+            assert!(steps < 1024, "min_grid_draw: guess too far above");
+        }
+        if k >= max_k {
+            // Unreachable even at f = 1.0⁻: never counted (draws are < 1).
+            return u64::MAX;
+        }
+        k
+    }
+
+    /// Head item for the grid draw `k` (i.e. raw word `>> 11`): the number
+    /// of thresholds ≤ `k` — one bucket lookup plus a binary search over
+    /// the rare bucket straddling more than one item, all in integers.
+    #[inline]
+    fn head_item_bits(&self, k: u64) -> u64 {
+        let (s, e) = self.buckets[(k >> ZIPF_BUCKET_SHIFT) as usize];
+        let (s, e) = (s as usize, e as usize);
+        (s + self.thresholds[s..e].partition_point(|&t| t <= k)) as u64
+    }
+
+    /// Head item for draw `f`: recovers the 53-bit integer grid point
+    /// exactly (`f = k·2⁻⁵³`, so the rescale is lossless) and counts
+    /// thresholds ≤ it.
+    #[inline]
+    fn head_item(&self, f: f64) -> u64 {
+        self.head_item_bits((f * ZIPF_GRID) as u64)
+    }
+
+    /// One Zipf draw, consuming the same words in the same order as
+    /// [`zipf_next`] and returning the same item.
+    #[inline]
+    fn next<R: DrawSource>(&self, rng: &mut R) -> u64 {
+        if self.buckets.is_empty() {
+            return zipf_next(rng, self.n, self.heavy, &self.weights, self.total);
+        }
+        if rng.bernoulli(0.7) {
+            self.head_item(rng.next_f64())
+        } else {
+            self.heavy + rng.below(self.n - self.heavy)
+        }
+    }
+
+    /// The vectorized chunk kernel: `k` draws appended to `buf`, consuming
+    /// the exact word tape of `k` scalar [`ZipfSampler::next`] calls.
+    ///
+    /// Every Zipf draw consumes at least two words — the Bernoulli coin
+    /// plus either the head draw or the first tail candidate — so the
+    /// kernel prefetches exactly `2k` words in one bulk fill, never
+    /// reaching past what these draws will consume, and tops up word by
+    /// word only on the (vanishingly rare) tail rejection. Word order is
+    /// the scalar order by construction: the prefetched slice *is* the
+    /// next stretch of tape, read left to right.
+    fn next_chunk_into(&self, tape: &mut WordTape, k: usize, buf: &mut Vec<Update>) {
+        if self.buckets.is_empty() {
+            for _ in 0..k {
+                buf.push(Update::Insert(zipf_next(
+                    tape,
+                    self.n,
+                    self.heavy,
+                    &self.weights,
+                    self.total,
+                )));
+            }
+            return;
+        }
+        let mut words = std::mem::take(&mut tape.scratch);
+        words.resize(2 * k, 0);
+        tape.fill_words(&mut words);
+        let tail = self.n - self.heavy;
+        if tail == 0 {
+            // Degenerate head-only universe: preserve the scalar panic on
+            // the first tail draw (`below(0)`), draw by draw.
+            let mut wi = 0usize;
+            for _ in 0..k {
+                let coin = take_word(&words, &mut wi, tape);
+                assert!(
+                    (coin >> 11) < ZIPF_COIN_CUT,
+                    "below(0) is undefined" // the scalar tail draw panics here
+                );
+                let v = take_word(&words, &mut wi, tape);
+                buf.push(Update::Insert(self.head_item_bits(v >> 11)));
+            }
+            tape.scratch = words;
+            return;
+        }
+        let pow2 = tail.is_power_of_two();
+        let mask = tail.wrapping_sub(1);
+        // Hoisted reciprocal: the scalar path computes it lazily per tail
+        // draw, but `tape.recip` is a pure cache (excluded from snapshots),
+        // so warming it eagerly is unobservable. `Reciprocal::new(1)` is
+        // well-defined, so a pow2 tail just never reads it.
+        let recip = tape.recip_for(if pow2 { 1 } else { tail });
+        let mut wi = 0usize;
+        for _ in 0..k {
+            // Head and tail consume the same value word, so a draw is a
+            // fixed (coin, value) pair unless a non-pow2 tail rejects —
+            // compute both interpretations and select on the coin, keeping
+            // the 70/30 branch out of the pipeline.
+            let coin = take_word(&words, &mut wi, tape);
+            let v = take_word(&words, &mut wi, tape);
+            let is_head = (coin >> 11) < ZIPF_COIN_CUT;
+            let head = self.head_item_bits(v >> 11);
+            let tail_raw = if pow2 { v & mask } else { recip.rem(v) };
+            let mut item = if is_head { head } else { self.heavy + tail_raw };
+            if !pow2 && !is_head && v >= recip.zone() {
+                // Rare tail rejection: keep drawing, exactly like `below`.
+                item = loop {
+                    let v = take_word(&words, &mut wi, tape);
+                    if v < recip.zone() {
+                        break self.heavy + recip.rem(v);
+                    }
+                };
+            }
+            buf.push(Update::Insert(item));
+        }
+        tape.scratch = words;
+    }
+}
+
+/// Next word for the zipf chunk kernel: the prefetched slice first (it is
+/// the next stretch of raw tape), then — only when rejections pushed the
+/// cursor past the prefetch — fresh words straight off the tape.
+#[inline]
+fn take_word(words: &[u64], wi: &mut usize, tape: &mut WordTape) -> u64 {
+    if *wi < words.len() {
+        *wi += 1;
+        words[*wi - 1]
+    } else {
+        tape.next_u64()
     }
 }
 
@@ -561,18 +839,11 @@ impl WorkloadSpec {
     /// (it *is* the materialized form).
     pub fn stream(&self) -> WorkloadStream {
         let state = match self {
-            WorkloadSpec::Zipf { n, m, heavy, seed } => {
-                let weights: Vec<f64> = (0..*heavy).map(|i| 1.0 / (i + 1) as f64).collect();
-                let total: f64 = weights.iter().sum();
-                StreamState::Zipf {
-                    tape: WordTape::from_seed(*seed),
-                    n: *n,
-                    heavy: *heavy,
-                    weights,
-                    total,
-                    remaining: *m,
-                }
-            }
+            WorkloadSpec::Zipf { n, m, heavy, seed } => StreamState::Zipf {
+                tape: WordTape::from_seed(*seed),
+                sampler: ZipfSampler::new(*n, *heavy),
+                remaining: *m,
+            },
             WorkloadSpec::Ddos { m, seed } => StreamState::Ddos {
                 tape: WordTape::from_seed(*seed),
                 t: 0,
@@ -719,10 +990,7 @@ enum ChurnPhase {
 enum StreamState {
     Zipf {
         tape: WordTape,
-        n: u64,
-        heavy: u64,
-        weights: Vec<f64>,
-        total: f64,
+        sampler: ZipfSampler,
         remaining: u64,
     },
     Ddos {
@@ -839,13 +1107,11 @@ impl Snapshot for WorkloadStream {
         match &self.state {
             StreamState::Zipf {
                 tape,
-                n,
-                heavy,
+                sampler,
                 remaining,
-                ..
             } => {
-                w.put_u64(*n);
-                w.put_u64(*heavy);
+                w.put_u64(sampler.n);
+                w.put_u64(sampler.heavy);
                 w.put_u64(*remaining);
                 tape.snap(w);
             }
@@ -909,15 +1175,13 @@ impl Snapshot for WorkloadStream {
         match &mut self.state {
             StreamState::Zipf {
                 tape,
-                n,
-                heavy,
+                sampler,
                 remaining,
-                ..
             } => {
                 let (sn, sheavy) = (r.take_u64()?, r.take_u64()?);
-                if sn != *n || sheavy != *heavy {
+                if sn != sampler.n || sheavy != sampler.heavy {
                     return Err(SnapError::mismatch(
-                        format!("zipf(n={n}, heavy={heavy})"),
+                        format!("zipf(n={}, heavy={})", sampler.n, sampler.heavy),
                         format!("zipf(n={sn}, heavy={sheavy})"),
                     ));
                 }
@@ -1048,16 +1312,11 @@ impl UpdateSource for WorkloadStream {
         match &mut self.state {
             StreamState::Zipf {
                 tape,
-                n,
-                heavy,
-                weights,
-                total,
+                sampler,
                 remaining,
             } => {
                 let k = take_of(cap, 0, *remaining);
-                for _ in 0..k {
-                    buf.push(Update::Insert(zipf_next(tape, *n, *heavy, weights, *total)));
-                }
+                sampler.next_chunk_into(tape, k, buf);
                 *remaining -= k as u64;
             }
             StreamState::Ddos { tape, t, m } => {
@@ -1192,6 +1451,79 @@ mod tests {
         let head = s.iter().filter(|&&i| i == 0).count();
         assert!(head > 3_000, "head count {head}");
         assert_eq!(s.len(), 20_000);
+    }
+
+    #[test]
+    fn zipf_sampler_matches_cdf_walk_draw_for_draw() {
+        // The inverse-CDF table must map every draw to the item the linear
+        // walk would have produced, consuming the same words.
+        for &(n, heavy, seed) in &[
+            (1u64 << 16, 64u64, 1u64),
+            (1 << 16, 64, 97),
+            (1 << 12, 1, 5),
+            (1 << 10, 16, 7),
+            (257, 8, 11),
+            (1 << 10, 512, 3),
+        ] {
+            let sampler = ZipfSampler::new(n, heavy);
+            assert!(!sampler.buckets.is_empty(), "table expected for {heavy}");
+            let mut fast = WordTape::from_seed(seed);
+            let mut slow = WordTape::from_seed(seed);
+            for t in 0..20_000u64 {
+                let a = sampler.next(&mut fast);
+                let b = zipf_next(&mut slow, n, heavy, &sampler.weights, sampler.total);
+                assert_eq!(a, b, "n={n} heavy={heavy} seed={seed} draw {t}");
+            }
+            // Equal word consumption ⇒ the tapes are still in lock-step.
+            assert_eq!(fast.next_u64(), slow.next_u64());
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_head_exact_on_grid() {
+        // `next_f64` only ever produces k/2^53; the table must agree with
+        // the walk at every stored threshold, one grid step below it, and
+        // on a pseudorandom sample of grid points.
+        let sampler = ZipfSampler::new(1 << 12, 64);
+        let grid = |k: u64| k as f64 * (1.0 / ZIPF_GRID);
+        let check = |f: f64| {
+            let walked = zipf_head_walk(f * sampler.total, sampler.heavy, &sampler.weights);
+            assert_eq!(sampler.head_item(f), walked, "f = {f}");
+        };
+        for &t in &sampler.thresholds {
+            if t == u64::MAX {
+                continue; // sentinel: unreachable within [0, 1)
+            }
+            check(grid(t));
+            if t > 0 {
+                check(grid(t - 1));
+            }
+        }
+        let mut x = 0x243F_6A88_85A3_08D3u64; // pseudorandom grid probes
+        for _ in 0..50_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            check(grid(x >> 11));
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_falls_back_for_oversized_head() {
+        // Above the table cap construction would be quadratic in `heavy`;
+        // the sampler must delegate to the walk instead, identically.
+        let (n, heavy) = (1u64 << 14, ZIPF_TABLE_MAX_HEAVY + 1);
+        let sampler = ZipfSampler::new(n, heavy);
+        assert!(sampler.buckets.is_empty());
+        let mut fast = WordTape::from_seed(13);
+        let mut slow = WordTape::from_seed(13);
+        for _ in 0..2_000 {
+            assert_eq!(
+                sampler.next(&mut fast),
+                zipf_next(&mut slow, n, heavy, &sampler.weights, sampler.total)
+            );
+        }
+        assert_eq!(fast.next_u64(), slow.next_u64());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::misra_gries::MisraGries;
 use crate::sampling::bernoulli_rate;
-use wb_core::rng::TranscriptRng;
+use wb_core::rng::{f64_from_word, TranscriptRng};
 use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
@@ -52,6 +52,16 @@ impl BernMG {
     /// Process one update.
     pub fn insert(&mut self, item: u64, rng: &mut TranscriptRng) {
         if rng.bernoulli(self.p) {
+            self.mg.insert(item);
+            self.sampled += 1;
+        }
+    }
+
+    /// Process one update whose sampling coin word was already drawn (by a
+    /// bulk `next_u64_many` prefetch).
+    #[inline]
+    pub(crate) fn insert_with_word(&mut self, item: u64, word: u64) {
+        if f64_from_word(word) < self.p {
             self.mg.insert(item);
             self.sampled += 1;
         }
@@ -133,6 +143,40 @@ impl StreamAlg for BernMG {
 
     fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
         self.insert(update.0, rng);
+    }
+
+    /// Batched sampling: coin words are prefetched block-wise (identical
+    /// words, identical transcript), and consecutive *sampled* occurrences
+    /// of the same item collapse into one weighted Misra–Gries run —
+    /// `MisraGries::insert_run` is defined as exactly that many repeated
+    /// inserts, so the summary state is bit-identical to the scalar loop.
+    fn process_batch(&mut self, updates: &[InsertOnly], rng: &mut TranscriptRng) {
+        const BLOCK: usize = 512;
+        let mut words = [0u64; BLOCK];
+        let mut run: Option<(u64, u64)> = None;
+        let mut offset = 0;
+        while offset < updates.len() {
+            let take = (updates.len() - offset).min(BLOCK);
+            rng.next_u64_many(&mut words[..take]);
+            for (u, &w) in updates[offset..offset + take].iter().zip(&words[..take]) {
+                if f64_from_word(w) < self.p {
+                    self.sampled += 1;
+                    match &mut run {
+                        Some((item, weight)) if *item == u.0 => *weight += 1,
+                        _ => {
+                            if let Some((item, weight)) = run.take() {
+                                self.mg.insert_run(item, weight);
+                            }
+                            run = Some((u.0, 1));
+                        }
+                    }
+                }
+            }
+            offset += take;
+        }
+        if let Some((item, weight)) = run {
+            self.mg.insert_run(item, weight);
+        }
     }
 
     fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {

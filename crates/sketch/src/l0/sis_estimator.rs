@@ -19,7 +19,7 @@
 use wb_core::rng::TranscriptRng;
 use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
-use wb_core::stream::{StreamAlg, Turnstile};
+use wb_core::stream::{RunAggregator, StreamAlg, Turnstile};
 use wb_crypto::prime::is_prime;
 use wb_crypto::sis::{SisMatrix, SisParams};
 
@@ -45,6 +45,12 @@ pub struct SisL0Estimator {
     nonzero_entries: Vec<u32>,
     /// Number of chunks with a nonzero sketch.
     nonzero_chunks: u64,
+    /// Batch scratch (see [`StreamAlg::process_batch`]); not part of the
+    /// observable state, skipped by snapshots. Deltas aggregate in `i128`
+    /// so no sum of `i64` updates can overflow before the mod-`q` reduce.
+    agg: RunAggregator<i128>,
+    /// Batch scratch: chunks whose sketch changed this batch.
+    dirty: Vec<usize>,
 }
 
 impl SisL0Estimator {
@@ -88,6 +94,8 @@ impl SisL0Estimator {
             sketches: vec![0; num_chunks * d],
             nonzero_entries: vec![0; num_chunks],
             nonzero_chunks: 0,
+            agg: RunAggregator::new(),
+            dirty: Vec::new(),
         }
     }
 
@@ -106,6 +114,8 @@ impl SisL0Estimator {
             sketches: vec![0; num_chunks * params.d],
             nonzero_entries: vec![0; num_chunks],
             nonzero_chunks: 0,
+            agg: RunAggregator::new(),
+            dirty: Vec::new(),
             matrix,
         }
     }
@@ -277,6 +287,62 @@ impl StreamAlg for SisL0Estimator {
 
     fn process(&mut self, update: &Turnstile, _rng: &mut TranscriptRng) {
         self.update(update.item, update.delta);
+    }
+
+    /// Batched turnstile ingestion. The sketch is `Z_q`-linear in the
+    /// frequency vector, so per-item deltas may be summed before touching
+    /// `A` — one `add_scaled_column` per distinct item — and the nonzero
+    /// bookkeeping recounted once per *dirty chunk* instead of once per
+    /// update. Both are pure functions of the final sketch values, so the
+    /// end state is bit-identical to the scalar loop (which draws no
+    /// randomness, making the transcript trivially identical too).
+    fn process_batch(&mut self, updates: &[Turnstile], _rng: &mut TranscriptRng) {
+        let d = self.matrix.params().d;
+        let q = self.matrix.params().q;
+        let mut agg = std::mem::take(&mut self.agg);
+        let mut dirty = std::mem::take(&mut self.dirty);
+        // Segmented to respect the aggregator's 2^24-pair batch cap.
+        for part in updates.chunks(1 << 20) {
+            agg.begin(part.len());
+            for u in part {
+                // The scalar path validates every update, including ones
+                // whose deltas later cancel.
+                assert!(u.item < self.n, "item out of universe");
+                agg.add(u.item, i128::from(u.delta));
+            }
+            dirty.clear();
+            for &(item, delta) in agg.runs() {
+                let coeff = (delta % i128::from(q)) as i64;
+                if coeff == 0 {
+                    continue;
+                }
+                let chunk = (item / self.chunk_w as u64) as usize;
+                let k = (item % self.chunk_w as u64) as usize;
+                self.matrix.add_scaled_column(
+                    k,
+                    coeff,
+                    &mut self.sketches[chunk * d..(chunk + 1) * d],
+                );
+                dirty.push(chunk);
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            for &chunk in &dirty {
+                let before = self.nonzero_entries[chunk];
+                let after = self.sketches[chunk * d..(chunk + 1) * d]
+                    .iter()
+                    .filter(|&&v| v != 0)
+                    .count() as u32;
+                self.nonzero_entries[chunk] = after;
+                match (before, after) {
+                    (0, a) if a > 0 => self.nonzero_chunks += 1,
+                    (b, 0) if b > 0 => self.nonzero_chunks -= 1,
+                    _ => {}
+                }
+            }
+        }
+        self.agg = agg;
+        self.dirty = dirty;
     }
 
     fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {

@@ -54,10 +54,42 @@ impl MisraGries {
         Self::with_counters((2.0 / eps).ceil() as usize, n)
     }
 
+    /// Position of `item` among the live keys, if monitored — the probe on
+    /// the per-update hot path. Four keys are compared per step with one
+    /// combined any-match test (four independent equality lanes, which the
+    /// backend can fuse into a single vector compare), so the scan takes
+    /// one well-predicted branch per four keys instead of one per key.
+    #[inline]
+    fn find(&self, item: u64) -> Option<usize> {
+        let mut chunks = self.keys.chunks_exact(4);
+        let mut base = 0usize;
+        for c in chunks.by_ref() {
+            let m = [c[0] == item, c[1] == item, c[2] == item, c[3] == item];
+            if m[0] | m[1] | m[2] | m[3] {
+                let off = if m[0] {
+                    0
+                } else if m[1] {
+                    1
+                } else if m[2] {
+                    2
+                } else {
+                    3
+                };
+                return Some(base + off);
+            }
+            base += 4;
+        }
+        chunks
+            .remainder()
+            .iter()
+            .position(|&key| key == item)
+            .map(|i| base + i)
+    }
+
     /// Process one item occurrence.
     pub fn insert(&mut self, item: u64) {
         self.processed += 1;
-        if let Some(pos) = self.keys.iter().position(|&i| i == item) {
+        if let Some(pos) = self.find(item) {
             self.counts[pos] += 1;
             return;
         }
@@ -66,15 +98,16 @@ impl MisraGries {
             self.counts.push(1);
             return;
         }
-        // Decrement-all step; drop zeros (in-place compaction).
+        // Decrement-all step; drop zeros (in-place compaction). Writes are
+        // unconditional with a conditional advance — `live ≤ r` keeps them
+        // safe, and dropping the data-dependent keep/skip branch (count-1
+        // entries are common under churn) keeps the pipeline full.
         let mut live = 0;
         for r in 0..self.keys.len() {
             let c = self.counts[r] - 1;
-            if c > 0 {
-                self.keys[live] = self.keys[r];
-                self.counts[live] = c;
-                live += 1;
-            }
+            self.keys[live] = self.keys[r];
+            self.counts[live] = c;
+            live += usize::from(c > 0);
         }
         self.keys.truncate(live);
         self.counts.truncate(live);
@@ -89,7 +122,7 @@ impl MisraGries {
     /// one by one, since each may free slots and change the outcome.
     pub fn insert_run(&mut self, item: u64, mut w: u64) {
         while w > 0 {
-            if let Some(pos) = self.keys.iter().position(|&i| i == item) {
+            if let Some(pos) = self.find(item) {
                 self.counts[pos] += w;
                 self.processed += w;
                 return;

@@ -14,10 +14,14 @@
 //! prefix w.h.p. The experiment E10 runs adaptive adversaries that try to
 //! stop at unlucky moments and measures the failure rate.
 
-use wb_core::rng::TranscriptRng;
+use wb_core::rng::{f64_from_word, TranscriptRng};
 use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
+
+/// Words prefetched per block by the batched coin-flip kernels — sized so
+/// a block stays L1-resident.
+const MORRIS_BLOCK: usize = 512;
 
 /// A single Morris counter with base `1 + a`.
 ///
@@ -35,6 +39,11 @@ pub struct MorrisCounter {
     x: u64,
     /// Base offset `a > 0` (smaller `a` → better accuracy, more bits).
     a: f64,
+    /// Cached increment probability `(1+a)^{-X}` — a pure function of `x`
+    /// and `a` (refreshed whenever `x` moves), so each increment costs one
+    /// compare instead of a `powi`. Not observable state: snapshots skip
+    /// it and restores recompute it.
+    p: f64,
 }
 
 impl MorrisCounter {
@@ -49,15 +58,38 @@ impl MorrisCounter {
     /// Counter with an explicit base offset `a`.
     pub fn with_base(a: f64) -> Self {
         assert!(a > 0.0, "base offset must be positive");
-        MorrisCounter { x: 0, a }
+        MorrisCounter { x: 0, a, p: 1.0 }
+    }
+
+    /// The increment probability for exponent `x` — the sole formula the
+    /// cached `p` mirrors.
+    fn prob_at(a: f64, x: u64) -> f64 {
+        (1.0 + a).powi(-(x as i32))
     }
 
     /// Register one event.
     pub fn increment(&mut self, rng: &mut TranscriptRng) {
-        let p = (1.0 + self.a).powi(-(self.x as i32));
-        if rng.bernoulli(p) {
-            self.x += 1;
+        if rng.bernoulli(self.p) {
+            self.bump();
         }
+    }
+
+    /// Register one event whose coin word was already drawn (by a bulk
+    /// `next_u64_many` prefetch); returns whether the exponent moved.
+    #[inline]
+    pub(crate) fn increment_with_word(&mut self, word: u64) -> bool {
+        if f64_from_word(word) < self.p {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self) {
+        self.x += 1;
+        self.p = Self::prob_at(self.a, self.x);
     }
 
     /// Unbiased estimate `((1+a)^X − 1)/a` of the event count.
@@ -95,6 +127,7 @@ impl Snapshot for MorrisCounter {
             ));
         }
         self.x = x;
+        self.p = Self::prob_at(self.a, x);
         Ok(())
     }
 }
@@ -112,6 +145,23 @@ impl StreamAlg for MorrisCounter {
 
     fn process(&mut self, _update: &InsertOnly, rng: &mut TranscriptRng) {
         self.increment(rng);
+    }
+
+    /// Batched coin flips: one word per update, prefetched block-wise via
+    /// `next_u64_many` (proven word- and transcript-identical to repeated
+    /// `next_u64`) and compared against the cached probability — the same
+    /// coins, the same exponent trajectory, no per-update `powi`.
+    fn process_batch(&mut self, updates: &[InsertOnly], rng: &mut TranscriptRng) {
+        let mut words = [0u64; MORRIS_BLOCK];
+        let mut rest = updates.len();
+        while rest > 0 {
+            let take = rest.min(MORRIS_BLOCK);
+            rng.next_u64_many(&mut words[..take]);
+            for &w in &words[..take] {
+                self.increment_with_word(w);
+            }
+            rest -= take;
+        }
     }
 
     fn query(&self) -> f64 {
@@ -156,6 +206,19 @@ impl MedianMorris {
         for c in &mut self.counters {
             c.increment(rng);
         }
+    }
+
+    /// Register one event from `counters().len()` prefetched coin words in
+    /// copy order; returns whether any exponent moved (i.e. whether the
+    /// median estimate may have changed).
+    #[inline]
+    pub(crate) fn increment_with_words(&mut self, words: &[u64]) -> bool {
+        debug_assert_eq!(words.len(), self.counters.len());
+        let mut changed = false;
+        for (c, &w) in self.counters.iter_mut().zip(words) {
+            changed |= c.increment_with_word(w);
+        }
+        changed
     }
 
     /// Median of the copies' estimates.
@@ -208,6 +271,25 @@ impl StreamAlg for MedianMorris {
 
     fn process(&mut self, _update: &InsertOnly, rng: &mut TranscriptRng) {
         self.increment(rng);
+    }
+
+    /// Batched coin flips for all copies: each update consumes
+    /// `counters().len()` words in copy order, exactly as the scalar loop
+    /// does; words are prefetched a block of whole updates at a time.
+    fn process_batch(&mut self, updates: &[InsertOnly], rng: &mut TranscriptRng) {
+        let k = self.counters.len();
+        let per_block = (MORRIS_BLOCK / k).max(1);
+        let mut words = vec![0u64; per_block * k];
+        let mut rest = updates.len();
+        while rest > 0 {
+            let take = rest.min(per_block);
+            let slice = &mut words[..take * k];
+            rng.next_u64_many(slice);
+            for u in 0..take {
+                self.increment_with_words(&slice[u * k..(u + 1) * k]);
+            }
+            rest -= take;
+        }
     }
 
     fn query(&self) -> f64 {

@@ -20,7 +20,7 @@ use crate::misra_gries::MisraGries;
 use crate::morris::MedianMorris;
 use crate::sampling::bernoulli_rate;
 use std::collections::HashMap;
-use wb_core::rng::TranscriptRng;
+use wb_core::rng::{f64_from_word, TranscriptRng};
 use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
 use wb_core::stream::{InsertOnly, StreamAlg};
@@ -75,7 +75,18 @@ impl HashedBernMG {
     }
 
     fn insert(&mut self, item: u64, rng: &mut TranscriptRng) {
-        if !rng.bernoulli(self.p) {
+        // `bernoulli` consumes exactly the one word the batched path
+        // prefetches, so delegating keeps the transcript identical.
+        let word = rng.next_u64();
+        self.insert_with_word(item, word);
+    }
+
+    /// [`Self::insert`] with the sampling coin word already drawn by a bulk
+    /// prefetch. The early return keeps the (expensive) Pedersen digest off
+    /// the unsampled path, exactly as the scalar `bernoulli` gate does.
+    #[inline]
+    fn insert_with_word(&mut self, item: u64, word: u64) {
+        if f64_from_word(word) >= self.p {
             return;
         }
         self.sampled += 1;
@@ -323,6 +334,37 @@ impl StreamAlg for PhiEpsHeavyHitters {
 
     fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
         self.insert(update.0, rng);
+    }
+
+    /// Batched insert; same shape as
+    /// [`RobustL1HeavyHitters`](crate::robust_hh::RobustL1HeavyHitters):
+    /// `k + 2` prefetched words per update in scalar draw order, and
+    /// `ladder.advance` only when a Morris exponent moved (a repeat call
+    /// with an unchanged `t̂` cannot promote).
+    fn process_batch(&mut self, updates: &[InsertOnly], rng: &mut TranscriptRng) {
+        const BLOCK: usize = 512;
+        let k = self.morris.counters().len();
+        let per = k + 2;
+        let per_block = (BLOCK / per).max(1);
+        let mut words = vec![0u64; per_block * per];
+        let mut offset = 0;
+        while offset < updates.len() {
+            let take = (updates.len() - offset).min(per_block);
+            rng.next_u64_many(&mut words[..take * per]);
+            for (u, chunk) in updates[offset..offset + take]
+                .iter()
+                .zip(words.chunks_exact(per))
+            {
+                let changed = self.morris.increment_with_words(&chunk[..k]);
+                for (inst, &w) in self.ladder.live_mut().into_iter().zip(&chunk[k..]) {
+                    inst.insert_with_word(u.0, w);
+                }
+                if changed {
+                    self.ladder.advance(self.morris.estimate());
+                }
+            }
+            offset += take;
+        }
     }
 
     fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {

@@ -146,6 +146,40 @@ impl StreamAlg for RobustL1HeavyHitters {
         self.insert(update.0, rng);
     }
 
+    /// Batched insert. Each update consumes exactly `k + 2` words (`k`
+    /// Morris coins in copy order, then the answering and warming sampling
+    /// coins), so whole blocks are prefetched with `next_u64_many` and fed
+    /// to the per-word paths in scalar order. `ladder.advance` is only
+    /// called when a Morris exponent moved: `advance(t̂)` with an unchanged
+    /// `t̂` is a no-op (the previous call already looped until
+    /// `t̂ < answering_guess`), and skipping it avoids the alloc+sort in
+    /// `MedianMorris::estimate` on every update.
+    fn process_batch(&mut self, updates: &[InsertOnly], rng: &mut TranscriptRng) {
+        const BLOCK: usize = 512;
+        let k = self.morris.counters().len();
+        let per = k + 2;
+        let per_block = (BLOCK / per).max(1);
+        let mut words = vec![0u64; per_block * per];
+        let mut offset = 0;
+        while offset < updates.len() {
+            let take = (updates.len() - offset).min(per_block);
+            rng.next_u64_many(&mut words[..take * per]);
+            for (u, chunk) in updates[offset..offset + take]
+                .iter()
+                .zip(words.chunks_exact(per))
+            {
+                let changed = self.morris.increment_with_words(&chunk[..k]);
+                for (inst, &w) in self.ladder.live_mut().into_iter().zip(&chunk[k..]) {
+                    inst.insert_with_word(u.0, w);
+                }
+                if changed {
+                    self.ladder.advance(self.morris.estimate());
+                }
+            }
+            offset += take;
+        }
+    }
+
     fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
         Snapshot::snap(self, w);
         Ok(())

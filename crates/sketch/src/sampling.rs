@@ -14,10 +14,10 @@
 //! the paper's related-work discussion.
 
 use std::collections::HashMap;
-use wb_core::rng::TranscriptRng;
+use wb_core::rng::{f64_from_word, TranscriptRng};
 use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use wb_core::space::{bits_for_count, bits_for_universe, SpaceUsage};
-use wb_core::stream::{InsertOnly, StreamAlg};
+use wb_core::stream::{InsertOnly, RunAggregator, StreamAlg};
 
 /// Recommended sampling probability `min(1, C·ln(n/δ) / (ε²·m))`.
 pub fn bernoulli_rate(n: u64, m: u64, eps: f64, delta: f64, c: f64) -> f64 {
@@ -34,6 +34,10 @@ pub struct BernoulliHeavyHitters {
     n: u64,
     sampled: u64,
     processed: u64,
+    /// Batch scratch aggregating sampled occurrences per item — counts are
+    /// commutative additions, so per-item totals land each coordinate in
+    /// the map once per batch. Not observable state; snapshots skip it.
+    agg: RunAggregator<u64>,
 }
 
 impl BernoulliHeavyHitters {
@@ -51,6 +55,7 @@ impl BernoulliHeavyHitters {
             n,
             sampled: 0,
             processed: 0,
+            agg: RunAggregator::new(),
         }
     }
 
@@ -149,6 +154,37 @@ impl StreamAlg for BernoulliHeavyHitters {
 
     fn process(&mut self, update: &InsertOnly, rng: &mut TranscriptRng) {
         self.insert(update.0, rng);
+    }
+
+    /// Batched sampling: coin words prefetched block-wise (identical
+    /// words, identical transcript); sampled occurrences aggregate per
+    /// item before touching the count map. Counts are plain additions, so
+    /// per-item totals leave the map bit-identical to the scalar loop.
+    fn process_batch(&mut self, updates: &[InsertOnly], rng: &mut TranscriptRng) {
+        const BLOCK: usize = 512;
+        let mut words = [0u64; BLOCK];
+        let mut agg = std::mem::take(&mut self.agg);
+        // Segmented to respect the aggregator's 2^24-pair batch cap.
+        for seg in updates.chunks(1 << 20) {
+            agg.begin(seg.len());
+            let mut offset = 0;
+            while offset < seg.len() {
+                let take = (seg.len() - offset).min(BLOCK);
+                rng.next_u64_many(&mut words[..take]);
+                for (u, &w) in seg[offset..offset + take].iter().zip(&words[..take]) {
+                    if f64_from_word(w) < self.p {
+                        self.sampled += 1;
+                        agg.add(u.0, 1u64);
+                    }
+                }
+                offset += take;
+            }
+            for &(item, count) in agg.runs() {
+                *self.counts.entry(item).or_insert(0) += count;
+            }
+        }
+        self.agg = agg;
+        self.processed += updates.len() as u64;
     }
 
     fn snapshot_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {

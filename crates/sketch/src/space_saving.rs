@@ -8,7 +8,6 @@
 //! HHH accuracy condition of Definition 2.10 needs. Deterministic, hence
 //! white-box robust.
 
-use std::collections::HashMap;
 use wb_core::merge::{MergeError, Mergeable};
 use wb_core::rng::TranscriptRng;
 use wb_core::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
@@ -25,9 +24,17 @@ pub struct SsEntry {
 }
 
 /// SpaceSaving summary with `k` counters over universe `[n]`.
+///
+/// Stored struct-of-arrays (like [`crate::misra_gries::MisraGries`]): the
+/// hot membership probe scans a dense `keys` array and the eviction scan
+/// reads a dense `counts` array, both of which vectorize — `k` is small
+/// (`⌈2/ε⌉`), so linear scans beat hashing.
 #[derive(Debug, Clone)]
 pub struct SpaceSaving {
-    entries: HashMap<u64, SsEntry>,
+    /// Monitored item ids; parallel to `counts` and `errs`.
+    keys: Vec<u64>,
+    counts: Vec<u64>,
+    errs: Vec<u64>,
     k: usize,
     n: u64,
     processed: u64,
@@ -38,7 +45,9 @@ impl SpaceSaving {
     pub fn with_counters(k: usize, n: u64) -> Self {
         assert!(k >= 1, "need at least one counter");
         SpaceSaving {
-            entries: HashMap::with_capacity(k + 1),
+            keys: Vec::with_capacity(k),
+            counts: Vec::with_capacity(k),
+            errs: Vec::with_capacity(k),
             k,
             n,
             processed: 0,
@@ -57,47 +66,102 @@ impl SpaceSaving {
     }
 
     /// Process `w ≥ 1` occurrences of `item` at once.
+    /// Position of `item` among the monitored keys — the per-update probe.
+    /// Four keys are compared per step with one combined any-match test
+    /// (fusable into a single vector compare), one well-predicted branch
+    /// per four keys instead of one per key.
+    #[inline]
+    fn find(&self, item: u64) -> Option<usize> {
+        let mut chunks = self.keys.chunks_exact(4);
+        let mut base = 0usize;
+        for c in chunks.by_ref() {
+            let m = [c[0] == item, c[1] == item, c[2] == item, c[3] == item];
+            if m[0] | m[1] | m[2] | m[3] {
+                let off = if m[0] {
+                    0
+                } else if m[1] {
+                    1
+                } else if m[2] {
+                    2
+                } else {
+                    3
+                };
+                return Some(base + off);
+            }
+            base += 4;
+        }
+        chunks
+            .remainder()
+            .iter()
+            .position(|&key| key == item)
+            .map(|i| base + i)
+    }
+
     pub fn insert_weighted(&mut self, item: u64, w: u64) {
         self.processed += w;
-        if let Some(e) = self.entries.get_mut(&item) {
-            e.count += w;
+        if let Some(pos) = self.find(item) {
+            self.counts[pos] += w;
             return;
         }
-        if self.entries.len() < self.k {
-            self.entries.insert(item, SsEntry { count: w, err: 0 });
+        if self.keys.len() < self.k {
+            self.keys.push(item);
+            self.counts.push(w);
+            self.errs.push(0);
             return;
         }
         // Replace the minimum-count entry; ties break on the smaller item
-        // id so the choice is deterministic (never on hash-map iteration
-        // order, which differs per instance).
-        let (&min_item, &min_entry) = self
-            .entries
-            .iter()
-            .min_by_key(|(&i, e)| (e.count, i))
-            .expect("k ≥ 1 entries");
-        self.entries.remove(&min_item);
-        self.entries.insert(
-            item,
-            SsEntry {
-                count: min_entry.count + w,
-                err: min_entry.count,
-            },
-        );
+        // id so the choice is deterministic regardless of storage order.
+        // The lexicographic (count, key) minimum is found in three
+        // unconditional (vectorizable) passes rather than one
+        // compare-and-branch scan; keys are unique, so exactly one entry
+        // attains it and the passes agree with the sequential scan. (An
+        // entry whose key is the u64::MAX sentinel still resolves: the
+        // candidate minimum equals its key either way.)
+        let mut min_count = u64::MAX;
+        for &c in &self.counts {
+            min_count = min_count.min(c);
+        }
+        let mut min_key = u64::MAX;
+        for (&c, &key) in self.counts.iter().zip(&self.keys) {
+            let cand = if c == min_count { key } else { u64::MAX };
+            min_key = min_key.min(cand);
+        }
+        let mut hit = 0usize;
+        for (i, (&c, &key)) in self.counts.iter().zip(&self.keys).enumerate() {
+            hit |= (usize::from(c == min_count && key == min_key)) * (i + 1);
+        }
+        let min_pos = hit - 1;
+        self.keys[min_pos] = item;
+        self.counts[min_pos] = min_count + w;
+        self.errs[min_pos] = min_count;
+    }
+
+    fn get(&self, item: u64) -> Option<SsEntry> {
+        self.find(item).map(|pos| SsEntry {
+            count: self.counts[pos],
+            err: self.errs[pos],
+        })
     }
 
     /// Over-estimate of `item`'s frequency (`0` if not monitored).
     pub fn over_estimate(&self, item: u64) -> u64 {
-        self.entries.get(&item).map_or(0, |e| e.count)
+        self.get(item).map_or(0, |e| e.count)
     }
 
     /// Under-estimate `count − err` of `item`'s frequency.
     pub fn under_estimate(&self, item: u64) -> u64 {
-        self.entries.get(&item).map_or(0, |e| e.count - e.err)
+        self.get(item).map_or(0, |e| e.count - e.err)
     }
 
     /// The monitored entries, item-ascending.
     pub fn entries(&self) -> Vec<(u64, SsEntry)> {
-        let mut v: Vec<(u64, SsEntry)> = self.entries.iter().map(|(&i, &e)| (i, e)).collect();
+        let mut v: Vec<(u64, SsEntry)> = self
+            .keys
+            .iter()
+            .zip(&self.counts)
+            .zip(&self.errs)
+            .map(|((&i, &count), &err)| (i, SsEntry { count, err }))
+            .collect();
         v.sort_unstable_by_key(|&(i, _)| i);
         v
     }
@@ -117,10 +181,22 @@ impl SpaceSaving {
     /// value (an unmonitored item was either never seen or evicted at a
     /// count it had not exceeded), which is what makes the merge sound.
     fn floor(&self) -> u64 {
-        if self.entries.len() == self.k {
-            self.entries.values().map(|e| e.count).min().unwrap_or(0)
+        if self.keys.len() == self.k {
+            self.counts.iter().copied().min().unwrap_or(0)
         } else {
             0
+        }
+    }
+
+    /// Replace the stored entries wholesale (merge/restore rebuilds).
+    fn set_entries(&mut self, entries: impl IntoIterator<Item = (u64, SsEntry)>) {
+        self.keys.clear();
+        self.counts.clear();
+        self.errs.clear();
+        for (item, e) in entries {
+            self.keys.push(item);
+            self.counts.push(e.count);
+            self.errs.push(e.err);
         }
     }
 }
@@ -144,11 +220,10 @@ impl Mergeable for SpaceSaving {
         let floor_self = self.floor();
         let floor_other = other.floor();
         let mut merged: Vec<(u64, SsEntry)> =
-            Vec::with_capacity(self.entries.len() + other.entries.len());
-        for (&item, &e) in &self.entries {
+            Vec::with_capacity(self.keys.len() + other.keys.len());
+        for (item, e) in self.entries() {
             let (count, err) = other
-                .entries
-                .get(&item)
+                .get(item)
                 .map_or((floor_other, floor_other), |o| (o.count, o.err));
             merged.push((
                 item,
@@ -158,8 +233,8 @@ impl Mergeable for SpaceSaving {
                 },
             ));
         }
-        for (&item, &e) in &other.entries {
-            if !self.entries.contains_key(&item) {
+        for (item, e) in other.entries() {
+            if self.get(item).is_none() {
                 merged.push((
                     item,
                     SsEntry {
@@ -171,7 +246,7 @@ impl Mergeable for SpaceSaving {
         }
         merged.sort_unstable_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(&b.0)));
         merged.truncate(self.k);
-        self.entries = merged.into_iter().collect();
+        self.set_entries(merged);
         self.processed += other.processed;
         Ok(())
     }
@@ -209,7 +284,7 @@ impl Snapshot for SpaceSaving {
                 "SpaceSaving snapshot holds {len} entries for k={k}"
             )));
         }
-        let mut entries = HashMap::with_capacity(k + 1);
+        let mut entries: Vec<(u64, SsEntry)> = Vec::with_capacity(len);
         for _ in 0..len {
             let item = r.take_u64()?;
             let count = r.take_u64()?;
@@ -220,13 +295,14 @@ impl Snapshot for SpaceSaving {
                     "SpaceSaving entry {item}: count {count}, err {err}"
                 )));
             }
-            if entries.insert(item, SsEntry { count, err }).is_some() {
+            if entries.iter().any(|&(i, _)| i == item) {
                 return Err(SnapError::corrupt(format!(
                     "SpaceSaving duplicate entry {item}"
                 )));
             }
+            entries.push((item, SsEntry { count, err }));
         }
-        self.entries = entries;
+        self.set_entries(entries);
         self.processed = processed;
         Ok(())
     }
@@ -235,9 +311,10 @@ impl Snapshot for SpaceSaving {
 impl SpaceUsage for SpaceSaving {
     fn space_bits(&self) -> u64 {
         let id_bits = bits_for_universe(self.n);
-        self.entries
-            .values()
-            .map(|e| id_bits + bits_for_count(e.count) + bits_for_count(e.err))
+        self.counts
+            .iter()
+            .zip(&self.errs)
+            .map(|(&count, &err)| id_bits + bits_for_count(count) + bits_for_count(err))
             .sum()
     }
 }
@@ -286,6 +363,7 @@ impl StreamAlg for SpaceSaving {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn exact_with_spare_capacity() {

@@ -112,13 +112,80 @@ proptest! {
         // Positive multi-unit turnstile deltas reaching insert-only
         // sketches through the erased layer's delta expansion: the batched
         // path (expansion + sort/run-length aggregation in e.g. CountMin)
-        // must stay bit-identical to per-update processing.
+        // must stay bit-identical to per-update processing — for **every**
+        // insert-only algorithm, including the randomized ones whose
+        // expanded unit inserts each consume coins.
         let updates: Vec<Update> = raw
             .iter()
             .map(|&(item, delta)| Update::Turnstile { item, delta })
             .collect();
-        for name in ["count_min", "misra_gries", "space_saving"] {
+        for name in insert_only() {
             assert_equivalent(name, &updates, chunk, seed);
+        }
+    }
+}
+
+/// The insert-only registry algorithms (turnstile updates reach them via
+/// the erased layer's positive-delta expansion).
+fn insert_only() -> Vec<&'static str> {
+    registry::names()
+        .into_iter()
+        .filter(|n| !TURNSTILE.contains(n))
+        .collect()
+}
+
+/// The chunk sizes the ISSUE pins for every newly-kerneled algorithm: a
+/// singleton (batch path must degrade to the scalar path exactly), a
+/// non-round prime (every block-prefetch kernel ends with a ragged tail),
+/// and a batch larger than every internal block size (4096 > 512-word
+/// prefetch blocks, forcing multiple refills per call).
+const PINNED_CHUNKS: &[usize] = &[1, 7, 4096];
+
+#[test]
+fn pinned_chunk_sizes_cover_all_registry_algorithms() {
+    // Runs-heavy head (exercises run-collapsing kernels) followed by a
+    // high-distinct tail (exercises the no-run fallbacks), 9216 updates so
+    // chunk 4096 yields full, ragged, and final partial batches.
+    let items: Vec<u64> = (0..9216u64)
+        .map(|t| {
+            if t % 3 != 2 {
+                (t / 7) % 8
+            } else {
+                t.wrapping_mul(2654435761) % 64
+            }
+        })
+        .collect();
+    let updates = insert_updates(&items);
+    for &chunk in PINNED_CHUNKS {
+        for name in registry::names() {
+            assert_equivalent(name, &updates, chunk, 12);
+        }
+    }
+}
+
+#[test]
+fn pinned_chunk_sizes_cover_turnstile_and_expansion() {
+    // Signed stream: turnstile algorithms fold cancellations; insert-only
+    // algorithms see the positive deltas expanded to unit inserts by the
+    // erased layer. Both must hold at every pinned chunk size.
+    let signed: Vec<Update> = (0..4500u64)
+        .map(|t| Update::Turnstile {
+            item: t % 48,
+            delta: [1, -1, 3, 2, -2, 1, 5][(t % 7) as usize],
+        })
+        .collect();
+    let positive: Vec<Update> = (0..1500u64)
+        .map(|t| Update::Turnstile {
+            item: t % 32,
+            delta: 1 + (t % 9) as i64,
+        })
+        .collect();
+    for &chunk in PINNED_CHUNKS {
+        for name in TURNSTILE {
+            assert_equivalent(name, &signed, chunk, 23);
+        }
+        for name in insert_only() {
+            assert_equivalent(name, &positive, chunk, 23);
         }
     }
 }
